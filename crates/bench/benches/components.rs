@@ -1,0 +1,102 @@
+//! Component microbenchmarks: the data-structure and cost-model
+//! operations on the hot paths of every collective operation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mccio_core::ptree::PartitionTree;
+use mccio_mpiio::{Datatype, Extent, ExtentList};
+use mccio_pfs::Striping;
+use mccio_sim::cost::{CostModel, Flow};
+use mccio_sim::rng::{stream_rng, NormalSampler};
+use mccio_sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_sim::units::MIB;
+
+fn bench_striping(c: &mut Criterion) {
+    let striping = Striping::new(16, MIB);
+    c.bench_function("striping/map_range 1GiB", |b| {
+        b.iter(|| black_box(striping.map_range(black_box(12345), 1 << 30)))
+    });
+    c.bench_function("striping/locate", |b| {
+        b.iter(|| black_box(striping.locate(black_box(987_654_321))))
+    });
+}
+
+fn bench_extents(c: &mut Criterion) {
+    let raw: Vec<Extent> = (0..10_000u64)
+        .rev()
+        .map(|i| Extent::new(i * 100, 60))
+        .collect();
+    c.bench_function("extents/normalize 10k", |b| {
+        b.iter_batched(
+            || raw.clone(),
+            |v| black_box(ExtentList::normalize(v)),
+            BatchSize::SmallInput,
+        )
+    });
+    let list = ExtentList::normalize(raw);
+    c.bench_function("extents/clip mid-window", |b| {
+        b.iter(|| black_box(list.clip(Extent::new(500_000, 10_000))))
+    });
+    c.bench_function("extents/overlaps", |b| {
+        b.iter(|| black_box(list.overlaps(Extent::new(black_box(777_777), 50))))
+    });
+}
+
+fn bench_datatype(c: &mut Criterion) {
+    let subarray = Datatype::Subarray {
+        sizes: vec![128, 128, 128],
+        subsizes: vec![32, 32, 32],
+        starts: vec![64, 64, 64],
+        elem_size: 8,
+    };
+    c.bench_function("datatype/flatten subarray 32^3", |b| {
+        b.iter(|| black_box(subarray.flatten(0)))
+    });
+}
+
+fn bench_ptree(c: &mut Criterion) {
+    c.bench_function("ptree/build 1GiB at 4MiB leaves", |b| {
+        b.iter(|| black_box(PartitionTree::build(Extent::new(0, 1 << 30), 4 * MIB, MIB)))
+    });
+    c.bench_function("ptree/remerge half the leaves", |b| {
+        b.iter_batched(
+            || PartitionTree::build(Extent::new(0, 64 * MIB), MIB, MIB),
+            |mut t| {
+                while t.n_leaves() > 32 {
+                    let leaves = t.leaves();
+                    let _ = t.remerge(leaves[leaves.len() / 2]);
+                }
+                black_box(t.n_leaves())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let cluster = test_cluster(16, 8);
+    let placement = Placement::new(&cluster, 128, FillOrder::Block).unwrap();
+    let model = CostModel::new(cluster);
+    let flows: Vec<Flow> = (0..128)
+        .flat_map(|src| (0..16).map(move |agg| Flow { src, dst: agg * 8, bytes: 64 * 1024 }))
+        .collect();
+    c.bench_function("cost/shuffle_phase 2k flows", |b| {
+        b.iter(|| black_box(model.shuffle_phase(&placement, &flows, &[])))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/normal sample", |b| {
+        let mut rng = stream_rng(1, "bench");
+        let mut s = NormalSampler::new(100.0, 15.0);
+        b.iter(|| black_box(s.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_striping, bench_extents, bench_datatype, bench_ptree, bench_cost, bench_rng
+);
+criterion_main!(components);

@@ -1,0 +1,58 @@
+//! Plan diagnostics: prints the domain/aggregator layout both
+//! strategies produce for a workload, without running any data movement.
+//!
+//! ```text
+//! cargo run --release -p mccio-bench --bin diag [scale] [buffer_mib]
+//! ```
+
+use mccio_bench::Platform;
+use mccio_core::mccio::{plan_mccio, MccioConfig};
+use mccio_core::two_phase::{plan_two_phase, TwoPhaseConfig};
+use mccio_mpiio::{ExtentList, GroupPattern};
+use mccio_net::RankSet;
+use mccio_sim::topology::{FillOrder, Placement};
+use mccio_sim::units::MIB;
+use mccio_workloads::CollPerf;
+
+fn main() {
+    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let buffer_mib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let platform = Platform::testbed(10, 120, 8).with_memory(96 * MIB, 50 * MIB);
+    let workload = CollPerf::cube(scale, 120, 4);
+    let placement =
+        Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
+    let per_rank: Vec<ExtentList> = (0..120).map(|r| workload.extents(r)).collect();
+    let pattern = GroupPattern::from_parts(RankSet::world(120), per_rank);
+    let mem = platform.memory();
+    let tuning = platform.tuning();
+    println!("tuning: {tuning:?}");
+    println!("file: {} MiB", workload.file_bytes() / MIB);
+
+    let tp = plan_two_phase(
+        &pattern,
+        &placement,
+        TwoPhaseConfig::with_buffer(buffer_mib * MIB),
+    );
+    println!("\ntwo-phase: {} domains, {} rounds", tp.domains.len(), tp.rounds());
+    summarize(&tp, &placement);
+
+    let cfg = MccioConfig::new(tuning, buffer_mib * MIB, platform.stripe);
+    let mc = plan_mccio(&pattern, &placement, &mem, &cfg);
+    println!("\nmemory-conscious: {} domains, {} rounds", mc.domains.len(), mc.rounds());
+    summarize(&mc, &placement);
+    for d in &mc.domains {
+        println!(
+            "  group {} domain {:>10}+{:<9} agg r{:<4} node {:<2} buffer {:>8}",
+            d.group, d.domain.offset, d.domain.len, d.aggregator,
+            placement.node_of(d.aggregator), d.buffer
+        );
+    }
+}
+
+fn summarize(plan: &mccio_core::plan::CollectivePlan, placement: &Placement) {
+    let mut per_node = std::collections::BTreeMap::new();
+    for d in &plan.domains {
+        *per_node.entry(placement.node_of(d.aggregator)).or_insert(0usize) += 1;
+    }
+    println!("  aggregators per node: {per_node:?}");
+}

@@ -1,0 +1,37 @@
+//! Reproduces Table 1: the 2010 petascale vs projected 2018 exascale
+//! design comparison, with the factor-change column and the paper's
+//! memory-per-core formula `f_M / (f_S · f_C)`.
+//!
+//! ```text
+//! cargo run -p mccio-bench --bin table1
+//! ```
+
+use mccio_sim::projection::{memory_per_core_factor, render_table1, DesignPoint};
+use mccio_sim::units::fmt_bytes;
+
+fn main() {
+    println!("Table 1: potential exascale computer design vs current HPC designs");
+    println!("==================================================================");
+    print!("{}", render_table1());
+
+    let a = DesignPoint::petascale_2010();
+    let b = DesignPoint::exascale_2018();
+    println!();
+    println!("derived pressure metrics the paper argues from:");
+    println!(
+        "  memory per core       : {} -> {}  (factor {:.4})",
+        fmt_bytes(a.memory_per_core() as u64),
+        fmt_bytes(b.memory_per_core() as u64),
+        memory_per_core_factor(&a, &b),
+    );
+    println!(
+        "  off-chip BW per core  : {}/s -> {}/s",
+        fmt_bytes(a.memory_bw_per_core() as u64),
+        fmt_bytes(b.memory_bw_per_core() as u64),
+    );
+    println!(
+        "  total concurrency     : {} -> {} cores",
+        a.total_concurrency(),
+        b.total_concurrency(),
+    );
+}

@@ -1,0 +1,381 @@
+//! Aggregation Group Division (paper §3.1).
+//!
+//! The first memory-conscious step divides the I/O workload into
+//! disjoint aggregation groups so the data-shuffle traffic stays inside
+//! each group. Two detection paths, as in the paper:
+//!
+//! * **serially distributed** data (explicit-offset codes, Figure 4):
+//!   rank `r+1`'s range starts at or after rank `r`'s. Cut points are
+//!   guided by the optimal group message size `Msg_group` but *extended
+//!   to the ending offset of the data accessed by the last process of a
+//!   compute node*, so that processes of one physical node never become
+//!   aggregators for different groups;
+//! * **complex/interleaved** patterns (structured datatypes whose
+//!   beginning and ending offsets interweave): the aggregate file region
+//!   is divided into `Msg_group`-sized chunks directly, and a group's
+//!   membership is whichever ranks touch its region.
+
+use mccio_mpiio::{Extent, GroupPattern};
+use mccio_net::RankSet;
+use mccio_sim::topology::Placement;
+use mccio_sim::units::div_ceil;
+
+/// One aggregation group: a contiguous file region and the ranks whose
+/// accesses fall in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// The group's file region. Regions of distinct groups are disjoint
+    /// and in ascending order; together they cover the global range.
+    pub region: Extent,
+    /// Ranks with at least one byte in the region.
+    pub members: RankSet,
+}
+
+/// Classification of the global pattern, choosing the division path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternShape {
+    /// Rank ranges ascend with rank id and do not interleave.
+    Serial,
+    /// Anything else.
+    Interleaved,
+}
+
+/// Classifies the pattern: serial iff consecutive data-carrying ranks
+/// have non-interleaving ranges — each rank's data ends at or before the
+/// next rank's begins, the "data segments serially distributed among
+/// processes" case of the paper.
+#[must_use]
+pub fn classify(pattern: &GroupPattern) -> PatternShape {
+    let lin = pattern.linearization();
+    let ranges: Vec<(u64, u64)> = lin.into_iter().flatten().collect();
+    let serial = ranges.windows(2).all(|w| w[0].1 <= w[1].0);
+    if serial {
+        PatternShape::Serial
+    } else {
+        PatternShape::Interleaved
+    }
+}
+
+/// Divides the workload into aggregation groups.
+///
+/// Returns an empty vector when nobody accesses anything.
+#[must_use]
+pub fn divide_groups(
+    pattern: &GroupPattern,
+    placement: &Placement,
+    msg_group: u64,
+) -> Vec<GroupPlan> {
+    assert!(msg_group > 0, "Msg_group must be positive");
+    let Some(global) = pattern.global_range() else {
+        return Vec::new();
+    };
+    let cuts = match classify(pattern) {
+        PatternShape::Serial => serial_cuts(pattern, placement, msg_group, global),
+        PatternShape::Interleaved => view_cuts(pattern, global, msg_group),
+    };
+    let mut groups = Vec::with_capacity(cuts.len());
+    let mut start = global.offset;
+    for cut in cuts {
+        let region = Extent::new(start, cut - start);
+        let members = pattern.ranks_touching(region);
+        if !members.is_empty() {
+            groups.push(GroupPlan {
+                region,
+                members: RankSet::new(members),
+            });
+        }
+        start = cut;
+    }
+    groups
+}
+
+/// Figure 4 cuts: walk nodes in placement order; each node contributes
+/// the ending offset of the last data-carrying rank it hosts; close a
+/// group once it has accumulated at least `msg_group` bytes of region.
+fn serial_cuts(
+    pattern: &GroupPattern,
+    placement: &Placement,
+    msg_group: u64,
+    global: Extent,
+) -> Vec<u64> {
+    // Ending offset of each node's last data-carrying member, in node order.
+    let mut node_ends: Vec<u64> = Vec::new();
+    for node in 0..placement.n_nodes() {
+        let end = placement
+            .ranks_on(node)
+            .iter()
+            .filter(|&&r| pattern.group().contains(r))
+            .filter_map(|&r| pattern.extents_of_rank(r).end())
+            .max();
+        if let Some(e) = end {
+            node_ends.push(e);
+        }
+    }
+    node_ends.sort_unstable();
+    node_ends.dedup();
+    let mut cuts = Vec::new();
+    let mut start = global.offset;
+    for &end in &node_ends {
+        if end <= start {
+            continue;
+        }
+        if end - start >= msg_group {
+            cuts.push(end);
+            start = end;
+        }
+    }
+    match cuts.last() {
+        Some(&last) if last >= global.end() => {}
+        _ => cuts.push(global.end()),
+    }
+    cuts
+}
+
+/// Cuts for interleaved patterns, "determined by analyzing the MPI file
+/// view across processes" (paper §3.1): starting from equal
+/// `Msg_group`-sized targets, each interior cut is snapped to the nearby
+/// access-boundary offset that the fewest ranks' extents *straddle* —
+/// so as few processes as possible end up members of two groups.
+fn view_cuts(pattern: &GroupPattern, global: Extent, msg_group: u64) -> Vec<u64> {
+    let n = div_ceil(global.len, msg_group).max(1);
+    let chunk = div_ceil(global.len, n);
+    // Candidate boundaries: ends of every extent of every rank. Sorted
+    // for range scans.
+    let mut boundaries: Vec<u64> = pattern
+        .group()
+        .iter()
+        .flat_map(|r| {
+            pattern
+                .extents_of_rank(r)
+                .as_slice()
+                .iter()
+                .map(Extent::end)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let straddlers = |cut: u64| -> usize {
+        pattern
+            .group()
+            .iter()
+            .filter(|&r| {
+                let e = pattern.extents_of_rank(r);
+                match (e.begin(), e.end()) {
+                    (Some(b), Some(x)) => b < cut && cut < x,
+                    _ => false,
+                }
+            })
+            .count()
+    };
+    let mut cuts = Vec::with_capacity(n as usize);
+    let mut prev = global.offset;
+    for i in 1..n {
+        let target = global.offset + i * chunk;
+        // Search candidates within ±chunk/4 of the target (keeping group
+        // sizes near Msg_group), preferring minimal straddle then
+        // proximity to the target.
+        let lo = target.saturating_sub(chunk / 4).max(prev + 1);
+        let hi = (target + chunk / 4).min(global.end() - 1);
+        let start = boundaries.partition_point(|&b| b < lo);
+        let best = boundaries[start..]
+            .iter()
+            .take_while(|&&b| b <= hi)
+            .map(|&b| (straddlers(b), b.abs_diff(target), b))
+            .min();
+        let cut = match best {
+            Some((s, _, b)) if s <= straddlers(target) => b,
+            _ => target.clamp(prev + 1, global.end() - 1),
+        };
+        if cut > prev && cut < global.end() {
+            cuts.push(cut);
+            prev = cut;
+        }
+    }
+    cuts.push(global.end());
+    cuts
+}
+
+/// Asserts the group invariants: ordered, disjoint regions covering the
+/// global range; every data-carrying rank a member of every group whose
+/// region it touches.
+pub fn assert_group_invariants(groups: &[GroupPlan], pattern: &GroupPattern) {
+    let Some(global) = pattern.global_range() else {
+        assert!(groups.is_empty());
+        return;
+    };
+    assert!(!groups.is_empty());
+    let mut cursor = global.offset;
+    for g in groups {
+        assert!(g.region.offset >= cursor, "group regions overlap");
+        cursor = g.region.end();
+        for rank in pattern.group().iter() {
+            let touches = !pattern.extents_of_rank(rank).clip(g.region).is_empty();
+            assert_eq!(
+                touches,
+                g.members.contains(rank),
+                "rank {rank} membership mismatch for region {:?}",
+                g.region
+            );
+        }
+    }
+    assert_eq!(cursor, global.end(), "groups do not reach the global end");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_mpiio::ExtentList;
+    use mccio_sim::topology::{test_cluster, FillOrder};
+
+    fn serial_pattern(ranks: usize, bytes_per_rank: u64) -> GroupPattern {
+        let group = RankSet::world(ranks);
+        let per_rank = (0..ranks as u64)
+            .map(|r| {
+                ExtentList::normalize(vec![Extent::new(r * bytes_per_rank, bytes_per_rank)])
+            })
+            .collect();
+        GroupPattern::from_parts(group, per_rank)
+    }
+
+    fn interleaved_pattern(ranks: usize, block: u64, blocks: u64) -> GroupPattern {
+        let group = RankSet::world(ranks);
+        let per_rank = (0..ranks as u64)
+            .map(|r| {
+                ExtentList::normalize(
+                    (0..blocks)
+                        .map(|i| Extent::new((i * ranks as u64 + r) * block, block))
+                        .collect(),
+                )
+            })
+            .collect();
+        GroupPattern::from_parts(group, per_rank)
+    }
+
+    #[test]
+    fn classify_detects_both_shapes() {
+        assert_eq!(classify(&serial_pattern(6, 100)), PatternShape::Serial);
+        assert_eq!(
+            classify(&interleaved_pattern(4, 10, 3)),
+            PatternShape::Interleaved
+        );
+    }
+
+    #[test]
+    fn figure4_layout_cuts_at_node_boundaries() {
+        // 9 ranks on 3 nodes (3 cores each), serial 100-byte blocks:
+        // node boundaries end at 300, 600, 900. Msg_group = 250 → the
+        // first group extends past 250 to the node-1 boundary 300.
+        let cluster = test_cluster(3, 3);
+        let placement = Placement::new(&cluster, 9, FillOrder::Block).unwrap();
+        let pattern = serial_pattern(9, 100);
+        let groups = divide_groups(&pattern, &placement, 250);
+        assert_group_invariants(&groups, &pattern);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].region, Extent::new(0, 300));
+        assert_eq!(groups[1].region, Extent::new(300, 300));
+        assert_eq!(groups[2].region, Extent::new(600, 300));
+        assert_eq!(groups[0].members.members(), &[0, 1, 2]);
+        assert_eq!(groups[1].members.members(), &[3, 4, 5]);
+        assert_eq!(groups[2].members.members(), &[6, 7, 8]);
+    }
+
+    #[test]
+    fn no_node_straddles_two_groups_in_serial_mode() {
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let pattern = serial_pattern(8, 64);
+        for msg_group in [1u64, 100, 200, 500, 10_000] {
+            let groups = divide_groups(&pattern, &placement, msg_group);
+            assert_group_invariants(&groups, &pattern);
+            for g in &groups {
+                // All of a member's node-mates with data are in the group too.
+                for rank in g.members.iter() {
+                    let node = placement.node_of(rank);
+                    for &mate in placement.ranks_on(node) {
+                        assert!(
+                            g.members.contains(mate),
+                            "rank {mate} split from node-mate {rank} (msg_group {msg_group})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_msg_group_yields_one_group() {
+        let cluster = test_cluster(3, 3);
+        let placement = Placement::new(&cluster, 9, FillOrder::Block).unwrap();
+        let pattern = serial_pattern(9, 100);
+        let groups = divide_groups(&pattern, &placement, 1 << 40);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].region, Extent::new(0, 900));
+        assert_eq!(groups[0].members.len(), 9);
+    }
+
+    #[test]
+    fn interleaved_division_is_even_and_shared() {
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        let pattern = interleaved_pattern(4, 10, 6); // range 0..240
+        let groups = divide_groups(&pattern, &placement, 100);
+        assert_group_invariants(&groups, &pattern);
+        assert_eq!(groups.len(), 3);
+        // Every rank touches every region in a fully interleaved pattern.
+        for g in &groups {
+            assert_eq!(g.members.len(), 4);
+        }
+    }
+
+    #[test]
+    fn view_cuts_snap_to_access_boundaries() {
+        // Two clusters of interleaved accesses with a clean seam at 600:
+        // ranks 0-1 interleave in [0, 600), ranks 2-3 in [600, 1200).
+        // Classified interleaved (ranges within each cluster overlap),
+        // and the natural cut is the seam — not the midpoint 580 or
+        // wherever equal chunks would land.
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        let mk = |base: u64, phase: u64| {
+            ExtentList::normalize(
+                (0..6).map(|i| Extent::new(base + i * 100 + phase * 50, 50)).collect(),
+            )
+        };
+        let pattern = GroupPattern::from_parts(
+            RankSet::world(4),
+            vec![mk(0, 0), mk(0, 1), mk(600, 0), mk(600, 1)],
+        );
+        assert_eq!(classify(&pattern), PatternShape::Interleaved);
+        let groups = divide_groups(&pattern, &placement, 620);
+        assert_group_invariants(&groups, &pattern);
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0].region.end(), 600, "cut must land on the seam");
+        assert_eq!(groups[0].members.members(), &[0, 1]);
+        assert_eq!(groups[1].members.members(), &[2, 3]);
+    }
+
+    #[test]
+    fn empty_pattern_has_no_groups() {
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(
+            RankSet::world(4),
+            vec![ExtentList::default(); 4],
+        );
+        assert!(divide_groups(&pattern, &placement, 100).is_empty());
+    }
+
+    #[test]
+    fn idle_ranks_are_not_members() {
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        let mut lists = vec![ExtentList::default(); 4];
+        lists[1] = ExtentList::normalize(vec![Extent::new(0, 100)]);
+        lists[2] = ExtentList::normalize(vec![Extent::new(100, 100)]);
+        let pattern = GroupPattern::from_parts(RankSet::world(4), lists);
+        let groups = divide_groups(&pattern, &placement, 1 << 30);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.members(), &[1, 2]);
+    }
+}

@@ -1,0 +1,318 @@
+//! ROMIO-style I/O hints.
+//!
+//! Real MPI-IO applications steer collective I/O through `MPI_Info`
+//! string hints (`cb_buffer_size`, `romio_cb_write`, ...). This module
+//! gives the library the same surface: parse a hint set, resolve it
+//! against a platform into a [`Strategy`]. The memory-conscious strategy
+//! adds its own hint namespace (`mccio_*`) for the paper's tunables.
+//!
+//! Recognized hints:
+//!
+//! | hint | values | meaning |
+//! |---|---|---|
+//! | `romio_cb_write` / `romio_cb_read` | `enable`, `disable`, `automatic` | collective buffering on/off |
+//! | `cb_buffer_size` | bytes | collective buffer (baseline) / buffer mean (MC) |
+//! | `striping_unit` | bytes | layout-aware domain alignment (baseline) |
+//! | `romio_ds_write` | `enable`, `disable` | data sieving for independent I/O |
+//! | `ind_rd_buffer_size` | bytes | sieve buffer |
+//! | `mccio` | `enable`, `disable` | memory-conscious strategy |
+//! | `mccio_n_ah` | count | aggregators per node override |
+//! | `mccio_msg_ind` | bytes | file-domain granularity override |
+//! | `mccio_msg_group` | bytes | aggregation-group size override |
+//! | `mccio_buffer_stddev` | bytes | buffer distribution σ |
+//! | `mccio_seed` | integer | plan seed |
+//!
+//! Sizes accept optional `k`/`m`/`g` suffixes (binary units).
+
+use std::collections::BTreeMap;
+
+use mccio_mpiio::SieveConfig;
+use mccio_pfs::PfsParams;
+use mccio_sim::topology::ClusterSpec;
+
+use crate::mccio::MccioConfig;
+use crate::strategy::Strategy;
+use crate::tuner::Tuning;
+use crate::two_phase::TwoPhaseConfig;
+
+/// A parsed hint set (string keys and values, MPI_Info style).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hints {
+    entries: BTreeMap<String, String>,
+}
+
+/// Errors from hint parsing/resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HintError {
+    /// A value could not be parsed for the named key.
+    BadValue {
+        /// Offending key.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+    /// A `key=value` item was syntactically malformed.
+    BadSyntax(String),
+}
+
+impl std::fmt::Display for HintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HintError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for hint {key:?}")
+            }
+            HintError::BadSyntax(item) => write!(f, "malformed hint item {item:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HintError {}
+
+impl Hints {
+    /// An empty hint set (all defaults).
+    #[must_use]
+    pub fn new() -> Self {
+        Hints::default()
+    }
+
+    /// Sets one hint, MPI_Info_set style.
+    pub fn set(&mut self, key: &str, value: &str) -> &mut Self {
+        self.entries.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Reads one hint.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Parses `"key1=val1,key2=val2"` (whitespace tolerated).
+    pub fn parse(spec: &str) -> Result<Self, HintError> {
+        let mut hints = Hints::new();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| HintError::BadSyntax(item.to_string()))?;
+            hints.set(key.trim(), value.trim());
+        }
+        Ok(hints)
+    }
+
+    fn size(&self, key: &str) -> Result<Option<u64>, HintError> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(v) => parse_size(v)
+                .map(Some)
+                .ok_or_else(|| HintError::BadValue {
+                    key: key.to_string(),
+                    value: v.clone(),
+                }),
+        }
+    }
+
+    fn flag(&self, key: &str) -> Result<Option<bool>, HintError> {
+        match self.entries.get(key).map(String::as_str) {
+            None => Ok(None),
+            Some("enable" | "true" | "1") => Ok(Some(true)),
+            Some("disable" | "false" | "0") => Ok(Some(false)),
+            Some("automatic") => Ok(None),
+            Some(v) => Err(HintError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Resolves the hint set into a strategy for `cluster`/`pfs`.
+    ///
+    /// Resolution order mirrors ROMIO: collective buffering is on by
+    /// default; `mccio=enable` upgrades it to the memory-conscious
+    /// strategy; `romio_cb_write=disable` falls back to independent I/O
+    /// (sieved unless `romio_ds_write=disable`).
+    pub fn resolve(
+        &self,
+        cluster: &ClusterSpec,
+        pfs: &PfsParams,
+        n_servers: usize,
+        stripe: u64,
+    ) -> Result<Strategy, HintError> {
+        let cb_enabled = self.flag("romio_cb_write")?.unwrap_or(true);
+        if !cb_enabled {
+            let ds = self.flag("romio_ds_write")?.unwrap_or(true);
+            if !ds {
+                return Ok(Strategy::Independent);
+            }
+            let mut cfg = SieveConfig::default();
+            if let Some(size) = self.size("ind_rd_buffer_size")? {
+                cfg.buffer_size = size.max(1);
+            }
+            return Ok(Strategy::IndependentSieved(cfg));
+        }
+        let cb_buffer = self
+            .size("cb_buffer_size")?
+            .unwrap_or(TwoPhaseConfig::default().cb_buffer_size);
+        if !self.flag("mccio")?.unwrap_or(false) {
+            // `striping_unit` requests the layout-aware variant (ROMIO's
+            // Lustre alignment hint): domain cuts snapped to the unit.
+            let align = self.size("striping_unit")?.unwrap_or(1);
+            return Ok(Strategy::TwoPhase(TwoPhaseConfig {
+                cb_buffer_size: cb_buffer,
+                align,
+            }));
+        }
+        let mut tuning = Tuning::derive(cluster, pfs, n_servers);
+        if let Some(n) = self.size("mccio_n_ah")? {
+            tuning = tuning.with_n_ah(n.max(1) as usize);
+        }
+        if let Some(m) = self.size("mccio_msg_ind")? {
+            tuning = tuning.with_msg_ind(m);
+        }
+        if let Some(g) = self.size("mccio_msg_group")? {
+            tuning = tuning.with_msg_group(g);
+        }
+        let mut cfg = MccioConfig::new(tuning, cb_buffer, stripe);
+        if let Some(s) = self.size("mccio_buffer_stddev")? {
+            cfg.buffer_stddev = s;
+        }
+        if let Some(seed) = self.size("mccio_seed")? {
+            cfg.seed = seed;
+        }
+        Ok(Strategy::MemoryConscious(Box::new(cfg)))
+    }
+}
+
+/// Parses `"4194304"`, `"4m"`, `"512k"`, `"1g"` into bytes.
+#[must_use]
+fn parse_size(v: &str) -> Option<u64> {
+    let v = v.trim().to_ascii_lowercase();
+    let (digits, mult) = match v.strip_suffix(['k', 'm', 'g']) {
+        Some(rest) => {
+            let mult = match v.as_bytes()[v.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (rest, mult)
+        }
+        None => (v.as_str(), 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_sim::topology::test_cluster;
+    use mccio_sim::units::MIB;
+
+    fn resolve(spec: &str) -> Result<Strategy, HintError> {
+        let cluster = test_cluster(2, 4);
+        Hints::parse(spec)?.resolve(&cluster, &PfsParams::default(), 4, MIB)
+    }
+
+    #[test]
+    fn defaults_to_two_phase() {
+        let s = resolve("").unwrap();
+        match s {
+            Strategy::TwoPhase(cfg) => {
+                assert_eq!(cfg.cb_buffer_size, TwoPhaseConfig::default().cb_buffer_size);
+            }
+            other => panic!("expected two-phase, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn cb_buffer_size_with_suffixes() {
+        for (spec, expect) in [
+            ("cb_buffer_size=8388608", 8 * MIB),
+            ("cb_buffer_size=8m", 8 * MIB),
+            ("cb_buffer_size=512k", 512 << 10),
+            ("cb_buffer_size = 1g", 1 << 30),
+        ] {
+            match resolve(spec).unwrap() {
+                Strategy::TwoPhase(cfg) => assert_eq!(cfg.cb_buffer_size, expect, "{spec}"),
+                other => panic!("{spec}: got {}", other.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_collective_buffering_selects_independent_paths() {
+        assert!(matches!(
+            resolve("romio_cb_write=disable, romio_ds_write=disable").unwrap(),
+            Strategy::Independent
+        ));
+        match resolve("romio_cb_write=disable, ind_rd_buffer_size=2m").unwrap() {
+            Strategy::IndependentSieved(cfg) => assert_eq!(cfg.buffer_size, 2 * MIB),
+            other => panic!("got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn mccio_hints_override_tuning() {
+        match resolve("mccio=enable, cb_buffer_size=16m, mccio_n_ah=3, mccio_msg_ind=2m, mccio_seed=7").unwrap() {
+            Strategy::MemoryConscious(cfg) => {
+                assert_eq!(cfg.buffer_mean, 16 * MIB);
+                assert_eq!(cfg.tuning.n_ah, 3);
+                assert_eq!(cfg.tuning.msg_ind, 2 * MIB);
+                assert_eq!(cfg.tuning.mem_min, 6 * MIB);
+                assert_eq!(cfg.seed, 7);
+            }
+            other => panic!("got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(matches!(
+            resolve("cb_buffer_size=banana"),
+            Err(HintError::BadValue { .. })
+        ));
+        assert!(matches!(
+            resolve("romio_cb_write=maybe"),
+            Err(HintError::BadValue { .. })
+        ));
+        assert!(matches!(
+            Hints::parse("novalue"),
+            Err(HintError::BadSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn striping_unit_selects_layout_aware_alignment() {
+        match resolve("cb_buffer_size=4m, striping_unit=1m").unwrap() {
+            Strategy::TwoPhase(cfg) => {
+                assert_eq!(cfg.align, MIB);
+                assert_eq!(cfg.cb_buffer_size, 4 * MIB);
+            }
+            other => panic!("got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn automatic_means_default() {
+        assert!(matches!(
+            resolve("romio_cb_write=automatic").unwrap(),
+            Strategy::TwoPhase(_)
+        ));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut h = Hints::new();
+        h.set("cb_buffer_size", "4m").set("mccio", "enable");
+        assert_eq!(h.get("cb_buffer_size"), Some("4m"));
+        assert_eq!(h.get("missing"), None);
+        let display = format!("{}", HintError::BadSyntax("x".into()));
+        assert!(display.contains("malformed"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Aggregators Location (paper §3.3) — memory-aware aggregator choice
+//! with remerge fallback.
+//!
+//! For each file domain produced by the partition tree, the strategy:
+//!
+//! 1. collects the processes whose I/O requests fall in the domain;
+//! 2. considers their host nodes, each candidate limited to fewer than
+//!    `N_ah` aggregators;
+//! 3. picks the host with the most available memory `Mem_avl`;
+//! 4. accepts if `Mem_avl ≥ Mem_min`; otherwise the domain is merged
+//!    with the neighbouring domain (via the partition tree's remerge)
+//!    and the inspection repeats on the merged domain, exactly as the
+//!    paper prescribes, until a satisfying host is found — or a single
+//!    domain remains, which is assigned to the best available host
+//!    regardless (someone has to do the I/O).
+
+use std::collections::HashMap;
+
+use mccio_mem::MemoryModel;
+use mccio_mpiio::{Extent, GroupPattern};
+use mccio_net::RankSet;
+use mccio_sim::topology::Placement;
+
+use crate::ptree::PartitionTree;
+
+/// Placement policy knobs (from the tuner).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementPolicy {
+    /// Maximum aggregators per host node (`N_ah`).
+    pub n_ah: usize,
+    /// Minimum available memory a host needs to take a domain without
+    /// degradation (`Mem_min`), bytes.
+    pub mem_min: u64,
+}
+
+/// Tracks aggregator load across one whole collective operation so
+/// multiple groups respect `N_ah` jointly.
+#[derive(Debug, Default)]
+pub struct AggregatorLoad {
+    per_node: HashMap<usize, usize>,
+    per_rank: HashMap<usize, usize>,
+}
+
+impl AggregatorLoad {
+    /// Fresh, empty load tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        AggregatorLoad::default()
+    }
+
+    /// Aggregator count currently assigned to `node`.
+    #[must_use]
+    pub fn node_load(&self, node: usize) -> usize {
+        self.per_node.get(&node).copied().unwrap_or(0)
+    }
+}
+
+/// A domain → aggregator decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainAssignment {
+    /// The (possibly remerged) file domain.
+    pub domain: Extent,
+    /// The chosen aggregator rank.
+    pub aggregator: usize,
+}
+
+/// Runs the Aggregators Location algorithm over one group's partition
+/// tree, remerging domains whose candidate hosts lack memory. Domains
+/// that no member touches produce no assignment (nothing to aggregate).
+///
+/// Returns assignments in ascending domain order.
+pub fn assign_aggregators(
+    tree: &mut PartitionTree,
+    pattern: &GroupPattern,
+    members: &RankSet,
+    placement: &Placement,
+    mem: &MemoryModel,
+    policy: PlacementPolicy,
+    load: &mut AggregatorLoad,
+) -> Vec<DomainAssignment> {
+    assert!(policy.n_ah > 0, "N_ah must allow at least one aggregator");
+    // Leaf id → chosen rank (None = hole-only domain, no aggregator).
+    let mut chosen: HashMap<usize, Option<usize>> = HashMap::new();
+    loop {
+        let leaves = tree.leaves();
+        let Some(&leaf) = leaves.iter().find(|l| !chosen.contains_key(l)) else {
+            break;
+        };
+        let domain = tree.domain(leaf);
+        let touching: Vec<usize> = members
+            .iter()
+            .filter(|&r| pattern.extents_of_rank(r).overlaps(domain))
+            .collect();
+        if touching.is_empty() {
+            chosen.insert(leaf, None);
+            continue;
+        }
+        let mut hosts: Vec<usize> = touching.iter().map(|&r| placement.node_of(r)).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        // Bytes of the domain owned by each host's ranks: the aggregator
+        // should sit where the data already is, so most of the shuffle
+        // stays on-node.
+        let mut host_bytes: HashMap<usize, u64> = HashMap::new();
+        for &r in &touching {
+            let bytes = pattern.extents_of_rank(r).clip(domain).total_bytes();
+            *host_bytes.entry(placement.node_of(r)).or_default() += bytes;
+        }
+        // A host qualifies when it has an N_ah slot free *and* passes the
+        // Mem_min bar. Among qualifying hosts prefer the one holding the
+        // most of the domain's data (shuffle locality), then the
+        // least-loaded (spreading aggregators, as the per-node N_ah
+        // budget intends), then the most available memory, then node id
+        // for determinism.
+        let qualify = |cands: &[usize], load: &AggregatorLoad| {
+            cands
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    load.node_load(n) < policy.n_ah && mem.available(n) >= policy.mem_min
+                })
+                .min_by(|&a, &b| {
+                    let local_a = host_bytes.get(&a).copied().unwrap_or(0);
+                    let local_b = host_bytes.get(&b).copied().unwrap_or(0);
+                    local_b
+                        .cmp(&local_a)
+                        .then(load.node_load(a).cmp(&load.node_load(b)))
+                        .then(mem.available(b).cmp(&mem.available(a)))
+                        .then(a.cmp(&b))
+                })
+        };
+        let best = qualify(&hosts, load).or_else(|| {
+            // No data-local host qualifies. Before collapsing domains,
+            // widen to the group's other hosts — shuffle traffic stays
+            // confined within the aggregation group either way, which is
+            // the property the group division exists to keep.
+            let mut group_hosts: Vec<usize> =
+                members.iter().map(|r| placement.node_of(r)).collect();
+            group_hosts.sort_unstable();
+            group_hosts.dedup();
+            qualify(&group_hosts, load)
+        });
+        match best {
+            Some(host) => {
+                let rank = pick_rank(host, &touching, placement, load);
+                *load.per_node.entry(host).or_default() += 1;
+                *load.per_rank.entry(rank).or_default() += 1;
+                chosen.insert(leaf, Some(rank));
+            }
+            _ if tree.n_leaves() > 1 => {
+                // Not enough memory (or no host has an N_ah slot):
+                // integrate with the neighbouring domain and re-inspect.
+                let absorber = tree.remerge(leaf);
+                if let Some(Some(prev)) = chosen.remove(&absorber) {
+                    // The absorber's domain grew; re-evaluate it from
+                    // scratch, returning its aggregator slot.
+                    let node = placement.node_of(prev);
+                    *load.per_node.get_mut(&node).expect("slot tracked") -= 1;
+                    *load.per_rank.get_mut(&prev).expect("slot tracked") -= 1;
+                }
+            }
+            _ => {
+                // Last domain standing and no host qualifies: the I/O
+                // must happen somewhere. Pick the least-loaded group
+                // host (then max memory) even if that oversubscribes
+                // N_ah or undercuts Mem_min — balancing load matters
+                // more than the soft budget, and the cost model will
+                // charge whatever pressure results.
+                let mut group_hosts: Vec<usize> =
+                    members.iter().map(|r| placement.node_of(r)).collect();
+                group_hosts.sort_unstable();
+                group_hosts.dedup();
+                let host = group_hosts
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        load.node_load(a)
+                            .cmp(&load.node_load(b))
+                            .then(mem.available(b).cmp(&mem.available(a)))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("group members have hosts");
+                let rank = pick_rank(host, &touching, placement, load);
+                *load.per_node.entry(host).or_default() += 1;
+                *load.per_rank.entry(rank).or_default() += 1;
+                chosen.insert(leaf, Some(rank));
+            }
+        }
+    }
+    tree.leaves()
+        .into_iter()
+        .filter_map(|leaf| {
+            chosen[&leaf].map(|aggregator| DomainAssignment {
+                domain: tree.domain(leaf),
+                aggregator,
+            })
+        })
+        .collect()
+}
+
+/// Chooses which rank on `host` becomes the aggregator: prefer ranks
+/// whose own data falls in the domain (their shuffle is local), then the
+/// least-loaded, then the lowest id.
+fn pick_rank(
+    host: usize,
+    touching: &[usize],
+    placement: &Placement,
+    load: &AggregatorLoad,
+) -> usize {
+    let candidates = placement.ranks_on(host);
+    assert!(!candidates.is_empty(), "host {host} hosts no ranks");
+    *candidates
+        .iter()
+        .min_by_key(|&&r| {
+            let is_touching = touching.contains(&r);
+            let l = load.per_rank.get(&r).copied().unwrap_or(0);
+            (usize::from(!is_touching), l, r)
+        })
+        .expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_mem::MemParams;
+    use mccio_mpiio::ExtentList;
+    use mccio_sim::topology::{test_cluster, FillOrder};
+    use mccio_sim::units::MIB;
+
+    /// 4 nodes × 2 cores; rank r writes [r*100, (r+1)*100).
+    fn setup() -> (Placement, GroupPattern) {
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(
+            RankSet::world(8),
+            (0..8u64)
+                .map(|r| ExtentList::normalize(vec![Extent::new(r * 100, 100)]))
+                .collect(),
+        );
+        (placement, pattern)
+    }
+
+    fn mem_with(avail: &[u64]) -> MemoryModel {
+        let cluster = test_cluster(avail.len(), 2);
+        let avail = avail.to_vec();
+        MemoryModel::build(
+            &cluster,
+            move |n, cap| cap.saturating_sub(avail[n]),
+            MemParams {
+                os_reserve_fraction: 0.0,
+                ..MemParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_nodes_get_local_aggregators() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[100 * MIB; 4]);
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 200, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            &mut load,
+        );
+        assert_eq!(out.len(), 4);
+        for (i, a) in out.iter().enumerate() {
+            assert_eq!(a.domain, Extent::new(i as u64 * 200, 200));
+            // Domain i covers ranks 2i, 2i+1 which live on node i: the
+            // aggregator is one of them (local shuffle).
+            assert_eq!(placement.node_of(a.aggregator), i);
+        }
+    }
+
+    #[test]
+    fn memory_starved_node_is_avoided() {
+        let (placement, pattern) = setup();
+        // Node 1 has almost nothing available.
+        let mem = mem_with(&[100 * MIB, 64 * 1024, 100 * MIB, 100 * MIB]);
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 200, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            &mut load,
+        );
+        // Domain 200..400 only touches node-1 ranks; with node 1 failing
+        // the Mem_min bar, its domain lands on another group host (the
+        // widened-candidate fallback) rather than the starved node.
+        assert_eq!(out.len(), 4, "{out:?}");
+        for a in &out {
+            assert_ne!(
+                placement.node_of(a.aggregator),
+                1,
+                "starved node must not aggregate: {a:?}"
+            );
+        }
+        // Every byte of the region is still covered, in order.
+        let mut cursor = 0;
+        for a in &out {
+            assert_eq!(a.domain.offset, cursor);
+            cursor = a.domain.end();
+        }
+        assert_eq!(cursor, 800);
+    }
+
+    #[test]
+    fn n_ah_limits_aggregators_per_node() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[100 * MIB; 4]);
+        // Tiny msg_ind → 16 domains over 4 nodes; n_ah = 1.
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 50, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 1, mem_min: MIB },
+            &mut load,
+        );
+        let mut per_node: HashMap<usize, usize> = HashMap::new();
+        for a in &out {
+            *per_node.entry(placement.node_of(a.aggregator)).or_default() += 1;
+        }
+        for (&node, &count) in &per_node {
+            assert!(count <= 1, "node {node} has {count} aggregators");
+        }
+        // 4 nodes × 1 slot → at most 4 domains survive remerging.
+        assert!(out.len() <= 4);
+    }
+
+    #[test]
+    fn all_nodes_starved_still_produces_an_assignment() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[1024, 2048, 512, 4096]);
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 200, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            &mut load,
+        );
+        assert_eq!(out.len(), 1, "everything remerged into one domain");
+        assert_eq!(out[0].domain, Extent::new(0, 800));
+        // Node 3 has the most available memory.
+        assert_eq!(placement.node_of(out[0].aggregator), 3);
+    }
+
+    #[test]
+    fn hole_only_domains_get_no_aggregator() {
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        // Data only at the edges of the region; the middle is a hole.
+        let pattern = GroupPattern::from_parts(
+            RankSet::world(4),
+            vec![
+                ExtentList::normalize(vec![Extent::new(0, 100)]),
+                ExtentList::default(),
+                ExtentList::default(),
+                ExtentList::normalize(vec![Extent::new(700, 100)]),
+            ],
+        );
+        let mem = mem_with(&[100 * MIB; 2]);
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 200, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(4),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 4, mem_min: MIB },
+            &mut load,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].domain, Extent::new(0, 200));
+        assert_eq!(out[1].domain, Extent::new(600, 200));
+    }
+
+    #[test]
+    fn aggregator_prefers_data_local_rank() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[100 * MIB; 4]);
+        let mut tree = PartitionTree::build(Extent::new(0, 800), 100, 1);
+        let mut load = AggregatorLoad::new();
+        let out = assign_aggregators(
+            &mut tree,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            &mut load,
+        );
+        assert_eq!(out.len(), 8);
+        for (i, a) in out.iter().enumerate() {
+            assert_eq!(
+                a.aggregator, i,
+                "domain {i} is exactly rank {i}'s data; it should aggregate itself"
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-round operation statistics.
+//!
+//! The round engine prices every round at the world root; when a
+//! [`Recorder`] is installed, each round's facts (direction, flows,
+//! volume, requests, and the four priced phase terms) are captured as
+//! [`RoundRecord`]s. This is the programmatic form of the `MCCIO_TRACE`
+//! output: the paper's "memory consumption and variance" analysis,
+//! per-phase cost attribution, and regression checks on round counts all
+//! read from here.
+//!
+//! The recorder is process-global (the engine's pricing happens on one
+//! rank-0 thread per operation): install one with [`Recorder::install`],
+//! run operations, then [`Recorder::take`] the records. Concurrent
+//! *distinct* worlds record into the same sink; give each test its own
+//! recorder scope or run operations sequentially when attribution
+//! matters.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One priced round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// True for write rounds, false for reads.
+    pub is_write: bool,
+    /// Number of shuffle flows in the round.
+    pub flows: usize,
+    /// Application bytes stored/fetched this round.
+    pub volume: u64,
+    /// Storage requests issued this round.
+    pub requests: u64,
+    /// Ranks that touched storage this round (the active aggregators).
+    pub clients: usize,
+    /// Control-synchronization seconds.
+    pub sync_secs: f64,
+    /// Shuffle-phase seconds.
+    pub shuffle_secs: f64,
+    /// Storage-phase seconds.
+    pub storage_secs: f64,
+    /// Aggregation-buffer assembly seconds.
+    pub assembly_secs: f64,
+}
+
+impl RoundRecord {
+    /// Total priced duration of the round.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.sync_secs + self.shuffle_secs + self.storage_secs + self.assembly_secs
+    }
+}
+
+/// Aggregate view over a sequence of rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpSummary {
+    /// Rounds recorded.
+    pub rounds: usize,
+    /// Total bytes through storage.
+    pub volume: u64,
+    /// Total storage requests.
+    pub requests: u64,
+    /// Summed phase seconds.
+    pub sync_secs: f64,
+    /// Summed shuffle seconds.
+    pub shuffle_secs: f64,
+    /// Summed storage seconds.
+    pub storage_secs: f64,
+    /// Summed assembly seconds.
+    pub assembly_secs: f64,
+}
+
+impl OpSummary {
+    /// Builds a summary from records (typically filtered by direction).
+    #[must_use]
+    pub fn of(records: &[RoundRecord]) -> OpSummary {
+        let mut s = OpSummary::default();
+        for r in records {
+            s.rounds += 1;
+            s.volume += r.volume;
+            s.requests += r.requests;
+            s.sync_secs += r.sync_secs;
+            s.shuffle_secs += r.shuffle_secs;
+            s.storage_secs += r.storage_secs;
+            s.assembly_secs += r.assembly_secs;
+        }
+        s
+    }
+
+    /// Total priced seconds.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.sync_secs + self.shuffle_secs + self.storage_secs + self.assembly_secs
+    }
+}
+
+/// A handle to a record sink. Clones share the same buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    records: Arc<Mutex<Vec<RoundRecord>>>,
+}
+
+static ACTIVE: OnceLock<Mutex<Option<Recorder>>> = OnceLock::new();
+
+fn slot() -> &'static Mutex<Option<Recorder>> {
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Installs this recorder as the process-global sink, replacing any
+    /// previous one (which stops receiving records but keeps what it
+    /// has).
+    pub fn install(&self) {
+        *slot().lock().expect("recorder lock") = Some(self.clone());
+    }
+
+    /// Uninstalls whatever recorder is active.
+    pub fn uninstall() {
+        *slot().lock().expect("recorder lock") = None;
+    }
+
+    /// Removes and returns everything recorded so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<RoundRecord> {
+        std::mem::take(&mut *self.records.lock().expect("records lock"))
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("records lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Engine hook: append a record to the active recorder, if any.
+pub(crate) fn record(rec: RoundRecord) {
+    if let Some(active) = slot().lock().expect("recorder lock").as_ref() {
+        active.records.lock().expect("records lock").push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(is_write: bool, volume: u64) -> RoundRecord {
+        RoundRecord {
+            is_write,
+            flows: 3,
+            volume,
+            requests: 2,
+            clients: 1,
+            sync_secs: 0.1,
+            shuffle_secs: 0.2,
+            storage_secs: 0.3,
+            assembly_secs: 0.4,
+        }
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let records = vec![rec(true, 100), rec(true, 50)];
+        let s = OpSummary::of(&records);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.volume, 150);
+        assert_eq!(s.requests, 4);
+        assert!((s.total_secs() - 2.0).abs() < 1e-12);
+        assert!((records[0].total_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_take_drains() {
+        let r = Recorder::new();
+        r.install();
+        record(rec(false, 7));
+        record(rec(true, 9));
+        assert_eq!(r.len(), 2);
+        let taken = r.take();
+        assert_eq!(taken.len(), 2);
+        assert!(r.is_empty());
+        Recorder::uninstall();
+        record(rec(true, 1));
+        assert!(r.is_empty(), "uninstalled recorder receives nothing");
+    }
+
+    #[test]
+    fn install_replaces_previous() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.install();
+        record(rec(true, 1));
+        b.install();
+        record(rec(true, 2));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        Recorder::uninstall();
+    }
+}

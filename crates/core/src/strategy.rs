@@ -1,0 +1,149 @@
+//! A uniform facade over every I/O strategy, so workloads, tests and
+//! benches can sweep strategies with one call.
+
+use mccio_mpiio::independent::{read_direct, read_sieved, write_direct, write_sieved};
+use mccio_mpiio::{ExtentList, IoReport, SieveConfig};
+use mccio_net::Ctx;
+use mccio_pfs::FileHandle;
+
+use crate::engine::IoEnv;
+use crate::mccio::{self, MccioConfig};
+use crate::two_phase::{self, TwoPhaseConfig};
+
+/// The strategies under study.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Per-rank direct I/O, one request per extent.
+    Independent,
+    /// Per-rank data sieving.
+    IndependentSieved(SieveConfig),
+    /// ROMIO-style two-phase collective I/O (the paper's baseline).
+    TwoPhase(TwoPhaseConfig),
+    /// The paper's memory-conscious collective I/O.
+    MemoryConscious(Box<MccioConfig>),
+}
+
+impl Strategy {
+    /// A short label for tables and bench ids.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Independent => "independent",
+            Strategy::IndependentSieved(_) => "sieved",
+            Strategy::TwoPhase(_) => "two-phase",
+            Strategy::MemoryConscious(_) => "memory-conscious",
+        }
+    }
+}
+
+/// Writes `data` (packed in extent order) with the chosen strategy.
+/// SPMD: collective strategies require all ranks to call in.
+pub fn write_all(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    data: &[u8],
+    strategy: &Strategy,
+) -> IoReport {
+    match strategy {
+        Strategy::Independent => {
+            write_direct(ctx, handle, extents, data, &env.fs.params())
+        }
+        Strategy::IndependentSieved(cfg) => {
+            write_sieved(ctx, handle, extents, data, &env.fs.params(), *cfg)
+        }
+        Strategy::TwoPhase(cfg) => two_phase::write(ctx, env, handle, extents, data, *cfg),
+        Strategy::MemoryConscious(cfg) => mccio::write(ctx, env, handle, extents, data, cfg),
+    }
+}
+
+/// Reads the extents with the chosen strategy, returning packed data.
+pub fn read_all(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    strategy: &Strategy,
+) -> (Vec<u8>, IoReport) {
+    match strategy {
+        Strategy::Independent => read_direct(ctx, handle, extents, &env.fs.params()),
+        Strategy::IndependentSieved(cfg) => {
+            read_sieved(ctx, handle, extents, &env.fs.params(), *cfg)
+        }
+        Strategy::TwoPhase(cfg) => two_phase::read(ctx, env, handle, extents, *cfg),
+        Strategy::MemoryConscious(cfg) => mccio::read(ctx, env, handle, extents, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_mem::MemoryModel;
+    use mccio_mpiio::Extent;
+    use mccio_net::World;
+    use mccio_pfs::{FileSystem, PfsParams};
+    use mccio_sim::cost::CostModel;
+    use mccio_sim::topology::{test_cluster, FillOrder, Placement};
+    use mccio_sim::units::{KIB, MIB};
+
+    use crate::tuner::Tuning;
+
+    fn strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Independent,
+            Strategy::IndependentSieved(SieveConfig::default()),
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
+            Strategy::MemoryConscious(Box::new(MccioConfig::new(
+                Tuning { n_ah: 2, msg_ind: MIB, mem_min: 2 * MIB, msg_group: 8 * MIB },
+                256 * KIB,
+                64 * KIB,
+            ))),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_roundtrips_the_same_pattern() {
+        for strategy in strategies() {
+            let cluster = test_cluster(2, 2);
+            let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+            let world = World::new(CostModel::new(cluster.clone()), placement);
+            let env = IoEnv {
+                fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
+                mem: MemoryModel::pristine(&cluster),
+            };
+            let strat = strategy.clone();
+            let reports = world.run(|ctx| {
+                let env = env.clone();
+                let handle = env.fs.open_or_create("f");
+                let r = ctx.rank() as u64;
+                let extents = ExtentList::normalize(
+                    (0..16)
+                        .map(|i| Extent::new((i * 4 + r) * 4 * KIB, 4 * KIB))
+                        .collect(),
+                );
+                let data: Vec<u8> = (0..extents.total_bytes())
+                    .map(|i| (i as u8) ^ (r as u8).wrapping_mul(37))
+                    .collect();
+                let w = write_all(ctx, &env, &handle, &extents, &data, &strat);
+                ctx.barrier();
+                let (back, rd) = read_all(ctx, &env, &handle, &extents, &strat);
+                assert_eq!(back, data, "{} rank {r}", strat.label());
+                (w, rd)
+            });
+            for (w, r) in reports {
+                assert!(w.bandwidth() > 0.0, "{}", strategy.label());
+                assert!(r.bandwidth() > 0.0, "{}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = strategies().iter().map(Strategy::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the binary partition tree: any build parameters
+//! and any sequence of remerges must preserve the exact-tiling
+//! invariant, and equal-split builds must stay balanced.
+
+use proptest::prelude::*;
+
+use mccio_core::ptree::PartitionTree;
+use mccio_mpiio::Extent;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bisection_always_tiles(
+        offset in 0u64..1 << 30,
+        len in 1u64..1 << 24,
+        msg_ind in 1u64..1 << 22,
+        align_pow in 0u32..12,
+    ) {
+        let t = PartitionTree::build(Extent::new(offset, len), msg_ind, 1 << align_pow);
+        t.assert_tiling();
+        for leaf in t.leaves() {
+            let d = t.domain(leaf);
+            // Bisection halves until ≤ msg_ind; alignment can stretch a
+            // side, but never past twice the criterion plus one unit.
+            prop_assert!(d.len <= len.min(2 * msg_ind + (1 << align_pow)),
+                "leaf {} too big for msg_ind {}", d.len, msg_ind);
+        }
+    }
+
+    #[test]
+    fn equal_split_is_balanced(
+        offset in 0u64..1 << 20,
+        len in 64u64..1 << 22,
+        n in 1usize..32,
+    ) {
+        prop_assume!(n as u64 <= len);
+        let t = PartitionTree::build_equal(Extent::new(offset, len), n, 1);
+        t.assert_tiling();
+        let leaves = t.leaves();
+        prop_assert_eq!(leaves.len(), n);
+        let sizes: Vec<u64> = leaves.iter().map(|&l| t.domain(l).len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= n as u64,
+            "unbalanced equal split: {:?}", sizes);
+    }
+
+    #[test]
+    fn random_remerge_sequences_preserve_tiling(
+        len in 256u64..1 << 16,
+        msg_ind in 16u64..1 << 12,
+        picks in prop::collection::vec(any::<u32>(), 0..24),
+    ) {
+        let mut t = PartitionTree::build(Extent::new(0, len), msg_ind, 1);
+        t.assert_tiling();
+        let total = len;
+        for pick in picks {
+            if t.n_leaves() <= 1 {
+                break;
+            }
+            let leaves = t.leaves();
+            let victim = leaves[pick as usize % leaves.len()];
+            let absorber = t.remerge(victim);
+            t.assert_tiling();
+            // The absorber is a live leaf covering at least the victim's
+            // old bytes.
+            let d = t.domain(absorber);
+            prop_assert!(d.len >= 1);
+            // Total coverage never changes.
+            let sum: u64 = t.leaves().iter().map(|&l| t.domain(l).len).sum();
+            prop_assert_eq!(sum, total);
+        }
+    }
+
+    #[test]
+    fn remerge_to_single_leaf_recovers_root_region(
+        len in 64u64..1 << 12,
+        msg_ind in 1u64..256,
+    ) {
+        let region = Extent::new(7, len);
+        let mut t = PartitionTree::build(region, msg_ind, 1);
+        while t.n_leaves() > 1 {
+            let leaves = t.leaves();
+            let _ = t.remerge(leaves[0]);
+        }
+        let only = t.leaves()[0];
+        prop_assert_eq!(t.domain(only), region);
+    }
+}

@@ -1,0 +1,185 @@
+//! Access-pattern analysis: the metadata exchange at the head of every
+//! collective I/O operation.
+//!
+//! Each rank flattens its own request to an extent list; an allgather
+//! inside the (sub)communicator gives every member the complete picture
+//! ([`GroupPattern`]). Everything the drivers decide — file domains,
+//! aggregation groups, aggregator placement — derives from this shared
+//! state, which is why both sides of every later exchange can be computed
+//! locally without further negotiation.
+
+use mccio_net::wire::{decode_u64s, encode_u64s};
+use mccio_net::{Ctx, RankSet};
+
+use crate::extent::{Extent, ExtentList};
+
+/// The complete access pattern of a group: every member's extent list,
+/// in group order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPattern {
+    group: RankSet,
+    extents: Vec<ExtentList>,
+}
+
+impl GroupPattern {
+    /// SPMD: all members call this with their own extents; everyone
+    /// returns the full pattern.
+    pub fn gather(ctx: &mut Ctx, group: &RankSet, mine: &ExtentList) -> GroupPattern {
+        let payloads = ctx.group_allgather(group, encode_u64s(&mine.to_words()));
+        let extents = payloads
+            .iter()
+            .map(|p| ExtentList::from_words(&decode_u64s(p)))
+            .collect();
+        GroupPattern {
+            group: group.clone(),
+            extents,
+        }
+    }
+
+    /// Builds a pattern directly (single-threaded analysis, tests,
+    /// tuner). `per_rank` must be in group order.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree.
+    #[must_use]
+    pub fn from_parts(group: RankSet, per_rank: Vec<ExtentList>) -> GroupPattern {
+        assert_eq!(group.len(), per_rank.len(), "one extent list per member");
+        GroupPattern {
+            group,
+            extents: per_rank,
+        }
+    }
+
+    /// The group this pattern covers.
+    #[must_use]
+    pub fn group(&self) -> &RankSet {
+        &self.group
+    }
+
+    /// Extents of the member at group index `idx`.
+    #[must_use]
+    pub fn extents_of_index(&self, idx: usize) -> &ExtentList {
+        &self.extents[idx]
+    }
+
+    /// Extents of a global `rank` (must be a member).
+    ///
+    /// # Panics
+    /// Panics if `rank` is not in the group.
+    #[must_use]
+    pub fn extents_of_rank(&self, rank: usize) -> &ExtentList {
+        let idx = self
+            .group
+            .index_of(rank)
+            .unwrap_or_else(|| panic!("rank {rank} not in group"));
+        &self.extents[idx]
+    }
+
+    /// The smallest extent covering every member's accesses, or `None`
+    /// when nobody accesses anything.
+    #[must_use]
+    pub fn global_range(&self) -> Option<Extent> {
+        let begin = self.extents.iter().filter_map(ExtentList::begin).min()?;
+        let end = self.extents.iter().filter_map(ExtentList::end).max()?;
+        Some(Extent::new(begin, end - begin))
+    }
+
+    /// Total application bytes across members.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.extents.iter().map(ExtentList::total_bytes).sum()
+    }
+
+    /// Global ranks whose accesses intersect `window`, ascending.
+    #[must_use]
+    pub fn ranks_touching(&self, window: Extent) -> Vec<usize> {
+        self.group
+            .iter()
+            .zip(&self.extents)
+            .filter(|(_, ext)| ext.overlaps(window))
+            .map(|(rank, _)| rank)
+            .collect()
+    }
+
+    /// Per-member `(begin, end)` of their access range, in group order;
+    /// `None` for members with no accesses. This is the linearization the
+    /// paper's Figure 4 draws.
+    #[must_use]
+    pub fn linearization(&self) -> Vec<Option<(u64, u64)>> {
+        self.extents
+            .iter()
+            .map(|e| match (e.begin(), e.end()) {
+                (Some(b), Some(x)) => Some((b, x)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_net::World;
+    use mccio_sim::cost::CostModel;
+    use mccio_sim::topology::{test_cluster, FillOrder, Placement};
+
+    fn list(ranges: &[(u64, u64)]) -> ExtentList {
+        ExtentList::normalize(ranges.iter().map(|&(o, l)| Extent::new(o, l)).collect())
+    }
+
+    #[test]
+    fn from_parts_queries() {
+        let g = RankSet::new(vec![0, 2, 5]);
+        let p = GroupPattern::from_parts(
+            g.clone(),
+            vec![list(&[(0, 10)]), list(&[]), list(&[(50, 10), (100, 5)])],
+        );
+        assert_eq!(p.global_range(), Some(Extent::new(0, 105)));
+        assert_eq!(p.total_bytes(), 25);
+        assert_eq!(p.extents_of_rank(5).len(), 2);
+        assert_eq!(p.ranks_touching(Extent::new(0, 60)), vec![0, 5]);
+        assert_eq!(p.ranks_touching(Extent::new(20, 10)), Vec::<usize>::new());
+        assert_eq!(
+            p.linearization(),
+            vec![Some((0, 10)), None, Some((50, 105))]
+        );
+    }
+
+    #[test]
+    fn gather_distributes_everything() {
+        let cluster = test_cluster(2, 2);
+        let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+        let world = World::new(CostModel::new(cluster), placement);
+        let patterns = world.run(|ctx| {
+            let group = RankSet::world(ctx.size());
+            let mine = list(&[(ctx.rank() as u64 * 100, 10)]);
+            GroupPattern::gather(ctx, &group, &mine)
+        });
+        for p in &patterns {
+            assert_eq!(p, &patterns[0], "everyone sees the same pattern");
+            assert_eq!(p.global_range(), Some(Extent::new(0, 310)));
+            for r in 0..4 {
+                assert_eq!(
+                    p.extents_of_rank(r).as_slice(),
+                    &[Extent::new(r as u64 * 100, 10)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_has_no_range() {
+        let g = RankSet::new(vec![0, 1]);
+        let p = GroupPattern::from_parts(g, vec![ExtentList::default(), ExtentList::default()]);
+        assert_eq!(p.global_range(), None);
+        assert_eq!(p.total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in group")]
+    fn wrong_rank_lookup_panics() {
+        let g = RankSet::new(vec![0]);
+        let p = GroupPattern::from_parts(g, vec![ExtentList::default()]);
+        let _ = p.extents_of_rank(3);
+    }
+}

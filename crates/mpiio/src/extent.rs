@@ -1,0 +1,347 @@
+//! File extents: the `(offset, length)` lists every layer trades in.
+//!
+//! A flattened MPI datatype, a rank's I/O request, a file domain, an
+//! aggregation group's region — all are extents or sorted extent lists.
+
+use std::cmp::Ordering;
+
+/// A half-open byte range `[offset, offset + len)` in a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes (may be zero for degenerate requests).
+    pub len: u64,
+}
+
+impl Extent {
+    /// Constructs an extent.
+    #[must_use]
+    pub fn new(offset: u64, len: u64) -> Self {
+        Extent { offset, len }
+    }
+
+    /// One past the last byte.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.offset
+            .checked_add(self.len)
+            .expect("extent end overflows u64")
+    }
+
+    /// True if the extent covers no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The overlap with another extent, if any bytes are shared.
+    #[must_use]
+    pub fn intersect(&self, other: &Extent) -> Option<Extent> {
+        let lo = self.offset.max(other.offset);
+        let hi = self.end().min(other.end());
+        (lo < hi).then(|| Extent::new(lo, hi - lo))
+    }
+
+    /// True if `byte` falls inside the extent.
+    #[must_use]
+    pub fn contains(&self, byte: u64) -> bool {
+        byte >= self.offset && byte < self.end()
+    }
+}
+
+/// A sorted, coalesced, non-overlapping list of extents — the canonical
+/// form of one rank's access pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtentList {
+    extents: Vec<Extent>,
+}
+
+impl ExtentList {
+    /// Builds the canonical form from arbitrary extents: drops empties,
+    /// sorts by offset, and coalesces adjacent or overlapping ranges.
+    #[must_use]
+    pub fn normalize(mut raw: Vec<Extent>) -> Self {
+        raw.retain(|e| !e.is_empty());
+        raw.sort_by(|a, b| match a.offset.cmp(&b.offset) {
+            Ordering::Equal => a.len.cmp(&b.len),
+            o => o,
+        });
+        let mut extents: Vec<Extent> = Vec::with_capacity(raw.len());
+        for e in raw {
+            match extents.last_mut() {
+                Some(last) if e.offset <= last.end() => {
+                    let end = last.end().max(e.end());
+                    last.len = end - last.offset;
+                }
+                _ => extents.push(e),
+            }
+        }
+        ExtentList { extents }
+    }
+
+    /// Wraps extents that are already sorted, disjoint and non-empty.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the invariant does not hold.
+    #[must_use]
+    pub fn from_sorted(extents: Vec<Extent>) -> Self {
+        debug_assert!(
+            extents.windows(2).all(|w| w[0].end() <= w[1].offset)
+                && extents.iter().all(|e| !e.is_empty()),
+            "extents not sorted/disjoint/non-empty: {extents:?}"
+        );
+        ExtentList { extents }
+    }
+
+    /// The extents in offset order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Number of extents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// True when no extents remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Total bytes covered.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// First byte covered, if any.
+    #[must_use]
+    pub fn begin(&self) -> Option<u64> {
+        self.extents.first().map(|e| e.offset)
+    }
+
+    /// One past the last byte covered, if any.
+    #[must_use]
+    pub fn end(&self) -> Option<u64> {
+        self.extents.last().map(Extent::end)
+    }
+
+    /// The sub-list of byte ranges that fall inside `window`, clipped to
+    /// it. Used to route a rank's request pieces to file domains.
+    /// Binary-searches for the window start, so it is `O(log n + k)` in
+    /// the list size `n` and match count `k`.
+    #[must_use]
+    pub fn clip(&self, window: Extent) -> ExtentList {
+        let clipped: Vec<Extent> = self
+            .clip_indexed(window)
+            .map(|(_, piece)| piece)
+            .collect();
+        // Clipping a canonical list preserves order and disjointness.
+        ExtentList { extents: clipped }
+    }
+
+    /// Like [`ExtentList::clip`] but yields `(extent index, clipped
+    /// piece)` pairs so callers can map pieces back into packed buffers
+    /// without rescanning.
+    pub fn clip_indexed(
+        &self,
+        window: Extent,
+    ) -> impl Iterator<Item = (usize, Extent)> + '_ {
+        let start = if window.is_empty() {
+            self.extents.len()
+        } else {
+            self.extents.partition_point(|e| e.end() <= window.offset)
+        };
+        self.extents[start..]
+            .iter()
+            .enumerate()
+            .take_while(move |(_, e)| e.offset < window.end())
+            .filter_map(move |(i, e)| e.intersect(&window).map(|p| (start + i, p)))
+    }
+
+    /// True when any byte of `window` is covered — `O(log n)` plus one
+    /// intersection, cheaper than `!clip(window).is_empty()`.
+    #[must_use]
+    pub fn overlaps(&self, window: Extent) -> bool {
+        if window.is_empty() {
+            return false;
+        }
+        let start = self.extents.partition_point(|e| e.end() <= window.offset);
+        self.extents
+            .get(start)
+            .is_some_and(|e| e.offset < window.end())
+    }
+
+    /// Cumulative packed-buffer offsets: entry `i` is the position of
+    /// extent `i`'s first byte in the packed buffer. Compute once per
+    /// operation and reuse with [`ExtentList::clip_indexed`].
+    #[must_use]
+    pub fn cumulative_offsets(&self) -> Vec<u64> {
+        let mut cum = Vec::with_capacity(self.extents.len());
+        let mut total = 0u64;
+        for e in &self.extents {
+            cum.push(total);
+            total += e.len;
+        }
+        cum
+    }
+
+    /// Iterates `(extent, buffer_range)` pairs: the byte range each
+    /// extent occupies in the rank's packed contiguous buffer (extents in
+    /// offset order define the pack order, per MPI semantics).
+    pub fn with_buffer_ranges(&self) -> impl Iterator<Item = (Extent, std::ops::Range<usize>)> + '_ {
+        let mut cursor = 0usize;
+        self.extents.iter().map(move |&e| {
+            let start = cursor;
+            cursor += e.len as usize;
+            (e, start..cursor)
+        })
+    }
+
+    /// Encodes as a flat `u64` list for the wire.
+    #[must_use]
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.extents.len() * 2);
+        for e in &self.extents {
+            out.push(e.offset);
+            out.push(e.len);
+        }
+        out
+    }
+
+    /// Decodes [`ExtentList::to_words`] output.
+    ///
+    /// # Panics
+    /// Panics on odd-length input or non-canonical extents.
+    #[must_use]
+    pub fn from_words(words: &[u64]) -> Self {
+        assert!(words.len().is_multiple_of(2), "extent words must pair up");
+        ExtentList::from_sorted(
+            words
+                .chunks_exact(2)
+                .map(|c| Extent::new(c[0], c[1]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_basics() {
+        let e = Extent::new(10, 5);
+        assert_eq!(e.end(), 15);
+        assert!(e.contains(10));
+        assert!(e.contains(14));
+        assert!(!e.contains(15));
+        assert!(!Extent::new(0, 1).is_empty());
+        assert!(Extent::new(7, 0).is_empty());
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Extent::new(0, 10);
+        let b = Extent::new(5, 10);
+        assert_eq!(a.intersect(&b), Some(Extent::new(5, 5)));
+        assert_eq!(b.intersect(&a), Some(Extent::new(5, 5)));
+        let c = Extent::new(10, 5);
+        assert_eq!(a.intersect(&c), None, "touching is not overlapping");
+        assert_eq!(a.intersect(&Extent::new(2, 3)), Some(Extent::new(2, 3)));
+    }
+
+    #[test]
+    fn normalize_sorts_and_coalesces() {
+        let l = ExtentList::normalize(vec![
+            Extent::new(20, 5),
+            Extent::new(0, 10),
+            Extent::new(10, 5), // adjacent to first → coalesce
+            Extent::new(22, 2), // inside third → absorbed
+            Extent::new(40, 0), // empty → dropped
+        ]);
+        assert_eq!(
+            l.as_slice(),
+            &[Extent::new(0, 15), Extent::new(20, 5)]
+        );
+        assert_eq!(l.total_bytes(), 20);
+        assert_eq!(l.begin(), Some(0));
+        assert_eq!(l.end(), Some(25));
+    }
+
+    #[test]
+    fn clip_to_window() {
+        let l = ExtentList::normalize(vec![
+            Extent::new(0, 10),
+            Extent::new(20, 10),
+            Extent::new(40, 10),
+        ]);
+        let c = l.clip(Extent::new(5, 30));
+        assert_eq!(
+            c.as_slice(),
+            &[Extent::new(5, 5), Extent::new(20, 10)]
+        );
+        assert!(l.clip(Extent::new(100, 5)).is_empty());
+        assert_eq!(l.clip(Extent::new(0, 100)), l);
+    }
+
+    #[test]
+    fn clip_indexed_reports_source_indices() {
+        let l = ExtentList::normalize(vec![
+            Extent::new(0, 10),
+            Extent::new(20, 10),
+            Extent::new(40, 10),
+        ]);
+        let hits: Vec<_> = l.clip_indexed(Extent::new(25, 20)).collect();
+        assert_eq!(hits, vec![(1, Extent::new(25, 5)), (2, Extent::new(40, 5))]);
+        assert!(l.clip_indexed(Extent::new(10, 10)).next().is_none());
+        assert!(l.clip_indexed(Extent::new(5, 0)).next().is_none());
+    }
+
+    #[test]
+    fn overlaps_matches_clip_emptiness() {
+        let l = ExtentList::normalize(vec![Extent::new(10, 5), Extent::new(30, 5)]);
+        for (off, len) in [(0u64, 5u64), (0, 11), (15, 15), (15, 16), (34, 1), (35, 10), (12, 1)] {
+            let w = Extent::new(off, len);
+            assert_eq!(l.overlaps(w), !l.clip(w).is_empty(), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn cumulative_offsets_match_buffer_ranges() {
+        let l = ExtentList::normalize(vec![Extent::new(100, 4), Extent::new(0, 6)]);
+        assert_eq!(l.cumulative_offsets(), vec![0, 6]);
+        assert_eq!(ExtentList::default().cumulative_offsets(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn buffer_ranges_follow_pack_order() {
+        let l = ExtentList::normalize(vec![Extent::new(100, 4), Extent::new(0, 6)]);
+        let pairs: Vec<_> = l.with_buffer_ranges().collect();
+        assert_eq!(pairs[0], (Extent::new(0, 6), 0..6));
+        assert_eq!(pairs[1], (Extent::new(100, 4), 6..10));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let l = ExtentList::normalize(vec![Extent::new(5, 5), Extent::new(50, 1)]);
+        assert_eq!(ExtentList::from_words(&l.to_words()), l);
+        assert_eq!(
+            ExtentList::from_words(&[]).as_slice(),
+            &[] as &[Extent]
+        );
+    }
+
+    #[test]
+    fn empty_list_queries() {
+        let l = ExtentList::default();
+        assert!(l.is_empty());
+        assert_eq!(l.total_bytes(), 0);
+        assert_eq!(l.begin(), None);
+        assert_eq!(l.end(), None);
+    }
+}

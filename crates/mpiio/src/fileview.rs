@@ -1,0 +1,186 @@
+//! MPI file views: mapping a rank's linear data stream onto the file.
+//!
+//! An MPI file view is `(displacement, etype, filetype)`: the filetype is
+//! tiled end-to-end starting at the displacement, and the rank's data
+//! fills the *data* bytes of successive tiles, skipping holes. A view
+//! turns "write my next `n` bytes" into a noncontiguous set of file
+//! extents — the raw material of collective I/O.
+
+use crate::datatype::Datatype;
+use crate::extent::{Extent, ExtentList};
+
+/// A rank's window onto the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileView {
+    disp: u64,
+    tile: ExtentList,
+    tile_size: u64,
+    tile_extent: u64,
+}
+
+impl FileView {
+    /// The default view: the whole file as a byte stream from
+    /// `displacement`.
+    #[must_use]
+    pub fn contiguous(displacement: u64) -> Self {
+        FileView {
+            disp: displacement,
+            tile: ExtentList::normalize(vec![Extent::new(0, u64::MAX - 1)]),
+            tile_size: u64::MAX - 1,
+            tile_extent: u64::MAX - 1,
+        }
+    }
+
+    /// A view tiling `filetype` from `displacement`.
+    ///
+    /// # Panics
+    /// Panics if the filetype holds no data bytes (a view through it
+    /// could never address anything).
+    #[must_use]
+    pub fn new(displacement: u64, filetype: &Datatype) -> Self {
+        let tile = filetype.flatten(0);
+        let tile_size = tile.total_bytes();
+        assert!(tile_size > 0, "file view over a zero-size filetype");
+        let tile_extent = filetype.extent();
+        assert!(
+            tile_extent >= tile.end().unwrap_or(0),
+            "filetype extent smaller than its layout"
+        );
+        FileView {
+            disp: displacement,
+            tile,
+            tile_size,
+            tile_extent,
+        }
+    }
+
+    /// Data bytes per tile.
+    #[must_use]
+    pub fn tile_size(&self) -> u64 {
+        self.tile_size
+    }
+
+    /// File extents occupied by `len` data bytes starting at data offset
+    /// `view_offset` (both in *view* coordinates, i.e. counting only data
+    /// bytes, as `MPI_File_seek` does with an etype of one byte).
+    #[must_use]
+    pub fn extents_for(&self, view_offset: u64, len: u64) -> ExtentList {
+        if len == 0 {
+            return ExtentList::default();
+        }
+        let mut out = Vec::new();
+        let mut tile_idx = view_offset / self.tile_size;
+        let mut within = view_offset % self.tile_size; // data bytes to skip in tile
+        let mut remaining = len;
+        while remaining > 0 {
+            let tile_base = self.disp + tile_idx * self.tile_extent;
+            for (ext, _) in self.tile.with_buffer_ranges() {
+                if remaining == 0 {
+                    break;
+                }
+                if within >= ext.len {
+                    within -= ext.len;
+                    continue;
+                }
+                let start = ext.offset + within;
+                let take = (ext.len - within).min(remaining);
+                out.push(Extent::new(tile_base + start, take));
+                remaining -= take;
+                within = 0;
+            }
+            tile_idx += 1;
+        }
+        ExtentList::normalize(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_view_is_identity_plus_displacement() {
+        let v = FileView::contiguous(1000);
+        let e = v.extents_for(50, 20);
+        assert_eq!(e.as_slice(), &[Extent::new(1050, 20)]);
+    }
+
+    #[test]
+    fn strided_view_tiles() {
+        // Filetype: 4 data bytes then a 12-byte hole (extent 16) — the
+        // classic interleaved pattern of 4 ranks.
+        let ft = Datatype::Vector { count: 1, blocklen: 4, stride: 16 };
+        // Vector extent formula gives (1-1)*16+4 = 4; use Indexed to get
+        // an explicit trailing hole instead.
+        assert_eq!(ft.extent(), 4);
+        let ft = Datatype::Subarray {
+            sizes: vec![4],
+            subsizes: vec![1],
+            starts: vec![0],
+            elem_size: 4,
+        };
+        assert_eq!(ft.extent(), 16);
+        assert_eq!(ft.size(), 4);
+        let v = FileView::new(0, &ft);
+        let e = v.extents_for(0, 12);
+        assert_eq!(
+            e.as_slice(),
+            &[Extent::new(0, 4), Extent::new(16, 4), Extent::new(32, 4)]
+        );
+    }
+
+    #[test]
+    fn offset_within_view_skips_data_bytes_not_holes() {
+        let ft = Datatype::Subarray {
+            sizes: vec![2],
+            subsizes: vec![1],
+            starts: vec![1],
+            elem_size: 8,
+        };
+        // Tile: hole 0..8, data 8..16, extent 16.
+        let v = FileView::new(0, &ft);
+        // Skip 4 data bytes → start mid-way through the first data block.
+        let e = v.extents_for(4, 8);
+        assert_eq!(e.as_slice(), &[Extent::new(12, 4), Extent::new(24, 4)]);
+    }
+
+    #[test]
+    fn request_spanning_many_tiles() {
+        let ft = Datatype::Indexed { blocks: vec![(0, 2), (6, 2)] };
+        assert_eq!(ft.extent(), 8);
+        let v = FileView::new(100, &ft);
+        let e = v.extents_for(0, 10);
+        // Tiles at 100, 108, 116: data (0,2),(6,2) each; 10 bytes = 2.5
+        // tiles. The tail block of each tile abuts the head block of the
+        // next, so they coalesce.
+        assert_eq!(
+            e.as_slice(),
+            &[
+                Extent::new(100, 2),
+                Extent::new(106, 4),
+                Extent::new(114, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacent_tiles_coalesce_when_dense() {
+        let ft = Datatype::Contiguous { count: 8 };
+        let v = FileView::new(0, &ft);
+        let e = v.extents_for(0, 64);
+        assert_eq!(e.as_slice(), &[Extent::new(0, 64)]);
+    }
+
+    #[test]
+    fn zero_length_request_is_empty() {
+        let v = FileView::contiguous(0);
+        assert!(v.extents_for(123, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size filetype")]
+    fn empty_filetype_rejected() {
+        let ft = Datatype::Contiguous { count: 0 };
+        let _ = FileView::new(0, &ft);
+    }
+}

@@ -1,0 +1,71 @@
+//! I/O operation outcome: bytes moved and virtual time spent.
+
+use mccio_sim::time::VDuration;
+
+/// Result of one I/O operation (or one whole benchmark phase) at one
+/// rank: how many application bytes moved and how long it took in
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoReport {
+    /// Application payload bytes read or written.
+    pub bytes: u64,
+    /// Virtual time the operation occupied at this rank.
+    pub elapsed: VDuration,
+}
+
+impl IoReport {
+    /// A zero-work report.
+    #[must_use]
+    pub fn empty() -> Self {
+        IoReport {
+            bytes: 0,
+            elapsed: VDuration::ZERO,
+        }
+    }
+
+    /// Achieved bandwidth in bytes/second; 0.0 when no time elapsed.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        let secs = self.elapsed.as_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+
+    /// Combines a sequential follow-up operation into this report.
+    pub fn absorb(&mut self, other: IoReport) {
+        self.bytes += other.bytes;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_bytes_over_time() {
+        let r = IoReport {
+            bytes: 1_000_000,
+            elapsed: VDuration::from_secs(2.0),
+        };
+        assert_eq!(r.bandwidth(), 500_000.0);
+        assert_eq!(IoReport::empty().bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = IoReport {
+            bytes: 10,
+            elapsed: VDuration::from_secs(1.0),
+        };
+        a.absorb(IoReport {
+            bytes: 5,
+            elapsed: VDuration::from_secs(0.5),
+        });
+        assert_eq!(a.bytes, 15);
+        assert_eq!(a.elapsed.as_secs(), 1.5);
+    }
+}

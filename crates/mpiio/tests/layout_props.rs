@@ -1,0 +1,157 @@
+//! Property tests on the layout machinery: datatype flattening, file
+//! views, extent algebra, and sieving must all agree with brute-force
+//! reference models.
+
+use proptest::prelude::*;
+
+use mccio_mpiio::sieve::{sieved_read, sieved_write};
+use mccio_mpiio::{Datatype, Extent, ExtentList, FileView, SieveConfig};
+use mccio_pfs::{FileSystem, PfsParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn normalize_is_idempotent_and_canonical(
+        raw in prop::collection::vec((0u64..10_000, 0u64..500), 0..40)
+    ) {
+        let extents: Vec<Extent> = raw.iter().map(|&(o, l)| Extent::new(o, l)).collect();
+        let once = ExtentList::normalize(extents.clone());
+        let twice = ExtentList::normalize(once.as_slice().to_vec());
+        prop_assert_eq!(&once, &twice);
+        // Canonical: sorted, disjoint, non-empty, with gaps between.
+        for w in once.as_slice().windows(2) {
+            prop_assert!(w[0].end() < w[1].offset, "{:?} not separated", w);
+        }
+        // Coverage equals the union of the inputs.
+        let mut model = std::collections::BTreeSet::new();
+        for e in &extents {
+            for b in e.offset..e.end() {
+                model.insert(b);
+            }
+        }
+        let covered: u64 = once.total_bytes();
+        prop_assert_eq!(covered as usize, model.len());
+        for e in once.as_slice() {
+            for b in e.offset..e.end() {
+                prop_assert!(model.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn clip_agrees_with_bytewise_model(
+        raw in prop::collection::vec((0u64..2_000, 1u64..100), 0..20),
+        w_off in 0u64..2_500,
+        w_len in 0u64..800,
+    ) {
+        let list = ExtentList::normalize(
+            raw.iter().map(|&(o, l)| Extent::new(o, l)).collect(),
+        );
+        let window = Extent::new(w_off, w_len);
+        let clipped = list.clip(window);
+        // Byte-for-byte agreement.
+        for b in w_off..w_off + w_len {
+            let in_list = list.as_slice().iter().any(|e| e.contains(b));
+            let in_clip = clipped.as_slice().iter().any(|e| e.contains(b));
+            prop_assert_eq!(in_list, in_clip, "byte {}", b);
+        }
+        prop_assert_eq!(list.overlaps(window), !clipped.is_empty());
+    }
+
+    #[test]
+    fn vector_flatten_matches_enumeration(
+        count in 0u64..20,
+        blocklen in 1u64..50,
+        gap in 0u64..50,
+        base in 0u64..1_000,
+    ) {
+        let stride = blocklen + gap;
+        let dt = Datatype::Vector { count, blocklen, stride };
+        let flat = dt.flatten(base);
+        let mut model = Vec::new();
+        for i in 0..count {
+            for b in 0..blocklen {
+                model.push(base + i * stride + b);
+            }
+        }
+        let flattened: Vec<u64> = flat
+            .as_slice()
+            .iter()
+            .flat_map(|e| e.offset..e.end())
+            .collect();
+        prop_assert_eq!(flattened, model);
+        prop_assert_eq!(flat.total_bytes(), dt.size());
+    }
+
+    #[test]
+    fn fileview_tiles_are_the_flattened_type_repeated(
+        blocks in prop::collection::vec((0u64..6, 1u64..8), 1..4),
+        disp in 0u64..100,
+        req_off in 0u64..64,
+        req_len in 1u64..128,
+    ) {
+        // Build a valid indexed type (sorted, disjoint) from the raw pairs.
+        let mut cursor = 0u64;
+        let fields: Vec<(u64, u64)> = blocks
+            .iter()
+            .map(|&(gap, len)| {
+                let d = cursor + gap;
+                cursor = d + len;
+                (d, len)
+            })
+            .collect();
+        let dt = Datatype::Indexed { blocks: fields.clone() };
+        let view = FileView::new(disp, &dt);
+        let got = view.extents_for(req_off, req_len);
+        prop_assert_eq!(got.total_bytes(), req_len);
+        // Reference: enumerate the view's data bytes in order.
+        let tile_size: u64 = fields.iter().map(|&(_, l)| l).sum();
+        let extent = dt.extent();
+        let mut model = Vec::new();
+        let mut produced = 0u64;
+        let mut tile = req_off / tile_size;
+        let mut skip = req_off % tile_size;
+        'outer: loop {
+            for &(d, l) in &fields {
+                for b in 0..l {
+                    if skip > 0 {
+                        skip -= 1;
+                        continue;
+                    }
+                    model.push(disp + tile * extent + d + b);
+                    produced += 1;
+                    if produced == req_len {
+                        break 'outer;
+                    }
+                }
+            }
+            tile += 1;
+        }
+        let got_bytes: Vec<u64> = got
+            .as_slice()
+            .iter()
+            .flat_map(|e| e.offset..e.end())
+            .collect();
+        prop_assert_eq!(got_bytes, model);
+    }
+
+    #[test]
+    fn sieved_write_read_roundtrip_random_patterns(
+        raw in prop::collection::vec((0u64..4_000, 1u64..200), 1..16),
+        buffer in 64u64..2_048,
+    ) {
+        let extents = ExtentList::normalize(
+            raw.iter().map(|&(o, l)| Extent::new(o, l)).collect(),
+        );
+        let fs = FileSystem::new(2, 128, PfsParams::default());
+        let h = fs.create("sieve").unwrap();
+        let data: Vec<u8> = (0..extents.total_bytes())
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let cfg = SieveConfig { buffer_size: buffer };
+        let _ = sieved_write(&h, &extents, &data, cfg);
+        let (back, _) = sieved_read(&h, &extents, cfg);
+        prop_assert_eq!(back, data);
+    }
+}

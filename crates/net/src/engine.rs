@@ -1,0 +1,465 @@
+//! The SPMD rank engine.
+//!
+//! [`World::run`] executes one closure per rank, each on its own OS
+//! thread, exactly like `mpiexec` launches one process per core. Ranks
+//! communicate through [`Ctx`]: point-to-point sends/receives and (in
+//! `collective.rs`) MPI-style collectives.
+//!
+//! ## Virtual time
+//!
+//! Each rank carries a logical clock. A *costed* send advances the
+//! sender by the per-message software overhead and stamps the envelope
+//! with its departure time; the matching receive advances the receiver to
+//! `max(receiver clock, departure + transfer time)` using the
+//! [`CostModel`]'s point-to-point price. *Control* messages (driver
+//! metadata whose real-world cost is priced analytically by the phase
+//! model) carry causality only: the receiver advances to the departure
+//! time but pays no transfer cost. Wall-clock never enters either path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mccio_sim::cost::CostModel;
+use mccio_sim::time::{VDuration, VTime};
+use mccio_sim::topology::Placement;
+
+use crate::mailbox::{Envelope, Mailbox, Pattern};
+
+/// Aggregate traffic counters, updated on every delivery.
+#[derive(Debug, Default)]
+pub struct Traffic {
+    /// Bytes moved between ranks on the same node (data plane).
+    pub intra_bytes: AtomicU64,
+    /// Bytes moved between ranks on different nodes (data plane).
+    pub inter_bytes: AtomicU64,
+    /// Data-plane message count.
+    pub data_msgs: AtomicU64,
+    /// Control-plane message count (metadata, barriers, clock sync).
+    pub ctl_msgs: AtomicU64,
+    /// Per-node NIC ingress bytes (data plane, inter-node only).
+    pub node_ingress: Vec<AtomicU64>,
+    /// Per-node NIC egress bytes (data plane, inter-node only).
+    pub node_egress: Vec<AtomicU64>,
+}
+
+/// A point-in-time copy of [`Traffic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Bytes moved intra-node.
+    pub intra_bytes: u64,
+    /// Bytes moved inter-node.
+    pub inter_bytes: u64,
+    /// Data-plane messages.
+    pub data_msgs: u64,
+    /// Control-plane messages.
+    pub ctl_msgs: u64,
+    /// Per-node ingress bytes.
+    pub node_ingress: Vec<u64>,
+    /// Per-node egress bytes.
+    pub node_egress: Vec<u64>,
+}
+
+impl Traffic {
+    fn new(n_nodes: usize) -> Self {
+        Traffic {
+            node_ingress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            node_egress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            ..Traffic::default()
+        }
+    }
+
+    /// Copies the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
+            inter_bytes: self.inter_bytes.load(Ordering::Relaxed),
+            data_msgs: self.data_msgs.load(Ordering::Relaxed),
+            ctl_msgs: self.ctl_msgs.load(Ordering::Relaxed),
+            node_ingress: self
+                .node_ingress
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            node_egress: self
+                .node_egress
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// The shared communication world: one mailbox per rank plus the cost
+/// model and placement every rank prices messages against.
+#[derive(Debug)]
+pub struct World {
+    placement: Placement,
+    cost: CostModel,
+    mailboxes: Vec<Mailbox>,
+    traffic: Traffic,
+}
+
+impl World {
+    /// Builds a world for `placement` priced by `cost`.
+    #[must_use]
+    pub fn new(cost: CostModel, placement: Placement) -> Arc<World> {
+        let n_ranks = placement.n_ranks();
+        let n_nodes = placement.n_nodes();
+        Arc::new(World {
+            placement,
+            cost,
+            mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
+            traffic: Traffic::new(n_nodes),
+        })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n_ranks(&self) -> usize {
+        self.placement.n_ranks()
+    }
+
+    /// The placement ranks were launched with.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The cost model pricing this world's messages.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Traffic counters (live; use [`Traffic::snapshot`]).
+    #[must_use]
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// Runs `f` once per rank, each on its own thread, and returns the
+    /// per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Propagates any rank's panic after all threads have been joined,
+    /// and panics if any mailbox still holds unmatched messages at exit
+    /// (a protocol bug in the caller).
+    pub fn run<F, R>(self: &Arc<Self>, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+        R: Send,
+    {
+        let n = self.n_ranks();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let world = Arc::clone(self);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(1 << 21)
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = Ctx {
+                            rank,
+                            node: world.placement.node_of(rank),
+                            world: Arc::clone(&world),
+                            clock: VTime::ZERO,
+                        };
+                        *slot = Some(f(&mut ctx));
+                    })
+                    .expect("spawn rank thread");
+                handles.push(handle);
+            }
+        });
+        for (rank, mb) in self.mailboxes.iter().enumerate() {
+            assert_eq!(
+                mb.pending(),
+                0,
+                "rank {rank} exited with unmatched messages queued"
+            );
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank produced a result"))
+            .collect()
+    }
+}
+
+/// A rank's handle to the world: identity, clock, and communication.
+#[derive(Debug)]
+pub struct Ctx {
+    rank: usize,
+    node: usize,
+    world: Arc<World>,
+    clock: VTime,
+}
+
+impl Ctx {
+    /// This rank's id, `0..size`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.world.n_ranks()
+    }
+
+    /// The node hosting this rank.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The world-wide placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        self.world.placement()
+    }
+
+    /// The cost model.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        self.world.cost()
+    }
+
+    /// The shared world (for handing to helpers).
+    #[must_use]
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Current virtual time at this rank.
+    #[must_use]
+    pub fn clock(&self) -> VTime {
+        self.clock
+    }
+
+    /// Advances the local clock by `d` (local compute, buffer packing,
+    /// waiting for I/O).
+    pub fn advance(&mut self, d: VDuration) {
+        self.clock += d;
+    }
+
+    /// Moves the clock forward to `t` if `t` is later (phase-end
+    /// synchronization). Never moves the clock backwards.
+    pub fn advance_to(&mut self, t: VTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Charges the time to stream `bytes` through this node's DRAM once
+    /// (memcpy-style local work), under memory-pressure `factor`.
+    pub fn charge_local_copy(&mut self, bytes: u64, factor: f64) {
+        let d = self.world.cost().local_copy(self.node, bytes, factor);
+        self.clock += d;
+    }
+
+    fn account(&self, dst: usize, bytes: u64, costed: bool) {
+        let t = &self.world.traffic;
+        if !costed {
+            t.ctl_msgs.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        t.data_msgs.fetch_add(1, Ordering::Relaxed);
+        let dst_node = self.world.placement.node_of(dst);
+        if dst_node == self.node {
+            t.intra_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            t.inter_bytes.fetch_add(bytes, Ordering::Relaxed);
+            t.node_egress[self.node].fetch_add(bytes, Ordering::Relaxed);
+            t.node_ingress[dst_node].fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Sends a data-plane message: the sender pays injection overhead and
+    /// the receiver will pay the transfer.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        self.clock += VDuration::from_secs(self.world.cost.per_message_overhead);
+        self.account(dst, payload.len() as u64, true);
+        self.world.mailboxes[dst].deliver(Envelope {
+            src: self.rank,
+            tag,
+            payload,
+            depart: self.clock,
+            costed: true,
+        });
+    }
+
+    /// Sends a control-plane message: causality only, no transfer cost
+    /// (the bulk-data phases it coordinates are priced analytically).
+    pub fn send_ctl(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        self.account(dst, payload.len() as u64, false);
+        self.world.mailboxes[dst].deliver(Envelope {
+            src: self.rank,
+            tag,
+            payload,
+            depart: self.clock,
+            costed: false,
+        });
+    }
+
+    fn settle(&mut self, env: &Envelope) {
+        if env.costed {
+            let src_node = self.world.placement.node_of(env.src);
+            let d = self.world.cost.pt2pt(
+                env.payload.len() as u64,
+                src_node == self.node,
+                src_node,
+                self.node,
+            );
+            self.clock = self.clock.max(env.depart + d);
+        } else {
+            self.clock = self.clock.max(env.depart);
+        }
+    }
+
+    /// Blocks for a message from `src` with `tag`; returns the payload.
+    pub fn recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        let env = self.world.mailboxes[self.rank].recv(Pattern {
+            src: Some(src),
+            tag,
+        });
+        self.settle(&env);
+        env.payload
+    }
+
+    /// Blocks for a message with `tag` from any source; returns
+    /// `(src, payload)`.
+    pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
+        let env = self.world.mailboxes[self.rank].recv(Pattern { src: None, tag });
+        self.settle(&env);
+        (env.src, env.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_sim::topology::{test_cluster, FillOrder};
+    use mccio_sim::units::MIB;
+
+    fn world(nodes: usize, cores: usize, ranks: usize) -> Arc<World> {
+        let cluster = test_cluster(nodes, cores);
+        let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
+        World::new(CostModel::new(cluster), placement)
+    }
+
+    #[test]
+    fn ping_pong_moves_data_and_time() {
+        let w = world(2, 1, 2);
+        let results = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![42; 1024]);
+                let back = ctx.recv(1, 2);
+                (back.len(), ctx.clock().as_secs())
+            } else {
+                let msg = ctx.recv(0, 1);
+                ctx.send(0, 2, msg);
+                (0, ctx.clock().as_secs())
+            }
+        });
+        assert_eq!(results[0].0, 1024);
+        // Two inter-node hops: time strictly positive on both ranks.
+        assert!(results[0].1 > 0.0);
+        assert!(results[1].1 > 0.0);
+        let t = w.traffic().snapshot();
+        assert_eq!(t.data_msgs, 2);
+        assert_eq!(t.inter_bytes, 2048);
+        assert_eq!(t.node_egress[0], 1024);
+        assert_eq!(t.node_ingress[0], 1024);
+    }
+
+    #[test]
+    fn control_messages_carry_causality_without_cost() {
+        let w = world(2, 1, 2);
+        let results = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.advance(VDuration::from_secs(5.0));
+                ctx.send_ctl(1, 9, vec![]);
+                ctx.clock().as_secs()
+            } else {
+                let _ = ctx.recv(0, 9);
+                ctx.clock().as_secs()
+            }
+        });
+        // Receiver is pulled forward to the sender's clock, exactly.
+        assert_eq!(results[1], 5.0);
+        assert_eq!(w.traffic().snapshot().ctl_msgs, 1);
+        assert_eq!(w.traffic().snapshot().inter_bytes, 0);
+    }
+
+    #[test]
+    fn costed_transfer_advances_receiver_by_bandwidth() {
+        let w = world(2, 1, 2);
+        let results = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 3, vec![0u8; MIB as usize]);
+            } else {
+                let _ = ctx.recv(0, 3);
+            }
+            ctx.clock().as_secs()
+        });
+        // 1 MiB over 1 GiB/s link ≈ ~1 ms at the receiver.
+        assert!(results[1] > 0.9e-3 && results[1] < 1.5e-3, "{}", results[1]);
+        // Sender only paid injection overhead.
+        assert!(results[0] < 1e-4);
+    }
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let w = world(2, 4, 8);
+        let results = w.run(|ctx| ctx.rank() * 10);
+        assert_eq!(results, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn local_copy_charges_dram_time() {
+        let w = world(1, 1, 1);
+        let r = w.run(|ctx| {
+            ctx.charge_local_copy(10 * MIB, 1.0);
+            let healthy = ctx.clock().as_secs();
+            ctx.charge_local_copy(10 * MIB, 4.0);
+            (healthy, ctx.clock().as_secs() - healthy)
+        });
+        let (healthy, thrashed) = r[0];
+        assert!((thrashed / healthy - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        let w = world(1, 4, 4);
+        let r = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let (src, _) = ctx.recv_any(7);
+                    seen.push(src);
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                ctx.send(0, 7, vec![ctx.rank() as u8]);
+                vec![]
+            }
+        });
+        assert_eq!(r[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmatched messages")]
+    fn leaked_message_is_detected() {
+        let w = world(1, 2, 2);
+        let _ = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_ctl(1, 99, vec![1]);
+            }
+            // rank 1 never receives.
+        });
+    }
+}

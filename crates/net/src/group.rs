@@ -1,0 +1,132 @@
+//! Rank subsets ("subcommunicators").
+//!
+//! MC-CIO's whole point is to confine aggregation traffic within
+//! disjoint subgroups, so every collective in this crate is defined over
+//! a [`RankSet`]. The world communicator is just the full set.
+
+/// An immutable, sorted, duplicate-free set of ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSet {
+    ranks: Vec<usize>,
+}
+
+impl RankSet {
+    /// Builds a set from arbitrary rank ids; sorts and deduplicates.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty — a communicator needs at least one
+    /// member.
+    #[must_use]
+    pub fn new(mut ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "empty rank set");
+        ranks.sort_unstable();
+        ranks.dedup();
+        RankSet { ranks }
+    }
+
+    /// The full communicator `0..n`.
+    #[must_use]
+    pub fn world(n: usize) -> Self {
+        RankSet::new((0..n).collect())
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Always false (construction rejects empty sets); present for
+    /// clippy-idiomatic pairing with `len`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The designated root (smallest member).
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.ranks[0]
+    }
+
+    /// Membership test (binary search).
+    #[must_use]
+    pub fn contains(&self, rank: usize) -> bool {
+        self.ranks.binary_search(&rank).is_ok()
+    }
+
+    /// The position of `rank` within the set, if a member.
+    #[must_use]
+    pub fn index_of(&self, rank: usize) -> Option<usize> {
+        self.ranks.binary_search(&rank).ok()
+    }
+
+    /// Members in ascending order.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Iterator over members.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranks.iter().copied()
+    }
+
+    /// True when the two sets share no members (the invariant aggregation
+    /// groups must satisfy).
+    #[must_use]
+    pub fn is_disjoint(&self, other: &RankSet) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        !small.iter().any(|r| large.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_dedups() {
+        let s = RankSet::new(vec![5, 1, 3, 1, 5]);
+        assert_eq!(s.members(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.root(), 1);
+    }
+
+    #[test]
+    fn membership_and_index() {
+        let s = RankSet::new(vec![2, 4, 8]);
+        assert!(s.contains(4));
+        assert!(!s.contains(3));
+        assert_eq!(s.index_of(8), Some(2));
+        assert_eq!(s.index_of(0), None);
+    }
+
+    #[test]
+    fn world_covers_all() {
+        let s = RankSet::world(4);
+        assert_eq!(s.members(), &[0, 1, 2, 3]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = RankSet::new(vec![0, 1, 2]);
+        let b = RankSet::new(vec![3, 4]);
+        let c = RankSet::new(vec![2, 3]);
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+        assert!(!a.is_disjoint(&c));
+        assert!(!c.is_disjoint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rank set")]
+    fn empty_set_rejected() {
+        let _ = RankSet::new(vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mccio-net — SPMD rank engine with virtual-time message passing
+//!
+//! MPI bindings for Rust are immature and the reproduction needs no real
+//! cluster: collective I/O is a data-movement algorithm whose correctness
+//! and traffic pattern are fully exercised in-process. This crate runs
+//! one OS thread per rank ([`World::run`]), gives each rank a [`Ctx`]
+//! with point-to-point messaging and MPI-style collectives over arbitrary
+//! [`RankSet`]s, and keeps a *virtual* clock per rank:
+//!
+//! * **data-plane** sends ([`Ctx::send`]) are priced by the
+//!   [`mccio_sim::CostModel`] point-to-point rule — the sender pays
+//!   injection overhead, the receiver pays latency + transfer;
+//! * **control-plane** sends ([`Ctx::send_ctl`]) and all collectives move
+//!   driver metadata: they enforce causality (a receiver can never
+//!   observe a message "before" it was sent) but charge no transfer time,
+//!   because collective-I/O drivers price whole shuffle rounds
+//!   analytically with [`mccio_sim::CostModel::shuffle_phase`] — that
+//!   keeps virtual time deterministic regardless of thread scheduling;
+//! * the [`engine::Traffic`] counters record every byte either way, so
+//!   experiments can report shuffle volumes and per-node NIC pressure.
+//!
+//! Message matching follows MPI semantics: receives match on
+//! `(source, tag)` with non-overtaking order per pair, and `ANY_SOURCE`
+//! receives take the earliest delivered match.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod engine;
+pub mod group;
+pub mod mailbox;
+pub mod wire;
+
+pub use collective::INTERNAL_TAG_BASE;
+pub use engine::{Ctx, Traffic, TrafficSnapshot, World};
+pub use group::RankSet;

@@ -1,0 +1,463 @@
+//! The simulated parallel file system: named striped files with real
+//! byte contents.
+//!
+//! Data is stored for real — a write followed by a read returns the
+//! exact bytes, which is what lets the test suite verify collective I/O
+//! end-to-end. Only *time* is simulated: every access returns the
+//! [`ServiceReport`] describing the per-server request shape it induced
+//! under the file's striping, and drivers price those reports through
+//! [`PfsParams`].
+//!
+//! There is deliberately no client-side cache: the paper's evaluation
+//! flushes caches between write and read phases, so cold reads are the
+//! behaviour to reproduce.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+use mccio_sim::error::{SimError, SimResult};
+
+use crate::service::{PfsParams, ServiceReport};
+use crate::striping::Striping;
+
+#[derive(Debug)]
+struct FileObject {
+    data: RwLock<Vec<u8>>,
+    /// Serializes read-modify-write cycles (data sieving writes).
+    rmw: Mutex<()>,
+}
+
+/// The file system: a namespace of striped files plus the cost
+/// parameters. Cheap to clone (`Arc` inside); share one per simulation.
+#[derive(Debug, Clone)]
+pub struct FileSystem {
+    inner: Arc<FsInner>,
+}
+
+#[derive(Debug)]
+struct FsInner {
+    striping: Striping,
+    params: PfsParams,
+    files: Mutex<HashMap<String, Arc<FileObject>>>,
+    /// Cumulative per-server traffic since construction.
+    server_stats: Vec<ServerCounters>,
+}
+
+#[derive(Debug, Default)]
+struct ServerCounters {
+    bytes: std::sync::atomic::AtomicU64,
+    requests: std::sync::atomic::AtomicU64,
+}
+
+/// Cumulative per-server usage snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerUsage {
+    /// Bytes the server has moved (reads + writes).
+    pub bytes: u64,
+    /// Requests the server has handled.
+    pub requests: u64,
+}
+
+impl FileSystem {
+    /// Creates a file system striping over `n_servers` OSTs with the
+    /// given stripe `unit` and cost parameters.
+    #[must_use]
+    pub fn new(n_servers: usize, unit: u64, params: PfsParams) -> Self {
+        FileSystem {
+            inner: Arc::new(FsInner {
+                striping: Striping::new(n_servers, unit),
+                params,
+                files: Mutex::new(HashMap::new()),
+                server_stats: (0..n_servers).map(|_| ServerCounters::default()).collect(),
+            }),
+        }
+    }
+
+    /// The striping layout applied to every file.
+    #[must_use]
+    pub fn striping(&self) -> Striping {
+        self.inner.striping
+    }
+
+    /// Storage cost parameters.
+    #[must_use]
+    pub fn params(&self) -> PfsParams {
+        self.inner.params
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.inner.striping.n_servers
+    }
+
+    /// Creates an empty file. Fails if the name exists.
+    pub fn create(&self, name: &str) -> SimResult<FileHandle> {
+        let mut files = self.inner.files.lock();
+        if files.contains_key(name) {
+            return Err(SimError::FileExists(name.to_string()));
+        }
+        let obj = Arc::new(FileObject {
+            data: RwLock::new(Vec::new()),
+            rmw: Mutex::new(()),
+        });
+        files.insert(name.to_string(), Arc::clone(&obj));
+        Ok(self.handle(obj))
+    }
+
+    /// Opens an existing file.
+    pub fn open(&self, name: &str) -> SimResult<FileHandle> {
+        let files = self.inner.files.lock();
+        files
+            .get(name)
+            .map(|obj| self.handle(Arc::clone(obj)))
+            .ok_or_else(|| SimError::NoSuchFile(name.to_string()))
+    }
+
+    /// Opens, creating if missing — the common collective-open path.
+    pub fn open_or_create(&self, name: &str) -> FileHandle {
+        if let Ok(h) = self.open(name) {
+            return h;
+        }
+        match self.create(name) {
+            Ok(h) => h,
+            // A concurrent creator won the race; open must now succeed.
+            Err(_) => self.open(name).expect("file exists after create race"),
+        }
+    }
+
+    /// Removes a file from the namespace. Open handles keep working on
+    /// the orphaned object (POSIX unlink semantics).
+    pub fn delete(&self, name: &str) -> SimResult<()> {
+        self.inner
+            .files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SimError::NoSuchFile(name.to_string()))
+    }
+
+    /// True if `name` exists.
+    #[must_use]
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.files.lock().contains_key(name)
+    }
+
+    /// File names currently in the namespace, sorted.
+    #[must_use]
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.files.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Current length of `name`, if it exists (a `stat` of the one
+    /// attribute the store tracks).
+    #[must_use]
+    pub fn stat(&self, name: &str) -> Option<u64> {
+        self.inner
+            .files
+            .lock()
+            .get(name)
+            .map(|f| f.data.read().len() as u64)
+    }
+
+    /// Cumulative per-server usage since the file system was created —
+    /// the load-balance view an administrator would read off the OSTs.
+    #[must_use]
+    pub fn server_usage(&self) -> Vec<ServerUsage> {
+        use std::sync::atomic::Ordering;
+        self.inner
+            .server_stats
+            .iter()
+            .map(|c| ServerUsage {
+                bytes: c.bytes.load(Ordering::Relaxed),
+                requests: c.requests.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn account(&self, report: &ServiceReport) {
+        use std::sync::atomic::Ordering;
+        for (srv, load) in report.loads().iter().enumerate() {
+            if load.requests > 0 {
+                let c = &self.inner.server_stats[srv];
+                c.bytes.fetch_add(load.bytes, Ordering::Relaxed);
+                c.requests.fetch_add(load.requests, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn handle(&self, file: Arc<FileObject>) -> FileHandle {
+        FileHandle {
+            file,
+            striping: self.inner.striping,
+            n_servers: self.inner.striping.n_servers,
+            fs: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// An open file: byte-addressed reads and writes with striping-aware
+/// service accounting.
+#[derive(Debug, Clone)]
+pub struct FileHandle {
+    file: Arc<FileObject>,
+    striping: Striping,
+    n_servers: usize,
+    fs: Arc<FsInner>,
+}
+
+impl FileHandle {
+    /// Number of servers the file is striped over.
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// The striping layout of this file.
+    #[must_use]
+    pub fn striping(&self) -> Striping {
+        self.striping
+    }
+
+    /// Current file length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.file.data.read().len() as u64
+    }
+
+    /// True when the file holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes `data` at `offset`, growing (zero-filling) the file as
+    /// needed. Returns the per-server request shape of the access.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> ServiceReport {
+        let mut report = ServiceReport::empty(self.n_servers);
+        if data.is_empty() {
+            return report;
+        }
+        for ext in self.striping.map_range(offset, data.len() as u64) {
+            report.add_request(ext.server, ext.len);
+        }
+        let end = offset as usize + data.len();
+        {
+            let mut bytes = self.file.data.write();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            bytes[offset as usize..end].copy_from_slice(data);
+        }
+        FileSystem { inner: Arc::clone(&self.fs) }.account(&report);
+        report
+    }
+
+    /// Reads `buf.len()` bytes at `offset` into `buf`. Bytes beyond EOF
+    /// read as zero (sparse-file semantics — collective readers may
+    /// legitimately cover holes). Returns the request shape.
+    pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> ServiceReport {
+        let mut report = ServiceReport::empty(self.n_servers);
+        if buf.is_empty() {
+            return report;
+        }
+        for ext in self.striping.map_range(offset, buf.len() as u64) {
+            report.add_request(ext.server, ext.len);
+        }
+        {
+            let bytes = self.file.data.read();
+            let file_len = bytes.len() as u64;
+            buf.fill(0);
+            if offset < file_len {
+                let n = ((file_len - offset) as usize).min(buf.len());
+                buf[..n].copy_from_slice(&bytes[offset as usize..offset as usize + n]);
+            }
+        }
+        FileSystem { inner: Arc::clone(&self.fs) }.account(&report);
+        report
+    }
+
+    /// Convenience allocation-returning read.
+    pub fn read_at(&self, offset: u64, len: u64) -> (Vec<u8>, ServiceReport) {
+        let mut buf = vec![0u8; len as usize];
+        let report = self.read_into(offset, &mut buf);
+        (buf, report)
+    }
+
+    /// Truncates (or zero-extends) the file to `len` bytes.
+    pub fn truncate(&self, len: u64) {
+        self.file.data.write().resize(len as usize, 0);
+    }
+
+    /// Takes the file's read-modify-write lock. Data-sieving writes hold
+    /// this across their read + write-back so concurrent sieved writes
+    /// to overlapping regions cannot lose updates.
+    pub fn rmw_lock(&self) -> MutexGuard<'_, ()> {
+        self.file.rmw.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_sim::units::MIB;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(4, 1024, PfsParams::default())
+    }
+
+    #[test]
+    fn create_open_delete_lifecycle() {
+        let fs = fs();
+        assert!(!fs.exists("a"));
+        let h = fs.create("a").unwrap();
+        assert!(fs.exists("a"));
+        assert!(h.is_empty());
+        assert!(matches!(fs.create("a"), Err(SimError::FileExists(_))));
+        assert!(fs.open("a").is_ok());
+        fs.delete("a").unwrap();
+        assert!(matches!(fs.open("a"), Err(SimError::NoSuchFile(_))));
+        assert!(matches!(fs.delete("a"), Err(SimError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let fs = fs();
+        let h = fs.create("f").unwrap();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        h.write_at(500, &data);
+        assert_eq!(h.len(), 10_500);
+        let (back, _) = h.read_at(500, 10_000);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn holes_and_eof_read_as_zero() {
+        let fs = fs();
+        let h = fs.create("f").unwrap();
+        h.write_at(100, b"xyz");
+        let (head, _) = h.read_at(0, 100);
+        assert!(head.iter().all(|&b| b == 0));
+        let (past, _) = h.read_at(103, 50);
+        assert!(past.iter().all(|&b| b == 0));
+        let (exact, _) = h.read_at(99, 5);
+        assert_eq!(exact, [0, b'x', b'y', b'z', 0]);
+    }
+
+    #[test]
+    fn reports_reflect_striping() {
+        let fs = FileSystem::new(4, 1024, PfsParams::default());
+        let h = fs.create("f").unwrap();
+        // One full stripe: 4 KiB = one request per server.
+        let r = h.write_at(0, &vec![1u8; 4096]);
+        assert_eq!(r.total_requests(), 4);
+        assert_eq!(r.total_bytes(), 4096);
+        for load in r.loads() {
+            assert_eq!(load.requests, 1);
+            assert_eq!(load.bytes, 1024);
+        }
+        // A sub-unit read touches exactly one server.
+        let (_, r) = h.read_at(100, 10);
+        assert_eq!(r.total_requests(), 1);
+    }
+
+    #[test]
+    fn independent_handles_see_the_same_file() {
+        let fs = fs();
+        let a = fs.create("shared").unwrap();
+        let b = fs.open("shared").unwrap();
+        a.write_at(0, b"hello");
+        let (got, _) = b.read_at(0, 5);
+        assert_eq!(got, b"hello");
+    }
+
+    #[test]
+    fn delete_keeps_open_handles_alive() {
+        let fs = fs();
+        let h = fs.create("tmp").unwrap();
+        h.write_at(0, b"data");
+        fs.delete("tmp").unwrap();
+        let (got, _) = h.read_at(0, 4);
+        assert_eq!(got, b"data");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_compose() {
+        let fs = fs();
+        let h = fs.create("par").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    let block = vec![t as u8 + 1; MIB as usize / 8];
+                    h.write_at(t * MIB / 8, &block);
+                });
+            }
+        });
+        assert_eq!(h.len(), MIB);
+        let (all, _) = h.read_at(0, MIB);
+        for t in 0..8u64 {
+            let start = (t * MIB / 8) as usize;
+            assert!(all[start..start + (MIB / 8) as usize]
+                .iter()
+                .all(|&b| b == t as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn namespace_listing_and_stat() {
+        let fs = fs();
+        let a = fs.create("b-file").unwrap();
+        let _ = fs.create("a-file").unwrap();
+        a.write_at(0, &[1, 2, 3]);
+        assert_eq!(fs.list(), vec!["a-file".to_string(), "b-file".to_string()]);
+        assert_eq!(fs.stat("b-file"), Some(3));
+        assert_eq!(fs.stat("a-file"), Some(0));
+        assert_eq!(fs.stat("missing"), None);
+    }
+
+    #[test]
+    fn server_usage_accumulates_across_handles() {
+        let fs = FileSystem::new(2, 64, PfsParams::default());
+        let h = fs.create("u").unwrap();
+        h.write_at(0, &vec![1u8; 256]); // 2 units per server
+        let (_, _) = h.read_at(0, 128);
+        let usage = fs.server_usage();
+        assert_eq!(usage.len(), 2);
+        let bytes: u64 = usage.iter().map(|u| u.bytes).sum();
+        let reqs: u64 = usage.iter().map(|u| u.requests).sum();
+        assert_eq!(bytes, 256 + 128);
+        assert!(reqs >= 3, "{usage:?}");
+        // Round-robin balance: servers within one unit of each other.
+        assert!(usage[0].bytes.abs_diff(usage[1].bytes) <= 64);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let fs = fs();
+        let h = fs.create("t").unwrap();
+        h.write_at(0, b"hello world");
+        h.truncate(5);
+        assert_eq!(h.len(), 5);
+        let (got, _) = h.read_at(0, 11);
+        assert_eq!(&got[..5], b"hello");
+        assert!(got[5..].iter().all(|&b| b == 0), "truncated tail reads zero");
+        h.truncate(8);
+        assert_eq!(h.len(), 8);
+        let (got, _) = h.read_at(0, 8);
+        assert_eq!(&got, b"hello\0\0\0");
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let fs = fs();
+        let a = fs.open_or_create("x");
+        a.write_at(0, b"1");
+        let b = fs.open_or_create("x");
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests on striping arithmetic and the file store: every byte
+//! maps to exactly one server object location, the mapping inverts, and
+//! arbitrary write/read sequences behave like a POSIX sparse file.
+
+use proptest::prelude::*;
+
+use mccio_pfs::{FileSystem, PfsParams, Striping};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn locate_inverts_everywhere(
+        servers in 1usize..12,
+        unit in 1u64..4096,
+        offset in 0u64..1 << 40,
+    ) {
+        let s = Striping::new(servers, unit);
+        let (srv, obj) = s.locate(offset);
+        prop_assert!(srv < servers);
+        prop_assert_eq!(s.file_offset(srv, obj), offset);
+        prop_assert_eq!(s.server_of(offset), srv);
+    }
+
+    #[test]
+    fn map_range_is_a_partition(
+        servers in 1usize..8,
+        unit in 1u64..512,
+        offset in 0u64..10_000,
+        len in 0u64..5_000,
+    ) {
+        let s = Striping::new(servers, unit);
+        let extents = s.map_range(offset, len);
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        prop_assert_eq!(total, len);
+        // Inverse mapping reconstructs a contiguous cover.
+        let mut bytes: Vec<u64> = extents
+            .iter()
+            .flat_map(|e| (0..e.len).map(move |i| s.file_offset(e.server, e.offset + i)))
+            .collect();
+        bytes.sort_unstable();
+        for (i, b) in bytes.iter().enumerate() {
+            prop_assert_eq!(*b, offset + i as u64);
+        }
+        // Per-server extents are disjoint and sorted.
+        for srv in 0..servers {
+            let mine: Vec<_> = extents.iter().filter(|e| e.server == srv).collect();
+            for w in mine.windows(2) {
+                prop_assert!(w[0].offset + w[0].len <= w[1].offset);
+            }
+        }
+    }
+
+    #[test]
+    fn file_store_matches_a_reference_model(
+        ops in prop::collection::vec(
+            (0u64..2048, prop::collection::vec(any::<u8>(), 1..64), any::<bool>()),
+            1..24,
+        )
+    ) {
+        let fs = FileSystem::new(3, 64, PfsParams::default());
+        let h = fs.create("model").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (offset, data, is_write) in ops {
+            if is_write {
+                let end = offset as usize + data.len();
+                if model.len() < end {
+                    model.resize(end, 0);
+                }
+                model[offset as usize..end].copy_from_slice(&data);
+                h.write_at(offset, &data);
+            } else {
+                let (got, _) = h.read_at(offset, data.len() as u64);
+                let mut expect = vec![0u8; data.len()];
+                for (i, e) in expect.iter_mut().enumerate() {
+                    if let Some(&b) = model.get(offset as usize + i) {
+                        *e = b;
+                    }
+                }
+                prop_assert_eq!(got, expect);
+            }
+            prop_assert_eq!(h.len(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn report_request_counts_respect_object_contiguity(
+        servers in 1usize..6,
+        stripes in 1u64..64,
+    ) {
+        // A full-stripe-aligned contiguous write of `stripes` units needs
+        // exactly min(stripes, servers) requests.
+        let unit = 128u64;
+        let fs = FileSystem::new(servers, unit, PfsParams::default());
+        let h = fs.create("contig").unwrap();
+        let r = h.write_at(0, &vec![1u8; (stripes * unit) as usize]);
+        prop_assert_eq!(r.total_requests(), stripes.min(servers as u64));
+        prop_assert_eq!(r.total_bytes(), stripes * unit);
+    }
+}

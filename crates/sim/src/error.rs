@@ -1,0 +1,97 @@
+//! The shared error type for the MC-CIO workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the simulation layers.
+///
+/// The variants are deliberately coarse: most invariant violations in the
+/// simulator are programming errors and panic instead, while `SimError`
+/// covers conditions a *user* of the library can trigger with legitimate
+/// inputs (unknown files, out-of-range ranks, infeasible configurations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A named file does not exist in the simulated file system.
+    NoSuchFile(String),
+    /// A file with this name already exists.
+    FileExists(String),
+    /// A rank index was out of range for the communicator or placement.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator/cluster size it was checked against.
+        size: usize,
+    },
+    /// A node index was out of range for the cluster.
+    InvalidNode {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the cluster.
+        nodes: usize,
+    },
+    /// A configuration was structurally invalid (empty cluster, zero
+    /// stripe size, ...). The message names the offending field.
+    InvalidConfig(String),
+    /// A memory reservation could not be satisfied even after falling
+    /// back (e.g. every candidate node is exhausted).
+    OutOfMemory {
+        /// Node on which the reservation was last attempted.
+        node: usize,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available at that node.
+        available: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchFile(name) => write!(f, "no such file: {name:?}"),
+            SimError::FileExists(name) => write!(f, "file already exists: {name:?}"),
+            SimError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for size {size}")
+            }
+            SimError::InvalidNode { node, nodes } => {
+                write!(f, "node {node} out of range for {nodes} nodes")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::OutOfMemory {
+                node,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory on node {node}: requested {requested} B, available {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias used across the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidRank { rank: 9, size: 4 };
+        assert_eq!(e.to_string(), "rank 9 out of range for size 4");
+        let e = SimError::OutOfMemory {
+            node: 3,
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(e.to_string().contains("100 B"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&SimError::NoSuchFile("x".into()));
+    }
+}

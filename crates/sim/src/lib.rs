@@ -1,0 +1,39 @@
+//! # mccio-sim — simulation foundation for MC-CIO
+//!
+//! This crate holds everything the rest of the workspace agrees on:
+//!
+//! * [`time`] — virtual (logical) time used by every simulated component;
+//! * [`units`] — byte/bandwidth unit constants and pretty-printing;
+//! * [`topology`] — cluster descriptions (nodes, cores, memory, NICs) and
+//!   rank placement;
+//! * [`cost`] — the analytic cost model that converts data-movement volumes
+//!   into virtual time (network shuffle phases, PFS service, memory
+//!   penalties);
+//! * [`projection`] — the exascale design-point table the paper motivates
+//!   with (its Table 1) plus the memory-per-core trend formula;
+//! * [`stats`] — small statistics helpers (Welford mean/variance,
+//!   percentiles) used by the tuner and the experiment harness;
+//! * [`rng`] — deterministic seeded random generation, including the
+//!   Normal sampler used for per-node memory variance (the paper draws
+//!   aggregation buffer sizes from a Normal distribution with σ = 50);
+//! * [`error`] — the shared error type.
+//!
+//! Nothing in this crate performs I/O or spawns threads; it is pure data
+//! and arithmetic, which keeps the higher layers deterministic and easy to
+//! property-test.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod projection;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod units;
+
+pub use cost::CostModel;
+pub use error::SimError;
+pub use time::VTime;
+pub use topology::{ClusterSpec, NodeSpec, Placement};

@@ -1,0 +1,270 @@
+//! Exascale design-point projections (the paper's Table 1).
+//!
+//! The paper motivates memory-conscious collective I/O with a comparison
+//! of a 2010 petascale design against a projected 2018 exascale design
+//! (after Vetter et al., "HPC Interconnection Networks: The Key to
+//! Exascale Computing"). The punchline is the formula for how memory per
+//! core scales:
+//!
+//! ```text
+//! f_mem_per_core = f_M / (f_S · f_C)
+//! ```
+//!
+//! where `f_M` is the factor change in system memory, `f_S` in system size
+//! (nodes) and `f_C` in node concurrency (cores per node). With the Table 1
+//! numbers that is `33 / (50 · 83) ≈ 0.008` — memory per core *drops* to
+//! under 1 % of its 2010 value, i.e. from gigabytes to megabytes.
+
+use crate::units::{fmt_bytes, GIB};
+
+/// One row of the design-point comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRow {
+    /// Human-readable metric name, as printed in Table 1.
+    pub metric: &'static str,
+    /// 2010 value, in the canonical unit for the metric.
+    pub y2010: f64,
+    /// Projected 2018 value.
+    pub y2018: f64,
+    /// Unit label used when printing.
+    pub unit: &'static str,
+}
+
+impl DesignRow {
+    /// The factor change from 2010 to 2018 for this metric.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.y2018 / self.y2010
+    }
+}
+
+/// A machine design point, sufficient to derive every Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// System peak, flop/s.
+    pub system_peak: f64,
+    /// Facility power, watts.
+    pub power: f64,
+    /// Total system memory, bytes.
+    pub system_memory: u64,
+    /// Per-node performance, flop/s.
+    pub node_performance: f64,
+    /// Per-node memory bandwidth, bytes/s.
+    pub node_memory_bw: f64,
+    /// Cores per node.
+    pub node_concurrency: u64,
+    /// Interconnect bandwidth per node, bytes/s.
+    pub interconnect_bw: f64,
+    /// Node count.
+    pub system_size: u64,
+    /// Storage capacity, bytes.
+    pub storage: u64,
+    /// Aggregate I/O bandwidth, bytes/s.
+    pub io_bandwidth: f64,
+}
+
+impl DesignPoint {
+    /// The 2010 petascale column of Table 1.
+    #[must_use]
+    pub fn petascale_2010() -> Self {
+        DesignPoint {
+            system_peak: 2e15,
+            power: 6e6,
+            system_memory: 300 * (TIB_LOCAL),
+            node_performance: 0.125e12,
+            node_memory_bw: 25.0 * GIB as f64,
+            node_concurrency: 12,
+            interconnect_bw: 1.5 * GIB as f64,
+            system_size: 20_000,
+            storage: 15 * PIB_LOCAL,
+            io_bandwidth: 0.2 * TIB_LOCAL as f64,
+        }
+    }
+
+    /// The projected 2018 exascale column of Table 1.
+    #[must_use]
+    pub fn exascale_2018() -> Self {
+        DesignPoint {
+            system_peak: 1e18,
+            power: 20e6,
+            system_memory: 10 * PIB_LOCAL,
+            node_performance: 10e12,
+            node_memory_bw: 400.0 * GIB as f64,
+            node_concurrency: 1000,
+            interconnect_bw: 50.0 * GIB as f64,
+            system_size: 1_000_000,
+            storage: 300 * PIB_LOCAL,
+            io_bandwidth: 20.0 * TIB_LOCAL as f64,
+        }
+    }
+
+    /// Total concurrency = nodes × cores/node.
+    #[must_use]
+    pub fn total_concurrency(&self) -> u64 {
+        self.system_size * self.node_concurrency
+    }
+
+    /// Memory per core, bytes.
+    #[must_use]
+    pub fn memory_per_core(&self) -> f64 {
+        self.system_memory as f64 / self.total_concurrency() as f64
+    }
+
+    /// Per-core off-chip memory bandwidth, bytes/s.
+    #[must_use]
+    pub fn memory_bw_per_core(&self) -> f64 {
+        self.node_memory_bw / self.node_concurrency as f64
+    }
+}
+
+const TIB_LOCAL: u64 = 1 << 40;
+const PIB_LOCAL: u64 = 1 << 50;
+
+/// The memory-per-core scaling factor `f_M / (f_S · f_C)` between two
+/// design points — the formula the paper prints in Section 1.
+#[must_use]
+pub fn memory_per_core_factor(from: &DesignPoint, to: &DesignPoint) -> f64 {
+    let f_mem = to.system_memory as f64 / from.system_memory as f64;
+    let f_size = to.system_size as f64 / from.system_size as f64;
+    let f_conc = to.node_concurrency as f64 / from.node_concurrency as f64;
+    f_mem / (f_size * f_conc)
+}
+
+/// Renders Table 1 (all eleven rows, with the factor-change column) as
+/// plain text. The layout matches the paper row-for-row.
+#[must_use]
+pub fn render_table1() -> String {
+    let a = DesignPoint::petascale_2010();
+    let b = DesignPoint::exascale_2018();
+    let rows = table1_rows(&a, &b);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>14}\n",
+        "Metric", "2010", "2018", "Factor Change"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>12} {:>14.0}\n",
+            r.metric,
+            format_value(r.y2010, r.unit),
+            format_value(r.y2018, r.unit),
+            r.factor()
+        ));
+    }
+    out.push_str(&format!(
+        "\nmemory/core factor f_M/(f_S*f_C) = {:.4}  ({} -> {})\n",
+        memory_per_core_factor(&a, &b),
+        fmt_bytes(a.memory_per_core() as u64),
+        fmt_bytes(b.memory_per_core() as u64),
+    ));
+    out
+}
+
+/// The eleven rows of Table 1 computed from the two design points.
+#[must_use]
+pub fn table1_rows(a: &DesignPoint, b: &DesignPoint) -> Vec<DesignRow> {
+    vec![
+        DesignRow { metric: "System Peak", y2010: a.system_peak, y2018: b.system_peak, unit: "flop/s" },
+        DesignRow { metric: "Power", y2010: a.power, y2018: b.power, unit: "W" },
+        DesignRow { metric: "System Memory", y2010: a.system_memory as f64, y2018: b.system_memory as f64, unit: "B" },
+        DesignRow { metric: "Node Performance", y2010: a.node_performance, y2018: b.node_performance, unit: "flop/s" },
+        DesignRow { metric: "Node Memory BW", y2010: a.node_memory_bw, y2018: b.node_memory_bw, unit: "B/s" },
+        DesignRow { metric: "Node Concurrency", y2010: a.node_concurrency as f64, y2018: b.node_concurrency as f64, unit: "cores" },
+        DesignRow { metric: "Interconnect BW", y2010: a.interconnect_bw, y2018: b.interconnect_bw, unit: "B/s" },
+        DesignRow { metric: "System Size", y2010: a.system_size as f64, y2018: b.system_size as f64, unit: "nodes" },
+        DesignRow { metric: "Total Concurrency", y2010: a.total_concurrency() as f64, y2018: b.total_concurrency() as f64, unit: "cores" },
+        DesignRow { metric: "Storage", y2010: a.storage as f64, y2018: b.storage as f64, unit: "B" },
+        DesignRow { metric: "I/O Bandwidth", y2010: a.io_bandwidth, y2018: b.io_bandwidth, unit: "B/s" },
+    ]
+}
+
+fn format_value(v: f64, unit: &str) -> String {
+    match unit {
+        "B" => fmt_bytes(v as u64),
+        "B/s" => {
+            if v >= TIB_LOCAL as f64 {
+                format!("{:.1} TB/s", v / TIB_LOCAL as f64)
+            } else {
+                format!("{:.0} GB/s", v / GIB as f64)
+            }
+        }
+        "flop/s" => {
+            if v >= 1e18 {
+                format!("{:.0} Ef/s", v / 1e18)
+            } else if v >= 1e15 {
+                format!("{:.0} Pf/s", v / 1e15)
+            } else {
+                format!("{:.3} Tf/s", v / 1e12)
+            }
+        }
+        "W" => format!("{:.0} MW", v / 1e6),
+        "cores" | "nodes" => {
+            if v >= 1e9 {
+                format!("{:.0} B", v / 1e9)
+            } else if v >= 1e6 {
+                format!("{:.0} M", v / 1e6)
+            } else if v >= 1e3 {
+                format!("{:.0} K", v / 1e3)
+            } else {
+                format!("{v:.0}")
+            }
+        }
+        _ => format!("{v:.2} {unit}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MIB;
+
+    #[test]
+    fn factor_changes_match_paper() {
+        let a = DesignPoint::petascale_2010();
+        let b = DesignPoint::exascale_2018();
+        let rows = table1_rows(&a, &b);
+        let by_name = |n: &str| rows.iter().find(|r| r.metric == n).unwrap().factor();
+        assert!((by_name("System Peak") - 500.0).abs() < 1.0);
+        assert!((by_name("System Memory") - 33.3).abs() < 1.0);
+        assert!((by_name("Node Memory BW") - 16.0).abs() < 0.1);
+        assert!((by_name("Node Concurrency") - 83.3).abs() < 0.5);
+        assert!((by_name("System Size") - 50.0).abs() < 0.1);
+        // Paper prints 4444 (using its rounded 225K total-concurrency
+        // figure); from the raw 20K × 12 = 240K cores the factor is 4167.
+        assert!((by_name("Total Concurrency") - 4166.7).abs() < 1.0);
+        assert!((by_name("I/O Bandwidth") - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn memory_per_core_drops_to_megabytes() {
+        let a = DesignPoint::petascale_2010();
+        let b = DesignPoint::exascale_2018();
+        // 2010: 0.3 PB / 240K cores ≈ 1.3 GB/core.
+        assert!(a.memory_per_core() > 1e9);
+        // 2018: 10 PB / 1B cores ≈ 11 MB/core.
+        assert!(b.memory_per_core() < 16.0 * MIB as f64);
+        let f = memory_per_core_factor(&a, &b);
+        assert!((f - 33.3 / (50.0 * 83.3)).abs() < 1e-3, "got {f}");
+        assert!(f < 0.01, "memory per core must collapse, factor {f}");
+    }
+
+    #[test]
+    fn per_core_bandwidth_shrinks() {
+        let a = DesignPoint::petascale_2010();
+        let b = DesignPoint::exascale_2018();
+        assert!(b.memory_bw_per_core() < a.memory_bw_per_core());
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table1();
+        for name in [
+            "System Peak", "Power", "System Memory", "Node Performance",
+            "Node Memory BW", "Node Concurrency", "Interconnect BW",
+            "System Size", "Total Concurrency", "Storage", "I/O Bandwidth",
+        ] {
+            assert!(t.contains(name), "missing row {name} in:\n{t}");
+        }
+        assert!(t.contains("f_M/(f_S*f_C)"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic random generation.
+//!
+//! Every stochastic element of the reproduction — per-node memory
+//! availability, IOR's random access mode, synthetic workloads — draws
+//! from a seeded [`rand::rngs::StdRng`] derived here, so each experiment
+//! is a pure function of its configuration and seed.
+//!
+//! The paper sets per-process aggregation buffer sizes to samples of a
+//! Normal distribution whose mean equals the baseline's fixed buffer size
+//! and whose standard deviation is 50 (Section 4); [`NormalSampler`]
+//! implements the required Gaussian via the Box–Muller transform so we do
+//! not need `rand_distr` (not on the approved dependency list).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives an independent RNG for a named simulation stream.
+///
+/// Streams derived from the same `(seed, stream)` pair are identical;
+/// distinct stream labels give statistically independent sequences, so
+/// e.g. workload generation and memory-variance sampling never perturb
+/// each other when one of them draws more values.
+#[must_use]
+pub fn stream_rng(seed: u64, stream: &str) -> StdRng {
+    // FNV-1a over the stream label, folded into the user seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in stream.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+/// Gaussian sampler (Box–Muller, caching the second variate).
+#[derive(Debug, Clone)]
+pub struct NormalSampler {
+    mean: f64,
+    stddev: f64,
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// A Normal(`mean`, `stddev`²) sampler.
+    ///
+    /// # Panics
+    /// Panics if `stddev` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, stddev: f64) -> Self {
+        assert!(
+            mean.is_finite() && stddev.is_finite() && stddev >= 0.0,
+            "invalid Normal({mean}, {stddev})"
+        );
+        NormalSampler {
+            mean,
+            stddev,
+            cached: None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return self.mean + self.stddev * z;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        self.mean + self.stddev * r * theta.cos()
+    }
+
+    /// Draws a sample clamped to `[lo, hi]` — used for quantities that
+    /// must stay physical (memory can't be negative or exceed capacity).
+    pub fn sample_clamped<R: Rng>(&mut self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty clamp range [{lo}, {hi}]");
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Fisher–Yates shuffle driven by the shared RNG type; used by IOR's
+/// random access mode.
+pub fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_reproducible() {
+        let mut a = stream_rng(42, "memory");
+        let mut b = stream_rng(42, "memory");
+        let xa: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let xb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = stream_rng(42, "memory");
+        let mut b = stream_rng(42, "workload");
+        let xa: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let xb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn normal_sampler_statistics() {
+        let mut rng = stream_rng(7, "normal-test");
+        let mut s = NormalSampler::new(100.0, 50.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+        assert!((var.sqrt() - 50.0).abs() < 2.0, "stddev {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamped_samples_stay_in_range() {
+        let mut rng = stream_rng(9, "clamp");
+        let mut s = NormalSampler::new(0.0, 100.0);
+        for _ in 0..1000 {
+            let x = s.sample_clamped(&mut rng, -10.0, 10.0);
+            assert!((-10.0..=10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = stream_rng(3, "shuffle");
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And with overwhelming probability not the identity.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Normal")]
+    fn negative_stddev_rejected() {
+        let _ = NormalSampler::new(0.0, -1.0);
+    }
+}

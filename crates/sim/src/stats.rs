@@ -1,0 +1,289 @@
+//! Small statistics helpers.
+//!
+//! The tuner, the memory ledger and the experiment harness all need the
+//! same handful of summaries: running mean/variance (Welford), min/max,
+//! percentiles, and the coefficient of variation the paper uses to talk
+//! about "memory consumption and variance among processes".
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0.0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0.0 with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev/mean); 0.0 when the mean is 0.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev() / self.mean.abs()
+        }
+    }
+
+    /// Smallest observation; +inf when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; -inf when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Extends a slice of samples with summary queries that need sorting.
+#[derive(Debug, Clone)]
+pub struct Samples {
+    sorted: Vec<f64>,
+}
+
+impl Samples {
+    /// Builds from raw observations. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite inputs — such values always indicate an
+    /// upstream bug in a deterministic simulator.
+    #[must_use]
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "samples must be finite"
+        );
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Samples { sorted: values }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    /// Panics when empty or when `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty sample set");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let pos = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// Geometric mean of strictly positive values; used to summarize speedups
+/// across configurations (arithmetic means of ratios are biased).
+///
+/// # Panics
+/// Panics on an empty slice or non-positive values.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(
+        values.iter().all(|&v| v > 0.0 && v.is_finite()),
+        "geometric mean needs positive finite values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!((w.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.mean(), a.variance());
+        a.merge(&Welford::new());
+        assert_eq!((a.mean(), a.variance()), before);
+        let mut e = Welford::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Samples::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_percentile() {
+        let s = Samples::new(vec![7.0]);
+        assert_eq!(s.percentile(0.0), 7.0);
+        assert_eq!(s.percentile(99.0), 7.0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        let s = Samples::new(vec![]);
+        let _ = s.percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_samples_rejected() {
+        let _ = Samples::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_constant_stream_is_zero() {
+        let mut w = Welford::new();
+        for _ in 0..10 {
+            w.push(3.0);
+        }
+        assert_eq!(w.cv(), 0.0);
+    }
+}

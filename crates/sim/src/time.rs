@@ -1,0 +1,282 @@
+//! Virtual time.
+//!
+//! Every simulated component (rank, NIC, PFS server) carries a logical
+//! clock expressed in seconds of *virtual* time. Wall-clock time never
+//! enters any measurement: reported bandwidths are
+//! `bytes moved / virtual elapsed seconds`, which makes every experiment
+//! deterministic and independent of the host machine.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// `VTime` is a thin wrapper over `f64` that provides the handful of
+/// operations clock algebra needs: advancing by a duration, taking the
+/// later of two clocks (the receive rule of a message), and subtracting to
+/// obtain an elapsed duration.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct VTime(f64);
+
+impl VTime {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: VTime = VTime(0.0);
+
+    /// Creates a time point from seconds since simulation start.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite; virtual clocks only
+    /// move forward.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "virtual time must be finite and non-negative, got {secs}"
+        );
+        VTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two clocks. This is the synchronization rule: a
+    /// receiver's clock becomes `max(receiver, message arrival)`.
+    #[must_use]
+    pub fn max(self, other: VTime) -> VTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two clocks.
+    #[must_use]
+    pub fn min(self, other: VTime) -> VTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero rather than
+    /// going negative, so clock skew between concurrently advancing ranks
+    /// can never produce a negative phase length.
+    #[must_use]
+    pub fn since(self, earlier: VTime) -> VDuration {
+        VDuration::from_secs((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VTime({:.9}s)", self.0)
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add<VDuration> for VTime {
+    type Output = VTime;
+    fn add(self, rhs: VDuration) -> VTime {
+        VTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VDuration> for VTime {
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = VDuration;
+    fn sub(self, rhs: VTime) -> VDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of virtual time, in seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct VDuration(f64);
+
+impl VDuration {
+    /// The zero-length duration.
+    pub const ZERO: VDuration = VDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        VDuration(secs)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Length in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The longer of two durations.
+    #[must_use]
+    pub fn max(self, other: VDuration) -> VDuration {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Duration taken to move `bytes` at `bandwidth` bytes/second.
+    ///
+    /// A zero or non-finite bandwidth is treated as "infinitely fast"
+    /// only when `bytes` is zero; otherwise it is a caller bug.
+    ///
+    /// # Panics
+    /// Panics if `bytes > 0` and `bandwidth` is not a positive finite
+    /// number.
+    #[must_use]
+    pub fn transfer(bytes: u64, bandwidth: f64) -> VDuration {
+        if bytes == 0 {
+            return VDuration::ZERO;
+        }
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive to move {bytes} bytes, got {bandwidth}"
+        );
+        VDuration(bytes as f64 / bandwidth)
+    }
+}
+
+impl fmt::Debug for VDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VDuration({:.9}s)", self.0)
+    }
+}
+
+impl fmt::Display for VDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}us", self.0 * 1e6)
+        }
+    }
+}
+
+impl Add for VDuration {
+    type Output = VDuration;
+    fn add(self, rhs: VDuration) -> VDuration {
+        VDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VDuration {
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for VDuration {
+    fn sum<I: Iterator<Item = VDuration>>(iter: I) -> Self {
+        iter.fold(VDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::ops::Mul<f64> for VDuration {
+    type Output = VDuration;
+    fn mul(self, rhs: f64) -> VDuration {
+        VDuration::from_secs(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_by_duration() {
+        let mut t = VTime::ZERO;
+        t += VDuration::from_secs(1.5);
+        assert_eq!(t.as_secs(), 1.5);
+        let t2 = t + VDuration::from_micros(500.0);
+        assert!((t2.as_secs() - 1.0005e0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_is_receive_rule() {
+        let a = VTime::from_secs(2.0);
+        let b = VTime::from_secs(3.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn since_saturates_at_zero() {
+        let a = VTime::from_secs(2.0);
+        let b = VTime::from_secs(3.0);
+        assert_eq!(b.since(a).as_secs(), 1.0);
+        assert_eq!(a.since(b).as_secs(), 0.0);
+        assert_eq!((b - a).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn transfer_time_is_bytes_over_bandwidth() {
+        let d = VDuration::transfer(1_000_000, 1e6);
+        assert!((d.as_secs() - 1.0).abs() < 1e-12);
+        assert_eq!(VDuration::transfer(0, 0.0), VDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn transfer_rejects_zero_bandwidth_with_bytes() {
+        let _ = VDuration::transfer(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = VTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: VDuration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&s| VDuration::from_secs(s))
+            .sum();
+        assert_eq!(total.as_secs(), 6.0);
+        assert_eq!((total * 0.5).as_secs(), 3.0);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", VDuration::from_secs(2.0)), "2.000s");
+        assert_eq!(format!("{}", VDuration::from_secs(2e-3)), "2.000ms");
+        assert_eq!(format!("{}", VDuration::from_secs(2e-6)), "2.000us");
+    }
+}

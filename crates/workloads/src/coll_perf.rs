@@ -1,0 +1,208 @@
+//! The `coll_perf` benchmark from the ROMIO test suite (paper §4.1).
+//!
+//! `coll_perf` writes and reads a 3-D block-distributed array to a file
+//! laid out as the global array in row-major order. Each rank owns one
+//! block of a `pz × py × px` process grid; its file footprint is the
+//! subarray datatype of that block — a large set of row-sized
+//! noncontiguous extents, the canonical collective-I/O workload.
+//!
+//! The paper runs a 2048³ array (32 GiB of ints) on 120 processes; the
+//! harness scales the array down while preserving the geometry (see
+//! EXPERIMENTS.md).
+
+use mccio_mpiio::{Datatype, ExtentList};
+
+/// A 3-D block-distributed array workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollPerf {
+    /// Global array dimensions `[nz, ny, nx]` (row-major, x fastest).
+    pub dims: [u64; 3],
+    /// Process grid `[pz, py, px]`; the rank count must equal the
+    /// product.
+    pub grid: [usize; 3],
+    /// Bytes per element (coll_perf uses 4-byte ints).
+    pub elem_size: u64,
+}
+
+impl CollPerf {
+    /// Creates the workload, checking divisibility (coll_perf requires
+    /// the grid to divide the array evenly).
+    ///
+    /// # Panics
+    /// Panics when a dimension is not divisible by the grid, or any
+    /// value is zero.
+    #[must_use]
+    pub fn new(dims: [u64; 3], grid: [usize; 3], elem_size: u64) -> Self {
+        assert!(elem_size > 0, "element size must be positive");
+        for d in 0..3 {
+            assert!(dims[d] > 0 && grid[d] > 0, "zero dimension {d}");
+            assert!(
+                dims[d].is_multiple_of(grid[d] as u64),
+                "dim {d}: {} not divisible by grid {}",
+                dims[d],
+                grid[d]
+            );
+        }
+        CollPerf {
+            dims,
+            grid,
+            elem_size,
+        }
+    }
+
+    /// A cube array on a cube-ish grid for `nprocs` ranks: picks the
+    /// most balanced `pz × py × px = nprocs` factorization and sizes the
+    /// array to `elems_per_dim³`.
+    ///
+    /// # Panics
+    /// Panics if no grid divides the array evenly.
+    #[must_use]
+    pub fn cube(elems_per_dim: u64, nprocs: usize, elem_size: u64) -> Self {
+        let grid = balanced_grid(nprocs);
+        CollPerf::new([elems_per_dim; 3], grid, elem_size)
+    }
+
+    /// Total ranks the workload expects.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// Total file size in bytes.
+    #[must_use]
+    pub fn file_bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem_size
+    }
+
+    /// The block coordinates of `rank` in the process grid (z-major, the
+    /// usual MPI Cartesian order).
+    #[must_use]
+    pub fn block_of(&self, rank: usize) -> [usize; 3] {
+        assert!(rank < self.nprocs(), "rank {rank} outside grid");
+        let (py, px) = (self.grid[1], self.grid[2]);
+        [rank / (py * px), (rank / px) % py, rank % px]
+    }
+
+    /// The file extents of `rank`'s block.
+    #[must_use]
+    pub fn extents(&self, rank: usize) -> ExtentList {
+        let block = self.block_of(rank);
+        let sub: Vec<u64> = (0..3).map(|d| self.dims[d] / self.grid[d] as u64).collect();
+        let starts: Vec<u64> = (0..3).map(|d| block[d] as u64 * sub[d]).collect();
+        let dt = Datatype::Subarray {
+            sizes: self.dims.to_vec(),
+            subsizes: sub,
+            starts,
+            elem_size: self.elem_size,
+        };
+        dt.flatten(0)
+    }
+}
+
+/// The most balanced 3-factor decomposition of `n` (largest factor
+/// minimized), ordered ascending — matching MPI_Dims_create's intent.
+#[must_use]
+pub fn balanced_grid(n: usize) -> [usize; 3] {
+    assert!(n > 0);
+    let mut best = [1, 1, n];
+    let mut best_spread = n;
+    for a in 1..=n {
+        if !n.is_multiple_of(a) {
+            continue;
+        }
+        let rest = n / a;
+        for b in 1..=rest {
+            if !rest.is_multiple_of(b) {
+                continue;
+            }
+            let c = rest / b;
+            let mut dims = [a, b, c];
+            dims.sort_unstable();
+            let spread = dims[2] - dims[0];
+            if spread < best_spread {
+                best_spread = spread;
+                best = dims;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_mpiio::Extent;
+
+    #[test]
+    fn grid_factorizations_are_balanced() {
+        assert_eq!(balanced_grid(8), [2, 2, 2]);
+        assert_eq!(balanced_grid(27), [3, 3, 3]);
+        assert_eq!(balanced_grid(120), [4, 5, 6]);
+        assert_eq!(balanced_grid(1), [1, 1, 1]);
+        assert_eq!(balanced_grid(7), [1, 1, 7]);
+        assert_eq!(balanced_grid(1080), [9, 10, 12]);
+    }
+
+    #[test]
+    fn blocks_tile_the_array_exactly() {
+        let w = CollPerf::new([8, 8, 8], [2, 2, 2], 4);
+        assert_eq!(w.nprocs(), 8);
+        assert_eq!(w.file_bytes(), 2048);
+        let mut covered = vec![false; 2048];
+        for rank in 0..8 {
+            for e in w.extents(rank).as_slice() {
+                for o in e.offset..e.end() {
+                    assert!(!covered[o as usize], "byte {o} covered twice");
+                    covered[o as usize] = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn rank0_block_is_the_origin_corner() {
+        let w = CollPerf::new([4, 4, 4], [2, 2, 2], 1);
+        assert_eq!(w.block_of(0), [0, 0, 0]);
+        assert_eq!(w.block_of(7), [1, 1, 1]);
+        let e = w.extents(0);
+        // z 0..2, y 0..2, x 0..2 of a 4×4×4 byte array: rows at
+        // 0, 4, 16, 20 of length 2.
+        assert_eq!(
+            e.as_slice(),
+            &[
+                Extent::new(0, 2),
+                Extent::new(4, 2),
+                Extent::new(16, 2),
+                Extent::new(20, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn x_slabs_are_contiguous_rows() {
+        // Grid only along z: each rank's block is a contiguous slab.
+        let w = CollPerf::new([4, 2, 2], [4, 1, 1], 8);
+        for rank in 0..4 {
+            let e = w.extents(rank);
+            assert_eq!(e.len(), 1, "slab should coalesce: {e:?}");
+            assert_eq!(e.total_bytes(), 32);
+        }
+    }
+
+    #[test]
+    fn paper_geometry_scaled() {
+        // 120 processes on the paper's grid; 48³ array of 4-byte ints.
+        let w = CollPerf::cube(240, 120, 4);
+        assert_eq!(w.nprocs(), 120);
+        assert_eq!(w.grid, [4, 5, 6]);
+        let total: u64 = (0..120).map(|r| w.extents(r).total_bytes()).sum();
+        assert_eq!(total, w.file_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_grid_rejected() {
+        let _ = CollPerf::new([10, 10, 10], [3, 1, 1], 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! An `fs_test`-style workload (the LANL MPI-IO Test the paper cites as
+//! reference \[19\]): N processes to one file, strided records with a
+//! configurable number of objects per process and a per-record "touch"
+//! that leaves part of each record untouched — producing the
+//! small-pieces-with-holes shape that stresses data sieving and
+//! aggregation write-back.
+
+use mccio_mpiio::{Extent, ExtentList};
+
+/// N-to-1 strided record workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsTest {
+    /// Record size in bytes (the stride unit per process per object).
+    pub record: u64,
+    /// Number of records ("objects") each process writes.
+    pub objects: u64,
+    /// Bytes of each record actually touched (≤ record; the rest is a
+    /// hole, as with fs_test's `-touch` sub-record patterns).
+    pub touch: u64,
+}
+
+impl FsTest {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics on zero sizes or `touch > record`.
+    #[must_use]
+    pub fn new(record: u64, objects: u64, touch: u64) -> Self {
+        assert!(record > 0 && objects > 0, "empty workload");
+        assert!(touch > 0 && touch <= record, "touch {touch} vs record {record}");
+        FsTest {
+            record,
+            objects,
+            touch,
+        }
+    }
+
+    /// The extents of `rank` among `nprocs`: object `o` of rank `r`
+    /// starts at `(o × nprocs + r) × record`, of which the first `touch`
+    /// bytes are accessed.
+    #[must_use]
+    pub fn extents(&self, rank: usize, nprocs: usize) -> ExtentList {
+        assert!(nprocs > 0 && rank < nprocs);
+        ExtentList::normalize(
+            (0..self.objects)
+                .map(|o| {
+                    Extent::new(
+                        (o * nprocs as u64 + rank as u64) * self.record,
+                        self.touch,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Bytes each rank moves.
+    #[must_use]
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.objects * self.touch
+    }
+
+    /// File span (holes included) for `nprocs` ranks.
+    #[must_use]
+    pub fn file_span(&self, nprocs: usize) -> u64 {
+        self.record * self.objects * nprocs as u64
+    }
+}
+
+impl crate::Workload for FsTest {
+    fn extents(&self, rank: usize, nprocs: usize) -> ExtentList {
+        FsTest::extents(self, rank, nprocs)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "fs_test record={} objects={} touch={}",
+            self.record, self.objects, self.touch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn full_touch_tiles_without_holes() {
+        let w = FsTest::new(64, 4, 64);
+        let mut covered = vec![false; w.file_span(3) as usize];
+        for r in 0..3 {
+            for e in FsTest::extents(&w, r, 3).as_slice() {
+                for o in e.offset..e.end() {
+                    assert!(!covered[o as usize]);
+                    covered[o as usize] = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn partial_touch_leaves_holes() {
+        let w = FsTest::new(100, 2, 30);
+        let e = FsTest::extents(&w, 1, 2);
+        assert_eq!(
+            e.as_slice(),
+            &[Extent::new(100, 30), Extent::new(300, 30)]
+        );
+        assert_eq!(w.bytes_per_rank(), 60);
+        assert_eq!(w.file_span(2), 400);
+    }
+
+    #[test]
+    fn workload_trait_totals() {
+        let w = FsTest::new(128, 8, 96);
+        assert_eq!(Workload::total_bytes(&w, 5), 5 * 8 * 96);
+        assert!(w.name().contains("fs_test"));
+    }
+
+    #[test]
+    #[should_panic(expected = "touch")]
+    fn touch_larger_than_record_rejected() {
+        let _ = FsTest::new(64, 1, 65);
+    }
+}

@@ -1,0 +1,201 @@
+//! The IOR benchmark (paper §4.2) — Interleaved Or Random.
+//!
+//! IOR parameters, in its own vocabulary: each rank moves
+//! `segment_count × block_size` bytes; a *segment* holds one block from
+//! every rank. Access modes:
+//!
+//! * [`IorMode::Interleaved`] (IOR's default, `-s` segments): segment
+//!   `s` places rank `r`'s block at `(s × P + r) × block_size` — the
+//!   interleaved pattern the paper's Figures 7 and 8 measure;
+//! * [`IorMode::Segmented`] (IOR `-F`-like contiguity without separate
+//!   files): rank `r` owns one contiguous region of
+//!   `segment_count × block_size` bytes;
+//! * [`IorMode::Random`]: the per-rank blocks of the interleaved layout
+//!   are permuted rank-internally with a seeded shuffle (IOR `-z`).
+
+use mccio_mpiio::{Extent, ExtentList};
+use mccio_sim::rng::{shuffle, stream_rng};
+
+/// IOR access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IorMode {
+    /// Blocks of all ranks interleave within each segment.
+    Interleaved,
+    /// Each rank's data is one contiguous region.
+    Segmented,
+    /// Block ownership permuted globally (`seed`): every block slot of
+    /// the interleaved layout is reassigned by a seeded permutation, so
+    /// each rank's blocks land at effectively random offsets (IOR `-z`).
+    /// Coverage is still an exact partition of the file.
+    Random(u64),
+}
+
+/// An IOR workload instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ior {
+    /// Bytes per block (one rank's contribution to one segment).
+    pub block_size: u64,
+    /// Number of segments.
+    pub segment_count: u64,
+    /// Access mode.
+    pub mode: IorMode,
+}
+
+impl Ior {
+    /// Creates an IOR workload.
+    ///
+    /// # Panics
+    /// Panics on zero block size or segment count.
+    #[must_use]
+    pub fn new(block_size: u64, segment_count: u64, mode: IorMode) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        assert!(segment_count > 0, "segment_count must be positive");
+        Ior {
+            block_size,
+            segment_count,
+            mode,
+        }
+    }
+
+    /// Paper setup helper: `total_per_rank` bytes per process (the
+    /// paper's "32 MB I/O data message per MPI process") split into
+    /// `segment_count` interleaved segments.
+    ///
+    /// # Panics
+    /// Panics if the total does not divide evenly.
+    #[must_use]
+    pub fn interleaved_total(total_per_rank: u64, segment_count: u64) -> Self {
+        assert!(
+            total_per_rank.is_multiple_of(segment_count),
+            "{total_per_rank} not divisible into {segment_count} segments"
+        );
+        Ior::new(total_per_rank / segment_count, segment_count, IorMode::Interleaved)
+    }
+
+    /// Bytes each rank moves.
+    #[must_use]
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.block_size * self.segment_count
+    }
+
+    /// Total file size for `nprocs` ranks.
+    #[must_use]
+    pub fn file_bytes(&self, nprocs: usize) -> u64 {
+        self.bytes_per_rank() * nprocs as u64
+    }
+
+    /// The extents of `rank` among `nprocs`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= nprocs` or `nprocs == 0`.
+    #[must_use]
+    pub fn extents(&self, rank: usize, nprocs: usize) -> ExtentList {
+        assert!(nprocs > 0 && rank < nprocs, "rank {rank} of {nprocs}");
+        let p = nprocs as u64;
+        let r = rank as u64;
+        match self.mode {
+            IorMode::Segmented => ExtentList::normalize(vec![Extent::new(
+                r * self.bytes_per_rank(),
+                self.bytes_per_rank(),
+            )]),
+            IorMode::Interleaved => ExtentList::normalize(
+                (0..self.segment_count)
+                    .map(|s| Extent::new((s * p + r) * self.block_size, self.block_size))
+                    .collect(),
+            ),
+            IorMode::Random(seed) => {
+                // Global permutation of all block slots, shared across
+                // ranks (same seed ⇒ same permutation): rank r owns the
+                // permuted slots at positions r, r+P, r+2P, ... — an
+                // exact partition with locality destroyed.
+                let total = self.segment_count * p;
+                let mut slots: Vec<u64> = (0..total).collect();
+                let mut rng = stream_rng(seed, "ior-random-offsets");
+                shuffle(&mut slots, &mut rng);
+                ExtentList::normalize(
+                    (0..self.segment_count)
+                        .map(|s| {
+                            let slot = slots[(s * p + r) as usize];
+                            Extent::new(slot * self.block_size, self.block_size)
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage(ior: &Ior, nprocs: usize) -> Vec<bool> {
+        let mut covered = vec![false; ior.file_bytes(nprocs) as usize];
+        for rank in 0..nprocs {
+            for e in ior.extents(rank, nprocs).as_slice() {
+                for o in e.offset..e.end() {
+                    assert!(!covered[o as usize], "byte {o} claimed twice");
+                    covered[o as usize] = true;
+                }
+            }
+        }
+        covered
+    }
+
+    #[test]
+    fn interleaved_tiles_the_file() {
+        let ior = Ior::new(64, 4, IorMode::Interleaved);
+        let covered = coverage(&ior, 3);
+        assert!(covered.into_iter().all(|c| c));
+        // Rank 1's first block sits one block in.
+        let e = ior.extents(1, 3);
+        assert_eq!(e.as_slice()[0], Extent::new(64, 64));
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn segmented_is_one_contiguous_run() {
+        let ior = Ior::new(64, 4, IorMode::Segmented);
+        let covered = coverage(&ior, 3);
+        assert!(covered.into_iter().all(|c| c));
+        for rank in 0..3 {
+            assert_eq!(ior.extents(rank, 3).len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_is_a_partition_with_scattered_ownership() {
+        let b = Ior::new(32, 8, IorMode::Random(7));
+        // Exact partition of the file...
+        let covered = coverage(&b, 4);
+        assert!(covered.into_iter().all(|c| c));
+        // ...but (almost surely) not the interleaved layout.
+        let a = Ior::new(32, 8, IorMode::Interleaved);
+        assert_ne!(a.extents(0, 4), b.extents(0, 4));
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let ior = Ior::new(16, 32, IorMode::Random(3));
+        assert_eq!(ior.extents(2, 4), ior.extents(2, 4));
+        let other = Ior::new(16, 32, IorMode::Random(4));
+        assert_ne!(ior.extents(2, 4), other.extents(2, 4));
+    }
+
+    #[test]
+    fn paper_figure7_shape() {
+        // 32 MB per process, 16 segments, 120 ranks.
+        let ior = Ior::interleaved_total(32 << 20, 16);
+        assert_eq!(ior.block_size, 2 << 20);
+        assert_eq!(ior.bytes_per_rank(), 32 << 20);
+        assert_eq!(ior.file_bytes(120), (32u64 << 20) * 120);
+        let e = ior.extents(0, 120);
+        assert_eq!(e.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn uneven_total_rejected() {
+        let _ = Ior::interleaved_total(100, 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! An `mpi-tile-io`-style workload: a 2-D dataset divided into tiles,
+//! one per process, each tile read/written with ghost-cell overlap.
+//!
+//! Visualization and stencil codes access frames this way; with ghost
+//! cells the per-rank footprints *overlap on reads*, which exercises the
+//! collective read path's fan-out (several ranks need the same bytes) —
+//! a case IOR and coll_perf never produce.
+
+use mccio_mpiio::{Extent, ExtentList};
+
+/// A tiled 2-D dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileIo {
+    /// Tiles per row and column of the process grid `[py, px]`.
+    pub grid: [usize; 2],
+    /// Interior tile size in elements `[ty, tx]`.
+    pub tile: [u64; 2],
+    /// Ghost-cell width in elements (overlap with neighbouring tiles).
+    pub ghost: u64,
+    /// Bytes per element.
+    pub elem_size: u64,
+}
+
+impl TileIo {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions, or ghost width that exceeds a tile.
+    #[must_use]
+    pub fn new(grid: [usize; 2], tile: [u64; 2], ghost: u64, elem_size: u64) -> Self {
+        assert!(grid[0] > 0 && grid[1] > 0, "empty grid");
+        assert!(tile[0] > 0 && tile[1] > 0 && elem_size > 0, "empty tile");
+        assert!(
+            ghost < tile[0] && ghost < tile[1],
+            "ghost {ghost} exceeds tile {tile:?}"
+        );
+        TileIo {
+            grid,
+            tile,
+            ghost,
+            elem_size,
+        }
+    }
+
+    /// Ranks the workload expects.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.grid[0] * self.grid[1]
+    }
+
+    /// Dataset dimensions in elements `[ny, nx]`.
+    #[must_use]
+    pub fn dims(&self) -> [u64; 2] {
+        [
+            self.grid[0] as u64 * self.tile[0],
+            self.grid[1] as u64 * self.tile[1],
+        ]
+    }
+
+    /// Total dataset bytes.
+    #[must_use]
+    pub fn file_bytes(&self) -> u64 {
+        let [ny, nx] = self.dims();
+        ny * nx * self.elem_size
+    }
+
+    /// The extents of `rank`'s tile *without* ghosts (disjoint across
+    /// ranks — safe for collective writes).
+    #[must_use]
+    pub fn write_extents(&self, rank: usize) -> ExtentList {
+        self.extents_with_halo(rank, 0)
+    }
+
+    /// The extents of `rank`'s tile *with* the ghost halo (overlapping
+    /// across ranks — a collective-read pattern).
+    #[must_use]
+    pub fn read_extents(&self, rank: usize) -> ExtentList {
+        self.extents_with_halo(rank, self.ghost)
+    }
+
+    fn extents_with_halo(&self, rank: usize, halo: u64) -> ExtentList {
+        assert!(rank < self.nprocs(), "rank {rank} outside grid");
+        let [py, px] = [rank / self.grid[1], rank % self.grid[1]];
+        let [ny, nx] = self.dims();
+        let y0 = (py as u64 * self.tile[0]).saturating_sub(halo);
+        let y1 = ((py as u64 + 1) * self.tile[0] + halo).min(ny);
+        let x0 = (px as u64 * self.tile[1]).saturating_sub(halo);
+        let x1 = ((px as u64 + 1) * self.tile[1] + halo).min(nx);
+        let mut extents = Vec::with_capacity((y1 - y0) as usize);
+        for y in y0..y1 {
+            extents.push(Extent::new(
+                (y * nx + x0) * self.elem_size,
+                (x1 - x0) * self.elem_size,
+            ));
+        }
+        ExtentList::normalize(extents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_tiles_partition_the_dataset() {
+        let t = TileIo::new([2, 3], [4, 5], 1, 2);
+        assert_eq!(t.nprocs(), 6);
+        assert_eq!(t.dims(), [8, 15]);
+        let total: u64 = (0..6).map(|r| t.write_extents(r).total_bytes()).sum();
+        assert_eq!(total, t.file_bytes());
+        let mut covered = vec![false; t.file_bytes() as usize];
+        for r in 0..6 {
+            for e in t.write_extents(r).as_slice() {
+                for o in e.offset..e.end() {
+                    assert!(!covered[o as usize]);
+                    covered[o as usize] = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn ghost_reads_overlap_neighbours() {
+        let t = TileIo::new([1, 2], [4, 4], 1, 1);
+        let a = t.read_extents(0);
+        let b = t.read_extents(1);
+        // Tile 0 with halo reaches into column 4 (tile 1's first column)
+        // and vice versa.
+        let overlap: u64 = a
+            .as_slice()
+            .iter()
+            .map(|e| b.clip(*e).total_bytes())
+            .sum();
+        assert!(overlap > 0, "halos must overlap: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn halo_clamps_at_dataset_edges() {
+        let t = TileIo::new([2, 2], [4, 4], 2, 1);
+        let corner = t.read_extents(0);
+        assert_eq!(corner.begin(), Some(0), "no negative offsets at the corner");
+        let last = t.read_extents(3);
+        assert_eq!(last.end(), Some(t.file_bytes()));
+    }
+
+    #[test]
+    fn rows_of_a_tile_are_separate_extents() {
+        let t = TileIo::new([1, 2], [3, 4], 0, 1);
+        let e = t.write_extents(0);
+        assert_eq!(e.len(), 3, "one extent per row: {e:?}");
+        assert_eq!(e.as_slice()[0], Extent::new(0, 4));
+        assert_eq!(e.as_slice()[1], Extent::new(8, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost")]
+    fn oversized_ghost_rejected() {
+        let _ = TileIo::new([2, 2], [4, 4], 4, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! coll_perf example: write and read a 3-D block-distributed array with
+//! both collective strategies (a miniature of the paper's Figure 6 run).
+//!
+//! ```text
+//! cargo run --release --example coll_perf [elems_per_dim] [ranks]
+//! ```
+//!
+//! Defaults: a 120³ array of 4-byte elements on 24 ranks (2 testbed
+//! nodes' worth of cores).
+
+use mccio_core::prelude::*;
+use mccio_sim::cost::CostModel;
+use mccio_sim::topology::{ClusterSpec, FillOrder, Placement};
+use mccio_sim::units::{fmt_bandwidth, fmt_bytes, MIB};
+use mccio_workloads::{data, CollPerf, Workload};
+
+fn main() {
+    let dim: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let ranks: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let workload = CollPerf::cube(dim, ranks, 4);
+    let n_nodes = ranks.div_ceil(12);
+    let cluster = ClusterSpec::testbed(n_nodes);
+    let placement = Placement::new(&cluster, ranks, FillOrder::Block).expect("placement");
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+
+    println!(
+        "coll_perf: {dim}^3 x 4 B = {} on {ranks} ranks / {n_nodes} nodes (grid {:?})\n",
+        fmt_bytes(workload.file_bytes()),
+        workload.grid,
+    );
+
+    let tuning = Tuning::derive(&cluster, &PfsParams::default(), 8);
+    println!("tuned parameters: {tuning:?}\n");
+
+    for (label, strategy) in [
+        (
+            "two-phase",
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB)),
+        ),
+        (
+            "memory-conscious",
+            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 4 * MIB, MIB))),
+        ),
+    ] {
+        let env = IoEnv {
+            fs: FileSystem::new(8, MIB, PfsParams::default()),
+            mem: MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 7),
+        };
+        let strategy = &strategy;
+        let w = &workload;
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("coll_perf.dat");
+            let extents = Workload::extents(w, ctx.rank(), ctx.size());
+            let payload = data::fill(&extents);
+            let wr = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (back, rd) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(data::verify(&extents, &back), None, "byte-exact round trip");
+            (wr, rd)
+        });
+        let total = workload.file_bytes();
+        let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
+        let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+        println!(
+            "{label:>18}: write {}  read {}  (peak agg mem/node: {})",
+            fmt_bandwidth(total as f64 / w_secs),
+            fmt_bandwidth(total as f64 / r_secs),
+            fmt_bytes(env.mem.peak_statistics().max() as u64),
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! IOR example: interleaved, segmented and random access modes under
+//! every strategy — a miniature of the paper's Figures 7/8 runs plus the
+//! independent-I/O baselines the collective strategies exist to beat.
+//!
+//! ```text
+//! cargo run --release --example ior [ranks] [block_kib] [segments]
+//! ```
+
+use mccio_core::prelude::*;
+use mccio_mpiio::SieveConfig;
+use mccio_sim::cost::CostModel;
+use mccio_sim::topology::{ClusterSpec, FillOrder, Placement};
+use mccio_sim::units::{fmt_bandwidth, fmt_bytes, KIB, MIB};
+use mccio_workloads::{data, Ior, IorMode, Workload};
+
+fn main() {
+    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let block_kib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let segments: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let n_nodes = ranks.div_ceil(12);
+    let cluster = ClusterSpec::testbed(n_nodes);
+    let placement = Placement::new(&cluster, ranks, FillOrder::Block).expect("placement");
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let tuning = Tuning::derive(&cluster, &PfsParams::default(), 8);
+
+    let modes = [
+        ("interleaved", IorMode::Interleaved),
+        ("segmented", IorMode::Segmented),
+        ("random", IorMode::Random(42)),
+    ];
+    let strategies = [
+        ("independent", Strategy::Independent),
+        ("sieved", Strategy::IndependentSieved(SieveConfig::default())),
+        (
+            "two-phase",
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB)),
+        ),
+        (
+            "memory-conscious",
+            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 4 * MIB, MIB))),
+        ),
+    ];
+
+    println!(
+        "IOR: {ranks} ranks x {} blocks x {segments} segments = {} per mode\n",
+        fmt_bytes(block_kib * KIB),
+        fmt_bytes(block_kib * KIB * segments * ranks as u64),
+    );
+    println!(
+        "{:>12} {:>18} {:>14} {:>14}",
+        "mode", "strategy", "write", "read"
+    );
+    for (mode_name, mode) in modes {
+        let ior = Ior::new(block_kib * KIB, segments, mode);
+        for (strat_name, strategy) in &strategies {
+            let env = IoEnv {
+                fs: FileSystem::new(8, MIB, PfsParams::default()),
+                mem: MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 3),
+            };
+            let w = &ior;
+            let reports = world.run(|ctx| {
+                let env = env.clone();
+                let handle = env.fs.open_or_create("ior.dat");
+                let extents = w.extents(ctx.rank(), ctx.size());
+                let payload = data::fill(&extents);
+                let wr = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+                ctx.barrier();
+                let (back, rd) = read_all(ctx, &env, &handle, &extents, strategy);
+                assert_eq!(data::verify(&extents, &back), None);
+                (wr, rd)
+            });
+            let total = Workload::total_bytes(&ior, ranks);
+            let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
+            let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+            println!(
+                "{:>12} {:>18} {:>14} {:>14}",
+                mode_name,
+                strat_name,
+                fmt_bandwidth(total as f64 / w_secs),
+                fmt_bandwidth(total as f64 / r_secs),
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Memory-pressure anatomy: shows, step by step, what happens when a
+//! fixed-buffer aggregator lands on a memory-starved node — and how each
+//! memory-conscious mechanism (placement, remerge, buffer capping)
+//! avoids it.
+//!
+//! ```text
+//! cargo run --release --example memory_pressure
+//! ```
+
+use mccio_core::mccio::plan_mccio;
+use mccio_core::prelude::*;
+use mccio_core::two_phase::plan_two_phase;
+use mccio_mpiio::GroupPattern;
+use mccio_sim::cost::CostModel;
+use mccio_sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_sim::units::{fmt_bandwidth, fmt_bytes, KIB, MIB};
+use mccio_workloads::data;
+
+fn main() {
+    // 4 nodes × 4 cores; node 2 is almost out of memory.
+    let cluster = test_cluster(4, 4); // 256 MiB nodes
+    let placement = Placement::new(&cluster, 16, FillOrder::Block).expect("placement");
+    let mem = MemoryModel::build(
+        &cluster,
+        |node, cap| {
+            if node == 2 {
+                cap - 2 * MIB // only 2 MiB free
+            } else {
+                cap / 4
+            }
+        },
+        mccio_mem::MemParams::default(),
+    );
+    println!("per-node available memory:");
+    for n in 0..4 {
+        println!("  node {n}: {}", fmt_bytes(mem.available(n)));
+    }
+
+    // Serial pattern: rank r writes a contiguous 4 MiB slice.
+    let per_rank: Vec<ExtentList> = (0..16u64)
+        .map(|r| ExtentList::normalize(vec![Extent::new(r * 4 * MIB, 4 * MIB)]))
+        .collect();
+    let pattern = GroupPattern::from_parts(RankSet::world(16), per_rank.clone());
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: 4 * MIB,
+        mem_min: 8 * MIB,
+        msg_group: 16 * MIB,
+    };
+
+    let tp_plan = plan_two_phase(&pattern, &placement, TwoPhaseConfig::with_buffer(16 * MIB));
+    println!("\ntwo-phase plan (oblivious): one aggregator per node, fixed 16 MiB buffers");
+    for d in &tp_plan.domains {
+        println!(
+            "  domain {:>9}+{:<9} -> rank {:<2} (node {})",
+            d.domain.offset, d.domain.len, d.aggregator,
+            placement.node_of(d.aggregator)
+        );
+    }
+    println!("  -> node 2 must page: 16 MiB buffer vs 2 MiB free");
+
+    let cfg = MccioConfig::new(tuning, 16 * MIB, KIB);
+    let mc_plan = plan_mccio(&pattern, &placement, &mem, &cfg);
+    println!("\nmemory-conscious plan: groups -> partition tree -> remerge -> placement");
+    for d in &mc_plan.domains {
+        println!(
+            "  group {} domain {:>9}+{:<9} -> rank {:<2} (node {}) buffer {}",
+            d.group, d.domain.offset, d.domain.len, d.aggregator,
+            placement.node_of(d.aggregator), fmt_bytes(d.buffer)
+        );
+    }
+    let starved_aggs = mc_plan
+        .domains
+        .iter()
+        .filter(|d| placement.node_of(d.aggregator) == 2)
+        .count();
+    println!("  -> aggregators on the starved node: {starved_aggs}");
+
+    // Execute both and compare.
+    let world = World::new(CostModel::new(cluster.clone()), placement.clone());
+    for (name, strategy) in [
+        ("two-phase", Strategy::TwoPhase(TwoPhaseConfig::with_buffer(16 * MIB))),
+        ("memory-conscious", Strategy::MemoryConscious(Box::new(cfg))),
+    ] {
+        let env = IoEnv {
+            fs: FileSystem::new(4, MIB, PfsParams::default()),
+            mem: mem.clone(),
+        };
+        let per_rank = per_rank.clone();
+        let strategy = &strategy;
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("pressure.dat");
+            let extents = per_rank[ctx.rank()].clone();
+            let payload = data::fill(&extents);
+            write_all(ctx, &env, &handle, &extents, &payload, strategy)
+        });
+        let total: u64 = reports.iter().map(|r| r.bytes).sum();
+        let secs = reports.iter().map(|r| r.elapsed.as_secs()).fold(0.0, f64::max);
+        println!("\n{name}: write {}", fmt_bandwidth(total as f64 / secs));
+    }
+}

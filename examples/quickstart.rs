@@ -1,0 +1,81 @@
+//! Quickstart: the paper's Figure 2 scenario — six processes performing
+//! collective I/O with aggregators — first independent, then two-phase,
+//! then memory-conscious collective I/O.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mccio_core::prelude::*;
+use mccio_sim::cost::CostModel;
+use mccio_sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_sim::units::{fmt_bandwidth, KIB, MIB};
+
+fn main() {
+    // A toy machine: 3 nodes × 2 cores = 6 ranks, 4 storage servers.
+    let cluster = test_cluster(3, 2);
+    let placement = Placement::new(&cluster, 6, FillOrder::Block).expect("placement");
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv {
+        fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        mem: MemoryModel::pristine(&cluster),
+    };
+
+    // Each rank owns interleaved 16 KiB blocks — six writers, streams of
+    // requests that are small and noncontiguous from any one process's
+    // point of view, but tile the file together (Figure 2's setup).
+    let extents_of = |rank: usize| {
+        ExtentList::normalize(
+            (0..8u64)
+                .map(|i| Extent::new((i * 6 + rank as u64) * 16 * KIB, 16 * KIB))
+                .collect(),
+        )
+    };
+
+    println!("quickstart: 6 ranks, interleaved 16 KiB blocks, 4 OSTs\n");
+    for (label, strategy) in [
+        ("independent I/O (one request per extent)", Strategy::Independent),
+        (
+            "two-phase collective I/O",
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
+        ),
+        (
+            "memory-conscious collective I/O",
+            Strategy::MemoryConscious(Box::new(MccioConfig::new(
+                Tuning {
+                    n_ah: 2,
+                    msg_ind: 256 * KIB,
+                    mem_min: 512 * KIB,
+                    msg_group: MIB,
+                },
+                256 * KIB,
+                64 * KIB,
+            ))),
+        ),
+    ] {
+        let env = env.clone();
+        let strategy = &strategy;
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create(&format!("quickstart-{label}"));
+            let extents = extents_of(ctx.rank());
+            let data = vec![ctx.rank() as u8 + 1; extents.total_bytes() as usize];
+            let w = write_all(ctx, &env, &handle, &extents, &data, strategy);
+            ctx.barrier();
+            let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(back, data, "round trip must be exact");
+            (w, r)
+        });
+        let total: u64 = reports.iter().map(|(w, _)| w.bytes).sum();
+        let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
+        let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+        println!("{label}:");
+        println!("  write {}", fmt_bandwidth(total as f64 / w_secs));
+        println!("  read  {}", fmt_bandwidth(total as f64 / r_secs));
+    }
+    println!("\nCollective strategies merge the interleaved blocks into large");
+    println!("contiguous accesses. At this toy scale with healthy memory the two");
+    println!("collective strategies are comparable; the memory-conscious variant's");
+    println!("placement and buffer sizing pay off under memory pressure and scale —");
+    println!("see the memory_pressure example and the fig6/fig7/fig8 binaries.");
+}

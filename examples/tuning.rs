@@ -1,0 +1,55 @@
+//! Tuning walkthrough: how `N_ah`, `Msg_ind`, `Mem_min` and `Msg_group`
+//! are measured for a platform, showing the underlying sweeps —
+//! exactly the pre-experiment step the paper describes ("first we
+//! determine the optimal number of aggregators Nah and message size
+//! Msgind per aggregator ...").
+//!
+//! ```text
+//! cargo run --release --example tuning
+//! ```
+
+use mccio_core::tuner::{client_bandwidth_at, saturation_sweep, Tuning};
+use mccio_core::Hints;
+use mccio_pfs::PfsParams;
+use mccio_sim::topology::ClusterSpec;
+use mccio_sim::units::{fmt_bandwidth, fmt_bytes, MIB};
+
+fn main() {
+    let cluster = ClusterSpec::testbed(10);
+    let pfs = PfsParams::default();
+    let n_servers = 8;
+
+    println!("platform: 10 testbed nodes, {n_servers} OSTs\n");
+    println!("step 1 — Msg_ind: single-client bandwidth vs request size");
+    println!("{:>12} {:>14}", "request", "bandwidth");
+    for (size, bw) in saturation_sweep(&pfs, n_servers) {
+        println!("{:>12} {:>14}", fmt_bytes(size), fmt_bandwidth(bw));
+        if size >= 64 * MIB {
+            break;
+        }
+    }
+
+    let tuning = Tuning::derive(&cluster, &pfs, n_servers);
+    println!("\nstep 2 — N_ah: aggregators per node vs system throughput");
+    println!("(measured inside Tuning::derive; the sweet spot balances");
+    println!(" client pipes against per-server request overhead)");
+
+    println!("\nderived tuning:");
+    println!("  N_ah      = {}", tuning.n_ah);
+    println!("  Msg_ind   = {}", fmt_bytes(tuning.msg_ind));
+    println!("  Mem_min   = {}", fmt_bytes(tuning.mem_min));
+    println!("  Msg_group = {}", fmt_bytes(tuning.msg_group));
+    println!(
+        "  (single client at Msg_ind: {})",
+        fmt_bandwidth(client_bandwidth_at(tuning.msg_ind, &pfs, n_servers))
+    );
+
+    println!("\nstep 3 — the same through ROMIO-style hints:");
+    let hints = "mccio=enable, cb_buffer_size=16m, mccio_n_ah=2";
+    let strategy = Hints::parse(hints)
+        .expect("valid hints")
+        .resolve(&cluster, &pfs, n_servers, MIB)
+        .expect("resolvable");
+    println!("  {hints:?}");
+    println!("  -> strategy: {}", strategy.label());
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the MC-CIO workspace for examples and
+//! integration tests.
+//!
+//! Downstream users normally depend on [`mccio_core`] directly; this crate
+//! exists so the repository's `examples/` and `tests/` can address every
+//! layer through one import.
+
+pub use mccio_core as core;
+pub use mccio_mem as mem;
+pub use mccio_mpiio as mpiio;
+pub use mccio_net as net;
+pub use mccio_pfs as pfs;
+pub use mccio_sim as sim;
+pub use mccio_workloads as workloads;

@@ -1,0 +1,239 @@
+//! Failure injection and degenerate configurations: the edge cases a
+//! production collective-I/O layer has to survive.
+
+use mccio_suite::core::prelude::*;
+use mccio_suite::mem::MemParams;
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::{KIB, MIB};
+use mccio_suite::workloads::data;
+
+fn world_of(nodes: usize, cores: usize, ranks: usize) -> std::sync::Arc<World> {
+    let cluster = test_cluster(nodes, cores);
+    let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
+    World::new(CostModel::new(cluster), placement)
+}
+
+fn both_collectives() -> Vec<Strategy> {
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: 256 * KIB,
+        mem_min: 128 * KIB,
+        msg_group: MIB,
+    };
+    vec![
+        Strategy::TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB)),
+        Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 128 * KIB, 16 * KIB))),
+    ]
+}
+
+fn env_for(nodes: usize, cores: usize) -> IoEnv {
+    IoEnv {
+        fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        mem: MemoryModel::pristine(&test_cluster(nodes, cores)),
+    }
+}
+
+#[test]
+fn all_ranks_empty_is_a_noop() {
+    for strategy in both_collectives() {
+        let world = world_of(2, 2, 4);
+        let env = env_for(2, 2);
+        let strategy = &strategy;
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("empty");
+            let extents = ExtentList::default();
+            let w = write_all(ctx, &env, &handle, &extents, &[], strategy);
+            let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert!(back.is_empty());
+            (w, r)
+        });
+        for (w, r) in reports {
+            assert_eq!(w.bytes, 0);
+            assert_eq!(r.bytes, 0);
+        }
+    }
+}
+
+#[test]
+fn single_writer_among_idle_ranks() {
+    for strategy in both_collectives() {
+        let world = world_of(2, 2, 4);
+        let env = env_for(2, 2);
+        let strategy = &strategy;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("solo");
+            let extents = if ctx.rank() == 3 {
+                ExtentList::normalize(vec![Extent::new(100_000, 4096)])
+            } else {
+                ExtentList::default()
+            };
+            let payload = data::fill(&extents);
+            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(data::verify(&extents, &back), None);
+        });
+    }
+}
+
+#[test]
+fn every_node_memory_starved_still_completes() {
+    let cluster = test_cluster(3, 2);
+    let starved = MemoryModel::build(
+        &cluster,
+        |_, cap| cap.saturating_sub(64 * KIB),
+        MemParams::default(),
+    );
+    for strategy in both_collectives() {
+        let world = world_of(3, 2, 6);
+        let env = IoEnv {
+            fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
+            mem: starved.clone(),
+        };
+        let strategy = &strategy;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("starved");
+            let extents = ExtentList::normalize(vec![Extent::new(
+                ctx.rank() as u64 * 128 * KIB,
+                128 * KIB,
+            )]);
+            let payload = data::fill(&extents);
+            let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            assert!(w.elapsed.as_secs() > 0.0, "work still happened");
+            ctx.barrier();
+            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(data::verify(&extents, &back), None);
+        });
+    }
+}
+
+#[test]
+fn buffer_smaller_than_stripe_unit() {
+    {
+        let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(KIB));
+        let world = world_of(2, 2, 4);
+        let env = IoEnv {
+            fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
+            mem: MemoryModel::pristine(&test_cluster(2, 2)),
+        };
+        let strategy = &strategy;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("tinybuf");
+            let extents = ExtentList::normalize(vec![Extent::new(
+                ctx.rank() as u64 * 32 * KIB,
+                32 * KIB,
+            )]);
+            let payload = data::fill(&extents);
+            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(data::verify(&extents, &back), None);
+        });
+    }
+}
+
+#[test]
+fn misaligned_sub_byte_granularity_extents() {
+    for strategy in both_collectives() {
+        let world = world_of(2, 2, 4);
+        let env = env_for(2, 2);
+        let strategy = &strategy;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("odd");
+            // Odd offsets, prime lengths, nothing aligned to anything.
+            let r = ctx.rank() as u64;
+            let extents = ExtentList::normalize(vec![
+                Extent::new(r * 10_007 + 3, 997),
+                Extent::new(r * 10_007 + 1_500, 13),
+                Extent::new(r * 10_007 + 2_001, 1),
+            ]);
+            let payload = data::fill(&extents);
+            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(data::verify(&extents, &back), None);
+        });
+    }
+}
+
+#[test]
+fn read_of_never_written_region_returns_zeros() {
+    for strategy in both_collectives() {
+        let world = world_of(2, 2, 4);
+        let env = env_for(2, 2);
+        let strategy = &strategy;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("holes");
+            if ctx.rank() == 0 {
+                handle.write_at(1 << 20, b"end");
+            }
+            ctx.barrier();
+            let extents = ExtentList::normalize(vec![Extent::new(
+                ctx.rank() as u64 * 1024,
+                1024,
+            )]);
+            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert!(back.iter().all(|&b| b == 0), "holes must read as zero");
+        });
+    }
+}
+
+#[test]
+fn repeated_operations_on_one_file_accumulate_correctly() {
+    let strategy = &both_collectives()[1];
+    let world = world_of(2, 2, 4);
+    let env = env_for(2, 2);
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("multi");
+        for round in 0u64..3 {
+            let extents = ExtentList::normalize(vec![Extent::new(
+                round * 512 * KIB + ctx.rank() as u64 * 64 * KIB,
+                64 * KIB,
+            )]);
+            let payload = data::fill(&extents);
+            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+        }
+        // Verify all three generations at once.
+        let all = ExtentList::normalize(
+            (0u64..3)
+                .map(|round| {
+                    Extent::new(round * 512 * KIB + ctx.rank() as u64 * 64 * KIB, 64 * KIB)
+                })
+                .collect(),
+        );
+        let (back, _) = read_all(ctx, &env, &handle, &all, strategy);
+        assert_eq!(data::verify(&all, &back), None);
+    });
+}
+
+#[test]
+fn virtual_time_only_moves_forward() {
+    let world = world_of(2, 2, 4);
+    let env = env_for(2, 2);
+    let strategy = &both_collectives()[0];
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("time");
+        let mut last = ctx.clock();
+        for _ in 0..3 {
+            let extents = ExtentList::normalize(vec![Extent::new(
+                ctx.rank() as u64 * 8 * KIB,
+                8 * KIB,
+            )]);
+            let payload = data::fill(&extents);
+            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            let now = ctx.clock();
+            assert!(now >= last, "clock went backwards");
+            last = now;
+        }
+    });
+}

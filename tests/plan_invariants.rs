@@ -1,0 +1,141 @@
+//! Property-based tests on planning invariants: for arbitrary access
+//! patterns, both strategies must produce plans that cover every
+//! accessed byte exactly once, respect `N_ah`, and stay deterministic.
+
+use proptest::prelude::*;
+
+use mccio_suite::core::groups::{assert_group_invariants, divide_groups};
+use mccio_suite::core::mccio::{plan_mccio, MccioConfig};
+use mccio_suite::core::plan::CollectivePlan;
+use mccio_suite::core::two_phase::{plan_two_phase, TwoPhaseConfig};
+use mccio_suite::core::Tuning;
+use mccio_suite::mem::MemoryModel;
+use mccio_suite::mpiio::{Extent, ExtentList, GroupPattern};
+use mccio_suite::net::RankSet;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::KIB;
+
+/// An arbitrary per-rank pattern: up to `max_ext` extents within a
+/// bounded address space.
+fn arb_pattern(ranks: usize, max_ext: usize) -> impl Strategy<Value = Vec<ExtentList>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..1 << 22, 1u64..64 * KIB), 0..=max_ext),
+        ranks..=ranks,
+    )
+    .prop_map(|per_rank| {
+        per_rank
+            .into_iter()
+            .map(|raw| {
+                ExtentList::normalize(raw.into_iter().map(|(o, l)| Extent::new(o, l)).collect())
+            })
+            .collect()
+    })
+}
+
+/// Every accessed byte must fall inside exactly one plan domain.
+fn assert_coverage(plan: &CollectivePlan, pattern: &GroupPattern) {
+    plan.assert_invariants();
+    for rank in pattern.group().iter() {
+        for e in pattern.extents_of_rank(rank).as_slice() {
+            for probe in [e.offset, e.offset + e.len / 2, e.end() - 1] {
+                let hits = plan
+                    .domains
+                    .iter()
+                    .filter(|d| d.domain.contains(probe))
+                    .count();
+                assert_eq!(hits, 1, "byte {probe} covered by {hits} domains");
+            }
+        }
+    }
+}
+
+fn tuning() -> Tuning {
+    Tuning {
+        n_ah: 2,
+        msg_ind: 256 * KIB,
+        mem_min: 64 * KIB,
+        msg_group: 1024 * KIB,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_phase_plan_covers_every_access(per_rank in arb_pattern(8, 6)) {
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
+        let plan = plan_two_phase(&pattern, &placement, TwoPhaseConfig::with_buffer(128 * KIB));
+        assert_coverage(&plan, &pattern);
+    }
+
+    #[test]
+    fn mccio_plan_covers_every_access_and_respects_n_ah(per_rank in arb_pattern(8, 6)) {
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
+        let mem = MemoryModel::with_available_variance(&cluster, 32 << 20, 8 << 20, 3);
+        let cfg = MccioConfig::new(tuning(), 128 * KIB, 16 * KIB);
+        let plan = plan_mccio(&pattern, &placement, &mem, &cfg);
+        assert_coverage(&plan, &pattern);
+        // N_ah bound across the whole plan.
+        let mut per_node = std::collections::HashMap::new();
+        for agg in plan.aggregators() {
+            *per_node.entry(placement.node_of(agg)).or_insert(0usize) += 1;
+        }
+        for (&node, &n) in &per_node {
+            prop_assert!(n <= tuning().n_ah, "node {node} has {n} aggregators");
+        }
+    }
+
+    #[test]
+    fn mccio_plan_is_deterministic(per_rank in arb_pattern(6, 5)) {
+        let cluster = test_cluster(3, 2);
+        let placement = Placement::new(&cluster, 6, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(RankSet::world(6), per_rank);
+        let mem = MemoryModel::with_available_variance(&cluster, 32 << 20, 8 << 20, 9);
+        let cfg = MccioConfig::new(tuning(), 256 * KIB, 16 * KIB);
+        let a = plan_mccio(&pattern, &placement, &mem, &cfg);
+        let b = plan_mccio(&pattern, &placement, &mem, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_division_invariants_hold(per_rank in arb_pattern(8, 5), msg_group in 1u64..1 << 22) {
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
+        let groups = divide_groups(&pattern, &placement, msg_group);
+        assert_group_invariants(&groups, &pattern);
+    }
+
+    #[test]
+    fn aggregation_groups_are_disjoint_rank_sets_for_serial_patterns(
+        sizes in prop::collection::vec(1u64..64 * KIB, 8..=8),
+        msg_group in 1u64..1 << 20,
+    ) {
+        // Build a strictly serial pattern: rank r owns [start_r, start_r + len_r).
+        let cluster = test_cluster(4, 2);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let mut cursor = 0u64;
+        let per_rank: Vec<ExtentList> = sizes
+            .iter()
+            .map(|&len| {
+                let e = ExtentList::normalize(vec![Extent::new(cursor, len)]);
+                cursor += len;
+                e
+            })
+            .collect();
+        let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
+        let groups = divide_groups(&pattern, &placement, msg_group);
+        assert_group_invariants(&groups, &pattern);
+        // Serial ⇒ memberships are pairwise disjoint (the paper's goal).
+        for (i, a) in groups.iter().enumerate() {
+            for b in &groups[i + 1..] {
+                prop_assert!(a.members.is_disjoint(&b.members),
+                    "groups share members: {:?} vs {:?}", a.members, b.members);
+            }
+        }
+    }
+}

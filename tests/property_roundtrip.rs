@@ -1,0 +1,110 @@
+//! Property-based end-to-end round trips: random noncontiguous access
+//! patterns must survive write → read byte-for-byte under both
+//! collective strategies, with any buffer size.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+use mccio_suite::core::prelude::*;
+use mccio_suite::core::Strategy as IoStrategy;
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::KIB;
+use mccio_suite::workloads::data;
+
+/// Disjoint per-rank extents: rank r owns slice [r*S, (r+1)*S) and picks
+/// arbitrary sub-extents inside it.
+fn arb_disjoint_extents(
+    ranks: usize,
+    slice: u64,
+) -> impl PropStrategy<Value = Vec<ExtentList>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..slice, 1u64..=4 * KIB), 0..8),
+        ranks..=ranks,
+    )
+    .prop_map(move |per_rank| {
+        per_rank
+            .into_iter()
+            .enumerate()
+            .map(|(r, raw)| {
+                let base = r as u64 * slice;
+                ExtentList::normalize(
+                    raw.into_iter()
+                        .map(|(o, l)| {
+                            let off = base + o.min(slice - 1);
+                            let len = l.min(slice - (off - base));
+                            Extent::new(off, len)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u64) {
+    let ranks = per_rank.len();
+    let cluster = test_cluster(2, ranks.div_ceil(2));
+    let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv {
+        fs: FileSystem::new(3, 8 * KIB, PfsParams::default()),
+        mem: MemoryModel::with_available_variance(&cluster, 16 << 20, 8 << 20, buffer_hint),
+    };
+    let per_rank = &per_rank;
+    let strategy = &strategy;
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("prop");
+        let extents = per_rank[ctx.rank()].clone();
+        let payload = data::fill(&extents);
+        let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+        ctx.barrier();
+        let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(
+            data::verify(&extents, &back),
+            None,
+            "rank {} corruption under {}",
+            ctx.rank(),
+            strategy.label()
+        );
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn two_phase_roundtrips_arbitrary_patterns(
+        per_rank in arb_disjoint_extents(4, 64 * KIB),
+        buffer in 1u64..128 * KIB,
+    ) {
+        run_roundtrip(
+            per_rank,
+            IoStrategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
+            buffer,
+        );
+    }
+
+    #[test]
+    fn mccio_roundtrips_arbitrary_patterns(
+        per_rank in arb_disjoint_extents(4, 64 * KIB),
+        buffer in 16u64 * KIB..256 * KIB,
+        seed in 0u64..1000,
+    ) {
+        let tuning = Tuning {
+            n_ah: 2,
+            msg_ind: 64 * KIB,
+            mem_min: 16 * KIB,
+            msg_group: 128 * KIB,
+        };
+        let cfg = MccioConfig {
+            tuning,
+            buffer_mean: buffer,
+            buffer_stddev: buffer / 4,
+            seed,
+            align: 8 * KIB,
+        };
+        run_roundtrip(per_rank, IoStrategy::MemoryConscious(Box::new(cfg)), buffer);
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end round trips: every workload × every strategy moves real
+//! bytes through the full stack (workload → mpiio → core → net → pfs)
+//! and must read back exactly what it wrote.
+
+use mccio_suite::core::prelude::*;
+use mccio_suite::mpiio::SieveConfig;
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::{KIB, MIB};
+use mccio_suite::workloads::{data, CollPerf, Ior, IorMode, Synthetic, Workload};
+
+fn strategies() -> Vec<Strategy> {
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: MIB,
+        mem_min: 2 * MIB,
+        msg_group: 4 * MIB,
+    };
+    vec![
+        Strategy::Independent,
+        Strategy::IndependentSieved(SieveConfig::default()),
+        Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
+        Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 256 * KIB, 64 * KIB))),
+    ]
+}
+
+fn roundtrip(workload: &dyn Workload, n_nodes: usize, cores: usize, ranks: usize) {
+    for strategy in strategies() {
+        let cluster = test_cluster(n_nodes, cores);
+        let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
+        let world = World::new(CostModel::new(cluster.clone()), placement);
+        let env = IoEnv {
+            fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
+            mem: MemoryModel::with_available_variance(&cluster, 64 * MIB, 16 * MIB, 5),
+        };
+        let strategy = &strategy;
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("rt");
+            let extents = workload.extents(ctx.rank(), ctx.size());
+            let payload = data::fill(&extents);
+            let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+            assert_eq!(
+                data::verify(&extents, &back),
+                None,
+                "rank {} corrupted under {}",
+                ctx.rank(),
+                strategy.label()
+            );
+            (w, r)
+        });
+        let expect = workload.total_bytes(ranks);
+        let moved: u64 = reports.iter().map(|(w, _)| w.bytes).sum();
+        assert_eq!(moved, expect, "{}", strategy.label());
+    }
+}
+
+#[test]
+fn ior_interleaved_roundtrips_under_all_strategies() {
+    roundtrip(&Ior::new(32 * KIB, 4, IorMode::Interleaved), 2, 4, 8);
+}
+
+#[test]
+fn ior_segmented_roundtrips_under_all_strategies() {
+    roundtrip(&Ior::new(64 * KIB, 2, IorMode::Segmented), 2, 4, 8);
+}
+
+#[test]
+fn ior_random_roundtrips_under_all_strategies() {
+    roundtrip(&Ior::new(16 * KIB, 8, IorMode::Random(99)), 2, 4, 8);
+}
+
+#[test]
+fn coll_perf_roundtrips_under_all_strategies() {
+    roundtrip(&CollPerf::cube(16, 8, 4), 2, 4, 8);
+}
+
+#[test]
+fn synthetic_roundtrips_under_all_strategies() {
+    roundtrip(&Synthetic::new(512 * KIB, 12, 512, 8 * KIB, 31), 2, 4, 8);
+}
+
+#[test]
+fn twelve_ranks_three_nodes_coll_perf() {
+    roundtrip(&CollPerf::new([12, 24, 24], [2, 2, 3], 8), 3, 4, 12);
+}
+
+#[test]
+fn single_rank_degenerates_gracefully() {
+    roundtrip(&Ior::new(64 * KIB, 4, IorMode::Interleaved), 1, 1, 1);
+}
+
+#[test]
+fn fs_test_partial_touch_roundtrips() {
+    use mccio_suite::workloads::FsTest;
+    // Records with holes: write-back must not clobber untouched bytes.
+    roundtrip(&FsTest::new(4 * KIB, 8, 3 * KIB), 2, 4, 8);
+}
+
+#[test]
+fn tile_io_ghost_reads_fan_out_correctly() {
+    use mccio_suite::workloads::TileIo;
+    let tiles = TileIo::new([2, 4], [16, 64], 2, 4);
+    for strategy in strategies() {
+        let cluster = test_cluster(2, 4);
+        let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+        let world = World::new(CostModel::new(cluster.clone()), placement);
+        let env = IoEnv {
+            fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
+            mem: MemoryModel::pristine(&cluster),
+        };
+        let strategy = &strategy;
+        let t = &tiles;
+        world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("tiles");
+            // Write disjoint interiors, read back with overlapping halos.
+            let w_extents = t.write_extents(ctx.rank());
+            let payload = data::fill(&w_extents);
+            let _ = write_all(ctx, &env, &handle, &w_extents, &payload, strategy);
+            ctx.barrier();
+            let r_extents = t.read_extents(ctx.rank());
+            let (back, _) = read_all(ctx, &env, &handle, &r_extents, strategy);
+            assert_eq!(
+                data::verify(&r_extents, &back),
+                None,
+                "halo read corrupt under {}",
+                strategy.label()
+            );
+        });
+    }
+}
+
+#[test]
+fn collective_write_then_independent_read_interoperates() {
+    // Data written collectively must be readable through any other path.
+    let cluster = test_cluster(2, 2);
+    let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv {
+        fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        mem: MemoryModel::pristine(&cluster),
+    };
+    let ior = Ior::new(32 * KIB, 4, IorMode::Interleaved);
+    let collective = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB));
+    let independent = Strategy::Independent;
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("interop");
+        let extents = ior.extents(ctx.rank(), ctx.size());
+        let payload = data::fill(&extents);
+        let _ = write_all(ctx, &env, &handle, &extents, &payload, &collective);
+        ctx.barrier();
+        let (back, _) = read_all(ctx, &env, &handle, &extents, &independent);
+        assert_eq!(data::verify(&extents, &back), None);
+    });
+}

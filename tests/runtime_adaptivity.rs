@@ -1,0 +1,94 @@
+//! Run-time adaptivity: the paper's strategy "determines I/O aggregators
+//! at run time considering memory consumption and variance among
+//! processes". These tests change the memory landscape *between*
+//! collective operations and assert the plans — and the placements —
+//! follow.
+
+use mccio_suite::core::mccio::{plan_mccio, MccioConfig};
+use mccio_suite::core::prelude::*;
+use mccio_suite::mpiio::GroupPattern;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::{KIB, MIB};
+
+fn pattern(ranks: usize, per_rank: u64) -> GroupPattern {
+    GroupPattern::from_parts(
+        RankSet::world(ranks),
+        (0..ranks as u64)
+            .map(|r| ExtentList::normalize(vec![Extent::new(r * per_rank, per_rank)]))
+            .collect(),
+    )
+}
+
+#[test]
+fn plans_follow_memory_changes_between_operations() {
+    let cluster = test_cluster(4, 2);
+    let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+    let mem = MemoryModel::pristine(&cluster);
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: 4 * MIB,
+        mem_min: 4 * MIB,
+        msg_group: 16 * MIB,
+    };
+    let cfg = MccioConfig::new(tuning, 4 * MIB, MIB);
+    let pat = pattern(8, 8 * MIB);
+
+    let healthy_plan = plan_mccio(&pat, &placement, &mem, &cfg);
+    let healthy_on_node1 = healthy_plan
+        .aggregators()
+        .iter()
+        .filter(|&&a| placement.node_of(a) == 1)
+        .count();
+    assert!(healthy_on_node1 > 0, "node 1 aggregates while healthy");
+
+    // The application on node 1 balloons; the next operation must avoid it.
+    mem.set_app_used(1, mem.capacity(1) - 64 * KIB);
+    let starved_plan = plan_mccio(&pat, &placement, &mem, &cfg);
+    let starved_on_node1 = starved_plan
+        .aggregators()
+        .iter()
+        .filter(|&&a| placement.node_of(a) == 1)
+        .count();
+    assert_eq!(starved_on_node1, 0, "{starved_plan:?}");
+
+    // And when the application releases the memory, node 1 returns.
+    mem.set_app_used(1, mem.capacity(1) / 20);
+    let recovered_plan = plan_mccio(&pat, &placement, &mem, &cfg);
+    let recovered_on_node1 = recovered_plan
+        .aggregators()
+        .iter()
+        .filter(|&&a| placement.node_of(a) == 1)
+        .count();
+    assert!(recovered_on_node1 > 0, "node 1 aggregates again after recovery");
+}
+
+#[test]
+fn buffer_sizes_track_shrinking_availability() {
+    let cluster = test_cluster(2, 4);
+    let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
+    let mem = MemoryModel::pristine(&cluster);
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: 8 * MIB,
+        mem_min: KIB,
+        msg_group: 32 * MIB,
+    };
+    let cfg = MccioConfig::new(tuning, 16 * MIB, MIB);
+    let pat = pattern(8, 8 * MIB);
+
+    let roomy = plan_mccio(&pat, &placement, &mem, &cfg);
+    let roomy_max = roomy.domains.iter().map(|d| d.buffer).max().unwrap();
+
+    // Squeeze both nodes to ~8 MiB available.
+    for node in 0..2 {
+        mem.set_app_used(node, mem.capacity(node) - 8 * MIB);
+    }
+    let tight = plan_mccio(&pat, &placement, &mem, &cfg);
+    let tight_max = tight.domains.iter().map(|d| d.buffer).max().unwrap();
+    assert!(
+        tight_max < roomy_max,
+        "buffers must shrink with availability: {tight_max} vs {roomy_max}"
+    );
+    // Fair-share cap: 8 MiB / (2 × N_ah) = 2 MiB.
+    assert!(tight_max <= 2 * MIB, "{tight_max}");
+}

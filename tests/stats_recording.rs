@@ -1,0 +1,78 @@
+//! End-to-end checks of the operation-statistics recorder: round
+//! counts, volumes and phase attributions must match what the plan
+//! implies.
+
+use mccio_suite::core::stats::{OpSummary, Recorder};
+use mccio_suite::core::prelude::*;
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::KIB;
+use mccio_suite::workloads::data;
+
+fn run_op(buffer: u64) -> (Vec<mccio_suite::core::stats::RoundRecord>, u64) {
+    let recorder = Recorder::new();
+    recorder.install();
+    let cluster = test_cluster(2, 2);
+    let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv {
+        fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        mem: MemoryModel::pristine(&cluster),
+    };
+    let total = 4u64 * 256 * KIB;
+    let reports = world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("stats");
+        let extents = ExtentList::normalize(vec![Extent::new(
+            ctx.rank() as u64 * 256 * KIB,
+            256 * KIB,
+        )]);
+        let payload = data::fill(&extents);
+        let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer));
+        let w = write_all(ctx, &env, &handle, &extents, &payload, &strategy);
+        let (_, r) = read_all(ctx, &env, &handle, &extents, &strategy);
+        (w, r)
+    });
+    Recorder::uninstall();
+    let _ = reports;
+    (recorder.take(), total)
+}
+
+#[test]
+fn records_cover_both_directions_with_full_volume() {
+    let (records, total) = run_op(128 * KIB);
+    let writes: Vec<_> = records.iter().copied().filter(|r| r.is_write).collect();
+    let reads: Vec<_> = records.iter().copied().filter(|r| !r.is_write).collect();
+    assert!(!writes.is_empty() && !reads.is_empty());
+    assert_eq!(OpSummary::of(&writes).volume, total);
+    assert_eq!(OpSummary::of(&reads).volume, total);
+    for r in &records {
+        assert!(r.total_secs() > 0.0);
+        assert!(r.clients >= 1);
+        assert!(r.requests >= 1);
+    }
+}
+
+#[test]
+fn smaller_buffers_record_more_rounds() {
+    let (big, _) = run_op(512 * KIB);
+    let (small, _) = run_op(64 * KIB);
+    let rounds = |records: &[mccio_suite::core::stats::RoundRecord]| {
+        records.iter().filter(|r| r.is_write).count()
+    };
+    assert!(
+        rounds(&small) > rounds(&big),
+        "{} vs {}",
+        rounds(&small),
+        rounds(&big)
+    );
+}
+
+#[test]
+fn phase_times_sum_to_something_plausible() {
+    let (records, _) = run_op(128 * KIB);
+    let s = OpSummary::of(&records);
+    assert!(s.storage_secs > 0.0, "storage must dominate somewhere");
+    assert!(s.total_secs() >= s.storage_secs);
+    assert!(s.rounds == records.len());
+}
