@@ -1,7 +1,9 @@
 //! Ablation benches for the design choices DESIGN.md calls out. Each
 //! ablation runs the full simulation and reports the *virtual-time*
-//! bandwidth to stderr (the decision-relevant number) while Criterion
-//! tracks the wall-clock of the run.
+//! bandwidth (the decision-relevant number) alongside the wall-clock of
+//! the run.
+//!
+//! Self-contained harness (`harness = false`); see `strategies.rs`.
 //!
 //! Ablations:
 //! * group division on/off (`Msg_group` = tuned vs effectively infinite);
@@ -11,9 +13,9 @@
 //! * `N_ah` sweep (aggregators per node);
 //! * `Msg_ind` sweep (partition-tree leaf size).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
 use mccio_bench::{run, run_with, Platform, RunResult};
 use mccio_core::engine::{execute_read, execute_write, IoEnv};
@@ -24,6 +26,8 @@ use mccio_sim::cost::CostModel;
 use mccio_sim::topology::{FillOrder, Placement};
 use mccio_sim::units::{KIB, MIB};
 use mccio_workloads::{data, Ior, IorMode, Workload};
+
+const ITERS: u32 = 10;
 
 fn platform() -> Platform {
     Platform::testbed(4, 48, 8).with_memory(128 * MIB, 48 * MIB)
@@ -38,14 +42,25 @@ fn mc(platform: &Platform, tuning: Tuning) -> Strategy {
 }
 
 fn report(tag: &str, r: &RunResult) {
-    eprintln!(
+    println!(
         "[ablation] {tag:>40}: write {:8.1} MB/s  read {:8.1} MB/s",
         r.write_mbps(),
         r.read_mbps()
     );
 }
 
-fn bench_group_division(c: &mut Criterion) {
+/// Times `iters` runs of `f`, printing mean wall-clock per iteration.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / f64::from(ITERS);
+    println!("{group}/{name}: {:.3} ms/iter ({ITERS} iters)", per * 1e3);
+}
+
+fn bench_group_division() {
     // Group confinement matters when data is serially distributed (each
     // group has distinct members) and some nodes are starved: with
     // groups, a domain evicted from its starved local host lands on a
@@ -55,26 +70,26 @@ fn bench_group_division(c: &mut Criterion) {
     let serial = Ior::new(512 * KIB, 2, IorMode::Segmented);
     let tuned = platform.tuning();
     let global = tuned.with_msg_group(1 << 40); // one group = no confinement
-    let mut group = c.benchmark_group("ablation-group-division");
     for (name, tuning) in [("tuned-groups", tuned), ("single-group", global)] {
         let strategy = mc(&platform, tuning);
-        report(&format!("group-division/{name}"), &run(&serial, &strategy, &platform));
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&serial, &strategy, &platform)))
+        report(
+            &format!("group-division/{name}"),
+            &run(&serial, &strategy, &platform),
+        );
+        bench("ablation-group-division", name, || {
+            black_box(run(&serial, &strategy, &platform));
         });
     }
-    group.finish();
 }
 
-fn bench_placement_awareness(c: &mut Criterion) {
+fn bench_placement_awareness() {
     // Memory-aware placement vs round-robin placement of the *same*
     // domain layout, on a cluster with a badly starved node.
     let platform = platform();
     let ior = workload();
     let tuning = platform.tuning();
     let cfg = MccioConfig::new(tuning, MIB, platform.stripe);
-    let placement =
-        Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
+    let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
     let cluster = platform.cluster.clone();
     let starved = MemoryModel::build(
         &cluster,
@@ -84,18 +99,17 @@ fn bench_placement_awareness(c: &mut Criterion) {
 
     let run_custom = |oblivious: bool| -> f64 {
         let world = World::new(CostModel::new(cluster.clone()), placement.clone());
-        let env = IoEnv {
-            fs: FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
-            mem: starved.clone(),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
+            starved.clone(),
+        );
         let n = world.n_ranks();
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("ablation-placement");
             let extents = ior.extents(ctx.rank(), n);
             let payload = data::fill(&extents);
-            let pattern =
-                mccio_mpiio::GroupPattern::gather(ctx, &RankSet::world(n), &extents);
+            let pattern = mccio_mpiio::GroupPattern::gather(ctx, &RankSet::world(n), &extents);
             let mut plan = plan_mccio(&pattern, ctx.placement(), &env.mem, &cfg);
             if oblivious {
                 // Round-robin the same domains over first-rank-per-node,
@@ -110,22 +124,27 @@ fn bench_placement_awareness(c: &mut Criterion) {
             (w, r)
         });
         let total = Workload::total_bytes(&ior, n) as f64;
-        let secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
+        let secs = reports
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
         total / secs / MIB as f64
     };
 
     let aware = run_custom(false);
     let oblivious = run_custom(true);
-    eprintln!(
+    println!(
         "[ablation] placement/memory-aware: write {aware:8.1} MB/s  vs round-robin {oblivious:8.1} MB/s"
     );
-    let mut group = c.benchmark_group("ablation-placement");
-    group.bench_function("memory-aware", |b| b.iter(|| black_box(run_custom(false))));
-    group.bench_function("round-robin", |b| b.iter(|| black_box(run_custom(true))));
-    group.finish();
+    bench("ablation-placement", "memory-aware", || {
+        black_box(run_custom(false));
+    });
+    bench("ablation-placement", "round-robin", || {
+        black_box(run_custom(true));
+    });
 }
 
-fn bench_remerge(c: &mut Criterion) {
+fn bench_remerge() {
     // Remerging on/off with one node far below Mem_min.
     let mut platform = platform();
     platform.mem_available = Some((32 * MIB, 24 * MIB)); // plenty of starved nodes
@@ -133,95 +152,96 @@ fn bench_remerge(c: &mut Criterion) {
     // Raise Mem_min to a level the starved nodes actually fail, so the
     // remerge/relocation path runs; Mem_min = 0 accepts every host.
     let tuned = platform.tuning().with_msg_ind(8 * MIB);
-    let no_remerge = Tuning { mem_min: 0, ..tuned };
-    let mut group = c.benchmark_group("ablation-remerge");
+    let no_remerge = Tuning {
+        mem_min: 0,
+        ..tuned
+    };
     for (name, tuning) in [("mem-min-tuned", tuned), ("mem-min-zero", no_remerge)] {
         let strategy = mc(&platform, tuning);
         report(&format!("remerge/{name}"), &run(&ior, &strategy, &platform));
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
+        bench("ablation-remerge", name, || {
+            black_box(run(&ior, &strategy, &platform));
         });
     }
-    group.finish();
 }
 
-fn bench_n_ah_sweep(c: &mut Criterion) {
+fn bench_n_ah_sweep() {
     let platform = platform();
     let ior = workload();
     let tuned = platform.tuning();
-    let mut group = c.benchmark_group("ablation-n-ah");
     for n_ah in [1usize, 2, 4, 8] {
         let tuning = tuned.with_n_ah(n_ah);
         let strategy = mc(&platform, tuning);
         report(&format!("n_ah/{n_ah}"), &run(&ior, &strategy, &platform));
-        group.bench_function(format!("n_ah-{n_ah}"), |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
+        bench("ablation-n-ah", &format!("n_ah-{n_ah}"), || {
+            black_box(run(&ior, &strategy, &platform));
         });
     }
-    group.finish();
 }
 
-fn bench_msg_ind_sweep(c: &mut Criterion) {
+fn bench_msg_ind_sweep() {
     let platform = platform();
     let ior = workload();
     let tuned = platform.tuning();
-    let mut group = c.benchmark_group("ablation-msg-ind");
     for mib in [1u64, 4, 16] {
         let tuning = tuned.with_msg_ind(mib * MIB);
         let strategy = mc(&platform, tuning);
-        report(&format!("msg_ind/{mib}MiB"), &run(&ior, &strategy, &platform));
-        group.bench_function(format!("msg_ind-{mib}MiB"), |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
+        report(
+            &format!("msg_ind/{mib}MiB"),
+            &run(&ior, &strategy, &platform),
+        );
+        bench("ablation-msg-ind", &format!("msg_ind-{mib}MiB"), || {
+            black_box(run(&ior, &strategy, &platform));
         });
     }
-    group.finish();
 }
 
-fn bench_layout_alignment(c: &mut Criterion) {
+fn bench_layout_alignment() {
     // Plain two-phase vs the layout-aware variant (domain boundaries
     // snapped to the stripe unit): alignment removes the split-stripe
     // requests at every domain boundary.
     let platform = platform();
     let ior = workload();
-    let mut group = c.benchmark_group("ablation-layout-alignment");
     for (name, cfg) in [
         ("unaligned", TwoPhaseConfig::with_buffer(MIB)),
-        ("stripe-aligned", TwoPhaseConfig::layout_aware(MIB, platform.stripe)),
+        (
+            "stripe-aligned",
+            TwoPhaseConfig::layout_aware(MIB, platform.stripe),
+        ),
     ] {
         let strategy = Strategy::TwoPhase(cfg);
-        report(&format!("alignment/{name}"), &run(&ior, &strategy, &platform));
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
+        report(
+            &format!("alignment/{name}"),
+            &run(&ior, &strategy, &platform),
+        );
+        bench("ablation-layout-alignment", name, || {
+            black_box(run(&ior, &strategy, &platform));
         });
     }
-    group.finish();
 }
 
-fn bench_shared_world_reuse(c: &mut Criterion) {
+fn bench_shared_world_reuse() {
     // run_with: amortizing world construction across runs.
     let platform = platform();
     let ior = workload();
-    let placement =
-        Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
-    let world: Arc<World> =
-        World::new(CostModel::new(platform.cluster.clone()), placement);
+    let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
+    let world: Arc<World> = World::new(CostModel::new(platform.cluster.clone()), placement);
     let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB));
-    c.bench_function("harness/run_with-shared-world", |b| {
-        b.iter(|| {
-            let env = IoEnv {
-                fs: FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
-                mem: platform.memory(),
-            };
-            black_box(run_with(&world, &env, &ior, &strategy))
-        })
+    bench("harness", "run_with-shared-world", || {
+        let env = IoEnv::new(
+            FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
+            platform.memory(),
+        );
+        black_box(run_with(&world, &env, &ior, &strategy));
     });
 }
 
-criterion_group!(
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = bench_group_division, bench_placement_awareness, bench_remerge,
-              bench_n_ah_sweep, bench_msg_ind_sweep, bench_layout_alignment,
-              bench_shared_world_reuse
-);
-criterion_main!(ablations);
+fn main() {
+    bench_group_division();
+    bench_placement_awareness();
+    bench_remerge();
+    bench_n_ah_sweep();
+    bench_msg_ind_sweep();
+    bench_layout_alignment();
+    bench_shared_world_reuse();
+}

@@ -1,8 +1,10 @@
 //! Component microbenchmarks: the data-structure and cost-model
 //! operations on the hot paths of every collective operation.
+//!
+//! Self-contained harness (`harness = false`); see `strategies.rs`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mccio_core::ptree::PartitionTree;
 use mccio_mpiio::{Datatype, Extent, ExtentList};
@@ -12,91 +14,101 @@ use mccio_sim::rng::{stream_rng, NormalSampler};
 use mccio_sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_sim::units::MIB;
 
-fn bench_striping(c: &mut Criterion) {
+/// Times `iters` runs of `f`, printing mean wall-clock per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name}: {:.3} µs/iter ({iters} iters)", per * 1e6);
+}
+
+fn bench_striping() {
     let striping = Striping::new(16, MIB);
-    c.bench_function("striping/map_range 1GiB", |b| {
-        b.iter(|| black_box(striping.map_range(black_box(12345), 1 << 30)))
+    bench("striping/map_range 1GiB", 1000, || {
+        black_box(striping.map_range(black_box(12345), 1 << 30));
     });
-    c.bench_function("striping/locate", |b| {
-        b.iter(|| black_box(striping.locate(black_box(987_654_321))))
+    bench("striping/locate", 100_000, || {
+        black_box(striping.locate(black_box(987_654_321)));
     });
 }
 
-fn bench_extents(c: &mut Criterion) {
+fn bench_extents() {
     let raw: Vec<Extent> = (0..10_000u64)
         .rev()
         .map(|i| Extent::new(i * 100, 60))
         .collect();
-    c.bench_function("extents/normalize 10k", |b| {
-        b.iter_batched(
-            || raw.clone(),
-            |v| black_box(ExtentList::normalize(v)),
-            BatchSize::SmallInput,
-        )
+    bench("extents/normalize 10k", 100, || {
+        black_box(ExtentList::normalize(raw.clone()));
     });
-    let list = ExtentList::normalize(raw);
-    c.bench_function("extents/clip mid-window", |b| {
-        b.iter(|| black_box(list.clip(Extent::new(500_000, 10_000))))
+    let list = ExtentList::normalize(raw.clone());
+    bench("extents/clip mid-window", 10_000, || {
+        black_box(list.clip(Extent::new(500_000, 10_000)));
     });
-    c.bench_function("extents/overlaps", |b| {
-        b.iter(|| black_box(list.overlaps(Extent::new(black_box(777_777), 50))))
+    bench("extents/overlaps", 100_000, || {
+        black_box(list.overlaps(Extent::new(black_box(777_777), 50)));
     });
 }
 
-fn bench_datatype(c: &mut Criterion) {
+fn bench_datatype() {
     let subarray = Datatype::Subarray {
         sizes: vec![128, 128, 128],
         subsizes: vec![32, 32, 32],
         starts: vec![64, 64, 64],
         elem_size: 8,
     };
-    c.bench_function("datatype/flatten subarray 32^3", |b| {
-        b.iter(|| black_box(subarray.flatten(0)))
+    bench("datatype/flatten subarray 32^3", 1000, || {
+        black_box(subarray.flatten(0));
     });
 }
 
-fn bench_ptree(c: &mut Criterion) {
-    c.bench_function("ptree/build 1GiB at 4MiB leaves", |b| {
-        b.iter(|| black_box(PartitionTree::build(Extent::new(0, 1 << 30), 4 * MIB, MIB)))
+fn bench_ptree() {
+    bench("ptree/build 1GiB at 4MiB leaves", 1000, || {
+        black_box(PartitionTree::build(Extent::new(0, 1 << 30), 4 * MIB, MIB));
     });
-    c.bench_function("ptree/remerge half the leaves", |b| {
-        b.iter_batched(
-            || PartitionTree::build(Extent::new(0, 64 * MIB), MIB, MIB),
-            |mut t| {
-                while t.n_leaves() > 32 {
-                    let leaves = t.leaves();
-                    let _ = t.remerge(leaves[leaves.len() / 2]);
-                }
-                black_box(t.n_leaves())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("ptree/remerge half the leaves", 1000, || {
+        let mut t = PartitionTree::build(Extent::new(0, 64 * MIB), MIB, MIB);
+        while t.n_leaves() > 32 {
+            let leaves = t.leaves();
+            let _ = t.remerge(leaves[leaves.len() / 2]);
+        }
+        black_box(t.n_leaves());
     });
 }
 
-fn bench_cost(c: &mut Criterion) {
+fn bench_cost() {
     let cluster = test_cluster(16, 8);
     let placement = Placement::new(&cluster, 128, FillOrder::Block).unwrap();
     let model = CostModel::new(cluster);
     let flows: Vec<Flow> = (0..128)
-        .flat_map(|src| (0..16).map(move |agg| Flow { src, dst: agg * 8, bytes: 64 * 1024 }))
+        .flat_map(|src| {
+            (0..16).map(move |agg| Flow {
+                src,
+                dst: agg * 8,
+                bytes: 64 * 1024,
+            })
+        })
         .collect();
-    c.bench_function("cost/shuffle_phase 2k flows", |b| {
-        b.iter(|| black_box(model.shuffle_phase(&placement, &flows, &[])))
+    bench("cost/shuffle_phase 2k flows", 1000, || {
+        black_box(model.shuffle_phase(&placement, &flows, &[]));
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/normal sample", |b| {
-        let mut rng = stream_rng(1, "bench");
-        let mut s = NormalSampler::new(100.0, 15.0);
-        b.iter(|| black_box(s.sample(&mut rng)))
+fn bench_rng() {
+    let mut rng = stream_rng(1, "bench");
+    let mut s = NormalSampler::new(100.0, 15.0);
+    bench("rng/normal sample", 1_000_000, || {
+        black_box(s.sample(&mut rng));
     });
 }
 
-criterion_group!(
-    name = components;
-    config = Criterion::default().sample_size(20);
-    targets = bench_striping, bench_extents, bench_datatype, bench_ptree, bench_cost, bench_rng
-);
-criterion_main!(components);
+fn main() {
+    bench_striping();
+    bench_extents();
+    bench_datatype();
+    bench_ptree();
+    bench_cost();
+    bench_rng();
+}

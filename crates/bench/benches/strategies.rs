@@ -1,17 +1,22 @@
 //! Strategy comparison benches: every I/O strategy on miniature
 //! versions of the paper's workloads. These measure the *wall-clock* of
-//! the simulation (Criterion's normal metric); the virtual-time
-//! bandwidths the paper plots come from the `fig6`/`fig7`/`fig8`
-//! binaries.
+//! the simulation; the virtual-time bandwidths the paper plots come
+//! from the `fig6`/`fig7`/`fig8` binaries.
+//!
+//! Self-contained harness (`harness = false`): each scenario is run a
+//! fixed number of iterations around `std::time::Instant`, keeping the
+//! workspace free of external dependencies so `cargo bench --offline`
+//! works in network-restricted environments.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use std::time::Instant;
 
 use mccio_bench::{run, Platform};
 use mccio_core::prelude::*;
 use mccio_mpiio::SieveConfig;
 use mccio_sim::units::{KIB, MIB};
 use mccio_workloads::{CollPerf, Ior, IorMode, Workload};
+
+const ITERS: u32 = 10;
 
 fn platform() -> Platform {
     Platform::testbed(2, 24, 4).with_memory(256 * MIB, 64 * MIB)
@@ -21,7 +26,10 @@ fn strategies(platform: &Platform) -> Vec<(&'static str, Strategy)> {
     let tuning = platform.tuning();
     vec![
         ("independent", Strategy::Independent),
-        ("sieved", Strategy::IndependentSieved(SieveConfig::default())),
+        (
+            "sieved",
+            Strategy::IndependentSieved(SieveConfig::default()),
+        ),
         (
             "two-phase",
             Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
@@ -33,65 +41,57 @@ fn strategies(platform: &Platform) -> Vec<(&'static str, Strategy)> {
     ]
 }
 
-fn bench_ior(c: &mut Criterion) {
-    let platform = platform();
-    let ior = Ior::new(64 * KIB, 4, IorMode::Interleaved);
-    let mut group = c.benchmark_group("ior-interleaved-24ranks");
-    for (name, strategy) in strategies(&platform) {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
-        });
+/// Times `iters` runs of `f`, printing mean wall-clock per iteration.
+fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup to populate caches and the file system.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    let per = t0.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{group}/{name}: {:.3} ms/iter ({iters} iters)", per * 1e3);
 }
 
-fn bench_coll_perf(c: &mut Criterion) {
-    let platform = platform();
-    let workload = CollPerf::cube(48, 24, 4);
-    let mut group = c.benchmark_group("coll_perf-48cubed-24ranks");
-    for (name, strategy) in strategies(&platform) {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&workload, &strategy, &platform)))
+fn bench_workload(group: &str, workload: &impl Workload, platform: &Platform) {
+    for (name, strategy) in strategies(platform) {
+        bench(group, name, ITERS, || {
+            let _ = run(workload, &strategy, platform);
         });
     }
-    group.finish();
-}
-
-fn bench_random_ior(c: &mut Criterion) {
-    let platform = platform();
-    let ior = Ior::new(32 * KIB, 8, IorMode::Random(5));
-    let mut group = c.benchmark_group("ior-random-24ranks");
-    for (name, strategy) in strategies(&platform) {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run(&ior, &strategy, &platform)))
-        });
-    }
-    group.finish();
 }
 
 /// Also record the virtual-time bandwidths once per strategy so bench
 /// logs double as a sanity table.
-fn report_virtual_bandwidths(c: &mut Criterion) {
-    let platform = platform();
+fn report_virtual_bandwidths(platform: &Platform) {
     let ior = Ior::new(64 * KIB, 4, IorMode::Interleaved);
-    // Print once, outside measurement.
-    for (name, strategy) in strategies(&platform) {
-        let r = run(&ior, &strategy, &platform);
-        eprintln!(
+    for (name, strategy) in strategies(platform) {
+        let r = run(&ior, &strategy, platform);
+        println!(
             "[virtual] {name:>18}: write {:8.1} MB/s  read {:8.1} MB/s  ({} B)",
             r.write_mbps(),
             r.read_mbps(),
             r.total_bytes
         );
     }
-    // Keep criterion happy with a trivial measurement.
-    c.bench_function("report/noop", |b| b.iter(|| black_box(1 + 1)));
-    let _ = Workload::total_bytes(&ior, 24);
 }
 
-criterion_group!(
-    name = strategies_group;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ior, bench_coll_perf, bench_random_ior, report_virtual_bandwidths
-);
-criterion_main!(strategies_group);
+fn main() {
+    let platform = platform();
+    bench_workload(
+        "ior-interleaved-24ranks",
+        &Ior::new(64 * KIB, 4, IorMode::Interleaved),
+        &platform,
+    );
+    bench_workload(
+        "coll_perf-48cubed-24ranks",
+        &CollPerf::cube(48, 24, 4),
+        &platform,
+    );
+    bench_workload(
+        "ior-random-24ranks",
+        &Ior::new(32 * KIB, 8, IorMode::Random(5)),
+        &platform,
+    );
+    report_virtual_bandwidths(&platform);
+}

@@ -15,12 +15,17 @@ use mccio_sim::units::MIB;
 use mccio_workloads::CollPerf;
 
 fn main() {
-    let scale: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
-    let buffer_mib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let buffer_mib: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let platform = Platform::testbed(10, 120, 8).with_memory(96 * MIB, 50 * MIB);
     let workload = CollPerf::cube(scale, 120, 4);
-    let placement =
-        Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
+    let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
     let per_rank: Vec<ExtentList> = (0..120).map(|r| workload.extents(r)).collect();
     let pattern = GroupPattern::from_parts(RankSet::world(120), per_rank);
     let mem = platform.memory();
@@ -33,18 +38,30 @@ fn main() {
         &placement,
         TwoPhaseConfig::with_buffer(buffer_mib * MIB),
     );
-    println!("\ntwo-phase: {} domains, {} rounds", tp.domains.len(), tp.rounds());
+    println!(
+        "\ntwo-phase: {} domains, {} rounds",
+        tp.domains.len(),
+        tp.rounds()
+    );
     summarize(&tp, &placement);
 
     let cfg = MccioConfig::new(tuning, buffer_mib * MIB, platform.stripe);
     let mc = plan_mccio(&pattern, &placement, &mem, &cfg);
-    println!("\nmemory-conscious: {} domains, {} rounds", mc.domains.len(), mc.rounds());
+    println!(
+        "\nmemory-conscious: {} domains, {} rounds",
+        mc.domains.len(),
+        mc.rounds()
+    );
     summarize(&mc, &placement);
     for d in &mc.domains {
         println!(
             "  group {} domain {:>10}+{:<9} agg r{:<4} node {:<2} buffer {:>8}",
-            d.group, d.domain.offset, d.domain.len, d.aggregator,
-            placement.node_of(d.aggregator), d.buffer
+            d.group,
+            d.domain.offset,
+            d.domain.len,
+            d.aggregator,
+            placement.node_of(d.aggregator),
+            d.buffer
         );
     }
 }
@@ -52,7 +69,9 @@ fn main() {
 fn summarize(plan: &mccio_core::plan::CollectivePlan, placement: &Placement) {
     let mut per_node = std::collections::BTreeMap::new();
     for d in &plan.domains {
-        *per_node.entry(placement.node_of(d.aggregator)).or_insert(0usize) += 1;
+        *per_node
+            .entry(placement.node_of(d.aggregator))
+            .or_insert(0usize) += 1;
     }
     println!("  aggregators per node: {per_node:?}");
 }

@@ -38,7 +38,11 @@ fn main() {
     let mut rows = Vec::new();
     let buffers: Vec<u64> = std::env::var("MCCIO_BUFFERS")
         .ok()
-        .map(|v| v.split(',').map(|x| x.trim().parse().expect("MiB list")).collect())
+        .map(|v| {
+            v.split(',')
+                .map(|x| x.trim().parse().expect("MiB list"))
+                .collect()
+        })
         .unwrap_or_else(|| [1u64, 2, 4, 8, 16, 32, 64].to_vec());
     for &buffer_mb in &buffers {
         let buffer = buffer_mb * MIB;

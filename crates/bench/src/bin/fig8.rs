@@ -33,7 +33,11 @@ fn main() {
     let mut rows = Vec::new();
     let buffers: Vec<u64> = std::env::var("MCCIO_BUFFERS")
         .ok()
-        .map(|v| v.split(',').map(|x| x.trim().parse().expect("MiB list")).collect())
+        .map(|v| {
+            v.split(',')
+                .map(|x| x.trim().parse().expect("MiB list"))
+                .collect()
+        })
         .unwrap_or_else(|| [128u64, 32, 8, 2].to_vec());
     for &buffer_mb in &buffers {
         let buffer = buffer_mb * MIB;

@@ -82,7 +82,10 @@ fn build_workload(spec: &str, ranks: usize) -> Box<dyn Workload> {
                 "interleaved" => IorMode::Interleaved,
                 "segmented" => IorMode::Segmented,
                 "random" => IorMode::Random(
-                    get("seed").unwrap_or("42").parse().unwrap_or_else(|_| fail("bad seed")),
+                    get("seed")
+                        .unwrap_or("42")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad seed")),
                 ),
                 other => fail(&format!("unknown IOR mode {other:?}")),
             };
@@ -110,8 +113,10 @@ fn build_workload(spec: &str, ranks: usize) -> Box<dyn Workload> {
                 .unwrap_or_else(|_| fail("bad extents"));
             let min = parse_size(get("min").unwrap_or("1k"));
             let max = parse_size(get("max").unwrap_or("16k"));
-            let seed: u64 =
-                get("seed").unwrap_or("1").parse().unwrap_or_else(|_| fail("bad seed"));
+            let seed: u64 = get("seed")
+                .unwrap_or("1")
+                .parse()
+                .unwrap_or_else(|_| fail("bad seed"));
             Box::new(Synthetic::new(slice, extents, min, max, seed))
         }
         other => fail(&format!("unknown workload {other:?}")),
@@ -158,10 +163,20 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("{name} needs a value")))
         };
         match arg.as_str() {
-            "--nodes" => nodes = value("--nodes").parse().unwrap_or_else(|_| fail("bad --nodes")),
-            "--ranks" => ranks = value("--ranks").parse().unwrap_or_else(|_| fail("bad --ranks")),
+            "--nodes" => {
+                nodes = value("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --nodes"))
+            }
+            "--ranks" => {
+                ranks = value("--ranks")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --ranks"))
+            }
             "--servers" => {
-                servers = value("--servers").parse().unwrap_or_else(|_| fail("bad --servers"));
+                servers = value("--servers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --servers"));
             }
             "--stripe" => stripe = parse_size(&value("--stripe")),
             "--workload" => workload_spec = value("--workload"),
@@ -173,7 +188,11 @@ fn main() {
                     .unwrap_or_else(|| fail("--mem wants MEAN:STD"));
                 mem = Some((parse_size(mean), parse_size(std)));
             }
-            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"))
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
                 return;
@@ -194,7 +213,10 @@ fn main() {
         .resolve(&platform.cluster, &platform.pfs, servers, stripe)
         .unwrap_or_else(|e| fail(&e.to_string()));
 
-    println!("platform : {nodes} nodes, {ranks} ranks, {servers} OSTs, {} stripes", fmt_bytes(stripe));
+    println!(
+        "platform : {nodes} nodes, {ranks} ranks, {servers} OSTs, {} stripes",
+        fmt_bytes(stripe)
+    );
     println!("workload : {}", workload.name());
     println!("strategy : {}", strategy.label());
     println!(

@@ -140,10 +140,10 @@ pub fn run(workload: &dyn Workload, strategy: &Strategy, platform: &Platform) ->
     let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
         .expect("platform placement");
     let world = World::new(CostModel::new(platform.cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
-        mem: platform.memory(),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
+        platform.memory(),
+    );
     run_with(&world, &env, workload, strategy)
 }
 
@@ -217,11 +217,7 @@ pub fn paper_pair(platform: &Platform, buffer: u64) -> [(String, Strategy); 2] {
         ),
         (
             "memory-conscious".to_string(),
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(
-                tuning,
-                buffer,
-                platform.stripe,
-            ))),
+            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, buffer, platform.stripe))),
         ),
     ]
 }

@@ -18,23 +18,61 @@
 //! pure function of the plan and never of thread scheduling.
 
 use mccio_mem::{MemoryModel, Reservation};
+use mccio_mpiio::sieve::{sieved_read_r, sieved_write_r, SieveConfig};
+use mccio_mpiio::{Extent, ExtentList, GroupPattern, IoReport, Resilience};
 use mccio_net::wire::{put_u64, Reader};
 use mccio_net::{Ctx, RankSet};
-use mccio_pfs::{FileHandle, FileSystem, ServiceReport};
+use mccio_pfs::{FileHandle, FileSystem, IoFaults, RetryLog, ServiceReport};
 use mccio_sim::cost::Flow;
+use mccio_sim::error::{SimError, SimResult};
+use mccio_sim::fault::FaultPlan;
 use mccio_sim::time::VDuration;
-use mccio_mpiio::sieve::{sieved_read, sieved_write, SieveConfig};
-use mccio_mpiio::{Extent, ExtentList, GroupPattern, IoReport};
 
 use crate::plan::CollectivePlan;
+use crate::resilience::{FaultState, MAX_ESCALATIONS};
 
 /// Shared simulation environment a collective operation runs against.
+///
+/// Construct with [`IoEnv::new`] (healthy) or [`IoEnv::with_faults`]
+/// (hostile). Without a fault plan every code path is bit-identical to
+/// the engine before fault injection existed.
 #[derive(Debug, Clone)]
 pub struct IoEnv {
     /// The parallel file system.
     pub fs: FileSystem,
     /// The per-node memory model.
     pub mem: MemoryModel,
+    faults: FaultState,
+}
+
+impl IoEnv {
+    /// A healthy environment: no fault injection.
+    #[must_use]
+    pub fn new(fs: FileSystem, mem: MemoryModel) -> Self {
+        IoEnv {
+            fs,
+            mem,
+            faults: FaultState::none(),
+        }
+    }
+
+    /// An environment executing `plan`'s faults: scheduled memory
+    /// revocations, transient storage failures, degraded servers,
+    /// straggler nodes, control-plane delay.
+    #[must_use]
+    pub fn with_faults(fs: FileSystem, mem: MemoryModel, plan: FaultPlan) -> Self {
+        IoEnv {
+            fs,
+            mem,
+            faults: FaultState::new(plan),
+        }
+    }
+
+    /// The fault state this environment executes under.
+    #[must_use]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
 }
 
 /// Packed-buffer layout over an extent list: maps file offsets to
@@ -163,8 +201,14 @@ fn decode_sections(buf: &[u8]) -> Vec<SectionRef> {
 
 /// Round facts each rank contributes to the root's pricing:
 /// `[n_flows]{dst, bytes}` (flows this rank *sends*), the rank's storage
-/// report pairs, and the bytes it assembled in aggregation buffers.
-fn encode_facts(flows: &[(usize, u64)], report: &ServiceReport, assembled: u64) -> Vec<u8> {
+/// report pairs, the bytes it assembled in aggregation buffers, and the
+/// retry activity it endured this round.
+fn encode_facts(
+    flows: &[(usize, u64)],
+    report: &ServiceReport,
+    assembled: u64,
+    retry: RetryLog,
+) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, flows.len() as u64);
     for &(dst, bytes) in flows {
@@ -177,6 +221,10 @@ fn encode_facts(flows: &[(usize, u64)], report: &ServiceReport, assembled: u64) 
         put_u64(&mut buf, p);
     }
     put_u64(&mut buf, assembled);
+    put_u64(&mut buf, retry.backoff.as_secs().to_bits());
+    put_u64(&mut buf, retry.transient_faults);
+    put_u64(&mut buf, retry.retries);
+    put_u64(&mut buf, retry.exhausted);
     buf
 }
 
@@ -184,6 +232,7 @@ struct Facts {
     flows: Vec<(usize, u64)>,
     report: ServiceReport,
     assembled: u64,
+    retry: RetryLog,
 }
 
 fn decode_facts(buf: &[u8]) -> Facts {
@@ -193,16 +242,24 @@ fn decode_facts(buf: &[u8]) -> Facts {
     let n_pairs = r.u64() as usize;
     let pairs: Vec<u64> = (0..n_pairs).map(|_| r.u64()).collect();
     let assembled = r.u64();
+    let retry = RetryLog {
+        backoff: VDuration::from_secs(f64::from_bits(r.u64())),
+        transient_faults: r.u64(),
+        retries: r.u64(),
+        exhausted: r.u64(),
+    };
     r.finish();
     Facts {
         flows,
         report: ServiceReport::from_pairs(&pairs),
         assembled,
+        retry,
     }
 }
 
 /// Gathers every rank's round facts at the world root, prices the round,
 /// broadcasts the duration, and advances every rank's clock by it.
+#[allow(clippy::too_many_arguments)]
 fn settle_round(
     ctx: &mut Ctx,
     env: &IoEnv,
@@ -210,17 +267,30 @@ fn settle_round(
     my_flows: &[(usize, u64)],
     my_report: &ServiceReport,
     my_assembled: u64,
+    my_retry: RetryLog,
     is_write: bool,
 ) {
-    let payload = encode_facts(my_flows, my_report, my_assembled);
+    let payload = encode_facts(my_flows, my_report, my_assembled, my_retry);
     let gathered = ctx.group_gather(world, payload);
     let duration = if let Some(parts) = gathered {
+        let fault_plan = env.faults().plan();
         let mut flows: Vec<Flow> = Vec::new();
         let mut merged = ServiceReport::empty(env.fs.n_servers());
         let mut max_client = 0u64;
         let mut n_clients = 0usize;
         let mut assembly = VDuration::ZERO;
-        let factors = env.mem.pressure_factors();
+        // The round cannot finish before its slowest rank clears its
+        // retry backoff: the waiting term is the max over ranks.
+        let mut waiting = VDuration::ZERO;
+        let mut transient_faults = 0u64;
+        let mut retries = 0u64;
+        let mut factors = env.mem.pressure_factors();
+        // Straggler nodes run their compute/memory phases slower; this
+        // composes with memory pressure the same way pressure composes
+        // with itself — as a multiplier on the node's local work.
+        for (node, f) in factors.iter_mut().enumerate() {
+            *f *= fault_plan.straggler_factor(node);
+        }
         let cost = ctx.cost().clone();
         let placement = ctx.placement().clone();
         for (idx, part) in parts.iter().enumerate() {
@@ -236,19 +306,23 @@ fn settle_round(
             merged.merge(&facts.report);
             if facts.assembled > 0 {
                 let node = placement.node_of(src);
-                assembly = assembly.max(cost.local_copy(
-                    node,
-                    facts.assembled,
-                    factors[node],
-                ));
+                assembly = assembly.max(cost.local_copy(node, facts.assembled, factors[node]));
             }
+            waiting = waiting.max(facts.retry.backoff);
+            transient_faults += facts.retry.transient_faults;
+            retries += facts.retry.retries;
         }
         let sync = cost.round_sync(world.len());
         let shuffle = cost.shuffle_phase(&placement, &flows, &factors);
+        let slowdowns = if fault_plan.has_slow_servers() {
+            fault_plan.server_slowdowns(env.fs.n_servers())
+        } else {
+            Vec::new()
+        };
         let storage = env
             .fs
             .params()
-            .phase_time_dir(&merged, max_client, is_write, n_clients);
+            .phase_time_faulty(&merged, max_client, is_write, n_clients, &slowdowns);
         crate::stats::record(crate::stats::RoundRecord {
             is_write,
             flows: flows.len(),
@@ -259,10 +333,13 @@ fn settle_round(
             shuffle_secs: shuffle.as_secs(),
             storage_secs: storage.as_secs(),
             assembly_secs: assembly.as_secs(),
+            backoff_secs: waiting.as_secs(),
+            transient_faults,
+            retries,
         });
         if std::env::var_os("MCCIO_TRACE").is_some() {
             eprintln!(
-                "[mccio round] {} flows={} vol={}B reqs={} sync={} shuffle={} storage={} assembly={}",
+                "[mccio round] {} flows={} vol={}B reqs={} sync={} shuffle={} storage={} assembly={} backoff={} faults={}",
                 if is_write { "write" } else { "read" },
                 flows.len(),
                 merged.total_bytes(),
@@ -271,14 +348,22 @@ fn settle_round(
                 shuffle,
                 storage,
                 assembly,
+                waiting,
+                transient_faults,
             );
         }
-        (sync + shuffle + storage + assembly).as_secs()
+        (sync + shuffle + storage + assembly + waiting).as_secs()
     } else {
         0.0
     };
     let secs = ctx.group_bcast(world, mccio_net::wire::encode_f64(duration));
     ctx.advance(VDuration::from_secs(mccio_net::wire::decode_f64(&secs)));
+    // Memory events that fired during this round take effect before the
+    // next one prices: every rank reports the same crossing, the state
+    // applies each event once.
+    if env.faults().is_active() {
+        env.faults().apply_due(ctx.clock(), &env.mem);
+    }
 }
 
 /// Per-round send/receive planning shared by write and read paths.
@@ -300,9 +385,99 @@ impl RoundPlan {
     }
 }
 
+/// Collectively reserves this rank's aggregation buffers under the
+/// fault plan's retry policy.
+///
+/// Success is all-or-nothing across the world: if any rank cannot fit
+/// its buffers, everyone releases, advances a uniform backoff in virtual
+/// time (during which a scheduled memory restoration may land), and
+/// retries. The verdict is an allreduce, so every rank returns the same
+/// way — `Err` here is a *collective* decision the degradation ladder
+/// can act on without divergence.
+///
+/// Success itself is schedule-independent: per node, all `try_reserve`
+/// calls succeed iff the node's total demand fits its free memory, no
+/// matter the order ranks interleave in.
+fn reserve_collectively(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    world: &RankSet,
+    demands: &[u64],
+    res: &mut Resilience,
+) -> SimResult<Vec<Reservation>> {
+    let policy = env.faults().plan().retry;
+    for attempt in 0..policy.max_attempts {
+        let mut held = Vec::with_capacity(demands.len());
+        let mut ok = true;
+        for &bytes in demands {
+            match env.mem.try_reserve(ctx.node(), bytes) {
+                Some(r) => held.push(r),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let anyone_failed = ctx.group_allreduce_max_f64(world, if ok { 0.0 } else { 1.0 }) > 0.0;
+        if !anyone_failed {
+            return Ok(held);
+        }
+        drop(held);
+        // All partial reservations must be back before anyone retries.
+        ctx.group_barrier(world);
+        if attempt + 1 < policy.max_attempts {
+            let pause = policy.backoff(attempt);
+            ctx.advance(pause);
+            res.retries += 1;
+            res.backoff += pause;
+            // A restoration event may fire during the pause and rescue
+            // the next attempt.
+            env.faults().apply_due(ctx.clock(), &env.mem);
+            ctx.group_barrier(world);
+        }
+    }
+    res.exhausted += 1;
+    Err(SimError::TransientIo {
+        attempts: policy.max_attempts,
+    })
+}
+
+/// Drives one aggregator storage access to completion: retries inside
+/// `op` are governed by `faults`; a drained retry budget escalates — a
+/// policy-wide pause charged as backoff, then a full re-drive — up to
+/// [`MAX_ESCALATIONS`]. Collective correctness depends on this never
+/// returning failure: a per-rank error here would desynchronize the
+/// lock-step rounds, so a plan hostile enough to defeat escalation is a
+/// configuration error and panics.
+fn drive_storage<T>(faults: &mut IoFaults, mut op: impl FnMut(&mut IoFaults) -> SimResult<T>) -> T {
+    let policy = faults.policy();
+    for _ in 0..MAX_ESCALATIONS {
+        match op(faults) {
+            Ok(out) => return out,
+            Err(_) => {
+                faults.log.backoff += policy.backoff(policy.max_attempts.saturating_sub(1));
+            }
+        }
+    }
+    panic!(
+        "aggregator storage access failed {MAX_ESCALATIONS} consecutive escalations; \
+         the fault plan's failure rate defeats its retry policy"
+    );
+}
+
 /// Executes a collective write of `data` (this rank's extents packed in
 /// offset order). SPMD: every rank of the world calls this with the same
 /// `plan` and `pattern`.
+///
+/// Infallible facade over [`try_execute_write`] for healthy
+/// environments.
+///
+/// # Panics
+/// Panics if the environment carries an active fault plan and
+/// aggregation memory cannot be reserved within the retry budget —
+/// callers running under faults should use the degradation ladder
+/// (`crate::mccio::write` / `crate::two_phase::write`) or
+/// [`try_execute_write`] directly.
 pub fn execute_write(
     ctx: &mut Ctx,
     env: &IoEnv,
@@ -312,24 +487,72 @@ pub fn execute_write(
     my_extents: &ExtentList,
     data: &[u8],
 ) -> IoReport {
+    let mut res = Resilience::default();
+    try_execute_write(ctx, env, handle, plan, pattern, my_extents, data, &mut res)
+        .expect("collective write failed: aggregation memory unavailable after retries")
+}
+
+/// Fallible collective write: the engine under an active fault plan.
+///
+/// Accumulates everything endured into `res` (which the returned
+/// report's `resilience` mirrors on success) so a caller falling down
+/// the degradation ladder keeps the counts from failed rungs.
+///
+/// # Errors
+/// Returns [`SimError::TransientIo`] when aggregation memory cannot be
+/// reserved within the retry budget. The decision is collective: every
+/// rank returns `Err` together.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execute_write(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    plan: &CollectivePlan,
+    pattern: &GroupPattern,
+    my_extents: &ExtentList,
+    data: &[u8],
+    res: &mut Resilience,
+) -> SimResult<IoReport> {
     debug_assert!(data.len() as u64 >= my_extents.total_bytes());
     plan.assert_invariants();
+    let active = env.faults().is_active();
     let world = RankSet::world(ctx.size());
     let me = ctx.rank();
     let t0 = ctx.group_sync_clocks(&world);
+    if active {
+        ctx.world().set_ctl_delay(env.faults().plan().ctl_delay);
+        env.faults().apply_due(ctx.clock(), &env.mem);
+        ctx.group_barrier(&world);
+    }
 
-    // Aggregators reserve their buffers for the whole operation.
-    let _reservations: Vec<Reservation> = plan
+    // Aggregators reserve their buffers for the whole operation. The
+    // healthy path pages infallibly (pressure, not failure); under a
+    // fault plan reservation is collective and can be refused.
+    let my_demands: Vec<u64> = plan
         .domains
         .iter()
         .filter(|d| d.aggregator == me)
-        .map(|d| env.mem.reserve(ctx.node(), d.buffer))
+        .map(|d| d.buffer)
         .collect();
+    let _reservations: Vec<Reservation> = if active {
+        reserve_collectively(ctx, env, &world, &my_demands, res)?
+    } else {
+        my_demands
+            .iter()
+            .map(|&bytes| env.mem.reserve(ctx.node(), bytes))
+            .collect()
+    };
     ctx.group_barrier(&world);
+    let mut faults = if active {
+        env.faults().take_io_faults(me)
+    } else {
+        IoFaults::none()
+    };
 
     let my_domains = plan.domains_of(me);
     let my_cum = my_extents.cumulative_offsets();
     for round in 0..plan.rounds() {
+        let log_before = faults.log;
         let rp = RoundPlan::new(plan, round);
         // --- sends: my pieces for every active window ---
         let mut per_dst: Vec<(usize, Vec<BorrowedSection<'_>>)> = Vec::new();
@@ -355,8 +578,7 @@ pub fn execute_write(
         let mut recv_from: Vec<usize> = Vec::new();
         for &src in pattern.group().members() {
             let sends_to_me = rp.windows.iter().any(|&(di, w)| {
-                plan.domains[di].aggregator == me
-                    && pattern.extents_of_rank(src).overlaps(w)
+                plan.domains[di].aggregator == me && pattern.extents_of_rank(src).overlaps(w)
             });
             if sends_to_me {
                 recv_from.push(src);
@@ -405,33 +627,66 @@ pub fn execute_write(
                         }
                         for (e, range) in pieces {
                             let pos = layout.position(e.offset);
-                            buf[pos..pos + e.len as usize]
-                                .copy_from_slice(&payload[range.clone()]);
+                            buf[pos..pos + e.len as usize].copy_from_slice(&payload[range.clone()]);
                         }
                     }
                 }
                 assembled += union.total_bytes();
-                let out = sieved_write(
-                    handle,
-                    &union,
-                    &buf,
-                    SieveConfig { buffer_size: w.len.max(1) },
-                );
+                let out = drive_storage(&mut faults, |f| {
+                    sieved_write_r(
+                        handle,
+                        &union,
+                        &buf,
+                        SieveConfig {
+                            buffer_size: w.len.max(1),
+                        },
+                        f,
+                    )
+                });
                 report.merge(&out.report);
             }
         }
-        settle_round(ctx, env, &world, &flow_entries, &report, assembled, true);
+        let delta = retry_delta(faults.log, log_before);
+        settle_round(
+            ctx,
+            env,
+            &world,
+            &flow_entries,
+            &report,
+            assembled,
+            delta,
+            true,
+        );
     }
     drop(_reservations);
     ctx.group_barrier(&world);
-    IoReport {
+    if active {
+        env.faults().return_io_faults(me, faults, res);
+        res.revocations += env.faults().plan().revocations_between(t0, ctx.clock());
+    }
+    Ok(IoReport {
         bytes: my_extents.total_bytes(),
         elapsed: ctx.clock() - t0,
+        resilience: *res,
+    })
+}
+
+/// What `now` accumulated beyond the `before` snapshot.
+fn retry_delta(now: RetryLog, before: RetryLog) -> RetryLog {
+    RetryLog {
+        transient_faults: now.transient_faults - before.transient_faults,
+        retries: now.retries - before.retries,
+        backoff: VDuration::from_secs((now.backoff.as_secs() - before.backoff.as_secs()).max(0.0)),
+        exhausted: now.exhausted - before.exhausted,
     }
 }
 
 /// Executes a collective read; returns this rank's data packed in extent
 /// offset order. SPMD like [`execute_write`].
+///
+/// # Panics
+/// Like [`execute_write`], panics if an active fault plan defeats
+/// reservation — use the ladder entry points or [`try_execute_read`].
 pub fn execute_read(
     ctx: &mut Ctx,
     env: &IoEnv,
@@ -440,18 +695,56 @@ pub fn execute_read(
     pattern: &GroupPattern,
     my_extents: &ExtentList,
 ) -> (Vec<u8>, IoReport) {
+    let mut res = Resilience::default();
+    try_execute_read(ctx, env, handle, plan, pattern, my_extents, &mut res)
+        .expect("collective read failed: aggregation memory unavailable after retries")
+}
+
+/// Fallible collective read; see [`try_execute_write`].
+///
+/// # Errors
+/// Returns [`SimError::TransientIo`] when aggregation memory cannot be
+/// reserved within the retry budget, collectively on every rank.
+pub fn try_execute_read(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    plan: &CollectivePlan,
+    pattern: &GroupPattern,
+    my_extents: &ExtentList,
+    res: &mut Resilience,
+) -> SimResult<(Vec<u8>, IoReport)> {
     plan.assert_invariants();
+    let active = env.faults().is_active();
     let world = RankSet::world(ctx.size());
     let me = ctx.rank();
     let t0 = ctx.group_sync_clocks(&world);
+    if active {
+        ctx.world().set_ctl_delay(env.faults().plan().ctl_delay);
+        env.faults().apply_due(ctx.clock(), &env.mem);
+        ctx.group_barrier(&world);
+    }
 
-    let _reservations: Vec<Reservation> = plan
+    let my_demands: Vec<u64> = plan
         .domains
         .iter()
         .filter(|d| d.aggregator == me)
-        .map(|d| env.mem.reserve(ctx.node(), d.buffer))
+        .map(|d| d.buffer)
         .collect();
+    let _reservations: Vec<Reservation> = if active {
+        reserve_collectively(ctx, env, &world, &my_demands, res)?
+    } else {
+        my_demands
+            .iter()
+            .map(|&bytes| env.mem.reserve(ctx.node(), bytes))
+            .collect()
+    };
     ctx.group_barrier(&world);
+    let mut faults = if active {
+        env.faults().take_io_faults(me)
+    } else {
+        IoFaults::none()
+    };
 
     let mut out = vec![0u8; my_extents.total_bytes() as usize];
     let my_layout_cum: Vec<u64> = {
@@ -466,6 +759,7 @@ pub fn execute_read(
 
     let my_domains = plan.domains_of(me);
     for round in 0..plan.rounds() {
+        let log_before = faults.log;
         let rp = RoundPlan::new(plan, round);
         // --- aggregators fetch windows and scatter pieces ---
         let mut report = ServiceReport::empty(env.fs.n_servers());
@@ -494,11 +788,16 @@ pub fn execute_read(
                     continue;
                 }
                 let union = ExtentList::normalize(need);
-                let (packed, sv) = sieved_read(
-                    handle,
-                    &union,
-                    SieveConfig { buffer_size: w.len.max(1) },
-                );
+                let (packed, sv) = drive_storage(&mut faults, |f| {
+                    sieved_read_r(
+                        handle,
+                        &union,
+                        SieveConfig {
+                            buffer_size: w.len.max(1),
+                        },
+                        f,
+                    )
+                });
                 report.merge(&sv.report);
                 assembled += union.total_bytes();
                 let layout = PackedLayout::new(&union);
@@ -550,15 +849,30 @@ pub fn execute_read(
                 }
             }
         }
-        settle_round(ctx, env, &world, &flow_entries, &report, assembled, false);
+        let delta = retry_delta(faults.log, log_before);
+        settle_round(
+            ctx,
+            env,
+            &world,
+            &flow_entries,
+            &report,
+            assembled,
+            delta,
+            false,
+        );
     }
     drop(_reservations);
     ctx.group_barrier(&world);
+    if active {
+        env.faults().return_io_faults(me, faults, res);
+        res.revocations += env.faults().plan().revocations_between(t0, ctx.clock());
+    }
     let report = IoReport {
         bytes: my_extents.total_bytes(),
         elapsed: ctx.clock() - t0,
+        resilience: *res,
     };
-    (out, report)
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -572,10 +886,10 @@ mod tests {
 
     fn env() -> IoEnv {
         let cluster = test_cluster(2, 2);
-        IoEnv {
-            fs: FileSystem::new(4, 64, PfsParams::default()),
-            mem: MemoryModel::pristine(&cluster),
-        }
+        IoEnv::new(
+            FileSystem::new(4, 64, PfsParams::default()),
+            MemoryModel::pristine(&cluster),
+        )
     }
 
     fn world() -> std::sync::Arc<World> {
@@ -765,24 +1079,16 @@ mod tests {
         // storage terms: each rank writes 2 MiB contiguously.
         let elapsed_with = |mem: MemoryModel| {
             let w = world();
-            let e = IoEnv {
-                fs: FileSystem::new(4, 1 << 16, PfsParams::default()),
-                mem,
-            };
+            let e = IoEnv::new(FileSystem::new(4, 1 << 16, PfsParams::default()), mem);
             let reports = w.run(|ctx| {
                 let env = e.clone();
                 let handle = env.fs.open_or_create("p");
                 let r = ctx.rank() as u64;
-                let extents =
-                    ExtentList::normalize(vec![Extent::new(r * (2 << 20), 2 << 20)]);
+                let extents = ExtentList::normalize(vec![Extent::new(r * (2 << 20), 2 << 20)]);
                 let data = vec![r as u8 + 1; 2 << 20];
                 let pattern = GroupPattern::gather(ctx, &RankSet::world(4), &extents);
                 // Aggregator rank 0 sits on node 0 with a huge buffer.
-                let plan = simple_plan(
-                    pattern.global_range().unwrap(),
-                    16 << 20,
-                    &[0],
-                );
+                let plan = simple_plan(pattern.global_range().unwrap(), 16 << 20, &[0]);
                 execute_write(ctx, &env, &handle, &plan, &pattern, &extents, &data)
             });
             reports[0].elapsed.as_secs()

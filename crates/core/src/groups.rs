@@ -231,9 +231,7 @@ mod tests {
     fn serial_pattern(ranks: usize, bytes_per_rank: u64) -> GroupPattern {
         let group = RankSet::world(ranks);
         let per_rank = (0..ranks as u64)
-            .map(|r| {
-                ExtentList::normalize(vec![Extent::new(r * bytes_per_rank, bytes_per_rank)])
-            })
+            .map(|r| ExtentList::normalize(vec![Extent::new(r * bytes_per_rank, bytes_per_rank)]))
             .collect();
         GroupPattern::from_parts(group, per_rank)
     }
@@ -339,7 +337,9 @@ mod tests {
         let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
         let mk = |base: u64, phase: u64| {
             ExtentList::normalize(
-                (0..6).map(|i| Extent::new(base + i * 100 + phase * 50, 50)).collect(),
+                (0..6)
+                    .map(|i| Extent::new(base + i * 100 + phase * 50, 50))
+                    .collect(),
             )
         };
         let pattern = GroupPattern::from_parts(
@@ -359,10 +359,7 @@ mod tests {
     fn empty_pattern_has_no_groups() {
         let cluster = test_cluster(2, 2);
         let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
-        let pattern = GroupPattern::from_parts(
-            RankSet::world(4),
-            vec![ExtentList::default(); 4],
-        );
+        let pattern = GroupPattern::from_parts(RankSet::world(4), vec![ExtentList::default(); 4]);
         assert!(divide_groups(&pattern, &placement, 100).is_empty());
     }
 

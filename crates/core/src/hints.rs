@@ -106,12 +106,10 @@ impl Hints {
     fn size(&self, key: &str) -> Result<Option<u64>, HintError> {
         match self.entries.get(key) {
             None => Ok(None),
-            Some(v) => parse_size(v)
-                .map(Some)
-                .ok_or_else(|| HintError::BadValue {
-                    key: key.to_string(),
-                    value: v.clone(),
-                }),
+            Some(v) => parse_size(v).map(Some).ok_or_else(|| HintError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
         }
     }
 
@@ -259,7 +257,11 @@ mod tests {
 
     #[test]
     fn mccio_hints_override_tuning() {
-        match resolve("mccio=enable, cb_buffer_size=16m, mccio_n_ah=3, mccio_msg_ind=2m, mccio_seed=7").unwrap() {
+        match resolve(
+            "mccio=enable, cb_buffer_size=16m, mccio_n_ah=3, mccio_msg_ind=2m, mccio_seed=7",
+        )
+        .unwrap()
+        {
             Strategy::MemoryConscious(cfg) => {
                 assert_eq!(cfg.buffer_mean, 16 * MIB);
                 assert_eq!(cfg.tuning.n_ah, 3);

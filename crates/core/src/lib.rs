@@ -13,6 +13,11 @@
 //!   `Msg_ind`, `Mem_min`, `Msg_group`);
 //! * [`engine`] — the lock-step round executor both strategies share, so
 //!   measured differences come from planning decisions only;
+//! * [`resilience`] — fault application and the degradation ladder's
+//!   per-rank machinery: under an active `mccio_sim::fault::FaultPlan`
+//!   the collective entry points retry, re-plan, and finally degrade
+//!   (memory-conscious → re-planned memory-conscious → two-phase →
+//!   independent I/O) instead of failing;
 //! * [`strategy`] — a uniform facade (`Independent`, sieved, two-phase,
 //!   memory-conscious) for workloads and benches.
 //!
@@ -26,10 +31,10 @@
 //! let cluster = test_cluster(2, 2);
 //! let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
 //! let world = World::new(CostModel::new(cluster.clone()), placement);
-//! let env = IoEnv {
-//!     fs: FileSystem::new(4, 1 << 16, PfsParams::default()),
-//!     mem: MemoryModel::pristine(&cluster),
-//! };
+//! let env = IoEnv::new(
+//!     FileSystem::new(4, 1 << 16, PfsParams::default()),
+//!     MemoryModel::pristine(&cluster),
+//! );
 //! let cfg = TwoPhaseConfig::default();
 //! let reports = world.run(|ctx| {
 //!     let env = env.clone();
@@ -50,6 +55,7 @@ pub mod mccio;
 pub mod placement;
 pub mod plan;
 pub mod ptree;
+pub mod resilience;
 pub mod stats;
 pub mod strategy;
 pub mod tuner;
@@ -58,6 +64,7 @@ pub mod two_phase;
 pub use engine::IoEnv;
 pub use hints::Hints;
 pub use mccio::MccioConfig;
+pub use resilience::FaultState;
 pub use strategy::Strategy;
 pub use tuner::Tuning;
 pub use two_phase::TwoPhaseConfig;
@@ -73,4 +80,5 @@ pub mod prelude {
     pub use mccio_mpiio::{Datatype, Extent, ExtentList, FileView, IoReport};
     pub use mccio_net::{Ctx, RankSet, World};
     pub use mccio_pfs::{FileSystem, PfsParams};
+    pub use mccio_sim::fault::{FaultPlan, RetryPolicy};
 }

@@ -27,19 +27,22 @@
 //! executor.
 
 use mccio_mem::MemoryModel;
-use mccio_mpiio::{ExtentList, GroupPattern, IoReport};
+use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
 use mccio_net::{Ctx, RankSet};
 use mccio_pfs::FileHandle;
 use mccio_sim::rng::{stream_rng, NormalSampler};
+use mccio_sim::time::VTime;
 use mccio_sim::topology::Placement;
 use mccio_sim::units::{div_ceil, KIB};
 
-use crate::engine::{execute_read, execute_write, IoEnv};
+use crate::engine::{execute_read, execute_write, try_execute_read, try_execute_write, IoEnv};
 use crate::groups::divide_groups;
 use crate::placement::{assign_aggregators, AggregatorLoad, PlacementPolicy};
 use crate::plan::{CollectivePlan, DomainPlan};
 use crate::ptree::PartitionTree;
+use crate::resilience::{independent_read, independent_write};
 use crate::tuner::Tuning;
+use crate::two_phase::{plan_two_phase, TwoPhaseConfig};
 
 /// Memory-conscious collective I/O configuration.
 #[derive(Debug, Clone, Copy)]
@@ -116,8 +119,7 @@ pub fn plan_mccio(
     let total_slots: u64 = (placement.n_nodes() * cfg.tuning.n_ah) as u64;
     let mut domains = Vec::new();
     for (gi, g) in groups.iter().enumerate() {
-        let mut group_hosts: Vec<usize> =
-            g.members.iter().map(|r| placement.node_of(r)).collect();
+        let mut group_hosts: Vec<usize> = g.members.iter().map(|r| placement.node_of(r)).collect();
         group_hosts.sort_unstable();
         group_hosts.dedup();
         let host_cap = (group_hosts.len() * cfg.tuning.n_ah) as u64;
@@ -128,16 +130,9 @@ pub fn plan_mccio(
         // quota-sized domains instead of letting remerges skew the tail.
         let by_msg_ind = div_ceil(g.region.len, cfg.tuning.msg_ind);
         let n_leaves = by_msg_ind.min(quota).clamp(1, g.region.len) as usize;
-        let mut tree =
-            PartitionTree::build_equal(g.region, n_leaves, cfg.align.max(1));
+        let mut tree = PartitionTree::build_equal(g.region, n_leaves, cfg.align.max(1));
         let assignments = assign_aggregators(
-            &mut tree,
-            pattern,
-            &g.members,
-            placement,
-            mem,
-            policy,
-            &mut load,
+            &mut tree, pattern, &g.members, placement, mem, policy, &mut load,
         );
         for a in assignments {
             let node = placement.node_of(a.aggregator);
@@ -146,11 +141,9 @@ pub fn plan_mccio(
             // exceed the data it aggregates — and (b) a fair share of
             // what the host actually has free, with headroom so N_ah
             // aggregators plus the application never page.
-            let sampled = sampler
-                .sample_clamped(&mut rng, MIN_BUFFER as f64, u64::MAX as f64 / 2.0)
-                as u64;
-            let fair_share =
-                (mem.available(node) / (2 * cfg.tuning.n_ah as u64)).max(MIN_BUFFER);
+            let sampled =
+                sampler.sample_clamped(&mut rng, MIN_BUFFER as f64, u64::MAX as f64 / 2.0) as u64;
+            let fair_share = (mem.available(node) / (2 * cfg.tuning.n_ah as u64)).max(MIN_BUFFER);
             let need = a.domain.len.max(MIN_BUFFER);
             let mut buffer = sampled.min(fair_share).min(need);
             // Quantize: a buffer within 10 % of the whole domain serves
@@ -167,7 +160,11 @@ pub fn plan_mccio(
                 let align = cfg.align.max(1);
                 let aligned = equal.div_ceil(align).saturating_mul(align);
                 // Alignment must never override the memory constraint.
-                buffer = if aligned <= fair_share { aligned } else { equal };
+                buffer = if aligned <= fair_share {
+                    aligned
+                } else {
+                    equal
+                };
             }
             domains.push(DomainPlan {
                 domain: a.domain,
@@ -181,6 +178,16 @@ pub fn plan_mccio(
 }
 
 /// Collective write with memory-conscious collective I/O. SPMD.
+///
+/// Under an active fault plan this entry point is a degradation ladder
+/// rather than a single strategy: if aggregation memory cannot be
+/// reserved within the retry budget, the operation re-plans against the
+/// current (post-revocation) memory state; failing that, falls back to
+/// classic two-phase; failing that, to per-rank independent sieved I/O,
+/// which needs no aggregation memory and therefore always completes.
+/// Every rank descends the ladder together (reservation verdicts are
+/// collective), and the rung finally used is reported in
+/// `IoReport::resilience::fallbacks`.
 pub fn write(
     ctx: &mut Ctx,
     env: &IoEnv,
@@ -191,11 +198,45 @@ pub fn write(
 ) -> IoReport {
     let world = RankSet::world(ctx.size());
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
+    if !env.faults().is_active() {
+        let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
+        return execute_write(ctx, env, handle, &plan, &pattern, my_extents, data);
+    }
+    let t0 = ctx.group_sync_clocks(&world);
+    let mut res = Resilience::default();
+    // Rung 0: the planned strategy.
     let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    execute_write(ctx, env, handle, &plan, &pattern, my_extents, data)
+    if let Ok(r) = try_execute_write(
+        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
+    ) {
+        return finish(ctx, t0, r, res, 0);
+    }
+    // Rung 1: re-plan against what memory actually looks like now —
+    // revocation may have moved the viable aggregator hosts.
+    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
+    if let Ok(r) = try_execute_write(
+        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
+    ) {
+        return finish(ctx, t0, r, res, 1);
+    }
+    // Rung 2: classic two-phase with the experiment's buffer.
+    let plan = plan_two_phase(
+        &pattern,
+        ctx.placement(),
+        TwoPhaseConfig::with_buffer(cfg.buffer_mean),
+    );
+    if let Ok(r) = try_execute_write(
+        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
+    ) {
+        return finish(ctx, t0, r, res, 2);
+    }
+    // Rung 3: independent I/O — no aggregation memory at all.
+    let r = independent_write(ctx, env, handle, my_extents, data, &mut res);
+    finish(ctx, t0, r, res, 3)
 }
 
-/// Collective read with memory-conscious collective I/O. SPMD.
+/// Collective read with memory-conscious collective I/O. SPMD. Degrades
+/// under faults exactly like [`write`].
 pub fn read(
     ctx: &mut Ctx,
     env: &IoEnv,
@@ -205,8 +246,43 @@ pub fn read(
 ) -> (Vec<u8>, IoReport) {
     let world = RankSet::world(ctx.size());
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
+    if !env.faults().is_active() {
+        let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
+        return execute_read(ctx, env, handle, &plan, &pattern, my_extents);
+    }
+    let t0 = ctx.group_sync_clocks(&world);
+    let mut res = Resilience::default();
     let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    execute_read(ctx, env, handle, &plan, &pattern, my_extents)
+    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
+    {
+        return (data, finish(ctx, t0, r, res, 0));
+    }
+    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
+    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
+    {
+        return (data, finish(ctx, t0, r, res, 1));
+    }
+    let plan = plan_two_phase(
+        &pattern,
+        ctx.placement(),
+        TwoPhaseConfig::with_buffer(cfg.buffer_mean),
+    );
+    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
+    {
+        return (data, finish(ctx, t0, r, res, 2));
+    }
+    let (data, r) = independent_read(ctx, env, handle, my_extents, &mut res);
+    (data, finish(ctx, t0, r, res, 3))
+}
+
+/// Stamps the ladder outcome onto the final report: elapsed spans the
+/// whole descent (failed rungs spent real virtual time retrying), and
+/// `fallbacks` records the rung that completed the operation.
+fn finish(ctx: &Ctx, t0: VTime, mut report: IoReport, mut res: Resilience, rung: u32) -> IoReport {
+    res.fallbacks = rung;
+    report.resilience = res;
+    report.elapsed = ctx.clock() - t0;
+    report
 }
 
 #[cfg(test)]
@@ -276,7 +352,10 @@ mod tests {
         let mem = MemoryModel::build(
             &cluster,
             |_, cap| cap - 6 * MIB,
-            MemParams { os_reserve_fraction: 0.0, ..MemParams::default() },
+            MemParams {
+                os_reserve_fraction: 0.0,
+                ..MemParams::default()
+            },
         );
         let pattern = serial_pattern(8, 16 * MIB);
         // Experiment asks for 64 MiB buffers — far beyond what fits.
@@ -316,12 +395,17 @@ mod tests {
         let cluster = test_cluster(3, 2);
         let placement = Placement::new(&cluster, 6, FillOrder::Block).unwrap();
         let world = World::new(CostModel::new(cluster.clone()), placement);
-        let env = IoEnv {
-            fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-            mem: MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(4, 64 * KIB, PfsParams::default()),
+            MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
+        );
         let cfg = MccioConfig::new(
-            Tuning { n_ah: 2, msg_ind: MIB, mem_min: 2 * MIB, msg_group: 4 * MIB },
+            Tuning {
+                n_ah: 2,
+                msg_ind: MIB,
+                mem_min: 2 * MIB,
+                msg_group: 4 * MIB,
+            },
             2 * MIB,
             64 * KIB,
         );
@@ -330,7 +414,9 @@ mod tests {
             let handle = env.fs.open_or_create("mc");
             let r = ctx.rank() as u64;
             let extents = ExtentList::normalize(
-                (0..32).map(|i| Extent::new((r * 32 + i) * 8 * KIB, 8 * KIB)).collect(),
+                (0..32)
+                    .map(|i| Extent::new((r * 32 + i) * 8 * KIB, 8 * KIB))
+                    .collect(),
             );
             let data: Vec<u8> = (0..extents.total_bytes())
                 .map(|i| (i as u8).wrapping_add(r as u8 * 13))

@@ -116,9 +116,7 @@ pub fn assign_aggregators(
             cands
                 .iter()
                 .copied()
-                .filter(|&n| {
-                    load.node_load(n) < policy.n_ah && mem.available(n) >= policy.mem_min
-                })
+                .filter(|&n| load.node_load(n) < policy.n_ah && mem.available(n) >= policy.mem_min)
                 .min_by(|&a, &b| {
                     let local_a = host_bytes.get(&a).copied().unwrap_or(0);
                     let local_b = host_bytes.get(&b).copied().unwrap_or(0);
@@ -265,7 +263,10 @@ mod tests {
             &RankSet::world(8),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 2,
+                mem_min: MIB,
+            },
             &mut load,
         );
         assert_eq!(out.len(), 4);
@@ -290,7 +291,10 @@ mod tests {
             &RankSet::world(8),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 2,
+                mem_min: MIB,
+            },
             &mut load,
         );
         // Domain 200..400 only touches node-1 ranks; with node 1 failing
@@ -326,7 +330,10 @@ mod tests {
             &RankSet::world(8),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 1, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 1,
+                mem_min: MIB,
+            },
             &mut load,
         );
         let mut per_node: HashMap<usize, usize> = HashMap::new();
@@ -352,7 +359,10 @@ mod tests {
             &RankSet::world(8),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 2,
+                mem_min: MIB,
+            },
             &mut load,
         );
         assert_eq!(out.len(), 1, "everything remerged into one domain");
@@ -384,7 +394,10 @@ mod tests {
             &RankSet::world(4),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 4, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 4,
+                mem_min: MIB,
+            },
             &mut load,
         );
         assert_eq!(out.len(), 2, "{out:?}");
@@ -404,7 +417,10 @@ mod tests {
             &RankSet::world(8),
             &placement,
             &mem,
-            PlacementPolicy { n_ah: 2, mem_min: MIB },
+            PlacementPolicy {
+                n_ah: 2,
+                mem_min: MIB,
+            },
             &mut load,
         );
         assert_eq!(out.len(), 8);

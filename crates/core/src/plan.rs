@@ -42,7 +42,10 @@ impl DomainPlan {
     /// already finished.
     #[must_use]
     pub fn window(&self, round: u64) -> Option<Extent> {
-        let start = self.domain.offset.checked_add(round.checked_mul(self.buffer)?)?;
+        let start = self
+            .domain
+            .offset
+            .checked_add(round.checked_mul(self.buffer)?)?;
         if start >= self.domain.end() {
             return None;
         }
@@ -62,7 +65,11 @@ impl CollectivePlan {
     /// Lock-step round count: the slowest domain's round count.
     #[must_use]
     pub fn rounds(&self) -> u64 {
-        self.domains.iter().map(DomainPlan::rounds).max().unwrap_or(0)
+        self.domains
+            .iter()
+            .map(DomainPlan::rounds)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Distinct aggregator ranks, ascending.

@@ -54,7 +54,10 @@ impl PartitionTree {
     #[must_use]
     pub fn build(region: Extent, msg_ind: u64, align: u64) -> Self {
         assert!(!region.is_empty(), "cannot partition an empty region");
-        assert!(msg_ind > 0, "termination criterion Msg_ind must be positive");
+        assert!(
+            msg_ind > 0,
+            "termination criterion Msg_ind must be positive"
+        );
         assert!(align > 0, "alignment must be positive");
         let mut tree = PartitionTree {
             nodes: vec![Node {
@@ -324,7 +327,10 @@ mod tests {
     fn bisection_terminates_at_msg_ind() {
         let t = PartitionTree::build(Extent::new(0, 1000), 300, 1);
         t.assert_tiling();
-        assert_eq!(domains(&t), vec![(0, 250), (250, 250), (500, 250), (750, 250)]);
+        assert_eq!(
+            domains(&t),
+            vec![(0, 250), (250, 250), (500, 250), (750, 250)]
+        );
         for l in t.leaves() {
             assert!(t.domain(l).len <= 300);
         }
@@ -418,7 +424,10 @@ mod tests {
         // 0..800 with msg_ind 200: perfect tree, 4 leaves.
         let mut t = PartitionTree::build(Extent::new(0, 800), 200, 1);
         let leaves = t.leaves();
-        assert_eq!(domains(&t), vec![(0, 200), (200, 200), (400, 200), (600, 200)]);
+        assert_eq!(
+            domains(&t),
+            vec![(0, 200), (200, 200), (400, 200), (600, 200)]
+        );
         // Remove the leaf at 400..600. Its sibling in the right subtree is
         // the 600..800 leaf (case 1 at that level). Instead pick a case-2
         // shape: remove 0..200's *parent-level* neighbour... Use leaf 0:

@@ -1,0 +1,317 @@
+//! Fault application and the degradation ladder's per-rank machinery.
+//!
+//! The simulation layer describes a hostile environment as data
+//! ([`FaultPlan`]); this module is where the collective engine consumes
+//! it:
+//!
+//! * [`FaultState`] carries the plan inside an [`crate::engine::IoEnv`]
+//!   and applies scheduled memory events exactly once, when the virtual
+//!   clock crosses their timestamps. Ranks only call
+//!   [`FaultState::apply_due`] at collective synchronization points
+//!   where every rank agrees on the clock, so *which* events have fired
+//!   is schedule-independent even though *who* applies them is not.
+//! * Per-rank transient-failure streams are parked here between
+//!   operations ([`FaultState::take_io_faults`] /
+//!   [`FaultState::return_io_faults`]), so a write followed by a read
+//!   continues the same decision sequence instead of replaying it.
+//! * [`independent_write`] / [`independent_read`] are the ladder's
+//!   bottom rung: per-rank sieved I/O that needs no aggregation memory
+//!   at all, driven through the fallible request path with bounded
+//!   escalation.
+
+use mccio_mpiio::independent::{read_sieved_r, write_sieved_r};
+use mccio_mpiio::{ExtentList, IoReport, Resilience, SieveConfig};
+use mccio_net::Ctx;
+use mccio_pfs::{FileHandle, IoFaults};
+use mccio_sim::fault::{FaultPlan, FaultStream};
+use mccio_sim::sync::Mutex;
+use mccio_sim::time::VTime;
+
+use mccio_mem::MemoryModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::engine::IoEnv;
+
+/// How many times the engine re-drives a storage access whose whole
+/// retry budget was exhausted before declaring the run unrecoverable.
+/// With any failure rate `p < 1` and `a` attempts per drive, a single
+/// escalation already succeeds with probability `1 - p^a`; the cap only
+/// exists to turn a misconfigured plan into a loud failure instead of an
+/// unbounded loop.
+pub const MAX_ESCALATIONS: u32 = 64;
+
+/// Shared, clock-driven fault state carried by an [`IoEnv`].
+///
+/// Clones share the applied-event cursor and the parked per-rank
+/// streams, mirroring how `IoEnv` itself is cloned into every rank's
+/// closure.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: Arc<FaultPlan>,
+    /// Cursor into `plan.events()`: how many leading events have fired.
+    applied: Arc<Mutex<usize>>,
+    /// Streams parked between operations, keyed by rank. Only the owning
+    /// rank's thread touches its entry.
+    streams: Arc<Mutex<HashMap<usize, FaultStream>>>,
+}
+
+impl FaultState {
+    /// A state that injects nothing; [`FaultState::is_active`] is false.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultState::new(FaultPlan::new(0))
+    }
+
+    /// Wraps a fault plan for execution.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan: Arc::new(plan),
+            applied: Arc::new(Mutex::new(0)),
+            streams: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The plan being executed.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when the plan injects anything at all. The engine keeps the
+    /// legacy fault-free code path (bit-identical timing) when false.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Fires every scheduled event with `at ≤ now` that has not fired
+    /// yet, against `mem`. Callers must only invoke this at points where
+    /// all ranks agree on `now` and no concurrent reservation activity
+    /// is in flight; each event fires exactly once no matter how many
+    /// ranks call in.
+    pub fn apply_due(&self, now: VTime, mem: &MemoryModel) {
+        if self.plan.events().is_empty() {
+            return;
+        }
+        let due = self.plan.due_by(now);
+        let mut cursor = self.applied.lock();
+        while *cursor < due {
+            match self.plan.events()[*cursor].event {
+                mccio_sim::fault::FaultEvent::RevokeMemory { node, bytes } => {
+                    let _ = mem.revoke(node, bytes);
+                }
+                mccio_sim::fault::FaultEvent::RestoreMemory { node, bytes } => {
+                    mem.restore(node, bytes);
+                }
+            }
+            *cursor += 1;
+        }
+    }
+
+    /// Builds `rank`'s fault context, resuming its parked stream if one
+    /// operation already ran. The caller must hand the context back via
+    /// [`FaultState::return_io_faults`] when the operation completes.
+    #[must_use]
+    pub fn take_io_faults(&self, rank: usize) -> IoFaults {
+        let parked = self.streams.lock().remove(&rank);
+        let stream = parked.or_else(|| self.plan.io_stream(rank));
+        IoFaults::new(stream, self.plan.retry)
+    }
+
+    /// Parks `rank`'s stream again and folds the operation's retry log
+    /// into `res`.
+    pub fn return_io_faults(&self, rank: usize, faults: IoFaults, res: &mut Resilience) {
+        res.transient_faults += faults.log.transient_faults;
+        res.retries += faults.log.retries;
+        res.backoff += faults.log.backoff;
+        res.exhausted += faults.log.exhausted;
+        if let Some(stream) = faults.into_stream() {
+            self.streams.lock().insert(rank, stream);
+        }
+    }
+}
+
+/// Re-drives `op` until it succeeds, charging a policy-wide pause to the
+/// rank's clock per escalation. Panics past [`MAX_ESCALATIONS`].
+fn escalate<T>(
+    ctx: &mut Ctx,
+    policy: mccio_sim::fault::RetryPolicy,
+    mut op: impl FnMut(&mut Ctx) -> mccio_sim::error::SimResult<T>,
+) -> T {
+    for _ in 0..MAX_ESCALATIONS {
+        match op(ctx) {
+            Ok(out) => return out,
+            Err(_) => {
+                // The whole retry budget drained; pause for the longest
+                // configured backoff and re-drive from scratch.
+                ctx.advance(policy.backoff(policy.max_attempts.saturating_sub(1)));
+            }
+        }
+    }
+    panic!(
+        "storage access failed {MAX_ESCALATIONS} consecutive escalations; \
+         the fault plan's failure rate defeats its retry policy"
+    );
+}
+
+/// The ladder's bottom rung for writes: per-rank sieved I/O through the
+/// fallible request path. Needs no aggregation memory, so it cannot be
+/// defeated by revocation; storage faults are retried and, past the
+/// budget, escalated.
+pub fn independent_write(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    data: &[u8],
+    res: &mut Resilience,
+) -> IoReport {
+    let mut faults = env.faults().take_io_faults(ctx.rank());
+    let mut report = escalate(ctx, faults.policy(), |ctx| {
+        write_sieved_r(
+            ctx,
+            handle,
+            extents,
+            data,
+            &env.fs.params(),
+            SieveConfig::default(),
+            &mut faults,
+        )
+    });
+    env.faults().return_io_faults(ctx.rank(), faults, res);
+    report.resilience = *res;
+    report
+}
+
+/// The ladder's bottom rung for reads; see [`independent_write`].
+pub fn independent_read(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    res: &mut Resilience,
+) -> (Vec<u8>, IoReport) {
+    let mut faults = env.faults().take_io_faults(ctx.rank());
+    let (data, mut report) = escalate(ctx, faults.policy(), |ctx| {
+        read_sieved_r(
+            ctx,
+            handle,
+            extents,
+            &env.fs.params(),
+            SieveConfig::default(),
+            &mut faults,
+        )
+    });
+    env.faults().return_io_faults(ctx.rank(), faults, res);
+    report.resilience = *res;
+    (data, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccio_sim::time::VDuration;
+    use mccio_sim::topology::test_cluster;
+
+    #[test]
+    fn inactive_state_is_inert() {
+        let s = FaultState::none();
+        assert!(!s.is_active());
+        let cluster = test_cluster(2, 1);
+        let mem = MemoryModel::pristine(&cluster);
+        let before = mem.available(0);
+        s.apply_due(VTime::from_secs(100.0), &mem);
+        assert_eq!(mem.available(0), before);
+        assert!(!s.take_io_faults(0).can_fail());
+    }
+
+    #[test]
+    fn events_fire_once_across_many_appliers() {
+        let cluster = test_cluster(2, 1);
+        let mem = MemoryModel::pristine(&cluster);
+        let before = mem.available(0);
+        let s =
+            FaultState::new(FaultPlan::new(1).revoke_memory_at(VTime::from_secs(1.0), 0, 1 << 20));
+        // Many ranks (clones) all report the clock crossing the event.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = s.clone();
+                let mem = &mem;
+                scope.spawn(move || s.apply_due(VTime::from_secs(2.0), mem));
+            }
+        });
+        assert_eq!(mem.available(0), before - (1 << 20), "applied exactly once");
+        // Later calls past the same point change nothing.
+        s.apply_due(VTime::from_secs(3.0), &mem);
+        assert_eq!(mem.available(0), before - (1 << 20));
+    }
+
+    #[test]
+    fn events_respect_the_clock() {
+        let cluster = test_cluster(2, 1);
+        let mem = MemoryModel::pristine(&cluster);
+        let before = mem.available(1);
+        let s = FaultState::new(
+            FaultPlan::new(1)
+                .revoke_memory_at(VTime::from_secs(1.0), 1, 1 << 20)
+                .restore_memory_at(VTime::from_secs(2.0), 1, 1 << 20),
+        );
+        s.apply_due(VTime::from_secs(0.5), &mem);
+        assert_eq!(mem.available(1), before, "nothing due yet");
+        s.apply_due(VTime::from_secs(1.5), &mem);
+        assert_eq!(mem.available(1), before - (1 << 20));
+        s.apply_due(VTime::from_secs(2.5), &mem);
+        assert_eq!(mem.available(1), before, "restore undoes the revoke");
+    }
+
+    #[test]
+    fn parked_streams_resume_instead_of_replaying() {
+        let s = FaultState::new(FaultPlan::new(42).transient_io_rate(0.5));
+        let draws_via_state = {
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                let mut f = s.take_io_faults(3);
+                for _ in 0..10 {
+                    out.push(f.run(|| {}, || ()).is_ok());
+                }
+                let mut res = Resilience::default();
+                s.return_io_faults(3, f, &mut res);
+            }
+            out
+        };
+        // One continuous context over the same plan sees the same 20
+        // outcomes — proof the second take resumed, not restarted.
+        let continuous = {
+            let plan = FaultPlan::new(42).transient_io_rate(0.5);
+            let mut f = IoFaults::new(plan.io_stream(3), plan.retry);
+            (0..20)
+                .map(|_| f.run(|| {}, || ()).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws_via_state, continuous);
+    }
+
+    #[test]
+    fn return_io_faults_folds_the_log() {
+        let s = FaultState::new(FaultPlan::new(7).transient_io_rate(0.4).retry_policy(
+            mccio_sim::fault::RetryPolicy {
+                base_backoff: VDuration::from_micros(10.0),
+                ..Default::default()
+            },
+        ));
+        let mut f = s.take_io_faults(0);
+        for _ in 0..200 {
+            let _ = f.run(|| {}, || ());
+        }
+        let log = f.log;
+        assert!(log.transient_faults > 0);
+        let mut res = Resilience::default();
+        s.return_io_faults(0, f, &mut res);
+        assert_eq!(res.transient_faults, log.transient_faults);
+        assert_eq!(res.retries, log.retries);
+        assert_eq!(res.backoff, log.backoff);
+        assert_eq!(res.exhausted, log.exhausted);
+    }
+}

@@ -38,13 +38,24 @@ pub struct RoundRecord {
     pub storage_secs: f64,
     /// Aggregation-buffer assembly seconds.
     pub assembly_secs: f64,
+    /// Retry-backoff seconds the round waited on its slowest rank
+    /// (zero on healthy runs).
+    pub backoff_secs: f64,
+    /// Transiently failed storage attempts across all ranks this round.
+    pub transient_faults: u64,
+    /// Retries issued across all ranks this round.
+    pub retries: u64,
 }
 
 impl RoundRecord {
     /// Total priced duration of the round.
     #[must_use]
     pub fn total_secs(&self) -> f64 {
-        self.sync_secs + self.shuffle_secs + self.storage_secs + self.assembly_secs
+        self.sync_secs
+            + self.shuffle_secs
+            + self.storage_secs
+            + self.assembly_secs
+            + self.backoff_secs
     }
 }
 
@@ -65,6 +76,12 @@ pub struct OpSummary {
     pub storage_secs: f64,
     /// Summed assembly seconds.
     pub assembly_secs: f64,
+    /// Summed retry-backoff seconds.
+    pub backoff_secs: f64,
+    /// Total transiently failed storage attempts.
+    pub transient_faults: u64,
+    /// Total retries issued.
+    pub retries: u64,
 }
 
 impl OpSummary {
@@ -80,6 +97,9 @@ impl OpSummary {
             s.shuffle_secs += r.shuffle_secs;
             s.storage_secs += r.storage_secs;
             s.assembly_secs += r.assembly_secs;
+            s.backoff_secs += r.backoff_secs;
+            s.transient_faults += r.transient_faults;
+            s.retries += r.retries;
         }
         s
     }
@@ -87,7 +107,11 @@ impl OpSummary {
     /// Total priced seconds.
     #[must_use]
     pub fn total_secs(&self) -> f64 {
-        self.sync_secs + self.shuffle_secs + self.storage_secs + self.assembly_secs
+        self.sync_secs
+            + self.shuffle_secs
+            + self.storage_secs
+            + self.assembly_secs
+            + self.backoff_secs
     }
 }
 
@@ -163,6 +187,9 @@ mod tests {
             shuffle_secs: 0.2,
             storage_secs: 0.3,
             assembly_secs: 0.4,
+            backoff_secs: 0.0,
+            transient_faults: 0,
+            retries: 0,
         }
     }
 

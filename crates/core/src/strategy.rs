@@ -47,9 +47,7 @@ pub fn write_all(
     strategy: &Strategy,
 ) -> IoReport {
     match strategy {
-        Strategy::Independent => {
-            write_direct(ctx, handle, extents, data, &env.fs.params())
-        }
+        Strategy::Independent => write_direct(ctx, handle, extents, data, &env.fs.params()),
         Strategy::IndependentSieved(cfg) => {
             write_sieved(ctx, handle, extents, data, &env.fs.params(), *cfg)
         }
@@ -95,7 +93,12 @@ mod tests {
             Strategy::IndependentSieved(SieveConfig::default()),
             Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
             Strategy::MemoryConscious(Box::new(MccioConfig::new(
-                Tuning { n_ah: 2, msg_ind: MIB, mem_min: 2 * MIB, msg_group: 8 * MIB },
+                Tuning {
+                    n_ah: 2,
+                    msg_ind: MIB,
+                    mem_min: 2 * MIB,
+                    msg_group: 8 * MIB,
+                },
                 256 * KIB,
                 64 * KIB,
             ))),
@@ -108,10 +111,10 @@ mod tests {
             let cluster = test_cluster(2, 2);
             let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
             let world = World::new(CostModel::new(cluster.clone()), placement);
-            let env = IoEnv {
-                fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-                mem: MemoryModel::pristine(&cluster),
-            };
+            let env = IoEnv::new(
+                FileSystem::new(4, 64 * KIB, PfsParams::default()),
+                MemoryModel::pristine(&cluster),
+            );
             let strat = strategy.clone();
             let reports = world.run(|ctx| {
                 let env = env.clone();

@@ -114,10 +114,7 @@ pub fn saturation_sweep(pfs: &PfsParams, n_servers: usize) -> Vec<(u64, f64)> {
 /// single-client bandwidth.
 fn measure_msg_ind(pfs: &PfsParams, n_servers: usize) -> u64 {
     let sweep = saturation_sweep(pfs, n_servers);
-    let peak = sweep
-        .iter()
-        .map(|&(_, bw)| bw)
-        .fold(0.0f64, f64::max);
+    let peak = sweep.iter().map(|&(_, bw)| bw).fold(0.0f64, f64::max);
     sweep
         .iter()
         .find(|&&(_, bw)| bw >= 0.9 * peak)
@@ -132,12 +129,7 @@ fn measure_msg_ind(pfs: &PfsParams, n_servers: usize) -> u64 {
 /// aggregators add client pipes (good until the servers or the NIC
 /// saturate) but also per-server request overhead (bad); measuring the
 /// model resolves the tension the way the paper resolved it empirically.
-fn measure_n_ah(
-    cluster: &ClusterSpec,
-    pfs: &PfsParams,
-    n_servers: usize,
-    msg_ind: u64,
-) -> usize {
+fn measure_n_ah(cluster: &ClusterSpec, pfs: &PfsParams, n_servers: usize, msg_ind: u64) -> usize {
     let node = &cluster.nodes[0];
     let n_nodes = cluster.n_nodes().max(1);
     let striping = mccio_pfs::Striping::new(n_servers, MIB);
@@ -152,9 +144,7 @@ fn measure_n_ah(
                 report.add_request(ext.server, ext.len);
             }
         }
-        let storage = pfs
-            .phase_time_dir(&report, msg_ind, true, aggs)
-            .as_secs();
+        let storage = pfs.phase_time_dir(&report, msg_ind, true, aggs).as_secs();
         // NIC constraint: each node must push n x msg_ind bytes out.
         let nic = (n as u64 * msg_ind) as f64 / node.nic_bandwidth;
         let bw = bytes as f64 / storage.max(nic);

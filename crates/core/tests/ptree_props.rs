@@ -1,57 +1,70 @@
-//! Property tests for the binary partition tree: any build parameters
+//! Randomized tests for the binary partition tree: any build parameters
 //! and any sequence of remerges must preserve the exact-tiling
-//! invariant, and equal-split builds must stay balanced.
-
-use proptest::prelude::*;
+//! invariant, and equal-split builds must stay balanced. Cases come
+//! from the workspace's seeded PRNG; failures reproduce by case index.
 
 use mccio_core::ptree::PartitionTree;
 use mccio_mpiio::Extent;
+use mccio_sim::rng::{stream_rng, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bisection_always_tiles(
-        offset in 0u64..1 << 30,
-        len in 1u64..1 << 24,
-        msg_ind in 1u64..1 << 22,
-        align_pow in 0u32..12,
-    ) {
+#[test]
+fn bisection_always_tiles() {
+    let mut rng = stream_rng(0x97EE, "ptree-bisection");
+    for case in 0..128 {
+        let offset = rng.gen_range(0u64..=(1 << 30) - 1);
+        let len = rng.gen_range(1u64..=(1 << 24) - 1);
+        let msg_ind = rng.gen_range(1u64..=(1 << 22) - 1);
+        let align_pow = rng.gen_range(0u32..=11);
         let t = PartitionTree::build(Extent::new(offset, len), msg_ind, 1 << align_pow);
         t.assert_tiling();
         for leaf in t.leaves() {
             let d = t.domain(leaf);
             // Bisection halves until ≤ msg_ind; alignment can stretch a
             // side, but never past twice the criterion plus one unit.
-            prop_assert!(d.len <= len.min(2 * msg_ind + (1 << align_pow)),
-                "leaf {} too big for msg_ind {}", d.len, msg_ind);
+            assert!(
+                d.len <= len.min(2 * msg_ind + (1 << align_pow)),
+                "case {case}: leaf {} too big for msg_ind {}",
+                d.len,
+                msg_ind
+            );
         }
     }
+}
 
-    #[test]
-    fn equal_split_is_balanced(
-        offset in 0u64..1 << 20,
-        len in 64u64..1 << 22,
-        n in 1usize..32,
-    ) {
-        prop_assume!(n as u64 <= len);
+#[test]
+fn equal_split_is_balanced() {
+    let mut rng = stream_rng(0x97EE, "ptree-equal-split");
+    let mut tried = 0;
+    while tried < 128 {
+        let offset = rng.gen_range(0u64..=(1 << 20) - 1);
+        let len = rng.gen_range(64u64..=(1 << 22) - 1);
+        let n = rng.gen_range(1usize..=31);
+        if n as u64 > len {
+            continue;
+        }
+        tried += 1;
         let t = PartitionTree::build_equal(Extent::new(offset, len), n, 1);
         t.assert_tiling();
         let leaves = t.leaves();
-        prop_assert_eq!(leaves.len(), n);
+        assert_eq!(leaves.len(), n, "case {tried}");
         let sizes: Vec<u64> = leaves.iter().map(|&l| t.domain(l).len).collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
-        prop_assert!(max - min <= n as u64,
-            "unbalanced equal split: {:?}", sizes);
+        assert!(
+            max - min <= n as u64,
+            "case {tried}: unbalanced equal split: {sizes:?}"
+        );
     }
+}
 
-    #[test]
-    fn random_remerge_sequences_preserve_tiling(
-        len in 256u64..1 << 16,
-        msg_ind in 16u64..1 << 12,
-        picks in prop::collection::vec(any::<u32>(), 0..24),
-    ) {
+#[test]
+fn random_remerge_sequences_preserve_tiling() {
+    let mut rng = stream_rng(0x97EE, "ptree-remerge");
+    for case in 0..128 {
+        let len = rng.gen_range(256u64..=(1 << 16) - 1);
+        let msg_ind = rng.gen_range(16u64..=(1 << 12) - 1);
+        let n_picks = rng.gen_range(0usize..=23);
+        let picks: Vec<u32> = (0..n_picks).map(|_| rng.next_u64() as u32).collect();
         let mut t = PartitionTree::build(Extent::new(0, len), msg_ind, 1);
         t.assert_tiling();
         let total = len;
@@ -66,18 +79,20 @@ proptest! {
             // The absorber is a live leaf covering at least the victim's
             // old bytes.
             let d = t.domain(absorber);
-            prop_assert!(d.len >= 1);
+            assert!(d.len >= 1, "case {case}");
             // Total coverage never changes.
             let sum: u64 = t.leaves().iter().map(|&l| t.domain(l).len).sum();
-            prop_assert_eq!(sum, total);
+            assert_eq!(sum, total, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn remerge_to_single_leaf_recovers_root_region(
-        len in 64u64..1 << 12,
-        msg_ind in 1u64..256,
-    ) {
+#[test]
+fn remerge_to_single_leaf_recovers_root_region() {
+    let mut rng = stream_rng(0x97EE, "ptree-remerge-to-root");
+    for case in 0..128 {
+        let len = rng.gen_range(64u64..=(1 << 12) - 1);
+        let msg_ind = rng.gen_range(1u64..=255);
         let region = Extent::new(7, len);
         let mut t = PartitionTree::build(region, msg_ind, 1);
         while t.n_leaves() > 1 {
@@ -85,6 +100,6 @@ proptest! {
             let _ = t.remerge(leaves[0]);
         }
         let only = t.leaves()[0];
-        prop_assert_eq!(t.domain(only), region);
+        assert_eq!(t.domain(only), region, "case {case}");
     }
 }

@@ -18,15 +18,21 @@
 //! * high-water marks and cross-node statistics feed the paper's "memory
 //!   consumption and variance among processes" measurements.
 //!
-//! Everything is thread-safe (`parking_lot` per-node locks) because rank
-//! threads reserve and release concurrently, and deterministic: the
-//! sampled availability depends only on `(cluster, mean, stddev, seed)`.
+//! Everything is thread-safe (per-node locks) because rank threads
+//! reserve and release concurrently, and deterministic: the sampled
+//! availability depends only on `(cluster, mean, stddev, seed)`.
+//!
+//! Fault injection adds two things on top of the paging model:
+//! [`MemoryModel::try_reserve`] refuses rather than pages (the engine's
+//! retry/degradation ladder decides what to do), and
+//! [`MemoryModel::revoke`]/[`MemoryModel::restore`] let a fault plan
+//! reclaim and return application memory mid-run.
 
 #![warn(missing_docs)]
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mccio_sim::sync::Mutex;
 
 use mccio_sim::rng::{stream_rng, NormalSampler};
 use mccio_sim::stats::Welford;
@@ -196,6 +202,51 @@ impl MemoryModel {
         }
     }
 
+    /// Fallible reservation for fault-aware callers: succeeds only when
+    /// `bytes` genuinely fit in the node's free memory, with no paging
+    /// escape hatch. The collective engine uses this under fault
+    /// injection so a revocation forces an explicit re-plan instead of
+    /// silently thrashing.
+    ///
+    /// Whether a set of concurrent `try_reserve` calls can all succeed
+    /// depends only on the demanded totals, never on arrival order, so
+    /// collective reservation outcomes are schedule-independent when
+    /// (as in the engine) failure of any rank releases and retries all.
+    #[must_use]
+    pub fn try_reserve(&self, node: usize, bytes: u64) -> Option<Reservation> {
+        {
+            let mut n = self.inner.nodes[node].lock();
+            if bytes > n.free() {
+                return None;
+            }
+            n.reserved += bytes;
+            n.peak_reserved = n.peak_reserved.max(n.reserved);
+        }
+        Some(Reservation {
+            model: self.clone(),
+            node,
+            bytes,
+        })
+    }
+
+    /// A fault plan reclaims `bytes` of `node`'s memory (the host
+    /// application or a co-tenant grows): application usage rises,
+    /// availability falls. Clamped at capacity; returns the bytes
+    /// actually revoked.
+    pub fn revoke(&self, node: usize, bytes: u64) -> u64 {
+        let mut n = self.inner.nodes[node].lock();
+        let actual = bytes.min(n.capacity - n.app_used);
+        n.app_used += actual;
+        actual
+    }
+
+    /// Returns previously revoked memory: application usage falls by up
+    /// to `bytes` (saturating at zero).
+    pub fn restore(&self, node: usize, bytes: u64) {
+        let mut n = self.inner.nodes[node].lock();
+        n.app_used = n.app_used.saturating_sub(bytes);
+    }
+
     /// Current DRAM-time multiplier for `node`: 1.0 while everything
     /// fits; when `app_used + reserved` exceeds capacity, the overflowed
     /// fraction of buffer traffic runs at swap speed:
@@ -222,7 +273,9 @@ impl MemoryModel {
     /// [`mccio_sim::CostModel::shuffle_phase`] consumes.
     #[must_use]
     pub fn pressure_factors(&self) -> Vec<f64> {
-        (0..self.n_nodes()).map(|n| self.pressure_factor(n)).collect()
+        (0..self.n_nodes())
+            .map(|n| self.pressure_factor(n))
+            .collect()
     }
 
     /// Bytes currently reserved on `node`.
@@ -380,13 +433,16 @@ mod tests {
     #[test]
     fn oversubscription_thrashes_proportionally() {
         let cluster = test_cluster(1, 2); // 256 MiB capacity
-        // Application already uses 200 MiB.
+                                          // Application already uses 200 MiB.
         let m = MemoryModel::build(&cluster, |_, _| 200 * MIB, MemParams::default());
         // Reserve 112 MiB: 56 MiB overflow = half the buffer pages.
         let _r = m.reserve(0, 112 * MIB);
         let f = m.pressure_factor(0);
         let expected = 1.0 + 0.5 * 49.0;
-        assert!((f - expected).abs() < 0.01, "factor {f}, expected {expected}");
+        assert!(
+            (f - expected).abs() < 0.01,
+            "factor {f}, expected {expected}"
+        );
     }
 
     #[test]
@@ -425,7 +481,11 @@ mod tests {
             stats.stddev() / MIB as f64
         );
         let c = MemoryModel::with_available_variance(&cluster, 128 * MIB, 32 * MIB, 8);
-        assert_ne!(c.available(0), a.available(0), "different seed, different draw");
+        assert_ne!(
+            c.available(0),
+            a.available(0),
+            "different seed, different draw"
+        );
     }
 
     #[test]
@@ -473,6 +533,48 @@ mod tests {
         // Pressure follows the new usage.
         let _r = m.reserve(0, 100 * MIB);
         assert!(m.pressure_factor(0) > 1.0, "200 + 100 > 256 MiB capacity");
+    }
+
+    #[test]
+    fn try_reserve_refuses_instead_of_paging() {
+        let cluster = test_cluster(1, 2); // 256 MiB
+        let m = MemoryModel::build(&cluster, |_, _| 200 * MIB, MemParams::default());
+        let ok = m.try_reserve(0, 40 * MIB).expect("40 MiB fits in 56 free");
+        assert!(
+            m.try_reserve(0, 40 * MIB).is_none(),
+            "second 40 MiB does not"
+        );
+        assert_eq!(m.reserved(0), 40 * MIB);
+        drop(ok);
+        assert_eq!(m.reserved(0), 0);
+    }
+
+    #[test]
+    fn revocation_shrinks_availability_and_restore_returns_it() {
+        let cluster = test_cluster(1, 2);
+        let m = MemoryModel::build(&cluster, |_, _| 100 * MIB, MemParams::default());
+        let before = m.available(0);
+        assert_eq!(m.revoke(0, 50 * MIB), 50 * MIB);
+        assert_eq!(m.available(0), before - 50 * MIB);
+        assert_eq!(m.app_used(0), 150 * MIB);
+        m.restore(0, 50 * MIB);
+        assert_eq!(m.available(0), before);
+        // Revoking more than remains clamps at capacity.
+        let huge = m.revoke(0, 1 << 40);
+        assert_eq!(m.app_used(0), m.capacity(0));
+        assert_eq!(huge, m.capacity(0) - 100 * MIB);
+    }
+
+    #[test]
+    fn revocation_can_defeat_try_reserve_mid_run() {
+        let cluster = test_cluster(1, 2);
+        let m = MemoryModel::build(&cluster, |_, _| 100 * MIB, MemParams::default());
+        assert!(m.try_reserve(0, 100 * MIB).is_some());
+        m.revoke(0, 100 * MIB);
+        assert!(
+            m.try_reserve(0, 100 * MIB).is_none(),
+            "the revocation consumed what the reservation needed"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn darray_block(sizes: &[u64], grid: &[usize], rank: usize, elem_size: u64) 
     let n_ranks: usize = grid.iter().product();
     assert!(rank < n_ranks, "rank {rank} outside {n_ranks}-rank grid");
     for (d, (&s, &g)) in sizes.iter().zip(grid).enumerate() {
-        assert!(g > 0 && s % g as u64 == 0, "dim {d}: {s} not divisible by {g}");
+        assert!(
+            g > 0 && s % g as u64 == 0,
+            "dim {d}: {s} not divisible by {g}"
+        );
     }
     // Decompose the rank into grid coordinates (row-major, last fastest).
     let mut coord = vec![0usize; grid.len()];
@@ -89,7 +92,11 @@ pub fn darray_block(sizes: &[u64], grid: &[usize], rank: usize, elem_size: u64) 
         coord[d] = rest % grid[d];
         rest /= grid[d];
     }
-    let subsizes: Vec<u64> = sizes.iter().zip(grid).map(|(&s, &g)| s / g as u64).collect();
+    let subsizes: Vec<u64> = sizes
+        .iter()
+        .zip(grid)
+        .map(|(&s, &g)| s / g as u64)
+        .collect();
     let starts: Vec<u64> = coord
         .iter()
         .zip(&subsizes)
@@ -109,11 +116,15 @@ impl Datatype {
     pub fn size(&self) -> u64 {
         match self {
             Datatype::Contiguous { count } => *count,
-            Datatype::Vector { count, blocklen, .. } => count * blocklen,
+            Datatype::Vector {
+                count, blocklen, ..
+            } => count * blocklen,
             Datatype::Indexed { blocks } => blocks.iter().map(|&(_, l)| l).sum(),
-            Datatype::Subarray { subsizes, elem_size, .. } => {
-                subsizes.iter().product::<u64>() * elem_size
-            }
+            Datatype::Subarray {
+                subsizes,
+                elem_size,
+                ..
+            } => subsizes.iter().product::<u64>() * elem_size,
             Datatype::Repeated { inner, count } => inner.size() * count,
             Datatype::Struct { fields } => fields.iter().map(|(_, f)| f.size()).sum(),
         }
@@ -125,23 +136,23 @@ impl Datatype {
     pub fn extent(&self) -> u64 {
         match self {
             Datatype::Contiguous { count } => *count,
-            Datatype::Vector { count, blocklen, stride } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 if *count == 0 {
                     0
                 } else {
                     (count - 1) * stride + blocklen
                 }
             }
-            Datatype::Indexed { blocks } => {
-                blocks.last().map_or(0, |&(d, l)| d + l)
-            }
-            Datatype::Subarray { sizes, elem_size, .. } => {
-                sizes.iter().product::<u64>() * elem_size
-            }
+            Datatype::Indexed { blocks } => blocks.last().map_or(0, |&(d, l)| d + l),
+            Datatype::Subarray {
+                sizes, elem_size, ..
+            } => sizes.iter().product::<u64>() * elem_size,
             Datatype::Repeated { inner, count } => inner.extent() * count,
-            Datatype::Struct { fields } => fields
-                .last()
-                .map_or(0, |(disp, f)| disp + f.extent()),
+            Datatype::Struct { fields } => fields.last().map_or(0, |(disp, f)| disp + f.extent()),
         }
     }
 
@@ -158,7 +169,11 @@ impl Datatype {
             Datatype::Contiguous { count } => {
                 ExtentList::normalize(vec![Extent::new(base, *count)])
             }
-            Datatype::Vector { count, blocklen, stride } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 assert!(
                     stride >= blocklen || *count <= 1,
                     "vector blocks overlap: stride {stride} < blocklen {blocklen}"
@@ -181,13 +196,15 @@ impl Datatype {
                         .collect(),
                 )
             }
-            Datatype::Subarray { sizes, subsizes, starts, elem_size } => {
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                elem_size,
+            } => {
                 let ndims = sizes.len();
                 assert!(
-                    ndims > 0
-                        && subsizes.len() == ndims
-                        && starts.len() == ndims
-                        && *elem_size > 0,
+                    ndims > 0 && subsizes.len() == ndims && starts.len() == ndims && *elem_size > 0,
                     "malformed subarray: sizes {sizes:?} subsizes {subsizes:?} starts {starts:?}"
                 );
                 for d in 0..ndims {
@@ -239,8 +256,7 @@ impl Datatype {
             Datatype::Repeated { inner, count } => {
                 let tile = inner.flatten(0);
                 let span = inner.extent();
-                let mut extents =
-                    Vec::with_capacity(tile.len().saturating_mul(*count as usize));
+                let mut extents = Vec::with_capacity(tile.len().saturating_mul(*count as usize));
                 for i in 0..*count {
                     for e in tile.as_slice() {
                         extents.push(Extent::new(base + i * span + e.offset, e.len));
@@ -250,7 +266,9 @@ impl Datatype {
             }
             Datatype::Struct { fields } => {
                 assert!(
-                    fields.windows(2).all(|w| w[0].0 + w[0].1.extent() <= w[1].0),
+                    fields
+                        .windows(2)
+                        .all(|w| w[0].0 + w[0].1.extent() <= w[1].0),
                     "struct fields must be sorted and non-overlapping"
                 );
                 let mut extents = Vec::new();
@@ -277,7 +295,11 @@ mod tests {
 
     #[test]
     fn vector_strides() {
-        let t = Datatype::Vector { count: 3, blocklen: 4, stride: 10 };
+        let t = Datatype::Vector {
+            count: 3,
+            blocklen: 4,
+            stride: 10,
+        };
         assert_eq!(t.size(), 12);
         assert_eq!(t.extent(), 24);
         assert_eq!(
@@ -288,18 +310,28 @@ mod tests {
 
     #[test]
     fn dense_vector_coalesces() {
-        let t = Datatype::Vector { count: 3, blocklen: 10, stride: 10 };
+        let t = Datatype::Vector {
+            count: 3,
+            blocklen: 10,
+            stride: 10,
+        };
         assert_eq!(t.flatten(5).as_slice(), &[Extent::new(5, 30)]);
     }
 
     #[test]
     fn indexed_blocks() {
-        let t = Datatype::Indexed { blocks: vec![(0, 2), (5, 3), (20, 1)] };
+        let t = Datatype::Indexed {
+            blocks: vec![(0, 2), (5, 3), (20, 1)],
+        };
         assert_eq!(t.size(), 6);
         assert_eq!(t.extent(), 21);
         assert_eq!(
             t.flatten(100).as_slice(),
-            &[Extent::new(100, 2), Extent::new(105, 3), Extent::new(120, 1)]
+            &[
+                Extent::new(100, 2),
+                Extent::new(105, 3),
+                Extent::new(120, 1)
+            ]
         );
     }
 
@@ -383,8 +415,13 @@ mod tests {
 
     #[test]
     fn repeated_tiles_by_extent() {
-        let inner = Datatype::Indexed { blocks: vec![(0, 2), (6, 2)] };
-        let t = Datatype::Repeated { inner: Box::new(inner), count: 3 };
+        let inner = Datatype::Indexed {
+            blocks: vec![(0, 2), (6, 2)],
+        };
+        let t = Datatype::Repeated {
+            inner: Box::new(inner),
+            count: 3,
+        };
         assert_eq!(t.size(), 12);
         assert_eq!(t.extent(), 24);
         let flat = t.flatten(100);
@@ -405,7 +442,14 @@ mod tests {
         let t = Datatype::Struct {
             fields: vec![
                 (0, Datatype::Contiguous { count: 4 }),
-                (16, Datatype::Vector { count: 2, blocklen: 2, stride: 4 }),
+                (
+                    16,
+                    Datatype::Vector {
+                        count: 2,
+                        blocklen: 2,
+                        stride: 4,
+                    },
+                ),
                 (32, Datatype::Contiguous { count: 8 }),
             ],
         };
@@ -449,7 +493,10 @@ mod tests {
         // All ranks together tile the array exactly.
         let mut covered = vec![false; 4 * 6 * 2];
         for rank in 0..6 {
-            for e in darray_block(&[4, 6], &[2, 3], rank, 2).flatten(0).as_slice() {
+            for e in darray_block(&[4, 6], &[2, 3], rank, 2)
+                .flatten(0)
+                .as_slice()
+            {
                 for o in e.offset..e.end() {
                     assert!(!covered[o as usize], "byte {o} claimed twice");
                     covered[o as usize] = true;
@@ -492,7 +539,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn overlapping_vector_rejected() {
-        let t = Datatype::Vector { count: 2, blocklen: 10, stride: 5 };
+        let t = Datatype::Vector {
+            count: 2,
+            blocklen: 10,
+            stride: 5,
+        };
         let _ = t.flatten(0);
     }
 }

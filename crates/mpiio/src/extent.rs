@@ -136,10 +136,7 @@ impl ExtentList {
     /// the list size `n` and match count `k`.
     #[must_use]
     pub fn clip(&self, window: Extent) -> ExtentList {
-        let clipped: Vec<Extent> = self
-            .clip_indexed(window)
-            .map(|(_, piece)| piece)
-            .collect();
+        let clipped: Vec<Extent> = self.clip_indexed(window).map(|(_, piece)| piece).collect();
         // Clipping a canonical list preserves order and disjointness.
         ExtentList { extents: clipped }
     }
@@ -147,10 +144,7 @@ impl ExtentList {
     /// Like [`ExtentList::clip`] but yields `(extent index, clipped
     /// piece)` pairs so callers can map pieces back into packed buffers
     /// without rescanning.
-    pub fn clip_indexed(
-        &self,
-        window: Extent,
-    ) -> impl Iterator<Item = (usize, Extent)> + '_ {
+    pub fn clip_indexed(&self, window: Extent) -> impl Iterator<Item = (usize, Extent)> + '_ {
         let start = if window.is_empty() {
             self.extents.len()
         } else {
@@ -193,7 +187,9 @@ impl ExtentList {
     /// Iterates `(extent, buffer_range)` pairs: the byte range each
     /// extent occupies in the rank's packed contiguous buffer (extents in
     /// offset order define the pack order, per MPI semantics).
-    pub fn with_buffer_ranges(&self) -> impl Iterator<Item = (Extent, std::ops::Range<usize>)> + '_ {
+    pub fn with_buffer_ranges(
+        &self,
+    ) -> impl Iterator<Item = (Extent, std::ops::Range<usize>)> + '_ {
         let mut cursor = 0usize;
         self.extents.iter().map(move |&e| {
             let start = cursor;
@@ -264,10 +260,7 @@ mod tests {
             Extent::new(22, 2), // inside third → absorbed
             Extent::new(40, 0), // empty → dropped
         ]);
-        assert_eq!(
-            l.as_slice(),
-            &[Extent::new(0, 15), Extent::new(20, 5)]
-        );
+        assert_eq!(l.as_slice(), &[Extent::new(0, 15), Extent::new(20, 5)]);
         assert_eq!(l.total_bytes(), 20);
         assert_eq!(l.begin(), Some(0));
         assert_eq!(l.end(), Some(25));
@@ -281,10 +274,7 @@ mod tests {
             Extent::new(40, 10),
         ]);
         let c = l.clip(Extent::new(5, 30));
-        assert_eq!(
-            c.as_slice(),
-            &[Extent::new(5, 5), Extent::new(20, 10)]
-        );
+        assert_eq!(c.as_slice(), &[Extent::new(5, 5), Extent::new(20, 10)]);
         assert!(l.clip(Extent::new(100, 5)).is_empty());
         assert_eq!(l.clip(Extent::new(0, 100)), l);
     }
@@ -305,7 +295,15 @@ mod tests {
     #[test]
     fn overlaps_matches_clip_emptiness() {
         let l = ExtentList::normalize(vec![Extent::new(10, 5), Extent::new(30, 5)]);
-        for (off, len) in [(0u64, 5u64), (0, 11), (15, 15), (15, 16), (34, 1), (35, 10), (12, 1)] {
+        for (off, len) in [
+            (0u64, 5u64),
+            (0, 11),
+            (15, 15),
+            (15, 16),
+            (34, 1),
+            (35, 10),
+            (12, 1),
+        ] {
             let w = Extent::new(off, len);
             assert_eq!(l.overlaps(w), !l.clip(w).is_empty(), "{w:?}");
         }
@@ -315,7 +313,10 @@ mod tests {
     fn cumulative_offsets_match_buffer_ranges() {
         let l = ExtentList::normalize(vec![Extent::new(100, 4), Extent::new(0, 6)]);
         assert_eq!(l.cumulative_offsets(), vec![0, 6]);
-        assert_eq!(ExtentList::default().cumulative_offsets(), Vec::<u64>::new());
+        assert_eq!(
+            ExtentList::default().cumulative_offsets(),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]
@@ -330,10 +331,7 @@ mod tests {
     fn wire_roundtrip() {
         let l = ExtentList::normalize(vec![Extent::new(5, 5), Extent::new(50, 1)]);
         assert_eq!(ExtentList::from_words(&l.to_words()), l);
-        assert_eq!(
-            ExtentList::from_words(&[]).as_slice(),
-            &[] as &[Extent]
-        );
+        assert_eq!(ExtentList::from_words(&[]).as_slice(), &[] as &[Extent]);
     }
 
     #[test]

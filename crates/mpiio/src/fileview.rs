@@ -109,7 +109,11 @@ mod tests {
     fn strided_view_tiles() {
         // Filetype: 4 data bytes then a 12-byte hole (extent 16) — the
         // classic interleaved pattern of 4 ranks.
-        let ft = Datatype::Vector { count: 1, blocklen: 4, stride: 16 };
+        let ft = Datatype::Vector {
+            count: 1,
+            blocklen: 4,
+            stride: 16,
+        };
         // Vector extent formula gives (1-1)*16+4 = 4; use Indexed to get
         // an explicit trailing hole instead.
         assert_eq!(ft.extent(), 4);
@@ -146,7 +150,9 @@ mod tests {
 
     #[test]
     fn request_spanning_many_tiles() {
-        let ft = Datatype::Indexed { blocks: vec![(0, 2), (6, 2)] };
+        let ft = Datatype::Indexed {
+            blocks: vec![(0, 2), (6, 2)],
+        };
         assert_eq!(ft.extent(), 8);
         let v = FileView::new(100, &ft);
         let e = v.extents_for(0, 10);

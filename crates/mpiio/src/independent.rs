@@ -15,11 +15,12 @@
 //! memcpy traffic.
 
 use mccio_net::Ctx;
-use mccio_pfs::{FileHandle, PfsParams};
+use mccio_pfs::{FileHandle, IoFaults, PfsParams};
+use mccio_sim::error::SimResult;
 
 use crate::extent::ExtentList;
 use crate::report::IoReport;
-use crate::sieve::{sieved_read, sieved_write, SieveConfig};
+use crate::sieve::{sieved_read, sieved_read_r, sieved_write, sieved_write_r, SieveConfig};
 
 /// Writes `data` (extents packed in offset order) with one access per
 /// extent.
@@ -39,7 +40,7 @@ pub fn write_direct(
         let r = handle.write_at(e.offset, &data[range]);
         let d = params.phase_time_dir(&r, e.len, true, 1);
         ctx.advance(d);
-        report.absorb(IoReport { bytes: e.len, elapsed: d });
+        report.absorb(IoReport::new(e.len, d));
     }
     report
 }
@@ -58,7 +59,7 @@ pub fn read_direct(
         let r = handle.read_into(e.offset, &mut packed[range]);
         let d = params.phase_time(&r, e.len);
         ctx.advance(d);
-        report.absorb(IoReport { bytes: e.len, elapsed: d });
+        report.absorb(IoReport::new(e.len, d));
     }
     (packed, report)
 }
@@ -77,10 +78,7 @@ pub fn write_sieved(
     let d = params.phase_time_dir(&out.report, out.covered_bytes, true, 1);
     ctx.advance(d);
     ctx.charge_local_copy(out.copied_bytes, 1.0);
-    IoReport {
-        bytes: extents.total_bytes(),
-        elapsed: ctx.clock() - t0,
-    }
+    IoReport::new(extents.total_bytes(), ctx.clock() - t0)
 }
 
 /// Reads via per-rank data sieving; returns the packed data.
@@ -96,11 +94,63 @@ pub fn read_sieved(
     let d = params.phase_time(&out.report, out.covered_bytes);
     ctx.advance(d);
     ctx.charge_local_copy(out.copied_bytes, 1.0);
-    let report = IoReport {
-        bytes: extents.total_bytes(),
-        elapsed: ctx.clock() - t0,
-    };
+    let report = IoReport::new(extents.total_bytes(), ctx.clock() - t0);
     (packed, report)
+}
+
+/// [`write_sieved`] over a fallible request path: storage attempts may
+/// transiently fail and retry per `faults`; accumulated backoff is
+/// charged to the rank's virtual clock here.
+///
+/// # Errors
+/// Propagates retry exhaustion from the storage layer; safe to re-drive.
+pub fn write_sieved_r(
+    ctx: &mut Ctx,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    data: &[u8],
+    params: &PfsParams,
+    cfg: SieveConfig,
+    faults: &mut IoFaults,
+) -> SimResult<IoReport> {
+    let t0 = ctx.clock();
+    let log_before = faults.log;
+    let out = sieved_write_r(handle, extents, data, cfg, faults)?;
+    let d = params.phase_time_dir(&out.report, out.covered_bytes, true, 1);
+    ctx.advance(d);
+    ctx.advance(backoff_delta(faults, log_before));
+    ctx.charge_local_copy(out.copied_bytes, 1.0);
+    Ok(IoReport::new(extents.total_bytes(), ctx.clock() - t0))
+}
+
+/// [`read_sieved`] over a fallible request path; see [`write_sieved_r`].
+///
+/// # Errors
+/// Propagates retry exhaustion from the storage layer; safe to re-drive.
+pub fn read_sieved_r(
+    ctx: &mut Ctx,
+    handle: &FileHandle,
+    extents: &ExtentList,
+    params: &PfsParams,
+    cfg: SieveConfig,
+    faults: &mut IoFaults,
+) -> SimResult<(Vec<u8>, IoReport)> {
+    let t0 = ctx.clock();
+    let log_before = faults.log;
+    let (packed, out) = sieved_read_r(handle, extents, cfg, faults)?;
+    let d = params.phase_time(&out.report, out.covered_bytes);
+    ctx.advance(d);
+    ctx.advance(backoff_delta(faults, log_before));
+    ctx.charge_local_copy(out.copied_bytes, 1.0);
+    let report = IoReport::new(extents.total_bytes(), ctx.clock() - t0);
+    Ok((packed, report))
+}
+
+/// Backoff accumulated in `faults` since the `before` snapshot.
+fn backoff_delta(faults: &IoFaults, before: mccio_pfs::RetryLog) -> mccio_sim::time::VDuration {
+    mccio_sim::time::VDuration::from_secs(
+        (faults.log.backoff.as_secs() - before.backoff.as_secs()).max(0.0),
+    )
 }
 
 #[cfg(test)]
@@ -156,7 +206,14 @@ mod tests {
             let h = fs.open_or_create("f");
             let extents = interleaved(ctx.rank(), 16, 16);
             let data: Vec<u8> = (0..256).map(|i| (i as u8) ^ (ctx.rank() as u8)).collect();
-            let r = write_sieved(ctx, &h, &extents, &data, &fs.params(), SieveConfig::default());
+            let r = write_sieved(
+                ctx,
+                &h,
+                &extents,
+                &data,
+                &fs.params(),
+                SieveConfig::default(),
+            );
             ctx.barrier();
             let (back, _) = read_sieved(ctx, &h, &extents, &fs.params(), SieveConfig::default());
             assert_eq!(back, data);
@@ -173,8 +230,14 @@ mod tests {
                 let extents = interleaved(0, 8, 200);
                 let data = vec![1u8; 1600];
                 let direct = write_direct(ctx, &h, &extents, &data, &fs.params());
-                let sieved =
-                    write_sieved(ctx, &h, &extents, &data, &fs.params(), SieveConfig::default());
+                let sieved = write_sieved(
+                    ctx,
+                    &h,
+                    &extents,
+                    &data,
+                    &fs.params(),
+                    SieveConfig::default(),
+                );
                 assert!(
                     sieved.elapsed.as_secs() < direct.elapsed.as_secs() / 2.0,
                     "sieved {:?} vs direct {:?}",

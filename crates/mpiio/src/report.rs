@@ -1,6 +1,49 @@
-//! I/O operation outcome: bytes moved and virtual time spent.
+//! I/O operation outcome: bytes moved, virtual time spent, and what the
+//! operation endured to get there.
 
 use mccio_sim::time::VDuration;
+
+/// Fault-recovery counters for one operation: how hostile the run was
+/// and what the resilience machinery did about it. All zero for a
+/// healthy run, so comparing faulty vs. fault-free reports quantifies
+/// resilience overhead directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Resilience {
+    /// PFS request attempts that transiently failed.
+    pub transient_faults: u64,
+    /// Retries issued against those failures.
+    pub retries: u64,
+    /// Total retry backoff charged, in virtual time.
+    pub backoff: VDuration,
+    /// Accesses that exhausted their whole retry budget (each then
+    /// escalated: the engine re-drives the access after a policy-wide
+    /// backoff rather than dropping data).
+    pub exhausted: u64,
+    /// Memory revocation events that fired during the operation.
+    pub revocations: u64,
+    /// Rungs descended on the degradation ladder (0 = planned strategy
+    /// ran; 1 = one fallback, e.g. MC-CIO replanned or two-phase; ...).
+    pub fallbacks: u32,
+}
+
+impl Resilience {
+    /// True when anything at all went wrong (or was worked around).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Resilience::default()
+    }
+
+    /// Folds a sequential follow-up operation's counters into this one.
+    /// Fallbacks take the max: the ladder position is a state, not a sum.
+    pub fn absorb(&mut self, other: Resilience) {
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.backoff += other.backoff;
+        self.exhausted += other.exhausted;
+        self.revocations += other.revocations;
+        self.fallbacks = self.fallbacks.max(other.fallbacks);
+    }
+}
 
 /// Result of one I/O operation (or one whole benchmark phase) at one
 /// rank: how many application bytes moved and how long it took in
@@ -11,16 +54,25 @@ pub struct IoReport {
     pub bytes: u64,
     /// Virtual time the operation occupied at this rank.
     pub elapsed: VDuration,
+    /// Fault-recovery counters (all zero on a healthy run).
+    pub resilience: Resilience,
 }
 
 impl IoReport {
+    /// A healthy-run report.
+    #[must_use]
+    pub fn new(bytes: u64, elapsed: VDuration) -> Self {
+        IoReport {
+            bytes,
+            elapsed,
+            resilience: Resilience::default(),
+        }
+    }
+
     /// A zero-work report.
     #[must_use]
     pub fn empty() -> Self {
-        IoReport {
-            bytes: 0,
-            elapsed: VDuration::ZERO,
-        }
+        IoReport::new(0, VDuration::ZERO)
     }
 
     /// Achieved bandwidth in bytes/second; 0.0 when no time elapsed.
@@ -38,6 +90,7 @@ impl IoReport {
     pub fn absorb(&mut self, other: IoReport) {
         self.bytes += other.bytes;
         self.elapsed += other.elapsed;
+        self.resilience.absorb(other.resilience);
     }
 }
 
@@ -47,25 +100,45 @@ mod tests {
 
     #[test]
     fn bandwidth_is_bytes_over_time() {
-        let r = IoReport {
-            bytes: 1_000_000,
-            elapsed: VDuration::from_secs(2.0),
-        };
+        let r = IoReport::new(1_000_000, VDuration::from_secs(2.0));
         assert_eq!(r.bandwidth(), 500_000.0);
         assert_eq!(IoReport::empty().bandwidth(), 0.0);
     }
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = IoReport {
-            bytes: 10,
-            elapsed: VDuration::from_secs(1.0),
-        };
-        a.absorb(IoReport {
-            bytes: 5,
-            elapsed: VDuration::from_secs(0.5),
-        });
+        let mut a = IoReport::new(10, VDuration::from_secs(1.0));
+        a.absorb(IoReport::new(5, VDuration::from_secs(0.5)));
         assert_eq!(a.bytes, 15);
         assert_eq!(a.elapsed.as_secs(), 1.5);
+        assert!(!a.resilience.any());
+    }
+
+    #[test]
+    fn resilience_absorbs_counts_and_maxes_fallbacks() {
+        let mut a = Resilience {
+            transient_faults: 3,
+            retries: 2,
+            backoff: VDuration::from_secs(0.1),
+            exhausted: 0,
+            revocations: 1,
+            fallbacks: 2,
+        };
+        assert!(a.any());
+        a.absorb(Resilience {
+            transient_faults: 1,
+            retries: 1,
+            backoff: VDuration::from_secs(0.2),
+            exhausted: 1,
+            revocations: 0,
+            fallbacks: 1,
+        });
+        assert_eq!(a.transient_faults, 4);
+        assert_eq!(a.retries, 3);
+        assert!((a.backoff.as_secs() - 0.3).abs() < 1e-12);
+        assert_eq!(a.exhausted, 1);
+        assert_eq!(a.revocations, 1);
+        assert_eq!(a.fallbacks, 2, "ladder position is a max, not a sum");
+        assert!(!Resilience::default().any());
     }
 }

@@ -9,7 +9,8 @@
 //! windows of at most `buffer_size` covered span, mirroring ROMIO's
 //! bounded sieve buffer.
 
-use mccio_pfs::{FileHandle, ServiceReport};
+use mccio_pfs::{FileHandle, IoFaults, ServiceReport};
+use mccio_sim::error::SimResult;
 
 use crate::extent::{Extent, ExtentList};
 
@@ -80,12 +81,29 @@ pub fn sieved_read(
     extents: &ExtentList,
     cfg: SieveConfig,
 ) -> (Vec<u8>, SieveOutcome) {
+    sieved_read_r(handle, extents, cfg, &mut IoFaults::none()).expect("healthy context cannot fail")
+}
+
+/// [`sieved_read`] over a fallible request path: each covering access
+/// may transiently fail and retry per `faults`.
+///
+/// # Errors
+/// Propagates [`mccio_sim::SimError::TransientIo`]/`Timeout` from the
+/// storage layer once the retry budget is exhausted; the whole sieved
+/// operation is safe to re-drive (reads are idempotent).
+pub fn sieved_read_r(
+    handle: &FileHandle,
+    extents: &ExtentList,
+    cfg: SieveConfig,
+    faults: &mut IoFaults,
+) -> SimResult<(Vec<u8>, SieveOutcome)> {
     let mut packed = Vec::with_capacity(extents.total_bytes() as usize);
     let mut report = ServiceReport::empty(handle_servers(handle));
     let mut copied = 0u64;
     let mut covered = 0u64;
     for (span, parts) in windows(extents, cfg.buffer_size) {
-        let (buf, r) = handle.read_at(span.offset, span.len);
+        let mut buf = vec![0u8; span.len as usize];
+        let r = handle.try_read_into(span.offset, &mut buf, faults)?;
         report.merge(&r);
         covered += span.len;
         for e in parts {
@@ -94,14 +112,14 @@ pub fn sieved_read(
             copied += e.len;
         }
     }
-    (
+    Ok((
         packed,
         SieveOutcome {
             report,
             copied_bytes: copied,
             covered_bytes: covered,
         },
-    )
+    ))
 }
 
 /// Sieved write: `data` holds the extents' bytes packed in offset order.
@@ -115,6 +133,27 @@ pub fn sieved_write(
     data: &[u8],
     cfg: SieveConfig,
 ) -> SieveOutcome {
+    sieved_write_r(handle, extents, data, cfg, &mut IoFaults::none())
+        .expect("healthy context cannot fail")
+}
+
+/// [`sieved_write`] over a fallible request path.
+///
+/// # Errors
+/// Propagates storage-retry exhaustion. A failure can leave earlier
+/// windows already written; re-driving the whole operation is safe
+/// because it rewrites the same bytes (the RMW lock is released on
+/// error and retaken by the retry).
+///
+/// # Panics
+/// Panics if `data` is shorter than the extents require.
+pub fn sieved_write_r(
+    handle: &FileHandle,
+    extents: &ExtentList,
+    data: &[u8],
+    cfg: SieveConfig,
+    faults: &mut IoFaults,
+) -> SimResult<SieveOutcome> {
     assert!(
         data.len() as u64 >= extents.total_bytes(),
         "packed buffer ({} B) shorter than extents ({} B)",
@@ -134,27 +173,27 @@ pub fn sieved_write(
             // No holes: blind write, no read needed.
             vec![0u8; span.len as usize]
         } else {
-            let (buf, r) = handle.read_at(span.offset, span.len);
+            let mut buf = vec![0u8; span.len as usize];
+            let r = handle.try_read_into(span.offset, &mut buf, faults)?;
             report.merge(&r);
             covered += span.len;
             buf
         };
         for e in &parts {
             let s = (e.offset - span.offset) as usize;
-            buf[s..s + e.len as usize]
-                .copy_from_slice(&data[cursor..cursor + e.len as usize]);
+            buf[s..s + e.len as usize].copy_from_slice(&data[cursor..cursor + e.len as usize]);
             cursor += e.len as usize;
             copied += e.len;
         }
-        let r = handle.write_at(span.offset, &buf);
+        let r = handle.try_write_at(span.offset, &buf, faults)?;
         report.merge(&r);
         covered += span.len;
     }
-    SieveOutcome {
+    Ok(SieveOutcome {
         report,
         copied_bytes: copied,
         covered_bytes: covered,
-    }
+    })
 }
 
 fn handle_servers(handle: &FileHandle) -> usize {
@@ -215,7 +254,12 @@ mod tests {
         let h = f.create("x").unwrap();
         h.write_at(0, &[0xAAu8; 30]);
         let extents = ExtentList::normalize(vec![Extent::new(5, 5), Extent::new(20, 5)]);
-        let _ = sieved_write(&h, &extents, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], SieveConfig::default());
+        let _ = sieved_write(
+            &h,
+            &extents,
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            SieveConfig::default(),
+        );
         let (all, _) = h.read_at(0, 30);
         assert_eq!(&all[0..5], &[0xAA; 5]);
         assert_eq!(&all[5..10], &[1, 2, 3, 4, 5]);

@@ -1,27 +1,31 @@
-//! Property tests on the layout machinery: datatype flattening, file
+//! Randomized tests on the layout machinery: datatype flattening, file
 //! views, extent algebra, and sieving must all agree with brute-force
-//! reference models.
-
-use proptest::prelude::*;
+//! reference models. Cases are drawn from the workspace's seeded PRNG,
+//! so a failure reproduces by its printed case index.
 
 use mccio_mpiio::sieve::{sieved_read, sieved_write};
 use mccio_mpiio::{Datatype, Extent, ExtentList, FileView, SieveConfig};
 use mccio_pfs::{FileSystem, PfsParams};
+use mccio_sim::rng::{stream_rng, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn random_extents(rng: &mut impl Rng, n_max: usize, off_max: u64, len_max: u64) -> Vec<Extent> {
+    let n = rng.gen_range(0usize..=n_max);
+    (0..n)
+        .map(|_| Extent::new(rng.gen_range(0u64..=off_max), rng.gen_range(0u64..=len_max)))
+        .collect()
+}
 
-    #[test]
-    fn normalize_is_idempotent_and_canonical(
-        raw in prop::collection::vec((0u64..10_000, 0u64..500), 0..40)
-    ) {
-        let extents: Vec<Extent> = raw.iter().map(|&(o, l)| Extent::new(o, l)).collect();
+#[test]
+fn normalize_is_idempotent_and_canonical() {
+    let mut rng = stream_rng(0x1A70, "layout-normalize");
+    for case in 0..96 {
+        let extents = random_extents(&mut rng, 40, 9_999, 499);
         let once = ExtentList::normalize(extents.clone());
         let twice = ExtentList::normalize(once.as_slice().to_vec());
-        prop_assert_eq!(&once, &twice);
+        assert_eq!(once, twice, "case {case}");
         // Canonical: sorted, disjoint, non-empty, with gaps between.
         for w in once.as_slice().windows(2) {
-            prop_assert!(w[0].end() < w[1].offset, "{:?} not separated", w);
+            assert!(w[0].end() < w[1].offset, "case {case}: {w:?} not separated");
         }
         // Coverage equals the union of the inputs.
         let mut model = std::collections::BTreeSet::new();
@@ -30,44 +34,54 @@ proptest! {
                 model.insert(b);
             }
         }
-        let covered: u64 = once.total_bytes();
-        prop_assert_eq!(covered as usize, model.len());
+        assert_eq!(once.total_bytes() as usize, model.len(), "case {case}");
         for e in once.as_slice() {
             for b in e.offset..e.end() {
-                prop_assert!(model.contains(&b));
+                assert!(model.contains(&b), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn clip_agrees_with_bytewise_model(
-        raw in prop::collection::vec((0u64..2_000, 1u64..100), 0..20),
-        w_off in 0u64..2_500,
-        w_len in 0u64..800,
-    ) {
-        let list = ExtentList::normalize(
-            raw.iter().map(|&(o, l)| Extent::new(o, l)).collect(),
-        );
+#[test]
+fn clip_agrees_with_bytewise_model() {
+    let mut rng = stream_rng(0x1A70, "layout-clip");
+    for case in 0..96 {
+        let raw: Vec<Extent> = {
+            let n = rng.gen_range(0usize..=20);
+            (0..n)
+                .map(|_| Extent::new(rng.gen_range(0u64..=1_999), rng.gen_range(1u64..=99)))
+                .collect()
+        };
+        let list = ExtentList::normalize(raw);
+        let w_off = rng.gen_range(0u64..=2_499);
+        let w_len = rng.gen_range(0u64..=799);
         let window = Extent::new(w_off, w_len);
         let clipped = list.clip(window);
         // Byte-for-byte agreement.
         for b in w_off..w_off + w_len {
             let in_list = list.as_slice().iter().any(|e| e.contains(b));
             let in_clip = clipped.as_slice().iter().any(|e| e.contains(b));
-            prop_assert_eq!(in_list, in_clip, "byte {}", b);
+            assert_eq!(in_list, in_clip, "case {case}, byte {b}");
         }
-        prop_assert_eq!(list.overlaps(window), !clipped.is_empty());
+        assert_eq!(list.overlaps(window), !clipped.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn vector_flatten_matches_enumeration(
-        count in 0u64..20,
-        blocklen in 1u64..50,
-        gap in 0u64..50,
-        base in 0u64..1_000,
-    ) {
+#[test]
+fn vector_flatten_matches_enumeration() {
+    let mut rng = stream_rng(0x1A70, "layout-vector");
+    for case in 0..96 {
+        let count = rng.gen_range(0u64..=19);
+        let blocklen = rng.gen_range(1u64..=49);
+        let gap = rng.gen_range(0u64..=49);
+        let base = rng.gen_range(0u64..=999);
         let stride = blocklen + gap;
-        let dt = Datatype::Vector { count, blocklen, stride };
+        let dt = Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+        };
         let flat = dt.flatten(base);
         let mut model = Vec::new();
         for i in 0..count {
@@ -80,31 +94,36 @@ proptest! {
             .iter()
             .flat_map(|e| e.offset..e.end())
             .collect();
-        prop_assert_eq!(flattened, model);
-        prop_assert_eq!(flat.total_bytes(), dt.size());
+        assert_eq!(flattened, model, "case {case}");
+        assert_eq!(flat.total_bytes(), dt.size(), "case {case}");
     }
+}
 
-    #[test]
-    fn fileview_tiles_are_the_flattened_type_repeated(
-        blocks in prop::collection::vec((0u64..6, 1u64..8), 1..4),
-        disp in 0u64..100,
-        req_off in 0u64..64,
-        req_len in 1u64..128,
-    ) {
-        // Build a valid indexed type (sorted, disjoint) from the raw pairs.
+#[test]
+fn fileview_tiles_are_the_flattened_type_repeated() {
+    let mut rng = stream_rng(0x1A70, "layout-fileview");
+    for case in 0..96 {
+        // Build a valid indexed type (sorted, disjoint) from raw pairs.
+        let n_blocks = rng.gen_range(1usize..=3);
         let mut cursor = 0u64;
-        let fields: Vec<(u64, u64)> = blocks
-            .iter()
-            .map(|&(gap, len)| {
+        let fields: Vec<(u64, u64)> = (0..n_blocks)
+            .map(|_| {
+                let gap = rng.gen_range(0u64..=5);
+                let len = rng.gen_range(1u64..=7);
                 let d = cursor + gap;
                 cursor = d + len;
                 (d, len)
             })
             .collect();
-        let dt = Datatype::Indexed { blocks: fields.clone() };
+        let disp = rng.gen_range(0u64..=99);
+        let req_off = rng.gen_range(0u64..=63);
+        let req_len = rng.gen_range(1u64..=127);
+        let dt = Datatype::Indexed {
+            blocks: fields.clone(),
+        };
         let view = FileView::new(disp, &dt);
         let got = view.extents_for(req_off, req_len);
-        prop_assert_eq!(got.total_bytes(), req_len);
+        assert_eq!(got.total_bytes(), req_len, "case {case}");
         // Reference: enumerate the view's data bytes in order.
         let tile_size: u64 = fields.iter().map(|&(_, l)| l).sum();
         let extent = dt.extent();
@@ -133,25 +152,30 @@ proptest! {
             .iter()
             .flat_map(|e| e.offset..e.end())
             .collect();
-        prop_assert_eq!(got_bytes, model);
+        assert_eq!(got_bytes, model, "case {case}");
     }
+}
 
-    #[test]
-    fn sieved_write_read_roundtrip_random_patterns(
-        raw in prop::collection::vec((0u64..4_000, 1u64..200), 1..16),
-        buffer in 64u64..2_048,
-    ) {
-        let extents = ExtentList::normalize(
-            raw.iter().map(|&(o, l)| Extent::new(o, l)).collect(),
-        );
+#[test]
+fn sieved_write_read_roundtrip_random_patterns() {
+    let mut rng = stream_rng(0x1A70, "layout-sieve-roundtrip");
+    for case in 0..96 {
+        let n = rng.gen_range(1usize..=16);
+        let raw: Vec<Extent> = (0..n)
+            .map(|_| Extent::new(rng.gen_range(0u64..=3_999), rng.gen_range(1u64..=199)))
+            .collect();
+        let extents = ExtentList::normalize(raw);
+        let buffer = rng.gen_range(64u64..=2_047);
         let fs = FileSystem::new(2, 128, PfsParams::default());
         let h = fs.create("sieve").unwrap();
         let data: Vec<u8> = (0..extents.total_bytes())
             .map(|i| (i % 251) as u8)
             .collect();
-        let cfg = SieveConfig { buffer_size: buffer };
+        let cfg = SieveConfig {
+            buffer_size: buffer,
+        };
         let _ = sieved_write(&h, &extents, &data, cfg);
         let (back, _) = sieved_read(&h, &extents, cfg);
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "case {case}");
     }
 }

@@ -262,7 +262,11 @@ mod tests {
         let w = world(2, 2, 4);
         let r = w.run(|ctx| {
             let group = RankSet::world(ctx.size());
-            let payload = if ctx.rank() == 0 { b"hello".to_vec() } else { vec![] };
+            let payload = if ctx.rank() == 0 {
+                b"hello".to_vec()
+            } else {
+                vec![]
+            };
             ctx.group_bcast(&group, payload)
         });
         for p in r {
@@ -327,7 +331,9 @@ mod tests {
                 .collect();
             let recv_from: Vec<usize> = (0..4).collect();
             let got = ctx.exchange(&group, sends, &recv_from);
-            got.into_iter().map(|(src, p)| (src, p[0])).collect::<Vec<_>>()
+            got.into_iter()
+                .map(|(src, p)| (src, p[0]))
+                .collect::<Vec<_>>()
         });
         for (me, got) in r.into_iter().enumerate() {
             for (i, (src, byte)) in got.into_iter().enumerate() {

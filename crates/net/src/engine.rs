@@ -98,6 +98,10 @@ pub struct World {
     cost: CostModel,
     mailboxes: Vec<Mailbox>,
     traffic: Traffic,
+    /// Extra latency on every control-plane message, stored as f64 bits
+    /// so fault plans can set it after the world is shared. Zero when no
+    /// faults are injected.
+    ctl_delay_bits: AtomicU64,
 }
 
 impl World {
@@ -111,7 +115,21 @@ impl World {
             cost,
             mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
             traffic: Traffic::new(n_nodes),
+            ctl_delay_bits: AtomicU64::new(0.0_f64.to_bits()),
         })
+    }
+
+    /// Sets the control-message delay injected on every subsequent
+    /// [`Ctx::send_ctl`] (fault modelling: slow management network).
+    pub fn set_ctl_delay(&self, delay: VDuration) {
+        self.ctl_delay_bits
+            .store(delay.as_secs().to_bits(), Ordering::Relaxed);
+    }
+
+    /// The currently injected control-message delay.
+    #[must_use]
+    pub fn ctl_delay(&self) -> VDuration {
+        VDuration::from_secs(f64::from_bits(self.ctl_delay_bits.load(Ordering::Relaxed)))
     }
 
     /// Number of ranks.
@@ -295,11 +313,15 @@ impl Ctx {
     pub fn send_ctl(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         self.account(dst, payload.len() as u64, false);
+        // An injected control-network delay shifts the departure stamp:
+        // the receiver's causality rule (max with depart) then charges it
+        // in virtual time without any wall-clock sleeping.
+        let depart = self.clock + self.world.ctl_delay();
         self.world.mailboxes[dst].deliver(Envelope {
             src: self.rank,
             tag,
             payload,
-            depart: self.clock,
+            depart,
             costed: false,
         });
     }
@@ -392,6 +414,23 @@ mod tests {
         assert_eq!(results[1], 5.0);
         assert_eq!(w.traffic().snapshot().ctl_msgs, 1);
         assert_eq!(w.traffic().snapshot().inter_bytes, 0);
+    }
+
+    #[test]
+    fn injected_ctl_delay_shifts_causality() {
+        let w = world(2, 1, 2);
+        w.set_ctl_delay(VDuration::from_secs(0.25));
+        let results = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.advance(VDuration::from_secs(1.0));
+                ctx.send_ctl(1, 9, vec![]);
+            } else {
+                let _ = ctx.recv(0, 9);
+            }
+            ctx.clock().as_secs()
+        });
+        assert_eq!(results[1], 1.25, "receiver pays the injected delay");
+        assert_eq!(results[0], 1.0, "sender does not");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! *earliest delivered* match, giving MPI's non-overtaking guarantee for
 //! messages with the same source and tag.
 
-use parking_lot::{Condvar, Mutex};
+use mccio_sim::sync::{Condvar, Mutex};
 
 use mccio_sim::VTime;
 
@@ -124,9 +124,15 @@ mod tests {
         mb.deliver(env(1, 10, b'a'));
         mb.deliver(env(2, 10, b'b'));
         mb.deliver(env(1, 20, b'c'));
-        let got = mb.recv(Pattern { src: Some(2), tag: 10 });
+        let got = mb.recv(Pattern {
+            src: Some(2),
+            tag: 10,
+        });
         assert_eq!(got.payload, b"b");
-        let got = mb.recv(Pattern { src: Some(1), tag: 20 });
+        let got = mb.recv(Pattern {
+            src: Some(1),
+            tag: 20,
+        });
         assert_eq!(got.payload, b"c");
         assert_eq!(mb.pending(), 1);
     }
@@ -147,7 +153,10 @@ mod tests {
             mb.deliver(env(0, 5, b));
         }
         for expect in [b'1', b'2', b'3'] {
-            let got = mb.recv(Pattern { src: Some(0), tag: 5 });
+            let got = mb.recv(Pattern {
+                src: Some(0),
+                tag: 5,
+            });
             assert_eq!(got.payload, vec![expect]);
         }
     }
@@ -166,7 +175,10 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
         let handle = std::thread::spawn(move || {
-            let got = mb2.recv(Pattern { src: Some(9), tag: 42 });
+            let got = mb2.recv(Pattern {
+                src: Some(9),
+                tag: 42,
+            });
             got.payload[0]
         });
         // Deliver a non-matching message first, then the match.

@@ -15,10 +15,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard, RwLock};
-
 use mccio_sim::error::{SimError, SimResult};
+use mccio_sim::sync::{Mutex, MutexGuard, RwLock};
 
+use crate::retry::IoFaults;
 use crate::service::{PfsParams, ServiceReport};
 use crate::striping::Striping;
 
@@ -253,7 +253,10 @@ impl FileHandle {
             }
             bytes[offset as usize..end].copy_from_slice(data);
         }
-        FileSystem { inner: Arc::clone(&self.fs) }.account(&report);
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&report);
         report
     }
 
@@ -277,7 +280,10 @@ impl FileHandle {
                 buf[..n].copy_from_slice(&bytes[offset as usize..offset as usize + n]);
             }
         }
-        FileSystem { inner: Arc::clone(&self.fs) }.account(&report);
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&report);
         report
     }
 
@@ -286,6 +292,79 @@ impl FileHandle {
         let mut buf = vec![0u8; len as usize];
         let report = self.read_into(offset, &mut buf);
         (buf, report)
+    }
+
+    /// The wasted per-server round-trips of one *failed* attempt at this
+    /// access: the request fans out and pays its overhead at every
+    /// touched server, but moves no payload.
+    fn failed_attempt_report(&self, offset: u64, len: u64) -> ServiceReport {
+        let mut wasted = ServiceReport::empty(self.n_servers);
+        for ext in self.striping.map_range(offset, len) {
+            wasted.add_request(ext.server, 0);
+        }
+        wasted
+    }
+
+    /// [`FileHandle::write_at`] through a fallible request path: each
+    /// attempt may transiently fail per `faults`' stream, failed attempts
+    /// still charge zero-byte requests at every touched server (the RPCs
+    /// went out), and recovery is bounded by the retry policy. The
+    /// returned report covers the successful attempt *plus* the waste;
+    /// backoff accumulates in `faults.log` for the engine to price.
+    ///
+    /// # Errors
+    /// [`SimError::TransientIo`] when the retry budget is exhausted,
+    /// [`SimError::Timeout`] when the backoff deadline passes first. The
+    /// file is untouched on error.
+    pub fn try_write_at(
+        &self,
+        offset: u64,
+        data: &[u8],
+        faults: &mut IoFaults,
+    ) -> SimResult<ServiceReport> {
+        if data.is_empty() || !faults.can_fail() {
+            return Ok(self.write_at(offset, data));
+        }
+        let mut wasted = ServiceReport::empty(self.n_servers);
+        let mut report = faults.run(
+            || wasted.merge(&self.failed_attempt_report(offset, data.len() as u64)),
+            || self.write_at(offset, data),
+        )?;
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&wasted);
+        report.merge(&wasted);
+        Ok(report)
+    }
+
+    /// [`FileHandle::read_into`] through a fallible request path; see
+    /// [`FileHandle::try_write_at`] for the failure semantics.
+    ///
+    /// # Errors
+    /// [`SimError::TransientIo`] or [`SimError::Timeout`] as above; `buf`
+    /// contents are unspecified on error.
+    pub fn try_read_into(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        faults: &mut IoFaults,
+    ) -> SimResult<ServiceReport> {
+        if buf.is_empty() || !faults.can_fail() {
+            return Ok(self.read_into(offset, buf));
+        }
+        let mut wasted = ServiceReport::empty(self.n_servers);
+        let len = buf.len() as u64;
+        let mut report = faults.run(
+            || wasted.merge(&self.failed_attempt_report(offset, len)),
+            || self.read_into(offset, buf),
+        )?;
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&wasted);
+        report.merge(&wasted);
+        Ok(report)
     }
 
     /// Truncates (or zero-extends) the file to `len` bytes.
@@ -445,11 +524,61 @@ mod tests {
         assert_eq!(h.len(), 5);
         let (got, _) = h.read_at(0, 11);
         assert_eq!(&got[..5], b"hello");
-        assert!(got[5..].iter().all(|&b| b == 0), "truncated tail reads zero");
+        assert!(
+            got[5..].iter().all(|&b| b == 0),
+            "truncated tail reads zero"
+        );
         h.truncate(8);
         assert_eq!(h.len(), 8);
         let (got, _) = h.read_at(0, 8);
         assert_eq!(&got, b"hello\0\0\0");
+    }
+
+    #[test]
+    fn fallible_paths_with_healthy_context_match_infallible() {
+        let fs = fs();
+        let h = fs.create("f").unwrap();
+        let mut iof = IoFaults::none();
+        let w = h.try_write_at(0, b"hello world", &mut iof).unwrap();
+        assert_eq!(w, h.write_at(0, b"hello world"));
+        let mut buf = vec![0u8; 11];
+        let r = h.try_read_into(0, &mut buf, &mut iof).unwrap();
+        assert_eq!(buf, b"hello world");
+        assert_eq!(r.total_bytes(), 11);
+        assert_eq!(iof.log, crate::retry::RetryLog::default());
+    }
+
+    #[test]
+    fn failed_attempts_charge_wasted_requests_and_data_survives() {
+        use mccio_sim::fault::{FaultPlan, RetryPolicy};
+        let fs = fs();
+        let h = fs.create("flaky").unwrap();
+        let plan = FaultPlan::new(21).transient_io_rate(0.4);
+        let mut iof = IoFaults::new(plan.io_stream(0), RetryPolicy::default());
+        let data: Vec<u8> = (0..50_000u64).map(|i| (i % 249) as u8).collect();
+        let mut completed = Vec::new();
+        let chunk = 5000;
+        for (i, c) in data.chunks(chunk).enumerate() {
+            let off = (i * chunk) as u64;
+            if h.try_write_at(off, c, &mut iof).is_ok() {
+                completed.push((off, c));
+            }
+        }
+        assert!(iof.log.transient_faults > 0, "rate 0.4 must bite");
+        assert!(!completed.is_empty());
+        // Every completed chunk reads back exactly; failed chunks left
+        // no partial garbage (holes read as zero, not junk).
+        for (off, c) in &completed {
+            let (back, _) = h.read_at(*off, c.len() as u64);
+            assert_eq!(&back, c, "chunk at {off}");
+        }
+        // Wasted round-trips are visible in server accounting: more
+        // requests than a fault-free run would make, but no extra bytes.
+        let reqs: u64 = fs.server_usage().iter().map(|u| u.requests).sum();
+        let bytes: u64 = fs.server_usage().iter().map(|u| u.bytes).sum();
+        let payload: u64 = completed.iter().map(|(_, c)| c.len() as u64).sum();
+        assert_eq!(bytes, payload * 2, "writes + read-backs only");
+        assert!(reqs > 0);
     }
 
     #[test]

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod fs;
+pub mod retry;
 pub mod service;
 pub mod striping;
 
 pub use fs::{FileHandle, FileSystem, ServerUsage};
+pub use retry::{IoFaults, RetryLog};
 pub use service::{PfsParams, ServerLoad, ServiceReport};
 pub use striping::{ObjectExtent, Striping};

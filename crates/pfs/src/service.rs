@@ -188,19 +188,47 @@ impl PfsParams {
         if report.total_requests() == 0 {
             return VDuration::ZERO;
         }
-        let dir = if is_write { self.write_factor.max(1.0) } else { 1.0 };
+        self.phase_time_faulty(report, max_client_bytes, is_write, n_clients, &[])
+    }
+
+    /// [`PfsParams::phase_time_dir`] with per-server health: `slowdown`
+    /// stretches each server's service time by its multiplier (1.0 =
+    /// healthy; an empty slice means all healthy). A single degraded OST
+    /// drags the whole phase because the phase waits for the slowest
+    /// server — exactly the straggling-server pathology of real parallel
+    /// file systems.
+    #[must_use]
+    pub fn phase_time_faulty(
+        &self,
+        report: &ServiceReport,
+        max_client_bytes: u64,
+        is_write: bool,
+        n_clients: usize,
+        slowdown: &[f64],
+    ) -> VDuration {
+        if report.total_requests() == 0 {
+            return VDuration::ZERO;
+        }
+        let dir = if is_write {
+            self.write_factor.max(1.0)
+        } else {
+            1.0
+        };
         let server_term = report
             .loads()
             .iter()
-            .map(|&l| self.server_time(l) * dir)
+            .enumerate()
+            .map(|(srv, &l)| {
+                let health = slowdown.get(srv).copied().unwrap_or(1.0).max(1.0);
+                self.server_time(l) * (dir * health)
+            })
             .fold(VDuration::ZERO, VDuration::max);
         let client_term = VDuration::transfer(max_client_bytes, self.client_bandwidth);
         let aggregate_term = VDuration::transfer(
             report.total_bytes(),
             self.client_bandwidth * n_clients.max(1) as f64,
         );
-        VDuration::from_secs(self.access_latency)
-            + server_term.max(client_term).max(aggregate_term)
+        VDuration::from_secs(self.access_latency) + server_term.max(client_term).max(aggregate_term)
     }
 }
 
@@ -230,8 +258,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_bytes(), 165);
         assert_eq!(a.total_requests(), 4);
-        assert_eq!(a.loads()[0], ServerLoad { bytes: 150, requests: 2 });
-        assert_eq!(a.loads()[1], ServerLoad { bytes: 5, requests: 1 });
+        assert_eq!(
+            a.loads()[0],
+            ServerLoad {
+                bytes: 150,
+                requests: 2
+            }
+        );
+        assert_eq!(
+            a.loads()[1],
+            ServerLoad {
+                bytes: 5,
+                requests: 1
+            }
+        );
     }
 
     #[test]
@@ -305,6 +345,24 @@ mod tests {
         let p = params();
         let r = ServiceReport::empty(4);
         assert_eq!(p.phase_time(&r, 0), VDuration::ZERO);
+    }
+
+    #[test]
+    fn one_slow_server_drags_the_whole_phase() {
+        let p = params();
+        let mut r = ServiceReport::empty(4);
+        for s in 0..4 {
+            r.add_request(s, 25 * MIB);
+        }
+        let healthy = p.phase_time_faulty(&r, 25 * MIB, false, 4, &[]);
+        let degraded = p.phase_time_faulty(&r, 25 * MIB, false, 4, &[1.0, 1.0, 3.0, 1.0]);
+        assert!(
+            (degraded.as_secs() / healthy.as_secs() - 3.0).abs() < 0.05,
+            "{degraded:?} vs {healthy:?}"
+        );
+        // Sub-unity factors are treated as healthy, never a speedup.
+        let silly = p.phase_time_faulty(&r, 25 * MIB, false, 4, &[0.1; 4]);
+        assert_eq!(silly, healthy);
     }
 
     #[test]

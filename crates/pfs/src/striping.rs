@@ -153,7 +153,11 @@ mod tests {
         let extents = s.map_range(110, 50);
         assert_eq!(
             extents,
-            vec![ObjectExtent { server: 1, offset: 10, len: 50 }]
+            vec![ObjectExtent {
+                server: 1,
+                offset: 10,
+                len: 50
+            }]
         );
     }
 
@@ -168,8 +172,16 @@ mod tests {
         assert_eq!(
             extents,
             vec![
-                ObjectExtent { server: 0, offset: 100, len: 100 },
-                ObjectExtent { server: 1, offset: 50, len: 120 },
+                ObjectExtent {
+                    server: 0,
+                    offset: 100,
+                    len: 100
+                },
+                ObjectExtent {
+                    server: 1,
+                    offset: 50,
+                    len: 120
+                },
             ]
         );
     }
@@ -206,7 +218,11 @@ mod tests {
         let extents = s.map_range(50, 500);
         assert_eq!(
             extents,
-            vec![ObjectExtent { server: 0, offset: 50, len: 500 }]
+            vec![ObjectExtent {
+                server: 0,
+                offset: 50,
+                len: 500
+            }]
         );
     }
 

@@ -1,38 +1,39 @@
-//! Property tests on striping arithmetic and the file store: every byte
-//! maps to exactly one server object location, the mapping inverts, and
-//! arbitrary write/read sequences behave like a POSIX sparse file.
-
-use proptest::prelude::*;
+//! Randomized property tests on striping arithmetic and the file store:
+//! every byte maps to exactly one server object location, the mapping
+//! inverts, and arbitrary write/read sequences behave like a POSIX
+//! sparse file. Cases are drawn from the workspace's seeded PRNG, so a
+//! failure reproduces by its printed case index.
 
 use mccio_pfs::{FileSystem, PfsParams, Striping};
+use mccio_sim::rng::{stream_rng, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn locate_inverts_everywhere(
-        servers in 1usize..12,
-        unit in 1u64..4096,
-        offset in 0u64..1 << 40,
-    ) {
+#[test]
+fn locate_inverts_everywhere() {
+    let mut rng = stream_rng(0x57A1, "striping-locate");
+    for case in 0..256 {
+        let servers = rng.gen_range(1usize..=11);
+        let unit = rng.gen_range(1u64..=4095);
+        let offset = rng.gen_range(0u64..=(1 << 40) - 1);
         let s = Striping::new(servers, unit);
         let (srv, obj) = s.locate(offset);
-        prop_assert!(srv < servers);
-        prop_assert_eq!(s.file_offset(srv, obj), offset);
-        prop_assert_eq!(s.server_of(offset), srv);
+        assert!(srv < servers, "case {case}");
+        assert_eq!(s.file_offset(srv, obj), offset, "case {case}");
+        assert_eq!(s.server_of(offset), srv, "case {case}");
     }
+}
 
-    #[test]
-    fn map_range_is_a_partition(
-        servers in 1usize..8,
-        unit in 1u64..512,
-        offset in 0u64..10_000,
-        len in 0u64..5_000,
-    ) {
+#[test]
+fn map_range_is_a_partition() {
+    let mut rng = stream_rng(0x57A1, "striping-map-range");
+    for case in 0..256 {
+        let servers = rng.gen_range(1usize..=7);
+        let unit = rng.gen_range(1u64..=511);
+        let offset = rng.gen_range(0u64..=9_999);
+        let len = rng.gen_range(0u64..=4_999);
         let s = Striping::new(servers, unit);
         let extents = s.map_range(offset, len);
         let total: u64 = extents.iter().map(|e| e.len).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len, "case {case}");
         // Inverse mapping reconstructs a contiguous cover.
         let mut bytes: Vec<u64> = extents
             .iter()
@@ -40,29 +41,32 @@ proptest! {
             .collect();
         bytes.sort_unstable();
         for (i, b) in bytes.iter().enumerate() {
-            prop_assert_eq!(*b, offset + i as u64);
+            assert_eq!(*b, offset + i as u64, "case {case}");
         }
         // Per-server extents are disjoint and sorted.
         for srv in 0..servers {
             let mine: Vec<_> = extents.iter().filter(|e| e.server == srv).collect();
             for w in mine.windows(2) {
-                prop_assert!(w[0].offset + w[0].len <= w[1].offset);
+                assert!(w[0].offset + w[0].len <= w[1].offset, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn file_store_matches_a_reference_model(
-        ops in prop::collection::vec(
-            (0u64..2048, prop::collection::vec(any::<u8>(), 1..64), any::<bool>()),
-            1..24,
-        )
-    ) {
+#[test]
+fn file_store_matches_a_reference_model() {
+    let mut rng = stream_rng(0x57A1, "striping-file-model");
+    for case in 0..64 {
         let fs = FileSystem::new(3, 64, PfsParams::default());
         let h = fs.create("model").unwrap();
         let mut model: Vec<u8> = Vec::new();
-        for (offset, data, is_write) in ops {
+        let n_ops = rng.gen_range(1usize..=23);
+        for _ in 0..n_ops {
+            let offset = rng.gen_range(0u64..=2047);
+            let len = rng.gen_range(1usize..=63);
+            let is_write = rng.gen_bool(0.5);
             if is_write {
+                let data: Vec<u8> = (0..len).map(|_| rng.gen::<u64>() as u8).collect();
                 let end = offset as usize + data.len();
                 if model.len() < end {
                     model.resize(end, 0);
@@ -70,31 +74,37 @@ proptest! {
                 model[offset as usize..end].copy_from_slice(&data);
                 h.write_at(offset, &data);
             } else {
-                let (got, _) = h.read_at(offset, data.len() as u64);
-                let mut expect = vec![0u8; data.len()];
+                let (got, _) = h.read_at(offset, len as u64);
+                let mut expect = vec![0u8; len];
                 for (i, e) in expect.iter_mut().enumerate() {
                     if let Some(&b) = model.get(offset as usize + i) {
                         *e = b;
                     }
                 }
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect, "case {case}");
             }
-            prop_assert_eq!(h.len(), model.len() as u64);
+            assert_eq!(h.len(), model.len() as u64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn report_request_counts_respect_object_contiguity(
-        servers in 1usize..6,
-        stripes in 1u64..64,
-    ) {
+#[test]
+fn report_request_counts_respect_object_contiguity() {
+    let mut rng = stream_rng(0x57A1, "striping-contiguity");
+    for case in 0..64 {
         // A full-stripe-aligned contiguous write of `stripes` units needs
         // exactly min(stripes, servers) requests.
+        let servers = rng.gen_range(1usize..=5);
+        let stripes = rng.gen_range(1u64..=63);
         let unit = 128u64;
         let fs = FileSystem::new(servers, unit, PfsParams::default());
         let h = fs.create("contig").unwrap();
         let r = h.write_at(0, &vec![1u8; (stripes * unit) as usize]);
-        prop_assert_eq!(r.total_requests(), stripes.min(servers as u64));
-        prop_assert_eq!(r.total_bytes(), stripes * unit);
+        assert_eq!(
+            r.total_requests(),
+            stripes.min(servers as u64),
+            "case {case}"
+        );
+        assert_eq!(r.total_bytes(), stripes * unit, "case {case}");
     }
 }

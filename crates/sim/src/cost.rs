@@ -186,8 +186,7 @@ impl CostModel {
             let nic_bytes = load.egress.max(load.ingress);
             let nic = VDuration::transfer(nic_bytes, spec.nic_bandwidth);
             let factor = mem_factor.get(node).copied().unwrap_or(1.0);
-            let dram =
-                VDuration::transfer(load.dram, spec.mem_bandwidth) * factor.max(1.0);
+            let dram = VDuration::transfer(load.dram, spec.mem_bandwidth) * factor.max(1.0);
             let software =
                 VDuration::from_secs(load.messages as f64 * self.shuffle_message_overhead);
             if verbose && (nic > serialization || dram > serialization || software > serialization)
@@ -256,13 +255,25 @@ mod tests {
         // Two senders on distinct nodes each ship 256 MiB to rank 0:
         // node 0 ingress = 512 MiB over a 1 GiB/s NIC ≈ 0.5 s.
         let flows = [
-            Flow { src: 2, dst: 0, bytes: 256 * MIB },
-            Flow { src: 4, dst: 0, bytes: 256 * MIB },
+            Flow {
+                src: 2,
+                dst: 0,
+                bytes: 256 * MIB,
+            },
+            Flow {
+                src: 4,
+                dst: 0,
+                bytes: 256 * MIB,
+            },
         ];
         let t = m.shuffle_phase(&p, &flows, &[]).as_secs();
         assert!((t - 0.5).abs() < 0.05, "got {t}");
         // One sender shipping the same total is no faster (same ingress).
-        let one = [Flow { src: 2, dst: 0, bytes: 512 * MIB }];
+        let one = [Flow {
+            src: 2,
+            dst: 0,
+            bytes: 512 * MIB,
+        }];
         let t1 = m.shuffle_phase(&p, &one, &[]).as_secs();
         assert!((t1 - 0.5).abs() < 0.05, "got {t1}");
     }
@@ -271,7 +282,11 @@ mod tests {
     fn concentrating_ingress_is_slower_than_spreading() {
         let (m, p) = setup(4, 2, 8);
         let to_one: Vec<Flow> = (2..8)
-            .map(|src| Flow { src, dst: 0, bytes: 64 * MIB })
+            .map(|src| Flow {
+                src,
+                dst: 0,
+                bytes: 64 * MIB,
+            })
             .collect();
         // Same volume, but spread over 2 receivers on different nodes.
         let spread: Vec<Flow> = (2..8)
@@ -292,7 +307,11 @@ mod tests {
     #[test]
     fn memory_pressure_slows_a_phase() {
         let (m, p) = setup(2, 2, 4);
-        let flows = [Flow { src: 2, dst: 0, bytes: 512 * MIB }];
+        let flows = [Flow {
+            src: 2,
+            dst: 0,
+            bytes: 512 * MIB,
+        }];
         let healthy = m.shuffle_phase(&p, &flows, &[1.0, 1.0]);
         // Node 0 thrashing at 40x: its DRAM term (512 MiB / 10 GiB/s = 50 ms,
         // ×40 = 2 s) dominates the NIC term (0.5 s).
@@ -308,9 +327,7 @@ mod tests {
     fn many_small_messages_pay_software_overhead() {
         let (m, p) = setup(2, 4, 8);
         let small: Vec<Flow> = (4..8)
-            .flat_map(|src| {
-                (0..4).map(move |dst| Flow { src, dst, bytes: 1 })
-            })
+            .flat_map(|src| (0..4).map(move |dst| Flow { src, dst, bytes: 1 }))
             .collect();
         let t = m.shuffle_phase(&p, &small, &[]);
         // 16 messages × 2 endpoints / 2 nodes = 16 endpoint-messages per
@@ -321,8 +338,16 @@ mod tests {
     #[test]
     fn intra_node_flows_skip_the_nic() {
         let (m, p) = setup(2, 4, 8);
-        let intra = [Flow { src: 0, dst: 1, bytes: GIB }];
-        let inter = [Flow { src: 0, dst: 4, bytes: GIB }];
+        let intra = [Flow {
+            src: 0,
+            dst: 1,
+            bytes: GIB,
+        }];
+        let inter = [Flow {
+            src: 0,
+            dst: 4,
+            bytes: GIB,
+        }];
         let t_intra = m.shuffle_phase(&p, &intra, &[]);
         let t_inter = m.shuffle_phase(&p, &inter, &[]);
         assert!(t_intra.as_secs() < t_inter.as_secs());
@@ -331,7 +356,11 @@ mod tests {
     #[test]
     fn zero_byte_self_flows_ignored() {
         let (m, p) = setup(2, 2, 4);
-        let flows = [Flow { src: 1, dst: 1, bytes: 0 }];
+        let flows = [Flow {
+            src: 1,
+            dst: 1,
+            bytes: 0,
+        }];
         assert_eq!(m.shuffle_phase(&p, &flows, &[]), VDuration::ZERO);
     }
 
@@ -339,7 +368,11 @@ mod tests {
     #[should_panic(expected = "mem_factor")]
     fn short_mem_factor_panics() {
         let (m, p) = setup(3, 2, 6);
-        let flows = [Flow { src: 0, dst: 2, bytes: 1 }];
+        let flows = [Flow {
+            src: 0,
+            dst: 2,
+            bytes: 1,
+        }];
         let _ = m.shuffle_phase(&p, &flows, &[1.0]);
     }
 }

@@ -8,7 +8,11 @@ use std::fmt;
 /// simulator are programming errors and panic instead, while `SimError`
 /// covers conditions a *user* of the library can trigger with legitimate
 /// inputs (unknown files, out-of-range ranks, infeasible configurations).
+/// The enum is `#[non_exhaustive]`: fault injection keeps growing new
+/// failure kinds, and downstream matches must carry a wildcard arm so
+/// adding one is not a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A named file does not exist in the simulated file system.
     NoSuchFile(String),
@@ -41,6 +45,17 @@ pub enum SimError {
         /// Bytes available at that node.
         available: u64,
     },
+    /// A PFS request kept failing transiently until the retry budget
+    /// was exhausted.
+    TransientIo {
+        /// Attempts made before giving up (including the first).
+        attempts: u32,
+    },
+    /// Cumulative retry backoff exceeded the policy's deadline.
+    Timeout {
+        /// Virtual microseconds spent backing off before giving up.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +78,13 @@ impl fmt::Display for SimError {
                 f,
                 "out of memory on node {node}: requested {requested} B, available {available} B"
             ),
+            SimError::TransientIo { attempts } => write!(
+                f,
+                "transient I/O failure persisted after {attempts} attempts"
+            ),
+            SimError::Timeout { waited_us } => {
+                write!(f, "gave up after {waited_us} us of retry backoff")
+            }
         }
     }
 }
@@ -93,5 +115,18 @@ mod tests {
     fn implements_error_trait() {
         fn takes_error(_: &dyn std::error::Error) {}
         takes_error(&SimError::NoSuchFile("x".into()));
+        takes_error(&SimError::TransientIo { attempts: 4 });
+        takes_error(&SimError::Timeout { waited_us: 1500 });
+    }
+
+    #[test]
+    fn fault_variants_display_their_budgets() {
+        let e = SimError::TransientIo { attempts: 4 };
+        assert_eq!(
+            e.to_string(),
+            "transient I/O failure persisted after 4 attempts"
+        );
+        let e = SimError::Timeout { waited_us: 2500 };
+        assert!(e.to_string().contains("2500 us"), "{e}");
     }
 }

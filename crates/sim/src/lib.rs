@@ -13,27 +13,36 @@
 //!   with (its Table 1) plus the memory-per-core trend formula;
 //! * [`stats`] — small statistics helpers (Welford mean/variance,
 //!   percentiles) used by the tuner and the experiment harness;
-//! * [`rng`] — deterministic seeded random generation, including the
-//!   Normal sampler used for per-node memory variance (the paper draws
-//!   aggregation buffer sizes from a Normal distribution with σ = 50);
+//! * [`rng`] — deterministic seeded random generation (an in-tree
+//!   SplitMix64 + xoshiro256++ generator), including the Normal sampler
+//!   used for per-node memory variance (the paper draws aggregation
+//!   buffer sizes from a Normal distribution with σ = 50);
+//! * [`fault`] — deterministic fault injection: scheduled memory
+//!   revocation, seeded transient PFS failures, server slowdowns,
+//!   stragglers, and the retry policy that governs recovery;
+//! * [`sync`] — poison-absorbing wrappers over `std::sync` used by the
+//!   concurrent layers above;
 //! * [`error`] — the shared error type.
 //!
-//! Nothing in this crate performs I/O or spawns threads; it is pure data
-//! and arithmetic, which keeps the higher layers deterministic and easy to
-//! property-test.
+//! Nothing in this crate performs I/O or spawns threads (the [`sync`]
+//! test suite aside); it is pure data and arithmetic, which keeps the
+//! higher layers deterministic and easy to property-test.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod projection;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod topology;
 pub mod units;
 
 pub use cost::CostModel;
 pub use error::SimError;
+pub use fault::{FaultPlan, RetryPolicy};
 pub use time::VTime;
 pub use topology::{ClusterSpec, NodeSpec, Placement};

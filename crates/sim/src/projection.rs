@@ -164,17 +164,72 @@ pub fn render_table1() -> String {
 #[must_use]
 pub fn table1_rows(a: &DesignPoint, b: &DesignPoint) -> Vec<DesignRow> {
     vec![
-        DesignRow { metric: "System Peak", y2010: a.system_peak, y2018: b.system_peak, unit: "flop/s" },
-        DesignRow { metric: "Power", y2010: a.power, y2018: b.power, unit: "W" },
-        DesignRow { metric: "System Memory", y2010: a.system_memory as f64, y2018: b.system_memory as f64, unit: "B" },
-        DesignRow { metric: "Node Performance", y2010: a.node_performance, y2018: b.node_performance, unit: "flop/s" },
-        DesignRow { metric: "Node Memory BW", y2010: a.node_memory_bw, y2018: b.node_memory_bw, unit: "B/s" },
-        DesignRow { metric: "Node Concurrency", y2010: a.node_concurrency as f64, y2018: b.node_concurrency as f64, unit: "cores" },
-        DesignRow { metric: "Interconnect BW", y2010: a.interconnect_bw, y2018: b.interconnect_bw, unit: "B/s" },
-        DesignRow { metric: "System Size", y2010: a.system_size as f64, y2018: b.system_size as f64, unit: "nodes" },
-        DesignRow { metric: "Total Concurrency", y2010: a.total_concurrency() as f64, y2018: b.total_concurrency() as f64, unit: "cores" },
-        DesignRow { metric: "Storage", y2010: a.storage as f64, y2018: b.storage as f64, unit: "B" },
-        DesignRow { metric: "I/O Bandwidth", y2010: a.io_bandwidth, y2018: b.io_bandwidth, unit: "B/s" },
+        DesignRow {
+            metric: "System Peak",
+            y2010: a.system_peak,
+            y2018: b.system_peak,
+            unit: "flop/s",
+        },
+        DesignRow {
+            metric: "Power",
+            y2010: a.power,
+            y2018: b.power,
+            unit: "W",
+        },
+        DesignRow {
+            metric: "System Memory",
+            y2010: a.system_memory as f64,
+            y2018: b.system_memory as f64,
+            unit: "B",
+        },
+        DesignRow {
+            metric: "Node Performance",
+            y2010: a.node_performance,
+            y2018: b.node_performance,
+            unit: "flop/s",
+        },
+        DesignRow {
+            metric: "Node Memory BW",
+            y2010: a.node_memory_bw,
+            y2018: b.node_memory_bw,
+            unit: "B/s",
+        },
+        DesignRow {
+            metric: "Node Concurrency",
+            y2010: a.node_concurrency as f64,
+            y2018: b.node_concurrency as f64,
+            unit: "cores",
+        },
+        DesignRow {
+            metric: "Interconnect BW",
+            y2010: a.interconnect_bw,
+            y2018: b.interconnect_bw,
+            unit: "B/s",
+        },
+        DesignRow {
+            metric: "System Size",
+            y2010: a.system_size as f64,
+            y2018: b.system_size as f64,
+            unit: "nodes",
+        },
+        DesignRow {
+            metric: "Total Concurrency",
+            y2010: a.total_concurrency() as f64,
+            y2018: b.total_concurrency() as f64,
+            unit: "cores",
+        },
+        DesignRow {
+            metric: "Storage",
+            y2010: a.storage as f64,
+            y2018: b.storage as f64,
+            unit: "B",
+        },
+        DesignRow {
+            metric: "I/O Bandwidth",
+            y2010: a.io_bandwidth,
+            y2018: b.io_bandwidth,
+            unit: "B/s",
+        },
     ]
 }
 
@@ -259,9 +314,17 @@ mod tests {
     fn table_renders_all_rows() {
         let t = render_table1();
         for name in [
-            "System Peak", "Power", "System Memory", "Node Performance",
-            "Node Memory BW", "Node Concurrency", "Interconnect BW",
-            "System Size", "Total Concurrency", "Storage", "I/O Bandwidth",
+            "System Peak",
+            "Power",
+            "System Memory",
+            "Node Performance",
+            "Node Memory BW",
+            "Node Concurrency",
+            "Interconnect BW",
+            "System Size",
+            "Total Concurrency",
+            "Storage",
+            "I/O Bandwidth",
         ] {
             assert!(t.contains(name), "missing row {name} in:\n{t}");
         }

@@ -53,7 +53,11 @@ mod tests {
     fn byte_at_is_stable_and_varied() {
         assert_eq!(byte_at(0), byte_at(0));
         let distinct: std::collections::HashSet<u8> = (0..256u64).map(byte_at).collect();
-        assert!(distinct.len() > 100, "distribution too flat: {}", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "distribution too flat: {}",
+            distinct.len()
+        );
     }
 
     #[test]

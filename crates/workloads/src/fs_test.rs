@@ -27,7 +27,10 @@ impl FsTest {
     #[must_use]
     pub fn new(record: u64, objects: u64, touch: u64) -> Self {
         assert!(record > 0 && objects > 0, "empty workload");
-        assert!(touch > 0 && touch <= record, "touch {touch} vs record {record}");
+        assert!(
+            touch > 0 && touch <= record,
+            "touch {touch} vs record {record}"
+        );
         FsTest {
             record,
             objects,
@@ -43,12 +46,7 @@ impl FsTest {
         assert!(nprocs > 0 && rank < nprocs);
         ExtentList::normalize(
             (0..self.objects)
-                .map(|o| {
-                    Extent::new(
-                        (o * nprocs as u64 + rank as u64) * self.record,
-                        self.touch,
-                    )
-                })
+                .map(|o| Extent::new((o * nprocs as u64 + rank as u64) * self.record, self.touch))
                 .collect(),
         )
     }
@@ -103,10 +101,7 @@ mod tests {
     fn partial_touch_leaves_holes() {
         let w = FsTest::new(100, 2, 30);
         let e = FsTest::extents(&w, 1, 2);
-        assert_eq!(
-            e.as_slice(),
-            &[Extent::new(100, 30), Extent::new(300, 30)]
-        );
+        assert_eq!(e.as_slice(), &[Extent::new(100, 30), Extent::new(300, 30)]);
         assert_eq!(w.bytes_per_rank(), 60);
         assert_eq!(w.file_span(2), 400);
     }

@@ -69,7 +69,11 @@ impl Ior {
             total_per_rank.is_multiple_of(segment_count),
             "{total_per_rank} not divisible into {segment_count} segments"
         );
-        Ior::new(total_per_rank / segment_count, segment_count, IorMode::Interleaved)
+        Ior::new(
+            total_per_rank / segment_count,
+            segment_count,
+            IorMode::Interleaved,
+        )
     }
 
     /// Bytes each rank moves.

@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod coll_perf;
-pub mod fs_test;
 pub mod data;
+pub mod fs_test;
 pub mod ior;
 pub mod synthetic;
 pub mod tile_io;
@@ -27,8 +27,8 @@ pub mod tile_io;
 use mccio_mpiio::ExtentList;
 
 pub use coll_perf::CollPerf;
-pub use ior::{Ior, IorMode};
 pub use fs_test::FsTest;
+pub use ior::{Ior, IorMode};
 pub use synthetic::Synthetic;
 pub use tile_io::TileIo;
 
@@ -65,8 +65,7 @@ impl Workload for CollPerf {
     fn name(&self) -> String {
         format!(
             "coll_perf {}x{}x{} grid {}x{}x{}",
-            self.dims[0], self.dims[1], self.dims[2],
-            self.grid[0], self.grid[1], self.grid[2]
+            self.dims[0], self.dims[1], self.dims[2], self.grid[0], self.grid[1], self.grid[2]
         )
     }
 }

@@ -3,8 +3,7 @@
 //! paper names as the common pattern of scientific applications.
 
 use mccio_mpiio::{Extent, ExtentList};
-use mccio_sim::rng::stream_rng;
-use rand::Rng;
+use mccio_sim::rng::{stream_rng, Rng};
 
 /// A randomized noncontiguous workload over a rank-partitioned file.
 ///
@@ -68,7 +67,11 @@ impl Synthetic {
         for i in 0..self.extents_per_rank as u64 {
             let len = rng.gen_range(self.min_len..=self.max_len.min(cell));
             let slack = cell - len;
-            let jitter = if slack == 0 { 0 } else { rng.gen_range(0..=slack) };
+            let jitter = if slack == 0 {
+                0
+            } else {
+                rng.gen_range(0..=slack)
+            };
             out.push(Extent::new(base + i * cell + jitter, len));
         }
         ExtentList::normalize(out)

@@ -127,11 +127,7 @@ mod tests {
         let b = t.read_extents(1);
         // Tile 0 with halo reaches into column 4 (tile 1's first column)
         // and vice versa.
-        let overlap: u64 = a
-            .as_slice()
-            .iter()
-            .map(|e| b.clip(*e).total_bytes())
-            .sum();
+        let overlap: u64 = a.as_slice().iter().map(|e| b.clip(*e).total_bytes()).sum();
         assert!(overlap > 0, "halos must overlap: {a:?} vs {b:?}");
     }
 

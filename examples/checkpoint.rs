@@ -22,8 +22,14 @@ use mccio_workloads::data;
 const FIELDS: [&str; 3] = ["density", "pressure", "energy"];
 
 fn main() {
-    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
-    let dim: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1536);
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let dim: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1536);
     let n_nodes = ranks.div_ceil(12);
     let cluster = ClusterSpec::testbed(n_nodes);
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).expect("placement");
@@ -31,12 +37,15 @@ fn main() {
     let tuning = Tuning::derive(&cluster, &PfsParams::default(), 8);
 
     // A 2-D process grid (as square as the rank count allows).
-    let py = (1..=ranks).filter(|p| ranks % p == 0)
+    let py = (1..=ranks)
+        .filter(|p| ranks.is_multiple_of(*p))
         .min_by_key(|&p| (p as i64 - (ranks as f64).sqrt() as i64).abs())
         .unwrap_or(1);
     let grid = [py, ranks / py];
-    assert!(dim % grid[0] as u64 == 0 && dim % grid[1] as u64 == 0,
-        "field dim {dim} must divide by grid {grid:?}");
+    assert!(
+        dim.is_multiple_of(grid[0] as u64) && dim.is_multiple_of(grid[1] as u64),
+        "field dim {dim} must divide by grid {grid:?}"
+    );
     let field_bytes = dim * dim * 8;
 
     // Each rank's checkpoint footprint: its darray block of each field,
@@ -58,16 +67,19 @@ fn main() {
     );
 
     for (label, strategy) in [
-        ("two-phase", Strategy::TwoPhase(TwoPhaseConfig::with_buffer(8 * MIB))),
+        (
+            "two-phase",
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(8 * MIB)),
+        ),
         (
             "memory-conscious",
             Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 8 * MIB, MIB))),
         ),
     ] {
-        let env = IoEnv {
-            fs: FileSystem::new(8, MIB, PfsParams::default()),
-            mem: MemoryModel::with_available_variance(&cluster, 128 * MIB, 50 * MIB, 21),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(8, MIB, PfsParams::default()),
+            MemoryModel::with_available_variance(&cluster, 128 * MIB, 50 * MIB, 21),
+        );
         let strategy = &strategy;
         let extents_of = &extents_of;
         let reports = world.run(|ctx| {
@@ -83,8 +95,14 @@ fn main() {
             (w, r)
         });
         let total = 3 * field_bytes;
-        let w = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
-        let r = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+        let w = reports
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
+        let r = reports
+            .iter()
+            .map(|(_, r)| r.elapsed.as_secs())
+            .fold(0.0, f64::max);
         println!(
             "{label:>18}: checkpoint {}  restart {}",
             fmt_bandwidth(total as f64 / w),

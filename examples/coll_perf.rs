@@ -15,8 +15,14 @@ use mccio_sim::units::{fmt_bandwidth, fmt_bytes, MIB};
 use mccio_workloads::{data, CollPerf, Workload};
 
 fn main() {
-    let dim: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
-    let ranks: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let dim: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let ranks: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     let workload = CollPerf::cube(dim, ranks, 4);
     let n_nodes = ranks.div_ceil(12);
     let cluster = ClusterSpec::testbed(n_nodes);
@@ -42,10 +48,10 @@ fn main() {
             Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 4 * MIB, MIB))),
         ),
     ] {
-        let env = IoEnv {
-            fs: FileSystem::new(8, MIB, PfsParams::default()),
-            mem: MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 7),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(8, MIB, PfsParams::default()),
+            MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 7),
+        );
         let strategy = &strategy;
         let w = &workload;
         let reports = world.run(|ctx| {
@@ -60,8 +66,14 @@ fn main() {
             (wr, rd)
         });
         let total = workload.file_bytes();
-        let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
-        let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+        let w_secs = reports
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
+        let r_secs = reports
+            .iter()
+            .map(|(_, r)| r.elapsed.as_secs())
+            .fold(0.0, f64::max);
         println!(
             "{label:>18}: write {}  read {}  (peak agg mem/node: {})",
             fmt_bandwidth(total as f64 / w_secs),

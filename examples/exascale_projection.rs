@@ -20,7 +20,10 @@ fn run_platform(label: &str, cluster: ClusterSpec, ranks: usize, mem_mean: u64, 
     let world = World::new(CostModel::new(cluster.clone()), placement);
     let tuning = Tuning::derive(&cluster, &PfsParams::default(), 8);
     let ior = Ior::new(MIB, 4, IorMode::Interleaved);
-    println!("\n{label}: {ranks} ranks, mean available memory {} MiB/node", mem_mean / MIB);
+    println!(
+        "\n{label}: {ranks} ranks, mean available memory {} MiB/node",
+        mem_mean / MIB
+    );
     for (name, strategy) in [
         (
             "two-phase",
@@ -31,10 +34,10 @@ fn run_platform(label: &str, cluster: ClusterSpec, ranks: usize, mem_mean: u64, 
             Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 48 * MIB, MIB))),
         ),
     ] {
-        let env = IoEnv {
-            fs: FileSystem::new(8, MIB, PfsParams::default()),
-            mem: MemoryModel::with_available_variance(&cluster, mem_mean, mem_std, 17),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(8, MIB, PfsParams::default()),
+            MemoryModel::with_available_variance(&cluster, mem_mean, mem_std, 17),
+        );
         let w = &ior;
         let strategy = &strategy;
         let reports = world.run(|ctx| {
@@ -47,7 +50,10 @@ fn run_platform(label: &str, cluster: ClusterSpec, ranks: usize, mem_mean: u64, 
             wr
         });
         let total = Workload::total_bytes(&ior, ranks);
-        let secs = reports.iter().map(|r| r.elapsed.as_secs()).fold(0.0, f64::max);
+        let secs = reports
+            .iter()
+            .map(|r| r.elapsed.as_secs())
+            .fold(0.0, f64::max);
         println!("  {name:>18}: write {}", fmt_bandwidth(total as f64 / secs));
     }
 }

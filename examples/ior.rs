@@ -14,9 +14,18 @@ use mccio_sim::units::{fmt_bandwidth, fmt_bytes, KIB, MIB};
 use mccio_workloads::{data, Ior, IorMode, Workload};
 
 fn main() {
-    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
-    let block_kib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(256);
-    let segments: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let block_kib: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let segments: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
 
     let n_nodes = ranks.div_ceil(12);
     let cluster = ClusterSpec::testbed(n_nodes);
@@ -31,7 +40,10 @@ fn main() {
     ];
     let strategies = [
         ("independent", Strategy::Independent),
-        ("sieved", Strategy::IndependentSieved(SieveConfig::default())),
+        (
+            "sieved",
+            Strategy::IndependentSieved(SieveConfig::default()),
+        ),
         (
             "two-phase",
             Strategy::TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB)),
@@ -54,10 +66,10 @@ fn main() {
     for (mode_name, mode) in modes {
         let ior = Ior::new(block_kib * KIB, segments, mode);
         for (strat_name, strategy) in &strategies {
-            let env = IoEnv {
-                fs: FileSystem::new(8, MIB, PfsParams::default()),
-                mem: MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 3),
-            };
+            let env = IoEnv::new(
+                FileSystem::new(8, MIB, PfsParams::default()),
+                MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 3),
+            );
             let w = &ior;
             let reports = world.run(|ctx| {
                 let env = env.clone();
@@ -71,8 +83,14 @@ fn main() {
                 (wr, rd)
             });
             let total = Workload::total_bytes(&ior, ranks);
-            let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
-            let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+            let w_secs = reports
+                .iter()
+                .map(|(w, _)| w.elapsed.as_secs())
+                .fold(0.0, f64::max);
+            let r_secs = reports
+                .iter()
+                .map(|(_, r)| r.elapsed.as_secs())
+                .fold(0.0, f64::max);
             println!(
                 "{:>12} {:>18} {:>14} {:>14}",
                 mode_name,

@@ -53,7 +53,9 @@ fn main() {
     for d in &tp_plan.domains {
         println!(
             "  domain {:>9}+{:<9} -> rank {:<2} (node {})",
-            d.domain.offset, d.domain.len, d.aggregator,
+            d.domain.offset,
+            d.domain.len,
+            d.aggregator,
             placement.node_of(d.aggregator)
         );
     }
@@ -65,8 +67,12 @@ fn main() {
     for d in &mc_plan.domains {
         println!(
             "  group {} domain {:>9}+{:<9} -> rank {:<2} (node {}) buffer {}",
-            d.group, d.domain.offset, d.domain.len, d.aggregator,
-            placement.node_of(d.aggregator), fmt_bytes(d.buffer)
+            d.group,
+            d.domain.offset,
+            d.domain.len,
+            d.aggregator,
+            placement.node_of(d.aggregator),
+            fmt_bytes(d.buffer)
         );
     }
     let starved_aggs = mc_plan
@@ -79,13 +85,13 @@ fn main() {
     // Execute both and compare.
     let world = World::new(CostModel::new(cluster.clone()), placement.clone());
     for (name, strategy) in [
-        ("two-phase", Strategy::TwoPhase(TwoPhaseConfig::with_buffer(16 * MIB))),
+        (
+            "two-phase",
+            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(16 * MIB)),
+        ),
         ("memory-conscious", Strategy::MemoryConscious(Box::new(cfg))),
     ] {
-        let env = IoEnv {
-            fs: FileSystem::new(4, MIB, PfsParams::default()),
-            mem: mem.clone(),
-        };
+        let env = IoEnv::new(FileSystem::new(4, MIB, PfsParams::default()), mem.clone());
         let per_rank = per_rank.clone();
         let strategy = &strategy;
         let reports = world.run(|ctx| {
@@ -96,7 +102,10 @@ fn main() {
             write_all(ctx, &env, &handle, &extents, &payload, strategy)
         });
         let total: u64 = reports.iter().map(|r| r.bytes).sum();
-        let secs = reports.iter().map(|r| r.elapsed.as_secs()).fold(0.0, f64::max);
+        let secs = reports
+            .iter()
+            .map(|r| r.elapsed.as_secs())
+            .fold(0.0, f64::max);
         println!("\n{name}: write {}", fmt_bandwidth(total as f64 / secs));
     }
 }

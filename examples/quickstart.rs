@@ -16,10 +16,10 @@ fn main() {
     let cluster = test_cluster(3, 2);
     let placement = Placement::new(&cluster, 6, FillOrder::Block).expect("placement");
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-        mem: MemoryModel::pristine(&cluster),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    );
 
     // Each rank owns interleaved 16 KiB blocks — six writers, streams of
     // requests that are small and noncontiguous from any one process's
@@ -34,7 +34,10 @@ fn main() {
 
     println!("quickstart: 6 ranks, interleaved 16 KiB blocks, 4 OSTs\n");
     for (label, strategy) in [
-        ("independent I/O (one request per extent)", Strategy::Independent),
+        (
+            "independent I/O (one request per extent)",
+            Strategy::Independent,
+        ),
         (
             "two-phase collective I/O",
             Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
@@ -67,8 +70,14 @@ fn main() {
             (w, r)
         });
         let total: u64 = reports.iter().map(|(w, _)| w.bytes).sum();
-        let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
-        let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+        let w_secs = reports
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
+        let r_secs = reports
+            .iter()
+            .map(|(_, r)| r.elapsed.as_secs())
+            .fold(0.0, f64::max);
         println!("{label}:");
         println!("  write {}", fmt_bandwidth(total as f64 / w_secs));
         println!("  read  {}", fmt_bandwidth(total as f64 / r_secs));

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/components-26b1e92b68a8cf74.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-26b1e92b68a8cf74.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-2e970c0b1909916d.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-2e970c0b1909916d.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

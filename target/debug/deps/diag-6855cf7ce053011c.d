@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-6855cf7ce053011c.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-6855cf7ce053011c.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

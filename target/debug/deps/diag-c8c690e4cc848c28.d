@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-c8c690e4cc848c28.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-c8c690e4cc848c28: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

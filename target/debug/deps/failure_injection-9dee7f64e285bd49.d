@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-9dee7f64e285bd49.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-9dee7f64e285bd49: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-174f20698b533a83.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-174f20698b533a83: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

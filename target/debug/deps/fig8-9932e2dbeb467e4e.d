@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9932e2dbeb467e4e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9932e2dbeb467e4e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hints_e2e-3968f1eef44bff20.d: tests/hints_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhints_e2e-3968f1eef44bff20.rmeta: tests/hints_e2e.rs Cargo.toml
+
+tests/hints_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

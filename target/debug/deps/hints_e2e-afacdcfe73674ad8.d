@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hints_e2e-afacdcfe73674ad8.d: tests/hints_e2e.rs
+
+/root/repo/target/debug/deps/hints_e2e-afacdcfe73674ad8: tests/hints_e2e.rs
+
+tests/hints_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layout_props-e08064099c3e7559.d: crates/mpiio/tests/layout_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayout_props-e08064099c3e7559.rmeta: crates/mpiio/tests/layout_props.rs Cargo.toml
+
+crates/mpiio/tests/layout_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

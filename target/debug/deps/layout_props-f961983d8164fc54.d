@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_props-f961983d8164fc54.d: crates/mpiio/tests/layout_props.rs
+
+/root/repo/target/debug/deps/layout_props-f961983d8164fc54: crates/mpiio/tests/layout_props.rs
+
+crates/mpiio/tests/layout_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio-1219ce3fcef87197.d: crates/bench/src/bin/mccio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio-1219ce3fcef87197.rmeta: crates/bench/src/bin/mccio.rs Cargo.toml
+
+crates/bench/src/bin/mccio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

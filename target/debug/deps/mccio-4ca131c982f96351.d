@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccio-4ca131c982f96351.d: crates/bench/src/bin/mccio.rs
+
+/root/repo/target/debug/deps/mccio-4ca131c982f96351: crates/bench/src/bin/mccio.rs
+
+crates/bench/src/bin/mccio.rs:

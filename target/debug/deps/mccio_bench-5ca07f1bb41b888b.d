@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_bench-5ca07f1bb41b888b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_bench-5ca07f1bb41b888b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_bench-6804c17079bebce9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_bench-6804c17079bebce9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

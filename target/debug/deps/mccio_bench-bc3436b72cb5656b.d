@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccio_bench-bc3436b72cb5656b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mccio_bench-bc3436b72cb5656b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccio_bench-e9456bbfaa18cce6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_bench-e9456bbfaa18cce6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_bench-e9456bbfaa18cce6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mccio_core-11d200ff5bbeafc5.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs
+
+/root/repo/target/debug/deps/mccio_core-11d200ff5bbeafc5: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/groups.rs:
+crates/core/src/hints.rs:
+crates/core/src/mccio.rs:
+crates/core/src/placement.rs:
+crates/core/src/plan.rs:
+crates/core/src/ptree.rs:
+crates/core/src/resilience.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/tuner.rs:
+crates/core/src/two_phase.rs:

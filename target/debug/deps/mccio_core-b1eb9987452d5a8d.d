@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mccio_core-b1eb9987452d5a8d.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_core-b1eb9987452d5a8d.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/groups.rs:
+crates/core/src/hints.rs:
+crates/core/src/mccio.rs:
+crates/core/src/placement.rs:
+crates/core/src/plan.rs:
+crates/core/src/ptree.rs:
+crates/core/src/resilience.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/tuner.rs:
+crates/core/src/two_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_mem-52174960e8d5e7dc.d: crates/mem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_mem-52174960e8d5e7dc.rmeta: crates/mem/src/lib.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

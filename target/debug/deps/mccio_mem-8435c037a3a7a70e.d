@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_mem-8435c037a3a7a70e.d: crates/mem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_mem-8435c037a3a7a70e.rmeta: crates/mem/src/lib.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccio_mem-862093682c36a893.d: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_mem-862093682c36a893.rlib: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_mem-862093682c36a893.rmeta: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

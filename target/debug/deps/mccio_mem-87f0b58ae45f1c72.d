@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccio_mem-87f0b58ae45f1c72.d: crates/mem/src/lib.rs
+
+/root/repo/target/debug/deps/mccio_mem-87f0b58ae45f1c72: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccio_mpiio-4cdd772cdf3550c9.d: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/mccio_mpiio-4cdd772cdf3550c9: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/analysis.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/extent.rs:
+crates/mpiio/src/fileview.rs:
+crates/mpiio/src/independent.rs:
+crates/mpiio/src/report.rs:
+crates/mpiio/src/sieve.rs:

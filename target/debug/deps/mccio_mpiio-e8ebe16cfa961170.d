@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mccio_mpiio-e8ebe16cfa961170.d: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_mpiio-e8ebe16cfa961170.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs Cargo.toml
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/analysis.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/extent.rs:
+crates/mpiio/src/fileview.rs:
+crates/mpiio/src/independent.rs:
+crates/mpiio/src/report.rs:
+crates/mpiio/src/sieve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccio_mpiio-f29fab11b832750e.d: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/libmccio_mpiio-f29fab11b832750e.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/debug/deps/libmccio_mpiio-f29fab11b832750e.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/analysis.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/extent.rs:
+crates/mpiio/src/fileview.rs:
+crates/mpiio/src/independent.rs:
+crates/mpiio/src/report.rs:
+crates/mpiio/src/sieve.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccio_net-31dad856caa8af4d.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_net-31dad856caa8af4d.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/engine.rs:
+crates/net/src/group.rs:
+crates/net/src/mailbox.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

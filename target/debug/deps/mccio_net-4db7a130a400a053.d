@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccio_net-4db7a130a400a053.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_net-4db7a130a400a053.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/engine.rs:
+crates/net/src/group.rs:
+crates/net/src/mailbox.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mccio_net-5d95428ffc29d68f.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/mccio_net-5d95428ffc29d68f: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/engine.rs:
+crates/net/src/group.rs:
+crates/net/src/mailbox.rs:
+crates/net/src/wire.rs:

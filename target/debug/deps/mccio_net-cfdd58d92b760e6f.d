@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccio_net-cfdd58d92b760e6f.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libmccio_net-cfdd58d92b760e6f.rlib: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libmccio_net-cfdd58d92b760e6f.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/engine.rs:
+crates/net/src/group.rs:
+crates/net/src/mailbox.rs:
+crates/net/src/wire.rs:

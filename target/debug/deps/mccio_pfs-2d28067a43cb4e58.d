@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mccio_pfs-2d28067a43cb4e58.d: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_pfs-2d28067a43cb4e58.rmeta: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/service.rs:
+crates/pfs/src/striping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_pfs-4485a270b87bf825.d: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+/root/repo/target/debug/deps/mccio_pfs-4485a270b87bf825: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/service.rs:
+crates/pfs/src/striping.rs:

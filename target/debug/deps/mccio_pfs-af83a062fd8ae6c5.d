@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mccio_pfs-af83a062fd8ae6c5.d: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+/root/repo/target/debug/deps/libmccio_pfs-af83a062fd8ae6c5.rlib: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+/root/repo/target/debug/deps/libmccio_pfs-af83a062fd8ae6c5.rmeta: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/service.rs:
+crates/pfs/src/striping.rs:

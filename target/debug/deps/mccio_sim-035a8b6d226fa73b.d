@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mccio_sim-035a8b6d226fa73b.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/projection.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/topology.rs crates/sim/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_sim-035a8b6d226fa73b.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/projection.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/topology.rs crates/sim/src/units.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/projection.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mccio_sim-5562e4965faa046d.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/projection.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/topology.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libmccio_sim-5562e4965faa046d.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/projection.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/topology.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libmccio_sim-5562e4965faa046d.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/projection.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/topology.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/projection.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:
+crates/sim/src/units.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccio_suite-990687153e0b471a.d: src/lib.rs
+
+/root/repo/target/debug/deps/mccio_suite-990687153e0b471a: src/lib.rs
+
+src/lib.rs:

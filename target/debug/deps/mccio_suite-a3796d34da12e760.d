@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_suite-a3796d34da12e760.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_suite-a3796d34da12e760.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccio_suite-c50d34c08d8244f9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_suite-c50d34c08d8244f9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmccio_suite-c50d34c08d8244f9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccio_suite-fb1f1f22604fb1eb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_suite-fb1f1f22604fb1eb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mccio_workloads-1d43c36dc7fb81ba.d: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_workloads-1d43c36dc7fb81ba.rmeta: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/coll_perf.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/fs_test.rs:
+crates/workloads/src/ior.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tile_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mccio_workloads-32b4f8a9c3ab2c29.d: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+/root/repo/target/debug/deps/mccio_workloads-32b4f8a9c3ab2c29: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/coll_perf.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/fs_test.rs:
+crates/workloads/src/ior.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tile_io.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mccio_workloads-536cec74d29ab2cd.d: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccio_workloads-536cec74d29ab2cd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/coll_perf.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/fs_test.rs:
+crates/workloads/src/ior.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tile_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mccio_workloads-da41f8d56ce433aa.d: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+/root/repo/target/debug/deps/libmccio_workloads-da41f8d56ce433aa.rlib: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+/root/repo/target/debug/deps/libmccio_workloads-da41f8d56ce433aa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/coll_perf.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/fs_test.rs:
+crates/workloads/src/ior.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tile_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-199db7f7b6fd8a03.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-199db7f7b6fd8a03: tests/paper_claims.rs
+
+tests/paper_claims.rs:

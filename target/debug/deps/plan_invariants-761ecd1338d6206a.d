@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_invariants-761ecd1338d6206a.d: tests/plan_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_invariants-761ecd1338d6206a.rmeta: tests/plan_invariants.rs Cargo.toml
+
+tests/plan_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_invariants-9e62552fc6beb8b4.d: tests/plan_invariants.rs
+
+/root/repo/target/debug/deps/plan_invariants-9e62552fc6beb8b4: tests/plan_invariants.rs
+
+tests/plan_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_roundtrip-2f601b4d30fdce91.d: tests/property_roundtrip.rs
+
+/root/repo/target/debug/deps/property_roundtrip-2f601b4d30fdce91: tests/property_roundtrip.rs
+
+tests/property_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_roundtrip-cb98ad458da9ec30.d: tests/property_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_roundtrip-cb98ad458da9ec30.rmeta: tests/property_roundtrip.rs Cargo.toml
+
+tests/property_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

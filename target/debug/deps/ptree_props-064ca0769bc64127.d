@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ptree_props-064ca0769bc64127.d: crates/core/tests/ptree_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libptree_props-064ca0769bc64127.rmeta: crates/core/tests/ptree_props.rs Cargo.toml
+
+crates/core/tests/ptree_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ptree_props-514428e44c67207b.d: crates/core/tests/ptree_props.rs
+
+/root/repo/target/debug/deps/ptree_props-514428e44c67207b: crates/core/tests/ptree_props.rs
+
+crates/core/tests/ptree_props.rs:

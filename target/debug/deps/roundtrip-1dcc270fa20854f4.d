@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-1dcc270fa20854f4.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-1dcc270fa20854f4: tests/roundtrip.rs
+
+tests/roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-f96b4443d0d5f91d.d: tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-f96b4443d0d5f91d.rmeta: tests/roundtrip.rs Cargo.toml
+
+tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_adaptivity-0dd732748e9c4bda.d: tests/runtime_adaptivity.rs
+
+/root/repo/target/debug/deps/runtime_adaptivity-0dd732748e9c4bda: tests/runtime_adaptivity.rs
+
+tests/runtime_adaptivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_adaptivity-454a0b4ab5a04c1f.d: tests/runtime_adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_adaptivity-454a0b4ab5a04c1f.rmeta: tests/runtime_adaptivity.rs Cargo.toml
+
+tests/runtime_adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

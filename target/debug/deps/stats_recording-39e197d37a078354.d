@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_recording-39e197d37a078354.d: tests/stats_recording.rs
+
+/root/repo/target/debug/deps/stats_recording-39e197d37a078354: tests/stats_recording.rs
+
+tests/stats_recording.rs:

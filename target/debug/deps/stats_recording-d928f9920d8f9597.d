@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_recording-d928f9920d8f9597.d: tests/stats_recording.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_recording-d928f9920d8f9597.rmeta: tests/stats_recording.rs Cargo.toml
+
+tests/stats_recording.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

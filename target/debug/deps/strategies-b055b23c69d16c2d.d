@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies-b055b23c69d16c2d.d: crates/bench/benches/strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies-b055b23c69d16c2d.rmeta: crates/bench/benches/strategies.rs Cargo.toml
+
+crates/bench/benches/strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

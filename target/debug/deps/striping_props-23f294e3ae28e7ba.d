@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/striping_props-23f294e3ae28e7ba.d: crates/pfs/tests/striping_props.rs
+
+/root/repo/target/debug/deps/striping_props-23f294e3ae28e7ba: crates/pfs/tests/striping_props.rs
+
+crates/pfs/tests/striping_props.rs:

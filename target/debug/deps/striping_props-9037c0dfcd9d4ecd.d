@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/striping_props-9037c0dfcd9d4ecd.d: crates/pfs/tests/striping_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstriping_props-9037c0dfcd9d4ecd.rmeta: crates/pfs/tests/striping_props.rs Cargo.toml
+
+crates/pfs/tests/striping_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c71f079868c427ad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c71f079868c427ad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint-0d6d5c280015402c.d: examples/checkpoint.rs
+
+/root/repo/target/debug/examples/checkpoint-0d6d5c280015402c: examples/checkpoint.rs
+
+examples/checkpoint.rs:

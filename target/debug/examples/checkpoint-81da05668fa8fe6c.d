@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint-81da05668fa8fe6c.d: examples/checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint-81da05668fa8fe6c.rmeta: examples/checkpoint.rs Cargo.toml
+
+examples/checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

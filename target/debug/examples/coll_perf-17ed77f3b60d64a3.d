@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coll_perf-17ed77f3b60d64a3.d: examples/coll_perf.rs
+
+/root/repo/target/debug/examples/coll_perf-17ed77f3b60d64a3: examples/coll_perf.rs
+
+examples/coll_perf.rs:

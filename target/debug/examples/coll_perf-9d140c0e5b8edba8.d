@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coll_perf-9d140c0e5b8edba8.d: examples/coll_perf.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoll_perf-9d140c0e5b8edba8.rmeta: examples/coll_perf.rs Cargo.toml
+
+examples/coll_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/exascale_projection-947ee3f1ec6073e7.d: examples/exascale_projection.rs
+
+/root/repo/target/debug/examples/exascale_projection-947ee3f1ec6073e7: examples/exascale_projection.rs
+
+examples/exascale_projection.rs:

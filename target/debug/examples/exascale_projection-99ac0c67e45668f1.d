@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/exascale_projection-99ac0c67e45668f1.d: examples/exascale_projection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexascale_projection-99ac0c67e45668f1.rmeta: examples/exascale_projection.rs Cargo.toml
+
+examples/exascale_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ior-6f7f42bbbf16e1d9.d: examples/ior.rs
+
+/root/repo/target/debug/examples/ior-6f7f42bbbf16e1d9: examples/ior.rs
+
+examples/ior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ior-8f1c4e4f2f7fbba3.d: examples/ior.rs Cargo.toml
+
+/root/repo/target/debug/examples/libior-8f1c4e4f2f7fbba3.rmeta: examples/ior.rs Cargo.toml
+
+examples/ior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_pressure-56769454c49023b9.d: examples/memory_pressure.rs
+
+/root/repo/target/debug/examples/memory_pressure-56769454c49023b9: examples/memory_pressure.rs
+
+examples/memory_pressure.rs:

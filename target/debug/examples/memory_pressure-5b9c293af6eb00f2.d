@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_pressure-5b9c293af6eb00f2.d: examples/memory_pressure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_pressure-5b9c293af6eb00f2.rmeta: examples/memory_pressure.rs Cargo.toml
+
+examples/memory_pressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

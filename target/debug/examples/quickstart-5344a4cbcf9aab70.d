@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5344a4cbcf9aab70.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5344a4cbcf9aab70: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b10e8aaa1fe981cd.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b10e8aaa1fe981cd.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning-a63d666082f1f822.d: examples/tuning.rs
+
+/root/repo/target/debug/examples/tuning-a63d666082f1f822: examples/tuning.rs
+
+examples/tuning.rs:

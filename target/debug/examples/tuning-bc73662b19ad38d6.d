@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tuning-bc73662b19ad38d6.d: examples/tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtuning-bc73662b19ad38d6.rmeta: examples/tuning.rs Cargo.toml
+
+examples/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-b9a688039eb96d2f.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-b9a688039eb96d2f: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

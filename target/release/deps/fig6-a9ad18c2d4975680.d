@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-a9ad18c2d4975680.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-a9ad18c2d4975680: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

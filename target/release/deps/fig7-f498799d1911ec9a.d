@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f498799d1911ec9a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f498799d1911ec9a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

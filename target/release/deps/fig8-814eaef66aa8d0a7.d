@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-814eaef66aa8d0a7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-814eaef66aa8d0a7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

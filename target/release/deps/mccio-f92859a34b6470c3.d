@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mccio-f92859a34b6470c3.d: crates/bench/src/bin/mccio.rs
+
+/root/repo/target/release/deps/mccio-f92859a34b6470c3: crates/bench/src/bin/mccio.rs
+
+crates/bench/src/bin/mccio.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccio_bench-005ac9aa3719e908.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccio_bench-005ac9aa3719e908.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccio_bench-005ac9aa3719e908.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mccio_core-2368df6081f4261e.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs
+
+/root/repo/target/release/deps/libmccio_core-2368df6081f4261e.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs
+
+/root/repo/target/release/deps/libmccio_core-2368df6081f4261e.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/groups.rs crates/core/src/hints.rs crates/core/src/mccio.rs crates/core/src/placement.rs crates/core/src/plan.rs crates/core/src/ptree.rs crates/core/src/resilience.rs crates/core/src/stats.rs crates/core/src/strategy.rs crates/core/src/tuner.rs crates/core/src/two_phase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/groups.rs:
+crates/core/src/hints.rs:
+crates/core/src/mccio.rs:
+crates/core/src/placement.rs:
+crates/core/src/plan.rs:
+crates/core/src/ptree.rs:
+crates/core/src/resilience.rs:
+crates/core/src/stats.rs:
+crates/core/src/strategy.rs:
+crates/core/src/tuner.rs:
+crates/core/src/two_phase.rs:

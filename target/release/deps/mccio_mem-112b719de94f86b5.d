@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccio_mem-112b719de94f86b5.d: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmccio_mem-112b719de94f86b5.rlib: crates/mem/src/lib.rs
+
+/root/repo/target/release/deps/libmccio_mem-112b719de94f86b5.rmeta: crates/mem/src/lib.rs
+
+crates/mem/src/lib.rs:

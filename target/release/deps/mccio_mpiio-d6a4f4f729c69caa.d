@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mccio_mpiio-d6a4f4f729c69caa.d: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/release/deps/libmccio_mpiio-d6a4f4f729c69caa.rlib: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+/root/repo/target/release/deps/libmccio_mpiio-d6a4f4f729c69caa.rmeta: crates/mpiio/src/lib.rs crates/mpiio/src/analysis.rs crates/mpiio/src/datatype.rs crates/mpiio/src/extent.rs crates/mpiio/src/fileview.rs crates/mpiio/src/independent.rs crates/mpiio/src/report.rs crates/mpiio/src/sieve.rs
+
+crates/mpiio/src/lib.rs:
+crates/mpiio/src/analysis.rs:
+crates/mpiio/src/datatype.rs:
+crates/mpiio/src/extent.rs:
+crates/mpiio/src/fileview.rs:
+crates/mpiio/src/independent.rs:
+crates/mpiio/src/report.rs:
+crates/mpiio/src/sieve.rs:

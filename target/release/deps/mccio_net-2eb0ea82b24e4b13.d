@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mccio_net-2eb0ea82b24e4b13.d: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libmccio_net-2eb0ea82b24e4b13.rlib: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libmccio_net-2eb0ea82b24e4b13.rmeta: crates/net/src/lib.rs crates/net/src/collective.rs crates/net/src/engine.rs crates/net/src/group.rs crates/net/src/mailbox.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/collective.rs:
+crates/net/src/engine.rs:
+crates/net/src/group.rs:
+crates/net/src/mailbox.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mccio_pfs-7bfab59f26c91285.d: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+/root/repo/target/release/deps/libmccio_pfs-7bfab59f26c91285.rlib: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+/root/repo/target/release/deps/libmccio_pfs-7bfab59f26c91285.rmeta: crates/pfs/src/lib.rs crates/pfs/src/fs.rs crates/pfs/src/retry.rs crates/pfs/src/service.rs crates/pfs/src/striping.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/fs.rs:
+crates/pfs/src/retry.rs:
+crates/pfs/src/service.rs:
+crates/pfs/src/striping.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccio_suite-7e774a05c42d2e9d.d: src/lib.rs
+
+/root/repo/target/release/deps/libmccio_suite-7e774a05c42d2e9d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmccio_suite-7e774a05c42d2e9d.rmeta: src/lib.rs
+
+src/lib.rs:

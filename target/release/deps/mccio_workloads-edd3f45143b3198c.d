@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mccio_workloads-edd3f45143b3198c.d: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+/root/repo/target/release/deps/libmccio_workloads-edd3f45143b3198c.rlib: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+/root/repo/target/release/deps/libmccio_workloads-edd3f45143b3198c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/coll_perf.rs crates/workloads/src/data.rs crates/workloads/src/fs_test.rs crates/workloads/src/ior.rs crates/workloads/src/synthetic.rs crates/workloads/src/tile_io.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/coll_perf.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/fs_test.rs:
+crates/workloads/src/ior.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tile_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-67a5b9d92b089694.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-67a5b9d92b089694: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

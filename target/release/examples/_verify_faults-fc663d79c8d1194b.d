@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_faults-fc663d79c8d1194b.d: examples/_verify_faults.rs
+
+/root/repo/target/release/examples/_verify_faults-fc663d79c8d1194b: examples/_verify_faults.rs
+
+examples/_verify_faults.rs:

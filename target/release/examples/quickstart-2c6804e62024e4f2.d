@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2c6804e62024e4f2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2c6804e62024e4f2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,11 +1,23 @@
-//! Failure injection and degenerate configurations: the edge cases a
-//! production collective-I/O layer has to survive.
+//! Failure injection: the deterministic fault subsystem driven end to
+//! end through both collective strategies, plus the degenerate
+//! configurations a production collective-I/O layer has to survive.
+//!
+//! The fault tests exercise the real machinery — scheduled memory
+//! revocation, transient per-request OST failures under the retry
+//! policy, stragglers, and the degradation ladder — and assert both
+//! data correctness and that the endured faults surface in the
+//! operation reports. The determinism test is the subsystem's headline
+//! guarantee: same seed + same plan ⇒ identical bytes, identical
+//! virtual-time reports, identical traffic, on any thread schedule.
 
 use mccio_suite::core::prelude::*;
 use mccio_suite::mem::MemParams;
+use mccio_suite::mpiio::Resilience;
+use mccio_suite::net::TrafficSnapshot;
 use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::time::VTime;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
-use mccio_suite::sim::units::{KIB, MIB};
+use mccio_suite::sim::units::{GIB, KIB, MIB};
 use mccio_suite::workloads::data;
 
 fn world_of(nodes: usize, cores: usize, ranks: usize) -> std::sync::Arc<World> {
@@ -28,11 +40,227 @@ fn both_collectives() -> Vec<Strategy> {
 }
 
 fn env_for(nodes: usize, cores: usize) -> IoEnv {
-    IoEnv {
-        fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
-        mem: MemoryModel::pristine(&test_cluster(nodes, cores)),
+    IoEnv::new(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&test_cluster(nodes, cores)),
+    )
+}
+
+/// Eight extents per rank in the rank's own slice — enough storage
+/// requests that a 5 % failure rate is all but guaranteed to fire.
+fn slice_extents(rank: usize) -> ExtentList {
+    let base = rank as u64 * 512 * KIB;
+    ExtentList::normalize(
+        (0..8)
+            .map(|i| Extent::new(base + i * 64 * KIB, 48 * KIB))
+            .collect(),
+    )
+}
+
+/// Runs write-then-read of `slice_extents` under `plan`, returning the
+/// per-rank reports and the world's traffic snapshot.
+fn run_faulty(
+    strategy: &Strategy,
+    plan: FaultPlan,
+) -> (Vec<(IoReport, IoReport)>, TrafficSnapshot) {
+    let cluster = test_cluster(3, 2);
+    let world = world_of(3, 2, 6);
+    let env = IoEnv::with_faults(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+        plan,
+    );
+    let reports = world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("faulty");
+        let extents = slice_extents(ctx.rank());
+        let payload = data::fill(&extents);
+        let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+        ctx.barrier();
+        let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(
+            data::verify(&extents, &back),
+            None,
+            "rank {} corruption under {}",
+            ctx.rank(),
+            strategy.label()
+        );
+        (w, r)
+    });
+    let snapshot = world.traffic().snapshot();
+    (reports, snapshot)
+}
+
+/// Sums the resilience counters across all per-rank reports.
+fn total_resilience(reports: &[(IoReport, IoReport)]) -> Resilience {
+    let mut total = Resilience::default();
+    for (w, r) in reports {
+        total.absorb(w.resilience);
+        total.absorb(r.resilience);
+    }
+    total
+}
+
+#[test]
+fn transient_ost_failures_retry_and_surface_in_reports() {
+    // 5 % of storage attempts fail; the retry policy absorbs them all.
+    for strategy in both_collectives() {
+        let plan = FaultPlan::new(0xD15C).transient_io_rate(0.05);
+        let (reports, _) = run_faulty(&strategy, plan);
+        let total = total_resilience(&reports);
+        assert!(
+            total.transient_faults > 0,
+            "{}: 5% rate over hundreds of requests must fault at least once",
+            strategy.label()
+        );
+        assert!(
+            total.retries > 0,
+            "{}: faulted attempts must have retried",
+            strategy.label()
+        );
+        assert!(
+            total.backoff.as_secs() > 0.0,
+            "{}: retries must charge backoff in virtual time",
+            strategy.label()
+        );
+        // The budget (4 attempts at 5%) is never exhausted: no fallbacks.
+        assert_eq!(total.fallbacks, 0, "{}", strategy.label());
     }
 }
+
+#[test]
+fn memory_revocation_mid_write_is_absorbed_and_reported() {
+    // Shortly into the write, the host reclaims half of node 0's memory.
+    // Both strategies must finish with correct data and report the
+    // revocation they lived through.
+    for strategy in both_collectives() {
+        let plan = FaultPlan::new(0xBEEF).revoke_memory_at(VTime::from_secs(1e-9), 0, 128 * MIB);
+        let (reports, _) = run_faulty(&strategy, plan);
+        let total = total_resilience(&reports);
+        assert!(
+            total.revocations > 0,
+            "{}: the revocation fired inside the operation window",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn total_memory_loss_descends_the_ladder_to_independent_io() {
+    // Every node loses essentially all memory before the first round:
+    // collective buffering is impossible at any rung, yet the operation
+    // completes (independent I/O needs no aggregation memory) and the
+    // report says how far it fell.
+    for strategy in both_collectives() {
+        let mut plan = FaultPlan::new(0xFA11);
+        for node in 0..3 {
+            plan = plan.revoke_memory_at(VTime::from_secs(1e-9), node, GIB);
+        }
+        let (reports, _) = run_faulty(&strategy, plan);
+        let total = total_resilience(&reports);
+        assert!(
+            total.fallbacks > 0,
+            "{}: no rung with aggregation buffers can reserve memory",
+            strategy.label()
+        );
+        assert!(
+            total.retries > 0,
+            "{}: each failed rung burned its reservation retry budget",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn straggler_slows_the_collective_down() {
+    // Same plan shape (both active), one with a 3× straggler node. The
+    // straggled run must take strictly more virtual time.
+    let harmless = FaultPlan::new(0x51).revoke_memory_at(VTime::from_secs(1e9), 0, 1);
+    let straggled = harmless.clone().straggler(0, 3.0);
+    for strategy in both_collectives() {
+        let (clean, _) = run_faulty(&strategy, harmless.clone());
+        let (slow, _) = run_faulty(&strategy, straggled.clone());
+        let clean_t: f64 = clean
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
+        let slow_t: f64 = slow
+            .iter()
+            .map(|(w, _)| w.elapsed.as_secs())
+            .fold(0.0, f64::max);
+        assert!(
+            slow_t > clean_t,
+            "{}: straggler write {slow_t} ≤ clean write {clean_t}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn identical_fault_plans_reproduce_bit_identical_runs() {
+    // The headline guarantee: everything at once — revocation, 5 % OST
+    // failures, a straggler — run twice from scratch gives identical
+    // per-rank reports and an identical traffic snapshot.
+    let plan = || {
+        FaultPlan::new(0xCAFE)
+            .transient_io_rate(0.05)
+            .revoke_memory_at(VTime::from_secs(1e-9), 1, 64 * MIB)
+            .straggler(2, 1.5)
+    };
+    for strategy in both_collectives() {
+        let (reports_a, traffic_a) = run_faulty(&strategy, plan());
+        let (reports_b, traffic_b) = run_faulty(&strategy, plan());
+        assert_eq!(
+            reports_a,
+            reports_b,
+            "{}: reports diverged across runs",
+            strategy.label()
+        );
+        assert_eq!(
+            traffic_a,
+            traffic_b,
+            "{}: traffic diverged across runs",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    // An inactive plan must leave the engine on the legacy code path:
+    // same timing, same traffic as an env built without faults.
+    let strategy = &both_collectives()[1];
+    let run_with_env = |env: IoEnv| {
+        let world = world_of(3, 2, 6);
+        let reports = world.run(|ctx| {
+            let env = env.clone();
+            let handle = env.fs.open_or_create("clean");
+            let extents = slice_extents(ctx.rank());
+            let payload = data::fill(&extents);
+            let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+            ctx.barrier();
+            let (_, r) = read_all(ctx, &env, &handle, &extents, strategy);
+            (w, r)
+        });
+        (reports, world.traffic().snapshot())
+    };
+    let cluster = test_cluster(3, 2);
+    let plain = run_with_env(IoEnv::new(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    ));
+    let inactive = run_with_env(IoEnv::with_faults(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+        FaultPlan::new(123),
+    ));
+    assert_eq!(plain.0, inactive.0, "reports must be bit-identical");
+    assert_eq!(plain.1, inactive.1, "traffic must be bit-identical");
+}
+
+// ---------------------------------------------------------------------
+// Degenerate configurations (fault-free edge cases).
+// ---------------------------------------------------------------------
 
 #[test]
 fn all_ranks_empty_is_a_noop() {
@@ -89,18 +317,16 @@ fn every_node_memory_starved_still_completes() {
     );
     for strategy in both_collectives() {
         let world = world_of(3, 2, 6);
-        let env = IoEnv {
-            fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
-            mem: starved.clone(),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(4, 16 * KIB, PfsParams::default()),
+            starved.clone(),
+        );
         let strategy = &strategy;
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("starved");
-            let extents = ExtentList::normalize(vec![Extent::new(
-                ctx.rank() as u64 * 128 * KIB,
-                128 * KIB,
-            )]);
+            let extents =
+                ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 128 * KIB, 128 * KIB)]);
             let payload = data::fill(&extents);
             let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
             assert!(w.elapsed.as_secs() > 0.0, "work still happened");
@@ -113,28 +339,24 @@ fn every_node_memory_starved_still_completes() {
 
 #[test]
 fn buffer_smaller_than_stripe_unit() {
-    {
-        let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(KIB));
-        let world = world_of(2, 2, 4);
-        let env = IoEnv {
-            fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-            mem: MemoryModel::pristine(&test_cluster(2, 2)),
-        };
-        let strategy = &strategy;
-        world.run(|ctx| {
-            let env = env.clone();
-            let handle = env.fs.open_or_create("tinybuf");
-            let extents = ExtentList::normalize(vec![Extent::new(
-                ctx.rank() as u64 * 32 * KIB,
-                32 * KIB,
-            )]);
-            let payload = data::fill(&extents);
-            let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
-            ctx.barrier();
-            let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
-            assert_eq!(data::verify(&extents, &back), None);
-        });
-    }
+    let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(KIB));
+    let world = world_of(2, 2, 4);
+    let env = IoEnv::new(
+        FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&test_cluster(2, 2)),
+    );
+    let strategy = &strategy;
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("tinybuf");
+        let extents =
+            ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 32 * KIB, 32 * KIB)]);
+        let payload = data::fill(&extents);
+        let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+        ctx.barrier();
+        let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(data::verify(&extents, &back), None);
+    });
 }
 
 #[test]
@@ -175,10 +397,7 @@ fn read_of_never_written_region_returns_zeros() {
                 handle.write_at(1 << 20, b"end");
             }
             ctx.barrier();
-            let extents = ExtentList::normalize(vec![Extent::new(
-                ctx.rank() as u64 * 1024,
-                1024,
-            )]);
+            let extents = ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 1024, 1024)]);
             let (back, _) = read_all(ctx, &env, &handle, &extents, strategy);
             assert!(back.iter().all(|&b| b == 0), "holes must read as zero");
         });
@@ -225,10 +444,8 @@ fn virtual_time_only_moves_forward() {
         let handle = env.fs.open_or_create("time");
         let mut last = ctx.clock();
         for _ in 0..3 {
-            let extents = ExtentList::normalize(vec![Extent::new(
-                ctx.rank() as u64 * 8 * KIB,
-                8 * KIB,
-            )]);
+            let extents =
+                ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 8 * KIB, 8 * KIB)]);
             let payload = data::fill(&extents);
             let _ = write_all(ctx, &env, &handle, &extents, &payload, strategy);
             let now = ctx.clock();

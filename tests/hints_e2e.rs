@@ -17,18 +17,16 @@ fn run_with_hints(spec: &str) -> (String, f64) {
     let label = strategy.label().to_string();
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
-        mem: MemoryModel::pristine(&cluster),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    );
     let strategy = &strategy;
     let reports = world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("hints");
-        let extents = ExtentList::normalize(vec![Extent::new(
-            (ctx.rank() as u64) * 64 * KIB,
-            64 * KIB,
-        )]);
+        let extents =
+            ExtentList::normalize(vec![Extent::new((ctx.rank() as u64) * 64 * KIB, 64 * KIB)]);
         let payload = data::fill(&extents);
         let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
         ctx.barrier();
@@ -36,7 +34,10 @@ fn run_with_hints(spec: &str) -> (String, f64) {
         assert_eq!(data::verify(&extents, &back), None);
         w
     });
-    let secs = reports.iter().map(|r| r.elapsed.as_secs()).fold(0.0, f64::max);
+    let secs = reports
+        .iter()
+        .map(|r| r.elapsed.as_secs())
+        .fold(0.0, f64::max);
     (label, secs)
 }
 
@@ -47,7 +48,10 @@ fn every_hint_path_executes() {
         ("cb_buffer_size=128k, striping_unit=16k", "two-phase"),
         ("mccio=enable, cb_buffer_size=128k", "memory-conscious"),
         ("romio_cb_write=disable", "sieved"),
-        ("romio_cb_write=disable, romio_ds_write=disable", "independent"),
+        (
+            "romio_cb_write=disable, romio_ds_write=disable",
+            "independent",
+        ),
     ] {
         let (label, secs) = run_with_hints(spec);
         assert_eq!(label, expect, "{spec}");

@@ -28,10 +28,7 @@ fn run_once(strategy: &Strategy, mem: MemoryModel, ranks: usize, nodes: usize) -
     let cluster = test_cluster(nodes, ranks.div_ceil(nodes));
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-        mem,
-    };
+    let env = IoEnv::new(FileSystem::new(4, 64 * KIB, PfsParams::default()), mem);
     let ior = Ior::new(8 * KIB, 64, IorMode::Interleaved);
     let reports = world.run(|ctx| {
         let env = env.clone();
@@ -45,8 +42,14 @@ fn run_once(strategy: &Strategy, mem: MemoryModel, ranks: usize, nodes: usize) -
         (w, r)
     });
     let total = Workload::total_bytes(&ior, ranks) as f64;
-    let w_secs = reports.iter().map(|(w, _)| w.elapsed.as_secs()).fold(0.0, f64::max);
-    let r_secs = reports.iter().map(|(_, r)| r.elapsed.as_secs()).fold(0.0, f64::max);
+    let w_secs = reports
+        .iter()
+        .map(|(w, _)| w.elapsed.as_secs())
+        .fold(0.0, f64::max);
+    let r_secs = reports
+        .iter()
+        .map(|(_, r)| r.elapsed.as_secs())
+        .fold(0.0, f64::max);
     let peaks = env.mem.peak_statistics();
     Outcome {
         write_bw: total / w_secs,

@@ -1,8 +1,8 @@
-//! Property-based tests on planning invariants: for arbitrary access
+//! Randomized tests on planning invariants: for arbitrary access
 //! patterns, both strategies must produce plans that cover every
 //! accessed byte exactly once, respect `N_ah`, and stay deterministic.
-
-use proptest::prelude::*;
+//! Cases come from the workspace's seeded PRNG; failures reproduce by
+//! their printed case index.
 
 use mccio_suite::core::groups::{assert_group_invariants, divide_groups};
 use mccio_suite::core::mccio::{plan_mccio, MccioConfig};
@@ -12,24 +12,28 @@ use mccio_suite::core::Tuning;
 use mccio_suite::mem::MemoryModel;
 use mccio_suite::mpiio::{Extent, ExtentList, GroupPattern};
 use mccio_suite::net::RankSet;
+use mccio_suite::sim::rng::{stream_rng, Rng};
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::KIB;
 
 /// An arbitrary per-rank pattern: up to `max_ext` extents within a
 /// bounded address space.
-fn arb_pattern(ranks: usize, max_ext: usize) -> impl Strategy<Value = Vec<ExtentList>> {
-    prop::collection::vec(
-        prop::collection::vec((0u64..1 << 22, 1u64..64 * KIB), 0..=max_ext),
-        ranks..=ranks,
-    )
-    .prop_map(|per_rank| {
-        per_rank
-            .into_iter()
-            .map(|raw| {
-                ExtentList::normalize(raw.into_iter().map(|(o, l)| Extent::new(o, l)).collect())
-            })
-            .collect()
-    })
+fn random_pattern(rng: &mut impl Rng, ranks: usize, max_ext: usize) -> Vec<ExtentList> {
+    (0..ranks)
+        .map(|_| {
+            let n = rng.gen_range(0usize..=max_ext);
+            ExtentList::normalize(
+                (0..n)
+                    .map(|_| {
+                        Extent::new(
+                            rng.gen_range(0u64..=(1 << 22) - 1),
+                            rng.gen_range(1u64..=64 * KIB - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 /// Every accessed byte must fall inside exactly one plan domain.
@@ -58,20 +62,25 @@ fn tuning() -> Tuning {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn two_phase_plan_covers_every_access(per_rank in arb_pattern(8, 6)) {
+#[test]
+fn two_phase_plan_covers_every_access() {
+    let mut rng = stream_rng(0x91A7, "plan-two-phase-coverage");
+    for case in 0..64 {
+        let per_rank = random_pattern(&mut rng, 8, 6);
         let cluster = test_cluster(4, 2);
         let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
         let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
         let plan = plan_two_phase(&pattern, &placement, TwoPhaseConfig::with_buffer(128 * KIB));
         assert_coverage(&plan, &pattern);
+        let _ = case;
     }
+}
 
-    #[test]
-    fn mccio_plan_covers_every_access_and_respects_n_ah(per_rank in arb_pattern(8, 6)) {
+#[test]
+fn mccio_plan_covers_every_access_and_respects_n_ah() {
+    let mut rng = stream_rng(0x91A7, "plan-mccio-coverage");
+    for case in 0..64 {
+        let per_rank = random_pattern(&mut rng, 8, 6);
         let cluster = test_cluster(4, 2);
         let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
         let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
@@ -85,12 +94,19 @@ proptest! {
             *per_node.entry(placement.node_of(agg)).or_insert(0usize) += 1;
         }
         for (&node, &n) in &per_node {
-            prop_assert!(n <= tuning().n_ah, "node {node} has {n} aggregators");
+            assert!(
+                n <= tuning().n_ah,
+                "case {case}: node {node} has {n} aggregators"
+            );
         }
     }
+}
 
-    #[test]
-    fn mccio_plan_is_deterministic(per_rank in arb_pattern(6, 5)) {
+#[test]
+fn mccio_plan_is_deterministic() {
+    let mut rng = stream_rng(0x91A7, "plan-mccio-determinism");
+    for case in 0..64 {
+        let per_rank = random_pattern(&mut rng, 6, 5);
         let cluster = test_cluster(3, 2);
         let placement = Placement::new(&cluster, 6, FillOrder::Block).unwrap();
         let pattern = GroupPattern::from_parts(RankSet::world(6), per_rank);
@@ -98,23 +114,31 @@ proptest! {
         let cfg = MccioConfig::new(tuning(), 256 * KIB, 16 * KIB);
         let a = plan_mccio(&pattern, &placement, &mem, &cfg);
         let b = plan_mccio(&pattern, &placement, &mem, &cfg);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn group_division_invariants_hold(per_rank in arb_pattern(8, 5), msg_group in 1u64..1 << 22) {
+#[test]
+fn group_division_invariants_hold() {
+    let mut rng = stream_rng(0x91A7, "plan-group-division");
+    for case in 0..64 {
+        let per_rank = random_pattern(&mut rng, 8, 5);
+        let msg_group = rng.gen_range(1u64..=(1 << 22) - 1);
         let cluster = test_cluster(4, 2);
         let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
         let pattern = GroupPattern::from_parts(RankSet::world(8), per_rank);
         let groups = divide_groups(&pattern, &placement, msg_group);
         assert_group_invariants(&groups, &pattern);
+        let _ = case;
     }
+}
 
-    #[test]
-    fn aggregation_groups_are_disjoint_rank_sets_for_serial_patterns(
-        sizes in prop::collection::vec(1u64..64 * KIB, 8..=8),
-        msg_group in 1u64..1 << 20,
-    ) {
+#[test]
+fn aggregation_groups_are_disjoint_rank_sets_for_serial_patterns() {
+    let mut rng = stream_rng(0x91A7, "plan-serial-groups");
+    for case in 0..64 {
+        let sizes: Vec<u64> = (0..8).map(|_| rng.gen_range(1u64..=64 * KIB - 1)).collect();
+        let msg_group = rng.gen_range(1u64..=(1 << 20) - 1);
         // Build a strictly serial pattern: rank r owns [start_r, start_r + len_r).
         let cluster = test_cluster(4, 2);
         let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
@@ -133,8 +157,12 @@ proptest! {
         // Serial ⇒ memberships are pairwise disjoint (the paper's goal).
         for (i, a) in groups.iter().enumerate() {
             for b in &groups[i + 1..] {
-                prop_assert!(a.members.is_disjoint(&b.members),
-                    "groups share members: {:?} vs {:?}", a.members, b.members);
+                assert!(
+                    a.members.is_disjoint(&b.members),
+                    "case {case}: groups share members: {:?} vs {:?}",
+                    a.members,
+                    b.members
+                );
             }
         }
     }

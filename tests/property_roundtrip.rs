@@ -1,45 +1,36 @@
-//! Property-based end-to-end round trips: random noncontiguous access
+//! Randomized end-to-end round trips: random noncontiguous access
 //! patterns must survive write → read byte-for-byte under both
-//! collective strategies, with any buffer size.
-
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PropStrategy;
+//! collective strategies, with any buffer size. Cases come from the
+//! workspace's seeded PRNG; failures reproduce by case index.
 
 use mccio_suite::core::prelude::*;
 use mccio_suite::core::Strategy as IoStrategy;
 use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::rng::{stream_rng, Rng};
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::KIB;
 use mccio_suite::workloads::data;
 
 /// Disjoint per-rank extents: rank r owns slice [r*S, (r+1)*S) and picks
 /// arbitrary sub-extents inside it.
-fn arb_disjoint_extents(
-    ranks: usize,
-    slice: u64,
-) -> impl PropStrategy<Value = Vec<ExtentList>> {
-    prop::collection::vec(
-        prop::collection::vec((0u64..slice, 1u64..=4 * KIB), 0..8),
-        ranks..=ranks,
-    )
-    .prop_map(move |per_rank| {
-        per_rank
-            .into_iter()
-            .enumerate()
-            .map(|(r, raw)| {
-                let base = r as u64 * slice;
-                ExtentList::normalize(
-                    raw.into_iter()
-                        .map(|(o, l)| {
-                            let off = base + o.min(slice - 1);
-                            let len = l.min(slice - (off - base));
-                            Extent::new(off, len)
-                        })
-                        .collect(),
-                )
-            })
-            .collect()
-    })
+fn random_disjoint_extents(rng: &mut impl Rng, ranks: usize, slice: u64) -> Vec<ExtentList> {
+    (0..ranks)
+        .map(|r| {
+            let base = r as u64 * slice;
+            let n = rng.gen_range(0usize..=7);
+            ExtentList::normalize(
+                (0..n)
+                    .map(|_| {
+                        let o = rng.gen_range(0u64..=slice - 1);
+                        let l = rng.gen_range(1u64..=4 * KIB);
+                        let off = base + o.min(slice - 1);
+                        let len = l.min(slice - (off - base));
+                        Extent::new(off, len)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u64) {
@@ -47,10 +38,10 @@ fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u
     let cluster = test_cluster(2, ranks.div_ceil(2));
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(3, 8 * KIB, PfsParams::default()),
-        mem: MemoryModel::with_available_variance(&cluster, 16 << 20, 8 << 20, buffer_hint),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(3, 8 * KIB, PfsParams::default()),
+        MemoryModel::with_available_variance(&cluster, 16 << 20, 8 << 20, buffer_hint),
+    );
     let per_rank = &per_rank;
     let strategy = &strategy;
     world.run(|ctx| {
@@ -71,27 +62,28 @@ fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn two_phase_roundtrips_arbitrary_patterns(
-        per_rank in arb_disjoint_extents(4, 64 * KIB),
-        buffer in 1u64..128 * KIB,
-    ) {
+#[test]
+fn two_phase_roundtrips_arbitrary_patterns() {
+    let mut rng = stream_rng(0xF00D, "roundtrip-two-phase");
+    for case in 0..24 {
+        let per_rank = random_disjoint_extents(&mut rng, 4, 64 * KIB);
+        let buffer = rng.gen_range(1u64..=128 * KIB - 1);
         run_roundtrip(
             per_rank,
             IoStrategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
             buffer,
         );
+        let _ = case;
     }
+}
 
-    #[test]
-    fn mccio_roundtrips_arbitrary_patterns(
-        per_rank in arb_disjoint_extents(4, 64 * KIB),
-        buffer in 16u64 * KIB..256 * KIB,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn mccio_roundtrips_arbitrary_patterns() {
+    let mut rng = stream_rng(0xF00D, "roundtrip-mccio");
+    for case in 0..24 {
+        let per_rank = random_disjoint_extents(&mut rng, 4, 64 * KIB);
+        let buffer = rng.gen_range(16 * KIB..=256 * KIB - 1);
+        let seed = rng.gen_range(0u64..=999);
         let tuning = Tuning {
             n_ah: 2,
             msg_ind: 64 * KIB,
@@ -106,5 +98,6 @@ proptest! {
             align: 8 * KIB,
         };
         run_roundtrip(per_rank, IoStrategy::MemoryConscious(Box::new(cfg)), buffer);
+        let _ = case;
     }
 }

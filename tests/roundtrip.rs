@@ -29,10 +29,10 @@ fn roundtrip(workload: &dyn Workload, n_nodes: usize, cores: usize, ranks: usize
         let cluster = test_cluster(n_nodes, cores);
         let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
         let world = World::new(CostModel::new(cluster.clone()), placement);
-        let env = IoEnv {
-            fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-            mem: MemoryModel::with_available_variance(&cluster, 64 * MIB, 16 * MIB, 5),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(4, 64 * KIB, PfsParams::default()),
+            MemoryModel::with_available_variance(&cluster, 64 * MIB, 16 * MIB, 5),
+        );
         let strategy = &strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
@@ -107,10 +107,10 @@ fn tile_io_ghost_reads_fan_out_correctly() {
         let cluster = test_cluster(2, 4);
         let placement = Placement::new(&cluster, 8, FillOrder::Block).unwrap();
         let world = World::new(CostModel::new(cluster.clone()), placement);
-        let env = IoEnv {
-            fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
-            mem: MemoryModel::pristine(&cluster),
-        };
+        let env = IoEnv::new(
+            FileSystem::new(4, 16 * KIB, PfsParams::default()),
+            MemoryModel::pristine(&cluster),
+        );
         let strategy = &strategy;
         let t = &tiles;
         world.run(|ctx| {
@@ -139,10 +139,10 @@ fn collective_write_then_independent_read_interoperates() {
     let cluster = test_cluster(2, 2);
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(4, 64 * KIB, PfsParams::default()),
-        mem: MemoryModel::pristine(&cluster),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    );
     let ior = Ior::new(32 * KIB, 4, IorMode::Interleaved);
     let collective = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB));
     let independent = Strategy::Independent;

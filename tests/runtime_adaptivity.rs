@@ -59,7 +59,10 @@ fn plans_follow_memory_changes_between_operations() {
         .iter()
         .filter(|&&a| placement.node_of(a) == 1)
         .count();
-    assert!(recovered_on_node1 > 0, "node 1 aggregates again after recovery");
+    assert!(
+        recovered_on_node1 > 0,
+        "node 1 aggregates again after recovery"
+    );
 }
 
 #[test]

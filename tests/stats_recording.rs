@@ -2,8 +2,8 @@
 //! counts, volumes and phase attributions must match what the plan
 //! implies.
 
-use mccio_suite::core::stats::{OpSummary, Recorder};
 use mccio_suite::core::prelude::*;
+use mccio_suite::core::stats::{OpSummary, Recorder};
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::KIB;
@@ -15,18 +15,16 @@ fn run_op(buffer: u64) -> (Vec<mccio_suite::core::stats::RoundRecord>, u64) {
     let cluster = test_cluster(2, 2);
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
-    let env = IoEnv {
-        fs: FileSystem::new(4, 16 * KIB, PfsParams::default()),
-        mem: MemoryModel::pristine(&cluster),
-    };
+    let env = IoEnv::new(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    );
     let total = 4u64 * 256 * KIB;
     let reports = world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("stats");
-        let extents = ExtentList::normalize(vec![Extent::new(
-            ctx.rank() as u64 * 256 * KIB,
-            256 * KIB,
-        )]);
+        let extents =
+            ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 256 * KIB, 256 * KIB)]);
         let payload = data::fill(&extents);
         let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer));
         let w = write_all(ctx, &env, &handle, &extents, &payload, &strategy);
