@@ -37,8 +37,8 @@ fn workload() -> Ior {
     Ior::new(64 * KIB, 8, IorMode::Interleaved)
 }
 
-fn mc(platform: &Platform, tuning: Tuning) -> Strategy {
-    Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, MIB, platform.stripe)))
+fn mc(platform: &Platform, tuning: Tuning) -> MemoryConscious {
+    MemoryConscious(MccioConfig::new(tuning, MIB, platform.stripe))
 }
 
 fn report(tag: &str, r: &RunResult) {
@@ -209,7 +209,7 @@ fn bench_layout_alignment() {
             TwoPhaseConfig::layout_aware(MIB, platform.stripe),
         ),
     ] {
-        let strategy = Strategy::TwoPhase(cfg);
+        let strategy = TwoPhase(cfg);
         report(
             &format!("alignment/{name}"),
             &run(&ior, &strategy, &platform),
@@ -226,7 +226,7 @@ fn bench_shared_world_reuse() {
     let ior = workload();
     let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block).unwrap();
     let world: Arc<World> = World::new(CostModel::new(platform.cluster.clone()), placement);
-    let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB));
+    let strategy = TwoPhase(TwoPhaseConfig::with_buffer(MIB));
     bench("harness", "run_with-shared-world", || {
         let env = IoEnv::new(
             FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),

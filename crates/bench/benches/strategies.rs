@@ -22,21 +22,21 @@ fn platform() -> Platform {
     Platform::testbed(2, 24, 4).with_memory(256 * MIB, 64 * MIB)
 }
 
-fn strategies(platform: &Platform) -> Vec<(&'static str, Strategy)> {
+fn strategies(platform: &Platform) -> Vec<(&'static str, Box<dyn Strategy>)> {
     let tuning = platform.tuning();
     vec![
-        ("independent", Strategy::Independent),
+        ("independent", Box::new(Independent) as Box<dyn Strategy>),
         (
             "sieved",
-            Strategy::IndependentSieved(SieveConfig::default()),
+            Box::new(IndependentSieved(SieveConfig::default())),
         ),
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(MIB))),
         ),
         (
             "memory-conscious",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, MIB, MIB))),
+            Box::new(MemoryConscious(MccioConfig::new(tuning, MIB, MIB))),
         ),
     ]
 }
@@ -56,7 +56,7 @@ fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
 fn bench_workload(group: &str, workload: &impl Workload, platform: &Platform) {
     for (name, strategy) in strategies(platform) {
         bench(group, name, ITERS, || {
-            let _ = run(workload, &strategy, platform);
+            let _ = run(workload, &*strategy, platform);
         });
     }
 }
@@ -66,7 +66,7 @@ fn bench_workload(group: &str, workload: &impl Workload, platform: &Platform) {
 fn report_virtual_bandwidths(platform: &Platform) {
     let ior = Ior::new(64 * KIB, 4, IorMode::Interleaved);
     for (name, strategy) in strategies(platform) {
-        let r = run(&ior, &strategy, platform);
+        let r = run(&ior, &*strategy, platform);
         println!(
             "[virtual] {name:>18}: write {:8.1} MB/s  read {:8.1} MB/s  ({} B)",
             r.write_mbps(),

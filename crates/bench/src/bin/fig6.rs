@@ -15,7 +15,7 @@
 //! cargo run --release -p mccio-bench --bin fig6
 //! ```
 
-use mccio_bench::{format_figure, paper_pair, run, Platform};
+use mccio_bench::{run_figure, Platform};
 use mccio_sim::units::MIB;
 use mccio_workloads::CollPerf;
 
@@ -34,30 +34,11 @@ fn main() {
         scale,
         workload.file_bytes() / MIB
     );
-
-    let mut rows = Vec::new();
-    let buffers: Vec<u64> = std::env::var("MCCIO_BUFFERS")
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .map(|x| x.trim().parse().expect("MiB list"))
-                .collect()
-        })
-        .unwrap_or_else(|| [1u64, 2, 4, 8, 16, 32, 64].to_vec());
-    for &buffer_mb in &buffers {
-        let buffer = buffer_mb * MIB;
-        let pair = paper_pair(&platform, buffer);
-        eprintln!("  running buffer {buffer_mb} MiB ...");
-        let tp = run(&workload, &pair[0].1, &platform);
-        let mc = run(&workload, &pair[1].1, &platform);
-        rows.push((buffer, tp, mc));
-    }
-    println!(
-        "{}",
-        format_figure(
-            "Figure 6: coll_perf, 120 processes, bandwidth vs per-aggregator memory",
-            &rows,
-        )
+    run_figure(
+        "Figure 6: coll_perf, 120 processes, bandwidth vs per-aggregator memory",
+        &workload,
+        &platform,
+        &[1, 2, 4, 8, 16, 32, 64],
+        "paper reference: average improvement write +34.2%, read +22.9%",
     );
-    println!("paper reference: average improvement write +34.2%, read +22.9%");
 }

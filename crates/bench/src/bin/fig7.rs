@@ -12,7 +12,7 @@
 //! cargo run --release -p mccio-bench --bin fig7 [per_rank_mib]
 //! ```
 
-use mccio_bench::{format_figure, paper_pair, run, Platform};
+use mccio_bench::{run_figure, Platform};
 use mccio_sim::units::MIB;
 use mccio_workloads::Ior;
 
@@ -28,33 +28,12 @@ fn main() {
         "fig7: IOR interleaved, {per_rank_mib} MiB/process x 120 ranks = {} MiB file",
         workload.file_bytes(120) / MIB
     );
-
-    let mut rows = Vec::new();
-    let buffers: Vec<u64> = std::env::var("MCCIO_BUFFERS")
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .map(|x| x.trim().parse().expect("MiB list"))
-                .collect()
-        })
-        .unwrap_or_else(|| [2u64, 4, 8, 16, 32, 64, 128].to_vec());
-    for &buffer_mb in &buffers {
-        let buffer = buffer_mb * MIB;
-        let pair = paper_pair(&platform, buffer);
-        eprintln!("  running buffer {buffer_mb} MiB ...");
-        let tp = run(&workload, &pair[0].1, &platform);
-        let mc = run(&workload, &pair[1].1, &platform);
-        rows.push((buffer, tp, mc));
-    }
-    println!(
-        "{}",
-        format_figure(
-            "Figure 7: IOR interleaved, 120 processes, bandwidth vs aggregation buffer",
-            &rows,
-        )
-    );
-    println!(
+    run_figure(
+        "Figure 7: IOR interleaved, 120 processes, bandwidth vs aggregation buffer",
+        &workload,
+        &platform,
+        &[2, 4, 8, 16, 32, 64, 128],
         "paper reference: write improvements 40.3%..121.7% (avg 81.2%), \
-         read 64.6%..97.4% (avg 82.4%)"
+         read 64.6%..97.4% (avg 82.4%)",
     );
 }

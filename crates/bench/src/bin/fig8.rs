@@ -13,7 +13,7 @@
 //! cargo run --release -p mccio-bench --bin fig8 [per_rank_mib]
 //! ```
 
-use mccio_bench::{format_figure, paper_pair, run, Platform};
+use mccio_bench::{run_figure, Platform};
 use mccio_sim::units::MIB;
 use mccio_workloads::Ior;
 
@@ -29,33 +29,12 @@ fn main() {
         "fig8: IOR interleaved, {per_rank_mib} MiB/process x 1080 ranks = {} MiB file",
         workload.file_bytes(1080) / MIB
     );
-
-    let mut rows = Vec::new();
-    let buffers: Vec<u64> = std::env::var("MCCIO_BUFFERS")
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .map(|x| x.trim().parse().expect("MiB list"))
-                .collect()
-        })
-        .unwrap_or_else(|| [128u64, 32, 8, 2].to_vec());
-    for &buffer_mb in &buffers {
-        let buffer = buffer_mb * MIB;
-        let pair = paper_pair(&platform, buffer);
-        eprintln!("  running buffer {buffer_mb} MiB ...");
-        let tp = run(&workload, &pair[0].1, &platform);
-        let mc = run(&workload, &pair[1].1, &platform);
-        rows.push((buffer, tp, mc));
-    }
-    println!(
-        "{}",
-        format_figure(
-            "Figure 8: IOR interleaved, 1080 processes, bandwidth vs aggregation buffer",
-            &rows,
-        )
-    );
-    println!(
+    run_figure(
+        "Figure 8: IOR interleaved, 1080 processes, bandwidth vs aggregation buffer",
+        &workload,
+        &platform,
+        &[128, 32, 8, 2],
         "paper reference: 2ph write 1631.91->396.36 MB/s, read 2047.05->861.62 MB/s \
-         (128->2 MB); MC avg improvement write +24.3%, read +57.8%"
+         (128->2 MB); MC avg improvement write +24.3%, read +57.8%",
     );
 }

@@ -218,7 +218,7 @@ fn main() {
         fmt_bytes(stripe)
     );
     println!("workload : {}", workload.name());
-    println!("strategy : {}", strategy.label());
+    println!("strategy : {}", strategy.name());
     println!(
         "data     : {} total",
         fmt_bytes(workload.total_bytes(ranks))
@@ -226,7 +226,7 @@ fn main() {
 
     let recorder = Recorder::new();
     recorder.install();
-    let result = run(workload.as_ref(), &strategy, &platform);
+    let result = run(workload.as_ref(), &*strategy, &platform);
     Recorder::uninstall();
     let records = recorder.take();
     let writes: Vec<_> = records.iter().copied().filter(|r| r.is_write).collect();

@@ -136,7 +136,7 @@ impl RunResult {
 /// Panics if any rank reads back bytes that differ from what the
 /// workload wrote — correctness is part of every measurement.
 #[must_use]
-pub fn run(workload: &dyn Workload, strategy: &Strategy, platform: &Platform) -> RunResult {
+pub fn run(workload: &dyn Workload, strategy: &dyn Strategy, platform: &Platform) -> RunResult {
     let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
         .expect("platform placement");
     let world = World::new(CostModel::new(platform.cluster.clone()), placement);
@@ -154,10 +154,10 @@ pub fn run_with(
     world: &Arc<World>,
     env: &IoEnv,
     workload: &dyn Workload,
-    strategy: &Strategy,
+    strategy: &dyn Strategy,
 ) -> RunResult {
     let n_ranks = world.n_ranks();
-    let file = format!("bench-{}-{}", workload.name(), strategy.label());
+    let file = format!("bench-{}-{}", workload.name(), strategy.name());
     let reports = world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create(&file);
@@ -170,7 +170,7 @@ pub fn run_with(
             panic!(
                 "rank {} read back wrong data at file offset {bad} ({})",
                 ctx.rank(),
-                strategy.label()
+                strategy.name()
             );
         }
         (w, r)
@@ -208,18 +208,64 @@ pub fn run_with(
 /// memory-conscious collective I/O whose sampled buffers have the same
 /// mean (the paper's protocol).
 #[must_use]
-pub fn paper_pair(platform: &Platform, buffer: u64) -> [(String, Strategy); 2] {
+pub fn paper_pair(platform: &Platform, buffer: u64) -> [(String, Box<dyn Strategy>); 2] {
     let tuning = platform.tuning();
     [
         (
             "two-phase".to_string(),
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(buffer))) as Box<dyn Strategy>,
         ),
         (
             "memory-conscious".to_string(),
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, buffer, platform.stripe))),
+            Box::new(MemoryConscious(MccioConfig::new(
+                tuning,
+                buffer,
+                platform.stripe,
+            ))),
         ),
     ]
+}
+
+/// The buffer axis of a figure sweep in MiB: the `MCCIO_BUFFERS` env var
+/// (a comma-separated MiB list) when set, `default_mib` otherwise.
+///
+/// # Panics
+/// Panics if `MCCIO_BUFFERS` is set but not a comma-separated integer
+/// list.
+#[must_use]
+pub fn sweep_buffers_mib(default_mib: &[u64]) -> Vec<u64> {
+    std::env::var("MCCIO_BUFFERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|x| x.trim().parse().expect("MCCIO_BUFFERS: MiB list"))
+                .collect()
+        })
+        .unwrap_or_else(|| default_mib.to_vec())
+}
+
+/// Shared driver for the figure binaries (fig6/fig7/fig8): sweeps the
+/// buffer axis (see [`sweep_buffers_mib`]), runs the [`paper_pair`] at
+/// each point, prints the formatted table to stdout followed by the
+/// paper's reference numbers for comparison.
+pub fn run_figure(
+    title: &str,
+    workload: &dyn Workload,
+    platform: &Platform,
+    default_buffers_mib: &[u64],
+    paper_reference: &str,
+) {
+    let mut rows = Vec::new();
+    for buffer_mib in sweep_buffers_mib(default_buffers_mib) {
+        let buffer = buffer_mib * MIB;
+        let pair = paper_pair(platform, buffer);
+        eprintln!("  running buffer {buffer_mib} MiB ...");
+        let tp = run(workload, &*pair[0].1, platform);
+        let mc = run(workload, &*pair[1].1, platform);
+        rows.push((buffer, tp, mc));
+    }
+    println!("{}", format_figure(title, &rows));
+    println!("{paper_reference}");
 }
 
 /// Formats a figure table: one row per buffer size, write and read
@@ -284,7 +330,7 @@ mod tests {
         let platform = tiny_platform();
         let ior = Ior::new(64 * KIB, 4, IorMode::Interleaved);
         for (name, strategy) in paper_pair(&platform, 256 * KIB) {
-            let result = run(&ior, &strategy, &platform);
+            let result = run(&ior, &*strategy, &platform);
             assert!(result.write_bw > 0.0, "{name} write");
             assert!(result.read_bw > 0.0, "{name} read");
             assert_eq!(result.total_bytes, 8 * 4 * 64 * KIB);
@@ -297,8 +343,8 @@ mod tests {
         let platform = tiny_platform().with_memory(64 * MIB, 16 * MIB);
         let ior = Ior::new(32 * KIB, 2, IorMode::Interleaved);
         let (_, strategy) = &paper_pair(&platform, 128 * KIB)[1];
-        let a = run(&ior, strategy, &platform);
-        let b = run(&ior, strategy, &platform);
+        let a = run(&ior, &**strategy, &platform);
+        let b = run(&ior, &**strategy, &platform);
         assert_eq!(a.write_secs, b.write_secs);
         assert_eq!(a.read_secs, b.read_secs);
     }
@@ -308,8 +354,8 @@ mod tests {
         let platform = tiny_platform();
         let ior = Ior::new(32 * KIB, 2, IorMode::Interleaved);
         let pair = paper_pair(&platform, 128 * KIB);
-        let tp = run(&ior, &pair[0].1, &platform);
-        let mc = run(&ior, &pair[1].1, &platform);
+        let tp = run(&ior, &*pair[0].1, &platform);
+        let mc = run(&ior, &*pair[1].1, &platform);
         let table = format_figure("test table", &[(MIB, tp, mc)]);
         assert!(table.contains("test table"));
         assert!(table.contains("1MB"));

@@ -1,0 +1,52 @@
+//! The shared simulation environment a collective operation runs
+//! against: file system, memory model, fault state.
+
+use mccio_mem::MemoryModel;
+use mccio_pfs::FileSystem;
+use mccio_sim::fault::FaultPlan;
+
+use crate::resilience::FaultState;
+
+/// Shared simulation environment a collective operation runs against.
+///
+/// Construct with [`IoEnv::new`] (healthy) or [`IoEnv::with_faults`]
+/// (hostile). Without a fault plan every code path is bit-identical to
+/// the engine before fault injection existed.
+#[derive(Debug, Clone)]
+pub struct IoEnv {
+    /// The parallel file system.
+    pub fs: FileSystem,
+    /// The per-node memory model.
+    pub mem: MemoryModel,
+    faults: FaultState,
+}
+
+impl IoEnv {
+    /// A healthy environment: no fault injection.
+    #[must_use]
+    pub fn new(fs: FileSystem, mem: MemoryModel) -> Self {
+        IoEnv {
+            fs,
+            mem,
+            faults: FaultState::none(),
+        }
+    }
+
+    /// An environment executing `plan`'s faults: scheduled memory
+    /// revocations, transient storage failures, degraded servers,
+    /// straggler nodes, control-plane delay.
+    #[must_use]
+    pub fn with_faults(fs: FileSystem, mem: MemoryModel, plan: FaultPlan) -> Self {
+        IoEnv {
+            fs,
+            mem,
+            faults: FaultState::new(plan),
+        }
+    }
+
+    /// The fault state this environment executes under.
+    #[must_use]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+}

@@ -1,0 +1,196 @@
+//! The shared entry and exit of every collective operation: clock sync,
+//! fault application, collective buffer reservation — and the matching
+//! epilogue that releases buffers and assembles the final report.
+//!
+//! Write and read run exactly this code; the direction only shows up in
+//! the round loop (`super::rounds`).
+
+use mccio_mem::Reservation;
+use mccio_mpiio::{IoReport, Resilience};
+use mccio_net::{Ctx, RankSet};
+use mccio_pfs::IoFaults;
+use mccio_sim::error::{SimError, SimResult};
+use mccio_sim::time::VTime;
+
+use crate::plan::CollectivePlan;
+use crate::resilience::MAX_ESCALATIONS;
+
+use super::env::IoEnv;
+
+/// Everything the prologue established, carried through the round loop
+/// and consumed by [`close`].
+pub(super) struct OpState {
+    /// All ranks of the communicator.
+    pub(super) world: RankSet,
+    /// Synchronized start-of-operation clock.
+    pub(super) t0: VTime,
+    /// Whether a fault plan is active (legacy fault-free path when not).
+    pub(super) active: bool,
+    /// This rank's per-operation transient-failure context.
+    pub(super) faults: IoFaults,
+    /// Aggregation buffers held for the whole operation.
+    reservations: Vec<Reservation>,
+}
+
+/// The shared prologue: invariants, clock sync, due fault events, and
+/// the (collective, under faults) aggregation-buffer reservation.
+///
+/// # Errors
+/// Returns [`SimError::TransientIo`] when aggregation memory cannot be
+/// reserved within the retry budget; the verdict is collective, so every
+/// rank returns `Err` together.
+pub(super) fn open(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    plan: &CollectivePlan,
+    res: &mut Resilience,
+) -> SimResult<OpState> {
+    plan.assert_invariants();
+    let active = env.faults().is_active();
+    let world = RankSet::world(ctx.size());
+    let me = ctx.rank();
+    let t0 = ctx.group_sync_clocks(&world);
+    if active {
+        ctx.world().set_ctl_delay(env.faults().plan().ctl_delay);
+        env.faults().apply_due(ctx.clock(), &env.mem);
+        ctx.group_barrier(&world);
+    }
+
+    // Aggregators reserve their buffers for the whole operation. The
+    // healthy path pages infallibly (pressure, not failure); under a
+    // fault plan reservation is collective and can be refused.
+    let my_demands: Vec<u64> = plan
+        .domains
+        .iter()
+        .filter(|d| d.aggregator == me)
+        .map(|d| d.buffer)
+        .collect();
+    let reservations: Vec<Reservation> = if active {
+        reserve_collectively(ctx, env, &world, &my_demands, res)?
+    } else {
+        my_demands
+            .iter()
+            .map(|&bytes| env.mem.reserve(ctx.node(), bytes))
+            .collect()
+    };
+    ctx.group_barrier(&world);
+    let faults = if active {
+        env.faults().take_io_faults(me)
+    } else {
+        IoFaults::none()
+    };
+    Ok(OpState {
+        world,
+        t0,
+        active,
+        faults,
+        reservations,
+    })
+}
+
+/// The shared epilogue: releases the aggregation buffers, parks the
+/// fault stream, folds revocations into `res`, and builds the report.
+pub(super) fn close(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    state: OpState,
+    bytes: u64,
+    res: &mut Resilience,
+) -> IoReport {
+    drop(state.reservations);
+    ctx.group_barrier(&state.world);
+    if state.active {
+        env.faults().return_io_faults(ctx.rank(), state.faults, res);
+        res.revocations += env
+            .faults()
+            .plan()
+            .revocations_between(state.t0, ctx.clock());
+    }
+    IoReport::builder(bytes)
+        .elapsed(ctx.clock() - state.t0)
+        .resilience(*res)
+        .build()
+}
+
+/// Collectively reserves this rank's aggregation buffers under the
+/// fault plan's retry policy.
+///
+/// Success is all-or-nothing across the world: if any rank cannot fit
+/// its buffers, everyone releases, advances a uniform backoff in virtual
+/// time (during which a scheduled memory restoration may land), and
+/// retries. The verdict is an allreduce, so every rank returns the same
+/// way — `Err` here is a *collective* decision the degradation ladder
+/// can act on without divergence.
+///
+/// Success itself is schedule-independent: per node, all `try_reserve`
+/// calls succeed iff the node's total demand fits its free memory, no
+/// matter the order ranks interleave in.
+fn reserve_collectively(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    world: &RankSet,
+    demands: &[u64],
+    res: &mut Resilience,
+) -> SimResult<Vec<Reservation>> {
+    let policy = env.faults().plan().retry;
+    for attempt in 0..policy.max_attempts {
+        let mut held = Vec::with_capacity(demands.len());
+        let mut ok = true;
+        for &bytes in demands {
+            match env.mem.try_reserve(ctx.node(), bytes) {
+                Some(r) => held.push(r),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let anyone_failed = ctx.group_allreduce_max_f64(world, if ok { 0.0 } else { 1.0 }) > 0.0;
+        if !anyone_failed {
+            return Ok(held);
+        }
+        drop(held);
+        // All partial reservations must be back before anyone retries.
+        ctx.group_barrier(world);
+        if attempt + 1 < policy.max_attempts {
+            let pause = policy.backoff(attempt);
+            ctx.advance(pause);
+            res.retries += 1;
+            res.backoff += pause;
+            // A restoration event may fire during the pause and rescue
+            // the next attempt.
+            env.faults().apply_due(ctx.clock(), &env.mem);
+            ctx.group_barrier(world);
+        }
+    }
+    res.exhausted += 1;
+    Err(SimError::TransientIo {
+        attempts: policy.max_attempts,
+    })
+}
+
+/// Drives one aggregator storage access to completion: retries inside
+/// `op` are governed by `faults`; a drained retry budget escalates — a
+/// policy-wide pause charged as backoff, then a full re-drive — up to
+/// [`MAX_ESCALATIONS`]. Collective correctness depends on this never
+/// returning failure: a per-rank error here would desynchronize the
+/// lock-step rounds, so a plan hostile enough to defeat escalation is a
+/// configuration error and panics.
+pub(super) fn drive_storage<T>(
+    faults: &mut IoFaults,
+    mut op: impl FnMut(&mut IoFaults) -> SimResult<T>,
+) -> T {
+    let policy = faults.policy();
+    for _ in 0..MAX_ESCALATIONS {
+        match op(faults) {
+            Ok(out) => return out,
+            Err(_) => {
+                faults.log.backoff += policy.backoff(policy.max_attempts.saturating_sub(1));
+            }
+        }
+    }
+    panic!(
+        "aggregator storage access failed {MAX_ESCALATIONS} consecutive escalations; \
+         the fault plan's failure rate defeats its retry policy"
+    );
+}

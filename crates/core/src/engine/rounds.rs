@@ -1,0 +1,417 @@
+//! The direction-agnostic round loop.
+//!
+//! One executor ([`execute_op`]) runs both directions of two-phase
+//! collective I/O; the data plane — which bytes this rank contributes
+//! before the shuffle and which bytes it absorbs after — is the only
+//! thing [`Op`] varies:
+//!
+//! * [`Op::Write`]: clients clip their request against each active
+//!   domain window and ship the pieces to the window's aggregator
+//!   (shuffle); aggregators assemble the pieces and issue one sieved
+//!   storage access per window;
+//! * [`Op::Read`]: aggregators fetch their windows with one sieved
+//!   access and scatter the pieces back to the requesting ranks.
+//!
+//! Everything else — prologue, reservation, exchange, pricing, epilogue
+//! — is shared code in the sibling modules, which keeps the comparison
+//! between strategies honest and every future engine capability paid
+//! for exactly once.
+
+use mccio_mpiio::sieve::{sieved_read_r, sieved_write_r, SieveConfig};
+use mccio_mpiio::{Extent, ExtentList, GroupPattern, IoReport, Resilience};
+use mccio_net::Ctx;
+use mccio_pfs::{FileHandle, IoFaults, ServiceReport};
+use mccio_sim::error::SimResult;
+
+use crate::plan::CollectivePlan;
+
+use super::env::IoEnv;
+use super::prologue::{self, drive_storage};
+use super::settle::settle_round;
+use super::wire::{
+    append_section, decode_sections, encode_sections, pieces_for_window, retry_delta,
+    BorrowedSection, PackedLayout, SectionRef,
+};
+
+/// The data plane of a collective operation: what varies between the
+/// write and read directions of the round loop.
+#[derive(Clone, Copy)]
+pub(super) enum Op<'d> {
+    /// Clients push `data` (this rank's extents packed in offset order)
+    /// to aggregators, which assemble and store it.
+    Write {
+        /// This rank's payload, packed in extent offset order.
+        data: &'d [u8],
+    },
+    /// Aggregators fetch their windows and scatter the pieces back.
+    Read,
+}
+
+/// Per-round send/receive planning shared by write and read paths.
+struct RoundPlan {
+    /// Active `(domain index, window)` pairs this round.
+    windows: Vec<(usize, Extent)>,
+}
+
+impl RoundPlan {
+    fn new(plan: &CollectivePlan, round: u64) -> Self {
+        RoundPlan {
+            windows: plan
+                .domains
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.window(round).map(|w| (i, w)))
+                .collect(),
+        }
+    }
+}
+
+/// Mutable per-round facts both directions fill in and settle with.
+#[derive(Default)]
+struct RoundFacts {
+    /// `(dst, bytes)` flows this rank sends this round.
+    flows: Vec<(usize, u64)>,
+    /// Bytes this rank assembled in aggregation buffers.
+    assembled: u64,
+}
+
+/// Executes one collective operation of either direction. SPMD: every
+/// rank of the world calls in with the same `plan` and `pattern`.
+/// Returns this rank's packed data for [`Op::Read`], `None` for
+/// [`Op::Write`].
+///
+/// # Errors
+/// Returns [`mccio_sim::error::SimError::TransientIo`] when aggregation
+/// memory cannot be reserved within the retry budget, collectively on
+/// every rank.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn execute_op(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    plan: &CollectivePlan,
+    pattern: &GroupPattern,
+    my_extents: &ExtentList,
+    op: Op<'_>,
+    res: &mut Resilience,
+) -> SimResult<(Option<Vec<u8>>, IoReport)> {
+    if let Op::Write { data } = op {
+        debug_assert!(data.len() as u64 >= my_extents.total_bytes());
+    }
+    let mut state = prologue::open(ctx, env, plan, res)?;
+    let me = ctx.rank();
+    let my_domains = plan.domains_of(me);
+    let my_cum = my_extents.cumulative_offsets();
+    let mut out = match op {
+        Op::Write { .. } => None,
+        Op::Read => Some(vec![0u8; my_extents.total_bytes() as usize]),
+    };
+
+    for round in 0..plan.rounds() {
+        let log_before = state.faults.log;
+        let rp = RoundPlan::new(plan, round);
+        let mut report = ServiceReport::empty(env.fs.n_servers());
+        let mut facts = RoundFacts::default();
+
+        // --- contribute: what this rank puts on the wire ---
+        let (sends, recv_from) = match op {
+            Op::Write { data } => (
+                client_sends(plan, &rp, my_extents, &my_cum, data, &mut facts),
+                aggregator_sources(me, plan, &rp, pattern),
+            ),
+            Op::Read => (
+                fetch_and_scatter_sends(
+                    handle,
+                    plan,
+                    &rp,
+                    pattern,
+                    me,
+                    my_domains.is_empty(),
+                    &mut state.faults,
+                    &mut report,
+                    &mut facts,
+                ),
+                client_sources(plan, &rp, my_extents),
+            ),
+        };
+
+        // --- shuffle: the one exchange both directions share ---
+        let received = ctx.exchange(&state.world, sends, &recv_from);
+
+        // --- absorb: what this rank does with what arrived ---
+        match op {
+            Op::Write { .. } => aggregate_and_store(
+                handle,
+                plan,
+                &rp,
+                me,
+                my_domains.is_empty(),
+                received,
+                &mut state.faults,
+                &mut report,
+                &mut facts,
+            ),
+            Op::Read => scatter_into(
+                my_extents,
+                &my_cum,
+                received,
+                out.as_mut().expect("read allocates its output buffer"),
+            ),
+        }
+
+        let delta = retry_delta(state.faults.log, log_before);
+        settle_round(
+            ctx,
+            env,
+            &state.world,
+            &facts.flows,
+            &report,
+            facts.assembled,
+            delta,
+            matches!(op, Op::Write { .. }),
+        );
+    }
+
+    let bytes = my_extents.total_bytes();
+    let report = prologue::close(ctx, env, state, bytes, res);
+    Ok((out, report))
+}
+
+/// Write contribute-half: clip this rank's request against every active
+/// window and encode one payload per destination aggregator.
+fn client_sends(
+    plan: &CollectivePlan,
+    rp: &RoundPlan,
+    my_extents: &ExtentList,
+    my_cum: &[u64],
+    data: &[u8],
+    facts: &mut RoundFacts,
+) -> Vec<(usize, Vec<u8>)> {
+    let mut per_dst: Vec<(usize, Vec<BorrowedSection<'_>>)> = Vec::new();
+    for &(di, w) in &rp.windows {
+        let pieces = pieces_for_window(my_extents, my_cum, data, w);
+        if pieces.is_empty() {
+            continue;
+        }
+        let bytes: u64 = pieces.iter().map(|(e, _)| e.len).sum();
+        let dst = plan.domains[di].aggregator;
+        facts.flows.push((dst, bytes));
+        match per_dst.iter_mut().find(|(d, _)| *d == dst) {
+            Some((_, sections)) => sections.push((di as u64, pieces)),
+            None => per_dst.push((dst, vec![(di as u64, pieces)])),
+        }
+    }
+    per_dst
+        .iter()
+        .map(|(dst, sections)| (*dst, encode_sections(sections)))
+        .collect()
+}
+
+/// Write receive-half source list: the ranks whose data falls in a
+/// window this rank aggregates.
+fn aggregator_sources(
+    me: usize,
+    plan: &CollectivePlan,
+    rp: &RoundPlan,
+    pattern: &GroupPattern,
+) -> Vec<usize> {
+    let mut recv_from: Vec<usize> = Vec::new();
+    for &src in pattern.group().members() {
+        let sends_to_me = rp.windows.iter().any(|&(di, w)| {
+            plan.domains[di].aggregator == me && pattern.extents_of_rank(src).overlaps(w)
+        });
+        if sends_to_me {
+            recv_from.push(src);
+        }
+    }
+    recv_from
+}
+
+/// Write absorb-half: decode received sections, assemble each of this
+/// rank's active windows into a packed buffer, and issue one sieved
+/// storage access per window.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_and_store(
+    handle: &FileHandle,
+    plan: &CollectivePlan,
+    rp: &RoundPlan,
+    me: usize,
+    idle: bool,
+    received: Vec<(usize, Vec<u8>)>,
+    faults: &mut IoFaults,
+    report: &mut ServiceReport,
+    facts: &mut RoundFacts,
+) {
+    if idle {
+        return;
+    }
+    // Pass 1: decode section references (no byte copies) and group them
+    // per domain.
+    let decoded: Vec<(Vec<u8>, Vec<SectionRef>)> = received
+        .into_iter()
+        .map(|(_, payload)| {
+            let sections = decode_sections(&payload);
+            (payload, sections)
+        })
+        .collect();
+    for &(di, w) in &rp.windows {
+        if plan.domains[di].aggregator != me {
+            continue;
+        }
+        let mut shapes: Vec<Extent> = Vec::new();
+        for (_, sections) in &decoded {
+            for (sd, pieces) in sections {
+                if *sd as usize == di {
+                    shapes.extend(pieces.iter().map(|(e, _)| *e));
+                }
+            }
+        }
+        if shapes.is_empty() {
+            continue;
+        }
+        let union = ExtentList::normalize(shapes);
+        debug_assert!(union.end().unwrap_or(0) <= w.end());
+        // Pass 2: copy payload bytes straight into the assembly buffer,
+        // then write and drop it before the next domain.
+        let layout = PackedLayout::new(&union);
+        let mut buf = vec![0u8; union.total_bytes() as usize];
+        for (payload, sections) in &decoded {
+            for (sd, pieces) in sections {
+                if *sd as usize != di {
+                    continue;
+                }
+                for (e, range) in pieces {
+                    let pos = layout.position(e.offset);
+                    buf[pos..pos + e.len as usize].copy_from_slice(&payload[range.clone()]);
+                }
+            }
+        }
+        facts.assembled += union.total_bytes();
+        let out = drive_storage(faults, |f| {
+            sieved_write_r(
+                handle,
+                &union,
+                &buf,
+                SieveConfig {
+                    buffer_size: w.len.max(1),
+                },
+                f,
+            )
+        });
+        report.merge(&out.report);
+    }
+}
+
+/// Read contribute-half: fetch the union of every member's needs per
+/// active window with one sieved access, and build the per-destination
+/// scatter payloads incrementally — a count slot up front, sections
+/// appended window by window, so the fetched window buffer can be
+/// dropped before the next storage access.
+#[allow(clippy::too_many_arguments)]
+fn fetch_and_scatter_sends(
+    handle: &FileHandle,
+    plan: &CollectivePlan,
+    rp: &RoundPlan,
+    pattern: &GroupPattern,
+    me: usize,
+    idle: bool,
+    faults: &mut IoFaults,
+    report: &mut ServiceReport,
+    facts: &mut RoundFacts,
+) -> Vec<(usize, Vec<u8>)> {
+    let mut per_dst: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+    if !idle {
+        for &(di, w) in &rp.windows {
+            if plan.domains[di].aggregator != me {
+                continue;
+            }
+            // Union of every member's needs within the window.
+            let mut need: Vec<Extent> = Vec::new();
+            let mut per_rank: Vec<(usize, ExtentList)> = Vec::new();
+            for &rank in pattern.group().members() {
+                let clipped = pattern.extents_of_rank(rank).clip(w);
+                if !clipped.is_empty() {
+                    need.extend(clipped.as_slice().iter().copied());
+                    per_rank.push((rank, clipped));
+                }
+            }
+            if per_rank.is_empty() {
+                continue;
+            }
+            let union = ExtentList::normalize(need);
+            let (packed, sv) = drive_storage(faults, |f| {
+                sieved_read_r(
+                    handle,
+                    &union,
+                    SieveConfig {
+                        buffer_size: w.len.max(1),
+                    },
+                    f,
+                )
+            });
+            report.merge(&sv.report);
+            facts.assembled += union.total_bytes();
+            let layout = PackedLayout::new(&union);
+            for (rank, clipped) in per_rank {
+                let bytes = clipped.total_bytes();
+                facts.flows.push((rank, bytes));
+                let entry = match per_dst.iter_mut().find(|(d, _, _)| *d == rank) {
+                    Some(e) => e,
+                    None => {
+                        per_dst.push((rank, 0, vec![0u8; 8]));
+                        per_dst.last_mut().expect("just pushed")
+                    }
+                };
+                entry.1 += 1;
+                append_section(&mut entry.2, di as u64, &clipped, |e| {
+                    let pos = layout.position(e.offset);
+                    &packed[pos..pos + e.len as usize]
+                });
+            }
+        }
+    }
+    per_dst
+        .into_iter()
+        .map(|(dst, count, mut payload)| {
+            payload[0..8].copy_from_slice(&count.to_le_bytes());
+            (dst, payload)
+        })
+        .collect()
+}
+
+/// Read receive-half source list: the aggregators of windows covering
+/// this rank's data.
+fn client_sources(plan: &CollectivePlan, rp: &RoundPlan, my_extents: &ExtentList) -> Vec<usize> {
+    let mut recv_from: Vec<usize> = Vec::new();
+    for &(di, w) in &rp.windows {
+        let agg = plan.domains[di].aggregator;
+        if my_extents.overlaps(w) && !recv_from.contains(&agg) {
+            recv_from.push(agg);
+        }
+    }
+    recv_from.sort_unstable();
+    recv_from
+}
+
+/// Read absorb-half: scatter received pieces into this rank's packed
+/// output buffer via the shared cumulative-offset layout.
+fn scatter_into(
+    my_extents: &ExtentList,
+    my_cum: &[u64],
+    received: Vec<(usize, Vec<u8>)>,
+    out: &mut [u8],
+) {
+    for (_, payload) in received {
+        for (_, pieces) in decode_sections(&payload) {
+            for (e, range) in pieces {
+                // Each piece lies within exactly one of my extents.
+                let slice = my_extents.as_slice();
+                let idx = slice.partition_point(|x| x.end() <= e.offset);
+                let target = slice[idx];
+                debug_assert!(target.contains(e.offset) && e.end() <= target.end());
+                let pos = (my_cum[idx] + (e.offset - target.offset)) as usize;
+                out[pos..pos + e.len as usize].copy_from_slice(&payload[range]);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Round pricing: one virtual-time charge per round, computed at the
+//! world root from gathered facts and broadcast, so time is a pure
+//! function of the plan and never of thread scheduling.
+
+use mccio_net::{Ctx, RankSet};
+use mccio_pfs::{RetryLog, ServiceReport};
+use mccio_sim::cost::Flow;
+use mccio_sim::time::VDuration;
+
+use super::env::IoEnv;
+use super::wire::{decode_facts, encode_facts};
+
+/// Gathers every rank's round facts at the world root, prices the round,
+/// broadcasts the duration, and advances every rank's clock by it.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn settle_round(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    world: &RankSet,
+    my_flows: &[(usize, u64)],
+    my_report: &ServiceReport,
+    my_assembled: u64,
+    my_retry: RetryLog,
+    is_write: bool,
+) {
+    let payload = encode_facts(my_flows, my_report, my_assembled, my_retry);
+    let gathered = ctx.group_gather(world, payload);
+    let duration = if let Some(parts) = gathered {
+        let fault_plan = env.faults().plan();
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut merged = ServiceReport::empty(env.fs.n_servers());
+        let mut max_client = 0u64;
+        let mut n_clients = 0usize;
+        let mut assembly = VDuration::ZERO;
+        // The round cannot finish before its slowest rank clears its
+        // retry backoff: the waiting term is the max over ranks.
+        let mut waiting = VDuration::ZERO;
+        let mut transient_faults = 0u64;
+        let mut retries = 0u64;
+        let mut factors = env.mem.pressure_factors();
+        // Straggler nodes run their compute/memory phases slower; this
+        // composes with memory pressure the same way pressure composes
+        // with itself — as a multiplier on the node's local work.
+        for (node, f) in factors.iter_mut().enumerate() {
+            *f *= fault_plan.straggler_factor(node);
+        }
+        let cost = ctx.cost().clone();
+        let placement = ctx.placement().clone();
+        for (idx, part) in parts.iter().enumerate() {
+            let src = world.members()[idx];
+            let facts = decode_facts(part);
+            for (dst, bytes) in facts.flows {
+                flows.push(Flow { src, dst, bytes });
+            }
+            if facts.report.total_bytes() > 0 {
+                n_clients += 1;
+            }
+            max_client = max_client.max(facts.report.total_bytes());
+            merged.merge(&facts.report);
+            if facts.assembled > 0 {
+                let node = placement.node_of(src);
+                assembly = assembly.max(cost.local_copy(node, facts.assembled, factors[node]));
+            }
+            waiting = waiting.max(facts.retry.backoff);
+            transient_faults += facts.retry.transient_faults;
+            retries += facts.retry.retries;
+        }
+        let sync = cost.round_sync(world.len());
+        let shuffle = cost.shuffle_phase(&placement, &flows, &factors);
+        let slowdowns = if fault_plan.has_slow_servers() {
+            fault_plan.server_slowdowns(env.fs.n_servers())
+        } else {
+            Vec::new()
+        };
+        let storage = env
+            .fs
+            .params()
+            .phase_time_faulty(&merged, max_client, is_write, n_clients, &slowdowns);
+        crate::stats::record(crate::stats::RoundRecord {
+            is_write,
+            flows: flows.len(),
+            volume: merged.total_bytes(),
+            requests: merged.total_requests(),
+            clients: n_clients,
+            sync_secs: sync.as_secs(),
+            shuffle_secs: shuffle.as_secs(),
+            storage_secs: storage.as_secs(),
+            assembly_secs: assembly.as_secs(),
+            backoff_secs: waiting.as_secs(),
+            transient_faults,
+            retries,
+        });
+        if std::env::var_os("MCCIO_TRACE").is_some() {
+            eprintln!(
+                "[mccio round] {} flows={} vol={}B reqs={} sync={} shuffle={} storage={} assembly={} backoff={} faults={}",
+                if is_write { "write" } else { "read" },
+                flows.len(),
+                merged.total_bytes(),
+                merged.total_requests(),
+                sync,
+                shuffle,
+                storage,
+                assembly,
+                waiting,
+                transient_faults,
+            );
+        }
+        (sync + shuffle + storage + assembly + waiting).as_secs()
+    } else {
+        0.0
+    };
+    let secs = ctx.group_bcast(world, mccio_net::wire::encode_f64(duration));
+    ctx.advance(VDuration::from_secs(mccio_net::wire::decode_f64(&secs)));
+    // Memory events that fired during this round take effect before the
+    // next one prices: every rank reports the same crossing, the state
+    // applies each event once.
+    if env.faults().is_active() {
+        env.faults().apply_due(ctx.clock(), &env.mem);
+    }
+}

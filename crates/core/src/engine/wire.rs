@@ -1,0 +1,196 @@
+//! Message codecs for the round engine: shuffle-section payloads and
+//! the per-round fact records the root prices.
+
+use mccio_mpiio::{Extent, ExtentList};
+use mccio_net::wire::{put_u64, Reader};
+use mccio_pfs::{RetryLog, ServiceReport};
+use mccio_sim::time::VDuration;
+
+/// Packed-buffer layout over an extent list: maps file offsets to
+/// positions in the buffer that stores the extents back-to-back in
+/// offset order.
+pub(super) struct PackedLayout<'a> {
+    extents: &'a ExtentList,
+    cum: Vec<u64>,
+}
+
+impl<'a> PackedLayout<'a> {
+    pub(super) fn new(extents: &'a ExtentList) -> Self {
+        PackedLayout {
+            extents,
+            cum: extents.cumulative_offsets(),
+        }
+    }
+
+    /// Buffer position of file byte `off`, which must be covered.
+    pub(super) fn position(&self, off: u64) -> usize {
+        let slice = self.extents.as_slice();
+        let idx = slice.partition_point(|e| e.end() <= off);
+        let e = &slice[idx];
+        debug_assert!(e.contains(off), "offset {off} outside layout");
+        (self.cum[idx] + (off - e.offset)) as usize
+    }
+}
+
+/// The pieces of `extents`/`data` that fall inside `window`, as
+/// `(file extent, bytes)` pairs in offset order. `cum` is the packed
+/// layout from [`ExtentList::cumulative_offsets`], computed once per
+/// operation — the lookup itself is `O(log n + k)`.
+pub(super) fn pieces_for_window<'d>(
+    extents: &ExtentList,
+    cum: &[u64],
+    data: &'d [u8],
+    window: Extent,
+) -> Vec<(Extent, &'d [u8])> {
+    extents
+        .clip_indexed(window)
+        .map(|(idx, piece)| {
+            let base = extents.as_slice()[idx];
+            let start = (cum[idx] + (piece.offset - base.offset)) as usize;
+            (piece, &data[start..start + piece.len as usize])
+        })
+        .collect()
+}
+
+/// A section to encode: domain index plus `(extent, bytes)` pieces
+/// borrowed from the sender's packed buffer.
+pub(super) type BorrowedSection<'d> = (u64, Vec<(Extent, &'d [u8])>);
+
+/// Message layout: `[n_sections]{domain, n_pieces, {off,len}*, bytes}`.
+pub(super) fn encode_sections(sections: &[BorrowedSection<'_>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, sections.len() as u64);
+    for (domain, pieces) in sections {
+        put_u64(&mut buf, *domain);
+        put_u64(&mut buf, pieces.len() as u64);
+        for (e, _) in pieces {
+            put_u64(&mut buf, e.offset);
+            put_u64(&mut buf, e.len);
+        }
+        for (_, bytes) in pieces {
+            buf.extend_from_slice(bytes);
+        }
+    }
+    buf
+}
+
+/// Appends one section (`domain`, the clipped extents, their bytes
+/// produced by `bytes_of`) to an in-progress payload whose leading
+/// 8-byte section count the caller patches at the end.
+pub(super) fn append_section<'p>(
+    buf: &mut Vec<u8>,
+    domain: u64,
+    pieces: &ExtentList,
+    bytes_of: impl Fn(Extent) -> &'p [u8],
+) {
+    put_u64(buf, domain);
+    put_u64(buf, pieces.len() as u64);
+    for e in pieces.as_slice() {
+        put_u64(buf, e.offset);
+        put_u64(buf, e.len);
+    }
+    for &e in pieces.as_slice() {
+        buf.extend_from_slice(bytes_of(e));
+    }
+}
+
+/// A decoded section referencing payload bytes by range — no copies
+/// until the bytes land in their final buffer. Round volumes reach
+/// gigabytes; every avoided copy is real memory.
+pub(super) type SectionRef = (u64, Vec<(Extent, std::ops::Range<usize>)>);
+
+pub(super) fn decode_sections(buf: &[u8]) -> Vec<SectionRef> {
+    let mut r = Reader::new(buf);
+    let n_sections = r.u64() as usize;
+    let mut out = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let domain = r.u64();
+        let n_pieces = r.u64() as usize;
+        let shapes: Vec<Extent> = (0..n_pieces)
+            .map(|_| {
+                let off = r.u64();
+                let len = r.u64();
+                Extent::new(off, len)
+            })
+            .collect();
+        let pieces = shapes
+            .into_iter()
+            .map(|e| {
+                let start = buf.len() - r.remaining();
+                let _ = r.bytes(e.len as usize);
+                (e, start..start + e.len as usize)
+            })
+            .collect();
+        out.push((domain, pieces));
+    }
+    r.finish();
+    out
+}
+
+/// Round facts each rank contributes to the root's pricing:
+/// `[n_flows]{dst, bytes}` (flows this rank *sends*), the rank's storage
+/// report pairs, the bytes it assembled in aggregation buffers, and the
+/// retry activity it endured this round.
+pub(super) fn encode_facts(
+    flows: &[(usize, u64)],
+    report: &ServiceReport,
+    assembled: u64,
+    retry: RetryLog,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, flows.len() as u64);
+    for &(dst, bytes) in flows {
+        put_u64(&mut buf, dst as u64);
+        put_u64(&mut buf, bytes);
+    }
+    let pairs = report.to_pairs();
+    put_u64(&mut buf, pairs.len() as u64);
+    for p in pairs {
+        put_u64(&mut buf, p);
+    }
+    put_u64(&mut buf, assembled);
+    put_u64(&mut buf, retry.backoff.as_secs().to_bits());
+    put_u64(&mut buf, retry.transient_faults);
+    put_u64(&mut buf, retry.retries);
+    put_u64(&mut buf, retry.exhausted);
+    buf
+}
+
+pub(super) struct Facts {
+    pub(super) flows: Vec<(usize, u64)>,
+    pub(super) report: ServiceReport,
+    pub(super) assembled: u64,
+    pub(super) retry: RetryLog,
+}
+
+pub(super) fn decode_facts(buf: &[u8]) -> Facts {
+    let mut r = Reader::new(buf);
+    let n = r.u64() as usize;
+    let flows = (0..n).map(|_| (r.u64() as usize, r.u64())).collect();
+    let n_pairs = r.u64() as usize;
+    let pairs: Vec<u64> = (0..n_pairs).map(|_| r.u64()).collect();
+    let assembled = r.u64();
+    let retry = RetryLog {
+        backoff: VDuration::from_secs(f64::from_bits(r.u64())),
+        transient_faults: r.u64(),
+        retries: r.u64(),
+        exhausted: r.u64(),
+    };
+    r.finish();
+    Facts {
+        flows,
+        report: ServiceReport::from_pairs(&pairs),
+        assembled,
+        retry,
+    }
+}
+
+/// What `now` accumulated beyond the `before` snapshot.
+pub(super) fn retry_delta(now: RetryLog, before: RetryLog) -> RetryLog {
+    RetryLog {
+        transient_faults: now.transient_faults - before.transient_faults,
+        retries: now.retries - before.retries,
+        backoff: VDuration::from_secs((now.backoff.as_secs() - before.backoff.as_secs()).max(0.0)),
+        exhausted: now.exhausted - before.exhausted,
+    }
+}

@@ -31,7 +31,7 @@ use mccio_pfs::PfsParams;
 use mccio_sim::topology::ClusterSpec;
 
 use crate::mccio::MccioConfig;
-use crate::strategy::Strategy;
+use crate::strategy::{Independent, IndependentSieved, MemoryConscious, Strategy, TwoPhase};
 use crate::tuner::Tuning;
 use crate::two_phase::TwoPhaseConfig;
 
@@ -138,18 +138,18 @@ impl Hints {
         pfs: &PfsParams,
         n_servers: usize,
         stripe: u64,
-    ) -> Result<Strategy, HintError> {
+    ) -> Result<Box<dyn Strategy>, HintError> {
         let cb_enabled = self.flag("romio_cb_write")?.unwrap_or(true);
         if !cb_enabled {
             let ds = self.flag("romio_ds_write")?.unwrap_or(true);
             if !ds {
-                return Ok(Strategy::Independent);
+                return Ok(Box::new(Independent));
             }
             let mut cfg = SieveConfig::default();
             if let Some(size) = self.size("ind_rd_buffer_size")? {
                 cfg.buffer_size = size.max(1);
             }
-            return Ok(Strategy::IndependentSieved(cfg));
+            return Ok(Box::new(IndependentSieved(cfg)));
         }
         let cb_buffer = self
             .size("cb_buffer_size")?
@@ -158,10 +158,10 @@ impl Hints {
             // `striping_unit` requests the layout-aware variant (ROMIO's
             // Lustre alignment hint): domain cuts snapped to the unit.
             let align = self.size("striping_unit")?.unwrap_or(1);
-            return Ok(Strategy::TwoPhase(TwoPhaseConfig {
+            return Ok(Box::new(TwoPhase(TwoPhaseConfig {
                 cb_buffer_size: cb_buffer,
                 align,
-            }));
+            })));
         }
         let mut tuning = Tuning::derive(cluster, pfs, n_servers);
         if let Some(n) = self.size("mccio_n_ah")? {
@@ -180,7 +180,7 @@ impl Hints {
         if let Some(seed) = self.size("mccio_seed")? {
             cfg.seed = seed;
         }
-        Ok(Strategy::MemoryConscious(Box::new(cfg)))
+        Ok(Box::new(MemoryConscious(cfg)))
     }
 }
 
@@ -212,65 +212,60 @@ mod tests {
     use mccio_sim::topology::test_cluster;
     use mccio_sim::units::MIB;
 
-    fn resolve(spec: &str) -> Result<Strategy, HintError> {
+    fn resolve(spec: &str) -> Result<Box<dyn Strategy>, HintError> {
         let cluster = test_cluster(2, 4);
         Hints::parse(spec)?.resolve(&cluster, &PfsParams::default(), 4, MIB)
+    }
+
+    /// Downcasts a resolved strategy to the concrete type the hint set
+    /// should have selected, panicking with its name otherwise.
+    fn expect<T: 'static>(s: &dyn Strategy) -> &T {
+        s.as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("unexpected strategy {}", s.name()))
     }
 
     #[test]
     fn defaults_to_two_phase() {
         let s = resolve("").unwrap();
-        match s {
-            Strategy::TwoPhase(cfg) => {
-                assert_eq!(cfg.cb_buffer_size, TwoPhaseConfig::default().cb_buffer_size);
-            }
-            other => panic!("expected two-phase, got {}", other.label()),
-        }
+        let cfg = &expect::<TwoPhase>(&*s).0;
+        assert_eq!(cfg.cb_buffer_size, TwoPhaseConfig::default().cb_buffer_size);
     }
 
     #[test]
     fn cb_buffer_size_with_suffixes() {
-        for (spec, expect) in [
+        for (spec, expect_size) in [
             ("cb_buffer_size=8388608", 8 * MIB),
             ("cb_buffer_size=8m", 8 * MIB),
             ("cb_buffer_size=512k", 512 << 10),
             ("cb_buffer_size = 1g", 1 << 30),
         ] {
-            match resolve(spec).unwrap() {
-                Strategy::TwoPhase(cfg) => assert_eq!(cfg.cb_buffer_size, expect, "{spec}"),
-                other => panic!("{spec}: got {}", other.label()),
-            }
+            let s = resolve(spec).unwrap();
+            let cfg = &expect::<TwoPhase>(&*s).0;
+            assert_eq!(cfg.cb_buffer_size, expect_size, "{spec}");
         }
     }
 
     #[test]
     fn disabling_collective_buffering_selects_independent_paths() {
-        assert!(matches!(
-            resolve("romio_cb_write=disable, romio_ds_write=disable").unwrap(),
-            Strategy::Independent
-        ));
-        match resolve("romio_cb_write=disable, ind_rd_buffer_size=2m").unwrap() {
-            Strategy::IndependentSieved(cfg) => assert_eq!(cfg.buffer_size, 2 * MIB),
-            other => panic!("got {}", other.label()),
-        }
+        let s = resolve("romio_cb_write=disable, romio_ds_write=disable").unwrap();
+        expect::<Independent>(&*s);
+        let s = resolve("romio_cb_write=disable, ind_rd_buffer_size=2m").unwrap();
+        assert_eq!(expect::<IndependentSieved>(&*s).0.buffer_size, 2 * MIB);
     }
 
     #[test]
     fn mccio_hints_override_tuning() {
-        match resolve(
+        let s = resolve(
             "mccio=enable, cb_buffer_size=16m, mccio_n_ah=3, mccio_msg_ind=2m, mccio_seed=7",
         )
-        .unwrap()
-        {
-            Strategy::MemoryConscious(cfg) => {
-                assert_eq!(cfg.buffer_mean, 16 * MIB);
-                assert_eq!(cfg.tuning.n_ah, 3);
-                assert_eq!(cfg.tuning.msg_ind, 2 * MIB);
-                assert_eq!(cfg.tuning.mem_min, 6 * MIB);
-                assert_eq!(cfg.seed, 7);
-            }
-            other => panic!("got {}", other.label()),
-        }
+        .unwrap();
+        let cfg = &expect::<MemoryConscious>(&*s).0;
+        assert_eq!(cfg.buffer_mean, 16 * MIB);
+        assert_eq!(cfg.tuning.n_ah, 3);
+        assert_eq!(cfg.tuning.msg_ind, 2 * MIB);
+        assert_eq!(cfg.tuning.mem_min, 6 * MIB);
+        assert_eq!(cfg.seed, 7);
     }
 
     #[test]
@@ -291,21 +286,16 @@ mod tests {
 
     #[test]
     fn striping_unit_selects_layout_aware_alignment() {
-        match resolve("cb_buffer_size=4m, striping_unit=1m").unwrap() {
-            Strategy::TwoPhase(cfg) => {
-                assert_eq!(cfg.align, MIB);
-                assert_eq!(cfg.cb_buffer_size, 4 * MIB);
-            }
-            other => panic!("got {}", other.label()),
-        }
+        let s = resolve("cb_buffer_size=4m, striping_unit=1m").unwrap();
+        let cfg = &expect::<TwoPhase>(&*s).0;
+        assert_eq!(cfg.align, MIB);
+        assert_eq!(cfg.cb_buffer_size, 4 * MIB);
     }
 
     #[test]
     fn automatic_means_default() {
-        assert!(matches!(
-            resolve("romio_cb_write=automatic").unwrap(),
-            Strategy::TwoPhase(_)
-        ));
+        let s = resolve("romio_cb_write=automatic").unwrap();
+        expect::<TwoPhase>(&*s);
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!   the collective entry points retry, re-plan, and finally degrade
 //!   (memory-conscious → re-planned memory-conscious → two-phase →
 //!   independent I/O) instead of failing;
-//! * [`strategy`] — a uniform facade (`Independent`, sieved, two-phase,
-//!   memory-conscious) for workloads and benches.
+//! * [`strategy`] — the [`strategy::Strategy`] trait (`plan`/`write`/
+//!   `read`) and its implementations (`Independent`, sieved, two-phase,
+//!   memory-conscious), the uniform dispatch surface for workloads,
+//!   benches, and hint resolution.
 //!
 //! ## Quick example
 //!
@@ -35,18 +37,18 @@
 //!     FileSystem::new(4, 1 << 16, PfsParams::default()),
 //!     MemoryModel::pristine(&cluster),
 //! );
-//! let cfg = TwoPhaseConfig::default();
+//! let strat = TwoPhase(TwoPhaseConfig::default());
 //! let reports = world.run(|ctx| {
 //!     let env = env.clone();
 //!     let handle = env.fs.open_or_create("demo");
 //!     let extents = ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 1024, 1024)]);
 //!     let data = vec![ctx.rank() as u8; 1024];
-//!     mccio_core::two_phase::write(ctx, &env, &handle, &extents, &data, cfg)
+//!     strat.write(ctx, &env, &handle, &extents, &data)
 //! });
 //! assert!(reports.iter().all(|r| r.bytes == 1024));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod groups;
@@ -65,7 +67,7 @@ pub use engine::IoEnv;
 pub use hints::Hints;
 pub use mccio::MccioConfig;
 pub use resilience::FaultState;
-pub use strategy::Strategy;
+pub use strategy::{Independent, IndependentSieved, MemoryConscious, Strategy, TwoPhase};
 pub use tuner::Tuning;
 pub use two_phase::TwoPhaseConfig;
 
@@ -73,7 +75,9 @@ pub use two_phase::TwoPhaseConfig;
 pub mod prelude {
     pub use crate::engine::IoEnv;
     pub use crate::mccio::MccioConfig;
-    pub use crate::strategy::{read_all, write_all, Strategy};
+    pub use crate::strategy::{
+        read_all, write_all, Independent, IndependentSieved, MemoryConscious, Strategy, TwoPhase,
+    };
     pub use crate::tuner::Tuning;
     pub use crate::two_phase::TwoPhaseConfig;
     pub use mccio_mem::MemoryModel;

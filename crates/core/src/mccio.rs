@@ -27,22 +27,16 @@
 //! executor.
 
 use mccio_mem::MemoryModel;
-use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
-use mccio_net::{Ctx, RankSet};
-use mccio_pfs::FileHandle;
+use mccio_mpiio::GroupPattern;
 use mccio_sim::rng::{stream_rng, NormalSampler};
-use mccio_sim::time::VTime;
 use mccio_sim::topology::Placement;
 use mccio_sim::units::{div_ceil, KIB};
 
-use crate::engine::{execute_read, execute_write, try_execute_read, try_execute_write, IoEnv};
 use crate::groups::divide_groups;
 use crate::placement::{assign_aggregators, AggregatorLoad, PlacementPolicy};
 use crate::plan::{CollectivePlan, DomainPlan};
 use crate::ptree::PartitionTree;
-use crate::resilience::{independent_read, independent_write};
 use crate::tuner::Tuning;
-use crate::two_phase::{plan_two_phase, TwoPhaseConfig};
 
 /// Memory-conscious collective I/O configuration.
 #[derive(Debug, Clone, Copy)]
@@ -177,119 +171,12 @@ pub fn plan_mccio(
     CollectivePlan { domains }
 }
 
-/// Collective write with memory-conscious collective I/O. SPMD.
-///
-/// Under an active fault plan this entry point is a degradation ladder
-/// rather than a single strategy: if aggregation memory cannot be
-/// reserved within the retry budget, the operation re-plans against the
-/// current (post-revocation) memory state; failing that, falls back to
-/// classic two-phase; failing that, to per-rank independent sieved I/O,
-/// which needs no aggregation memory and therefore always completes.
-/// Every rank descends the ladder together (reservation verdicts are
-/// collective), and the rung finally used is reported in
-/// `IoReport::resilience::fallbacks`.
-pub fn write(
-    ctx: &mut Ctx,
-    env: &IoEnv,
-    handle: &FileHandle,
-    my_extents: &ExtentList,
-    data: &[u8],
-    cfg: &MccioConfig,
-) -> IoReport {
-    let world = RankSet::world(ctx.size());
-    let pattern = GroupPattern::gather(ctx, &world, my_extents);
-    if !env.faults().is_active() {
-        let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-        return execute_write(ctx, env, handle, &plan, &pattern, my_extents, data);
-    }
-    let t0 = ctx.group_sync_clocks(&world);
-    let mut res = Resilience::default();
-    // Rung 0: the planned strategy.
-    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    if let Ok(r) = try_execute_write(
-        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
-    ) {
-        return finish(ctx, t0, r, res, 0);
-    }
-    // Rung 1: re-plan against what memory actually looks like now —
-    // revocation may have moved the viable aggregator hosts.
-    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    if let Ok(r) = try_execute_write(
-        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
-    ) {
-        return finish(ctx, t0, r, res, 1);
-    }
-    // Rung 2: classic two-phase with the experiment's buffer.
-    let plan = plan_two_phase(
-        &pattern,
-        ctx.placement(),
-        TwoPhaseConfig::with_buffer(cfg.buffer_mean),
-    );
-    if let Ok(r) = try_execute_write(
-        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
-    ) {
-        return finish(ctx, t0, r, res, 2);
-    }
-    // Rung 3: independent I/O — no aggregation memory at all.
-    let r = independent_write(ctx, env, handle, my_extents, data, &mut res);
-    finish(ctx, t0, r, res, 3)
-}
-
-/// Collective read with memory-conscious collective I/O. SPMD. Degrades
-/// under faults exactly like [`write`].
-pub fn read(
-    ctx: &mut Ctx,
-    env: &IoEnv,
-    handle: &FileHandle,
-    my_extents: &ExtentList,
-    cfg: &MccioConfig,
-) -> (Vec<u8>, IoReport) {
-    let world = RankSet::world(ctx.size());
-    let pattern = GroupPattern::gather(ctx, &world, my_extents);
-    if !env.faults().is_active() {
-        let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-        return execute_read(ctx, env, handle, &plan, &pattern, my_extents);
-    }
-    let t0 = ctx.group_sync_clocks(&world);
-    let mut res = Resilience::default();
-    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
-    {
-        return (data, finish(ctx, t0, r, res, 0));
-    }
-    let plan = plan_mccio(&pattern, ctx.placement(), &env.mem, cfg);
-    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
-    {
-        return (data, finish(ctx, t0, r, res, 1));
-    }
-    let plan = plan_two_phase(
-        &pattern,
-        ctx.placement(),
-        TwoPhaseConfig::with_buffer(cfg.buffer_mean),
-    );
-    if let Ok((data, r)) = try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res)
-    {
-        return (data, finish(ctx, t0, r, res, 2));
-    }
-    let (data, r) = independent_read(ctx, env, handle, my_extents, &mut res);
-    (data, finish(ctx, t0, r, res, 3))
-}
-
-/// Stamps the ladder outcome onto the final report: elapsed spans the
-/// whole descent (failed rungs spent real virtual time retrying), and
-/// `fallbacks` records the rung that completed the operation.
-fn finish(ctx: &Ctx, t0: VTime, mut report: IoReport, mut res: Resilience, rung: u32) -> IoReport {
-    res.fallbacks = rung;
-    report.resilience = res;
-    report.elapsed = ctx.clock() - t0;
-    report
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mccio_mem::MemParams;
-    use mccio_mpiio::Extent;
+    use mccio_mpiio::{Extent, ExtentList};
+    use mccio_net::RankSet;
     use mccio_sim::topology::{test_cluster, FillOrder};
     use mccio_sim::units::MIB;
 
@@ -389,6 +276,8 @@ mod tests {
 
     #[test]
     fn end_to_end_roundtrip_with_memory_variance() {
+        use crate::engine::IoEnv;
+        use crate::strategy::{MemoryConscious, Strategy};
         use mccio_net::World;
         use mccio_pfs::{FileSystem, PfsParams};
         use mccio_sim::cost::CostModel;
@@ -421,8 +310,9 @@ mod tests {
             let data: Vec<u8> = (0..extents.total_bytes())
                 .map(|i| (i as u8).wrapping_add(r as u8 * 13))
                 .collect();
-            let wr = write(ctx, &env, &handle, &extents, &data, &cfg);
-            let (back, rr) = read(ctx, &env, &handle, &extents, &cfg);
+            let strat = MemoryConscious(cfg);
+            let wr = strat.write(ctx, &env, &handle, &extents, &data);
+            let (back, rr) = strat.read(ctx, &env, &handle, &extents);
             assert_eq!(back, data, "rank {r}");
             (wr, rr)
         });

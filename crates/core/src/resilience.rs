@@ -14,14 +14,20 @@
 //!   operations ([`FaultState::take_io_faults`] /
 //!   [`FaultState::return_io_faults`]), so a write followed by a read
 //!   continues the same decision sequence instead of replaying it.
+//! * [`ladder_write`] / [`ladder_read`] are the generic degradation
+//!   ladder: an ordered slice of [`Strategy`] rungs descended
+//!   collectively until one completes. MC-CIO composes a four-rung
+//!   ladder (planned → re-planned → two-phase → independent sieved),
+//!   the baseline a two-rung one — but the descent logic exists once,
+//!   here, for any rung composition.
 //! * [`independent_write`] / [`independent_read`] are the ladder's
 //!   bottom rung: per-rank sieved I/O that needs no aggregation memory
 //!   at all, driven through the fallible request path with bounded
 //!   escalation.
 
 use mccio_mpiio::independent::{read_sieved_r, write_sieved_r};
-use mccio_mpiio::{ExtentList, IoReport, Resilience, SieveConfig};
-use mccio_net::Ctx;
+use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience, SieveConfig};
+use mccio_net::{Ctx, RankSet};
 use mccio_pfs::{FileHandle, IoFaults};
 use mccio_sim::fault::{FaultPlan, FaultStream};
 use mccio_sim::sync::Mutex;
@@ -31,7 +37,8 @@ use mccio_mem::MemoryModel;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::engine::IoEnv;
+use crate::engine::{execute_read, execute_write, IoEnv};
+use crate::strategy::Strategy;
 
 /// How many times the engine re-drives a storage access whose whole
 /// retry budget was exhausted before declaring the run unrecoverable.
@@ -166,6 +173,7 @@ pub fn independent_write(
     handle: &FileHandle,
     extents: &ExtentList,
     data: &[u8],
+    cfg: SieveConfig,
     res: &mut Resilience,
 ) -> IoReport {
     let mut faults = env.faults().take_io_faults(ctx.rank());
@@ -176,7 +184,7 @@ pub fn independent_write(
             extents,
             data,
             &env.fs.params(),
-            SieveConfig::default(),
+            cfg,
             &mut faults,
         )
     });
@@ -191,22 +199,101 @@ pub fn independent_read(
     env: &IoEnv,
     handle: &FileHandle,
     extents: &ExtentList,
+    cfg: SieveConfig,
     res: &mut Resilience,
 ) -> (Vec<u8>, IoReport) {
     let mut faults = env.faults().take_io_faults(ctx.rank());
     let (data, mut report) = escalate(ctx, faults.policy(), |ctx| {
-        read_sieved_r(
-            ctx,
-            handle,
-            extents,
-            &env.fs.params(),
-            SieveConfig::default(),
-            &mut faults,
-        )
+        read_sieved_r(ctx, handle, extents, &env.fs.params(), cfg, &mut faults)
     });
     env.faults().return_io_faults(ctx.rank(), faults, res);
     report.resilience = *res;
     (data, report)
+}
+
+/// Collective write down a degradation ladder of `rungs`, ordered most
+/// to least preferred. SPMD over all ranks.
+///
+/// On a healthy environment this is exactly the top rung: plan once,
+/// run the engine, no ladder machinery at all (bit-identical to the
+/// engine before fault injection existed). Under an active fault plan
+/// the rungs are attempted in order through [`Strategy::try_write`];
+/// reservation verdicts are collective, so every rank descends
+/// together, and the rung that completes is recorded in the report's
+/// `resilience.fallbacks`.
+///
+/// # Panics
+/// Panics if the top rung is not a collective strategy, or if every
+/// rung fails — the bottom rung of any ladder must be infallible
+/// (independent I/O needs no aggregation memory and always completes).
+pub fn ladder_write(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    my_extents: &ExtentList,
+    data: &[u8],
+    rungs: &[&dyn Strategy],
+) -> IoReport {
+    let world = RankSet::world(ctx.size());
+    let pattern = GroupPattern::gather(ctx, &world, my_extents);
+    if !env.faults().is_active() {
+        let plan = rungs[0]
+            .plan(ctx, env, &pattern)
+            .expect("ladder top must be a collective strategy");
+        return execute_write(ctx, env, handle, &plan, &pattern, my_extents, data);
+    }
+    let t0 = ctx.group_sync_clocks(&world);
+    let mut res = Resilience::default();
+    for (rung, strategy) in rungs.iter().enumerate() {
+        if let Ok(report) =
+            strategy.try_write(ctx, env, handle, &pattern, my_extents, data, &mut res)
+        {
+            return finish(ctx, t0, report, res, rung as u32);
+        }
+    }
+    panic!("degradation ladder exhausted: the bottom rung must be infallible");
+}
+
+/// Collective read down a degradation ladder; see [`ladder_write`].
+///
+/// # Panics
+/// Panics under the same conditions as [`ladder_write`].
+pub fn ladder_read(
+    ctx: &mut Ctx,
+    env: &IoEnv,
+    handle: &FileHandle,
+    my_extents: &ExtentList,
+    rungs: &[&dyn Strategy],
+) -> (Vec<u8>, IoReport) {
+    let world = RankSet::world(ctx.size());
+    let pattern = GroupPattern::gather(ctx, &world, my_extents);
+    if !env.faults().is_active() {
+        let plan = rungs[0]
+            .plan(ctx, env, &pattern)
+            .expect("ladder top must be a collective strategy");
+        return execute_read(ctx, env, handle, &plan, &pattern, my_extents);
+    }
+    let t0 = ctx.group_sync_clocks(&world);
+    let mut res = Resilience::default();
+    for (rung, strategy) in rungs.iter().enumerate() {
+        if let Ok((data, report)) =
+            strategy.try_read(ctx, env, handle, &pattern, my_extents, &mut res)
+        {
+            return (data, finish(ctx, t0, report, res, rung as u32));
+        }
+    }
+    panic!("degradation ladder exhausted: the bottom rung must be infallible");
+}
+
+/// Stamps the ladder outcome onto the final report: elapsed spans the
+/// whole descent (failed rungs spent real virtual time retrying), and
+/// `fallbacks` records the rung that completed the operation.
+fn finish(ctx: &Ctx, t0: VTime, report: IoReport, res: Resilience, rung: u32) -> IoReport {
+    IoReport::builder(report.bytes)
+        .elapsed(ctx.clock() - t0)
+        .resilience(res)
+        .fallbacks(rung)
+        .build()
 }
 
 #[cfg(test)]

@@ -13,15 +13,11 @@
 //!   much memory its node actually has free, which is precisely the
 //!   behaviour memory-conscious collective I/O fixes.
 
-use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
-use mccio_net::{Ctx, RankSet};
-use mccio_pfs::FileHandle;
+use mccio_mpiio::GroupPattern;
 use mccio_sim::topology::Placement;
 use mccio_sim::units::div_ceil;
 
-use crate::engine::{execute_read, execute_write, try_execute_read, try_execute_write, IoEnv};
 use crate::plan::{CollectivePlan, DomainPlan};
-use crate::resilience::{independent_read, independent_write};
 
 /// Baseline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -113,77 +109,11 @@ pub fn plan_two_phase(
     CollectivePlan { domains }
 }
 
-/// Collective write with the two-phase baseline. SPMD over all ranks.
-///
-/// Under an active fault plan the baseline degrades too, but with a
-/// shorter ladder than MC-CIO's: if the fixed collective buffers cannot
-/// be reserved within the retry budget, all ranks fall back together to
-/// independent sieved I/O (`fallbacks = 1` in the report). There is no
-/// re-planning rung — the baseline by definition ignores memory state
-/// when planning, so a second identical plan would fail identically.
-pub fn write(
-    ctx: &mut Ctx,
-    env: &IoEnv,
-    handle: &FileHandle,
-    my_extents: &ExtentList,
-    data: &[u8],
-    cfg: TwoPhaseConfig,
-) -> IoReport {
-    let world = RankSet::world(ctx.size());
-    let pattern = GroupPattern::gather(ctx, &world, my_extents);
-    let plan = plan_two_phase(&pattern, ctx.placement(), cfg);
-    if !env.faults().is_active() {
-        return execute_write(ctx, env, handle, &plan, &pattern, my_extents, data);
-    }
-    let t0 = ctx.group_sync_clocks(&world);
-    let mut res = Resilience::default();
-    let (mut report, rung) = match try_execute_write(
-        ctx, env, handle, &plan, &pattern, my_extents, data, &mut res,
-    ) {
-        Ok(r) => (r, 0),
-        Err(_) => (
-            independent_write(ctx, env, handle, my_extents, data, &mut res),
-            1,
-        ),
-    };
-    res.fallbacks = rung;
-    report.resilience = res;
-    report.elapsed = ctx.clock() - t0;
-    report
-}
-
-/// Collective read with the two-phase baseline. SPMD over all ranks.
-/// Degrades under faults exactly like [`write`].
-pub fn read(
-    ctx: &mut Ctx,
-    env: &IoEnv,
-    handle: &FileHandle,
-    my_extents: &ExtentList,
-    cfg: TwoPhaseConfig,
-) -> (Vec<u8>, IoReport) {
-    let world = RankSet::world(ctx.size());
-    let pattern = GroupPattern::gather(ctx, &world, my_extents);
-    let plan = plan_two_phase(&pattern, ctx.placement(), cfg);
-    if !env.faults().is_active() {
-        return execute_read(ctx, env, handle, &plan, &pattern, my_extents);
-    }
-    let t0 = ctx.group_sync_clocks(&world);
-    let mut res = Resilience::default();
-    let ((data, mut report), rung) =
-        match try_execute_read(ctx, env, handle, &plan, &pattern, my_extents, &mut res) {
-            Ok(out) => (out, 0),
-            Err(_) => (independent_read(ctx, env, handle, my_extents, &mut res), 1),
-        };
-    res.fallbacks = rung;
-    report.resilience = res;
-    report.elapsed = ctx.clock() - t0;
-    (data, report)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mccio_mpiio::Extent;
+    use mccio_mpiio::{Extent, ExtentList};
+    use mccio_net::RankSet;
     use mccio_sim::topology::{test_cluster, FillOrder};
 
     fn pattern_for(ranks: usize) -> GroupPattern {

@@ -69,6 +69,18 @@ impl IoReport {
         }
     }
 
+    /// Starts a builder for a report of `bytes` payload bytes; the
+    /// engine and the degradation ladder assemble reports through this
+    /// instead of hand-filling fields.
+    #[must_use]
+    pub fn builder(bytes: u64) -> IoReportBuilder {
+        IoReportBuilder {
+            bytes,
+            elapsed: VDuration::ZERO,
+            resilience: Resilience::default(),
+        }
+    }
+
     /// A zero-work report.
     #[must_use]
     pub fn empty() -> Self {
@@ -91,6 +103,48 @@ impl IoReport {
         self.bytes += other.bytes;
         self.elapsed += other.elapsed;
         self.resilience.absorb(other.resilience);
+    }
+}
+
+/// Step-by-step assembly of an [`IoReport`]; see [`IoReport::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct IoReportBuilder {
+    bytes: u64,
+    elapsed: VDuration,
+    resilience: Resilience,
+}
+
+impl IoReportBuilder {
+    /// Sets the virtual time the operation occupied at this rank.
+    #[must_use]
+    pub fn elapsed(mut self, elapsed: VDuration) -> Self {
+        self.elapsed = elapsed;
+        self
+    }
+
+    /// Sets the fault-recovery counters the operation accumulated.
+    #[must_use]
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Records the degradation-ladder rung that completed the operation
+    /// (0 = the planned strategy ran).
+    #[must_use]
+    pub fn fallbacks(mut self, rung: u32) -> Self {
+        self.resilience.fallbacks = rung;
+        self
+    }
+
+    /// Finishes the report.
+    #[must_use]
+    pub fn build(self) -> IoReport {
+        IoReport {
+            bytes: self.bytes,
+            elapsed: self.elapsed,
+            resilience: self.resilience,
+        }
     }
 }
 

@@ -66,21 +66,22 @@ fn main() {
         fmt_bytes(3 * field_bytes),
     );
 
-    for (label, strategy) in [
+    let strategies: [(&str, Box<dyn Strategy>); 2] = [
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(8 * MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(8 * MIB))),
         ),
         (
             "memory-conscious",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 8 * MIB, MIB))),
+            Box::new(MemoryConscious(MccioConfig::new(tuning, 8 * MIB, MIB))),
         ),
-    ] {
+    ];
+    for (label, strategy) in strategies {
         let env = IoEnv::new(
             FileSystem::new(8, MIB, PfsParams::default()),
             MemoryModel::with_available_variance(&cluster, 128 * MIB, 50 * MIB, 21),
         );
-        let strategy = &strategy;
+        let strategy = &*strategy;
         let extents_of = &extents_of;
         let reports = world.run(|ctx| {
             let env = env.clone();

@@ -38,21 +38,22 @@ fn main() {
     let tuning = Tuning::derive(&cluster, &PfsParams::default(), 8);
     println!("tuned parameters: {tuning:?}\n");
 
-    for (label, strategy) in [
+    let strategies: [(&str, Box<dyn Strategy>); 2] = [
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB))),
         ),
         (
             "memory-conscious",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 4 * MIB, MIB))),
+            Box::new(MemoryConscious(MccioConfig::new(tuning, 4 * MIB, MIB))),
         ),
-    ] {
+    ];
+    for (label, strategy) in strategies {
         let env = IoEnv::new(
             FileSystem::new(8, MIB, PfsParams::default()),
             MemoryModel::with_available_variance(&cluster, 256 * MIB, 64 * MIB, 7),
         );
-        let strategy = &strategy;
+        let strategy = &*strategy;
         let w = &workload;
         let reports = world.run(|ctx| {
             let env = env.clone();

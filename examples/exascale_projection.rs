@@ -24,22 +24,23 @@ fn run_platform(label: &str, cluster: ClusterSpec, ranks: usize, mem_mean: u64, 
         "\n{label}: {ranks} ranks, mean available memory {} MiB/node",
         mem_mean / MIB
     );
-    for (name, strategy) in [
+    let strategies: [(&str, Box<dyn Strategy>); 2] = [
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(48 * MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(48 * MIB))),
         ),
         (
             "memory-conscious",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 48 * MIB, MIB))),
+            Box::new(MemoryConscious(MccioConfig::new(tuning, 48 * MIB, MIB))),
         ),
-    ] {
+    ];
+    for (name, strategy) in strategies {
         let env = IoEnv::new(
             FileSystem::new(8, MIB, PfsParams::default()),
             MemoryModel::with_available_variance(&cluster, mem_mean, mem_std, 17),
         );
         let w = &ior;
-        let strategy = &strategy;
+        let strategy = &*strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("proj.dat");

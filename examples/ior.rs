@@ -38,19 +38,19 @@ fn main() {
         ("segmented", IorMode::Segmented),
         ("random", IorMode::Random(42)),
     ];
-    let strategies = [
-        ("independent", Strategy::Independent),
+    let strategies: [(&str, Box<dyn Strategy>); 4] = [
+        ("independent", Box::new(Independent)),
         (
             "sieved",
-            Strategy::IndependentSieved(SieveConfig::default()),
+            Box::new(IndependentSieved(SieveConfig::default())),
         ),
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(4 * MIB))),
         ),
         (
             "memory-conscious",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 4 * MIB, MIB))),
+            Box::new(MemoryConscious(MccioConfig::new(tuning, 4 * MIB, MIB))),
         ),
     ];
 
@@ -76,9 +76,9 @@ fn main() {
                 let handle = env.fs.open_or_create("ior.dat");
                 let extents = w.extents(ctx.rank(), ctx.size());
                 let payload = data::fill(&extents);
-                let wr = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+                let wr = write_all(ctx, &env, &handle, &extents, &payload, &**strategy);
                 ctx.barrier();
-                let (back, rd) = read_all(ctx, &env, &handle, &extents, strategy);
+                let (back, rd) = read_all(ctx, &env, &handle, &extents, &**strategy);
                 assert_eq!(data::verify(&extents, &back), None);
                 (wr, rd)
             });

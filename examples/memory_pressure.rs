@@ -84,16 +84,17 @@ fn main() {
 
     // Execute both and compare.
     let world = World::new(CostModel::new(cluster.clone()), placement.clone());
-    for (name, strategy) in [
+    let strategies: [(&str, Box<dyn Strategy>); 2] = [
         (
             "two-phase",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(16 * MIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(16 * MIB))),
         ),
-        ("memory-conscious", Strategy::MemoryConscious(Box::new(cfg))),
-    ] {
+        ("memory-conscious", Box::new(MemoryConscious(cfg))),
+    ];
+    for (name, strategy) in strategies {
         let env = IoEnv::new(FileSystem::new(4, MIB, PfsParams::default()), mem.clone());
         let per_rank = per_rank.clone();
-        let strategy = &strategy;
+        let strategy = &*strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("pressure.dat");

@@ -33,18 +33,18 @@ fn main() {
     };
 
     println!("quickstart: 6 ranks, interleaved 16 KiB blocks, 4 OSTs\n");
-    for (label, strategy) in [
+    let strategies: [(&str, Box<dyn Strategy>); 3] = [
         (
             "independent I/O (one request per extent)",
-            Strategy::Independent,
+            Box::new(Independent),
         ),
         (
             "two-phase collective I/O",
-            Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB))),
         ),
         (
             "memory-conscious collective I/O",
-            Strategy::MemoryConscious(Box::new(MccioConfig::new(
+            Box::new(MemoryConscious(MccioConfig::new(
                 Tuning {
                     n_ah: 2,
                     msg_ind: 256 * KIB,
@@ -55,9 +55,10 @@ fn main() {
                 64 * KIB,
             ))),
         ),
-    ] {
+    ];
+    for (label, strategy) in strategies {
         let env = env.clone();
-        let strategy = &strategy;
+        let strategy = &*strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create(&format!("quickstart-{label}"));

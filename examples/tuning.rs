@@ -51,5 +51,5 @@ fn main() {
         .resolve(&cluster, &pfs, n_servers, MIB)
         .expect("resolvable");
     println!("  {hints:?}");
-    println!("  -> strategy: {}", strategy.label());
+    println!("  -> strategy: {}", strategy.name());
 }

@@ -26,7 +26,7 @@ fn world_of(nodes: usize, cores: usize, ranks: usize) -> std::sync::Arc<World> {
     World::new(CostModel::new(cluster), placement)
 }
 
-fn both_collectives() -> Vec<Strategy> {
+fn both_collectives() -> Vec<Box<dyn Strategy>> {
     let tuning = Tuning {
         n_ah: 2,
         msg_ind: 256 * KIB,
@@ -34,8 +34,12 @@ fn both_collectives() -> Vec<Strategy> {
         msg_group: MIB,
     };
     vec![
-        Strategy::TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB)),
-        Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 128 * KIB, 16 * KIB))),
+        Box::new(TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB))),
+        Box::new(MemoryConscious(MccioConfig::new(
+            tuning,
+            128 * KIB,
+            16 * KIB,
+        ))),
     ]
 }
 
@@ -60,7 +64,7 @@ fn slice_extents(rank: usize) -> ExtentList {
 /// Runs write-then-read of `slice_extents` under `plan`, returning the
 /// per-rank reports and the world's traffic snapshot.
 fn run_faulty(
-    strategy: &Strategy,
+    strategy: &dyn Strategy,
     plan: FaultPlan,
 ) -> (Vec<(IoReport, IoReport)>, TrafficSnapshot) {
     let cluster = test_cluster(3, 2);
@@ -83,7 +87,7 @@ fn run_faulty(
             None,
             "rank {} corruption under {}",
             ctx.rank(),
-            strategy.label()
+            strategy.name()
         );
         (w, r)
     });
@@ -106,25 +110,25 @@ fn transient_ost_failures_retry_and_surface_in_reports() {
     // 5 % of storage attempts fail; the retry policy absorbs them all.
     for strategy in both_collectives() {
         let plan = FaultPlan::new(0xD15C).transient_io_rate(0.05);
-        let (reports, _) = run_faulty(&strategy, plan);
+        let (reports, _) = run_faulty(&*strategy, plan);
         let total = total_resilience(&reports);
         assert!(
             total.transient_faults > 0,
             "{}: 5% rate over hundreds of requests must fault at least once",
-            strategy.label()
+            strategy.name()
         );
         assert!(
             total.retries > 0,
             "{}: faulted attempts must have retried",
-            strategy.label()
+            strategy.name()
         );
         assert!(
             total.backoff.as_secs() > 0.0,
             "{}: retries must charge backoff in virtual time",
-            strategy.label()
+            strategy.name()
         );
         // The budget (4 attempts at 5%) is never exhausted: no fallbacks.
-        assert_eq!(total.fallbacks, 0, "{}", strategy.label());
+        assert_eq!(total.fallbacks, 0, "{}", strategy.name());
     }
 }
 
@@ -135,12 +139,12 @@ fn memory_revocation_mid_write_is_absorbed_and_reported() {
     // revocation they lived through.
     for strategy in both_collectives() {
         let plan = FaultPlan::new(0xBEEF).revoke_memory_at(VTime::from_secs(1e-9), 0, 128 * MIB);
-        let (reports, _) = run_faulty(&strategy, plan);
+        let (reports, _) = run_faulty(&*strategy, plan);
         let total = total_resilience(&reports);
         assert!(
             total.revocations > 0,
             "{}: the revocation fired inside the operation window",
-            strategy.label()
+            strategy.name()
         );
     }
 }
@@ -156,17 +160,17 @@ fn total_memory_loss_descends_the_ladder_to_independent_io() {
         for node in 0..3 {
             plan = plan.revoke_memory_at(VTime::from_secs(1e-9), node, GIB);
         }
-        let (reports, _) = run_faulty(&strategy, plan);
+        let (reports, _) = run_faulty(&*strategy, plan);
         let total = total_resilience(&reports);
         assert!(
             total.fallbacks > 0,
             "{}: no rung with aggregation buffers can reserve memory",
-            strategy.label()
+            strategy.name()
         );
         assert!(
             total.retries > 0,
             "{}: each failed rung burned its reservation retry budget",
-            strategy.label()
+            strategy.name()
         );
     }
 }
@@ -178,8 +182,8 @@ fn straggler_slows_the_collective_down() {
     let harmless = FaultPlan::new(0x51).revoke_memory_at(VTime::from_secs(1e9), 0, 1);
     let straggled = harmless.clone().straggler(0, 3.0);
     for strategy in both_collectives() {
-        let (clean, _) = run_faulty(&strategy, harmless.clone());
-        let (slow, _) = run_faulty(&strategy, straggled.clone());
+        let (clean, _) = run_faulty(&*strategy, harmless.clone());
+        let (slow, _) = run_faulty(&*strategy, straggled.clone());
         let clean_t: f64 = clean
             .iter()
             .map(|(w, _)| w.elapsed.as_secs())
@@ -191,7 +195,7 @@ fn straggler_slows_the_collective_down() {
         assert!(
             slow_t > clean_t,
             "{}: straggler write {slow_t} ≤ clean write {clean_t}",
-            strategy.label()
+            strategy.name()
         );
     }
 }
@@ -208,19 +212,19 @@ fn identical_fault_plans_reproduce_bit_identical_runs() {
             .straggler(2, 1.5)
     };
     for strategy in both_collectives() {
-        let (reports_a, traffic_a) = run_faulty(&strategy, plan());
-        let (reports_b, traffic_b) = run_faulty(&strategy, plan());
+        let (reports_a, traffic_a) = run_faulty(&*strategy, plan());
+        let (reports_b, traffic_b) = run_faulty(&*strategy, plan());
         assert_eq!(
             reports_a,
             reports_b,
             "{}: reports diverged across runs",
-            strategy.label()
+            strategy.name()
         );
         assert_eq!(
             traffic_a,
             traffic_b,
             "{}: traffic diverged across runs",
-            strategy.label()
+            strategy.name()
         );
     }
 }
@@ -229,7 +233,8 @@ fn identical_fault_plans_reproduce_bit_identical_runs() {
 fn fault_free_plan_changes_nothing() {
     // An inactive plan must leave the engine on the legacy code path:
     // same timing, same traffic as an env built without faults.
-    let strategy = &both_collectives()[1];
+    let strategies = both_collectives();
+    let strategy: &dyn Strategy = &*strategies[1];
     let run_with_env = |env: IoEnv| {
         let world = world_of(3, 2, 6);
         let reports = world.run(|ctx| {
@@ -267,7 +272,7 @@ fn all_ranks_empty_is_a_noop() {
     for strategy in both_collectives() {
         let world = world_of(2, 2, 4);
         let env = env_for(2, 2);
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("empty");
@@ -289,7 +294,7 @@ fn single_writer_among_idle_ranks() {
     for strategy in both_collectives() {
         let world = world_of(2, 2, 4);
         let env = env_for(2, 2);
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("solo");
@@ -321,7 +326,7 @@ fn every_node_memory_starved_still_completes() {
             FileSystem::new(4, 16 * KIB, PfsParams::default()),
             starved.clone(),
         );
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("starved");
@@ -339,7 +344,7 @@ fn every_node_memory_starved_still_completes() {
 
 #[test]
 fn buffer_smaller_than_stripe_unit() {
-    let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(KIB));
+    let strategy = TwoPhase(TwoPhaseConfig::with_buffer(KIB));
     let world = world_of(2, 2, 4);
     let env = IoEnv::new(
         FileSystem::new(4, 64 * KIB, PfsParams::default()),
@@ -364,7 +369,7 @@ fn misaligned_sub_byte_granularity_extents() {
     for strategy in both_collectives() {
         let world = world_of(2, 2, 4);
         let env = env_for(2, 2);
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("odd");
@@ -389,7 +394,7 @@ fn read_of_never_written_region_returns_zeros() {
     for strategy in both_collectives() {
         let world = world_of(2, 2, 4);
         let env = env_for(2, 2);
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("holes");
@@ -406,7 +411,8 @@ fn read_of_never_written_region_returns_zeros() {
 
 #[test]
 fn repeated_operations_on_one_file_accumulate_correctly() {
-    let strategy = &both_collectives()[1];
+    let strategies = both_collectives();
+    let strategy: &dyn Strategy = &*strategies[1];
     let world = world_of(2, 2, 4);
     let env = env_for(2, 2);
     world.run(|ctx| {
@@ -438,7 +444,8 @@ fn repeated_operations_on_one_file_accumulate_correctly() {
 fn virtual_time_only_moves_forward() {
     let world = world_of(2, 2, 4);
     let env = env_for(2, 2);
-    let strategy = &both_collectives()[0];
+    let strategies = both_collectives();
+    let strategy: &dyn Strategy = &*strategies[0];
     world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("time");

@@ -1,0 +1,183 @@
+//! Golden determinism: pins the exact virtual-time reports, file bytes,
+//! and traffic counters each strategy produces for one fixed seed, for
+//! both directions. The constants below were captured on `main` before
+//! the engine was decomposed into `core::engine::{env, wire, prologue,
+//! rounds, settle}` — any engine or strategy change that shifts a single
+//! byte, message, or priced nanosecond fails here.
+//!
+//! Re-capture (only when a *deliberate* behavior change lands):
+//! `MCCIO_GOLDEN_CAPTURE=1 cargo test --test golden_determinism -- --nocapture`
+
+use mccio_suite::core::mccio::MccioConfig;
+use mccio_suite::core::prelude::*;
+use mccio_suite::core::two_phase::TwoPhaseConfig;
+use mccio_suite::mem::MemoryModel;
+use mccio_suite::mpiio::SieveConfig;
+use mccio_suite::net::{TrafficSnapshot, World};
+use mccio_suite::pfs::{FileSystem, PfsParams};
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::{KIB, MIB};
+
+const RANKS: usize = 6;
+
+/// What one (strategy, write+read) run produced.
+#[derive(Debug, PartialEq)]
+struct Golden {
+    write_secs: Vec<f64>,
+    read_secs: Vec<f64>,
+    file_hash: u64,
+    file_len: u64,
+    traffic: TrafficSnapshot,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn extents_of(rank: usize) -> ExtentList {
+    ExtentList::normalize(
+        (0..16u64)
+            .map(|i| Extent::new((i * RANKS as u64 + rank as u64) * 8 * KIB, 8 * KIB))
+            .collect(),
+    )
+}
+
+fn data_of(rank: usize) -> Vec<u8> {
+    let total = extents_of(rank).total_bytes();
+    (0..total)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(rank as u8 * 17))
+        .collect()
+}
+
+fn run_strategy(strategy: &dyn Strategy) -> Golden {
+    let cluster = test_cluster(3, 2);
+    let placement = Placement::new(&cluster, RANKS, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv::new(
+        FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
+    );
+    let reports = world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("golden");
+        let extents = extents_of(ctx.rank());
+        let data = data_of(ctx.rank());
+        let w = write_all(ctx, &env, &handle, &extents, &data, strategy);
+        ctx.barrier();
+        let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(back, data, "rank {} roundtrip", ctx.rank());
+        (w, r)
+    });
+    let handle = env.fs.open("golden").unwrap();
+    let (contents, _) = handle.read_at(0, handle.len());
+    Golden {
+        write_secs: reports.iter().map(|(w, _)| w.elapsed.as_secs()).collect(),
+        read_secs: reports.iter().map(|(_, r)| r.elapsed.as_secs()).collect(),
+        file_hash: fnv1a(&contents),
+        file_len: handle.len(),
+        traffic: world.traffic().snapshot(),
+    }
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn Strategy>)> {
+    let tuning = Tuning {
+        n_ah: 2,
+        msg_ind: MIB,
+        mem_min: 2 * MIB,
+        msg_group: 4 * MIB,
+    };
+    vec![
+        (
+            "sieved",
+            Box::new(IndependentSieved(SieveConfig::default())),
+        ),
+        (
+            "two-phase",
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB))),
+        ),
+        (
+            "memory-conscious",
+            Box::new(MemoryConscious(MccioConfig::new(
+                tuning,
+                256 * KIB,
+                64 * KIB,
+            ))),
+        ),
+    ]
+}
+
+/// The values every strategy produced on `main` before the engine
+/// refactor (f64 literals are `{:?}` round-trips, so the comparison is
+/// bit-exact).
+fn expected(name: &str) -> Golden {
+    let flat = |v: f64| vec![v; RANKS];
+    match name {
+        "sieved" => Golden {
+            write_secs: flat(0.0036168945312500004),
+            read_secs: flat(0.0018395507812500001),
+            file_hash: 0x8d83a4b4ca2325,
+            file_len: 786432,
+            traffic: TrafficSnapshot {
+                intra_bytes: 0,
+                inter_bytes: 0,
+                data_msgs: 0,
+                ctl_msgs: 10,
+                node_ingress: vec![0, 0, 0],
+                node_egress: vec![0, 0, 0],
+            },
+        },
+        "two-phase" => Golden {
+            write_secs: flat(0.0017075390624999999),
+            read_secs: flat(0.0013906640625),
+            file_hash: 0x8d83a4b4ca2325,
+            file_len: 786432,
+            traffic: TrafficSnapshot {
+                intra_bytes: 295632,
+                inter_bytes: 985536,
+                data_msgs: 30,
+                ctl_msgs: 140,
+                node_ingress: vec![328512, 328512, 328512],
+                node_egress: vec![328512, 328512, 328512],
+            },
+        },
+        "memory-conscious" => Golden {
+            write_secs: flat(0.002653935546875),
+            read_secs: flat(0.002653935546875),
+            file_hash: 0x8d83a4b4ca2325,
+            file_len: 786432,
+            traffic: TrafficSnapshot {
+                intra_bytes: 262800,
+                inter_bytes: 1051200,
+                data_msgs: 30,
+                ctl_msgs: 180,
+                node_ingress: vec![262800, 262800, 525600],
+                node_egress: vec![262800, 262800, 525600],
+            },
+        },
+        other => panic!("no golden record for {other}"),
+    }
+}
+
+#[test]
+fn golden_values_hold() {
+    let capture = std::env::var_os("MCCIO_GOLDEN_CAPTURE").is_some();
+    for (name, strategy) in &strategies() {
+        let g = run_strategy(&**strategy);
+        if capture {
+            println!("// --- {name} ---");
+            println!("write_secs: {:?}", g.write_secs);
+            println!("read_secs: {:?}", g.read_secs);
+            println!("file_hash: {:#x}", g.file_hash);
+            println!("file_len: {}", g.file_len);
+            println!("traffic: {:?}", g.traffic);
+        } else {
+            assert_eq!(g, expected(name), "golden mismatch for {name}");
+        }
+    }
+}

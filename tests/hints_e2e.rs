@@ -14,14 +14,14 @@ fn run_with_hints(spec: &str) -> (String, f64) {
         .expect("parse")
         .resolve(&cluster, &PfsParams::default(), 4, 16 * KIB)
         .expect("resolve");
-    let label = strategy.label().to_string();
+    let label = strategy.name().to_string();
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
     let env = IoEnv::new(
         FileSystem::new(4, 16 * KIB, PfsParams::default()),
         MemoryModel::pristine(&cluster),
     );
-    let strategy = &strategy;
+    let strategy: &dyn Strategy = &*strategy;
     let reports = world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("hints");

@@ -24,7 +24,7 @@ struct Outcome {
     peak_cv: f64,
 }
 
-fn run_once(strategy: &Strategy, mem: MemoryModel, ranks: usize, nodes: usize) -> Outcome {
+fn run_once(strategy: &dyn Strategy, mem: MemoryModel, ranks: usize, nodes: usize) -> Outcome {
     let cluster = test_cluster(nodes, ranks.div_ceil(nodes));
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
@@ -68,8 +68,8 @@ fn tuning() -> Tuning {
     }
 }
 
-fn mc_strategy(buffer: u64) -> Strategy {
-    Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning(), buffer, 64 * KIB)))
+fn mc_strategy(buffer: u64) -> MemoryConscious {
+    MemoryConscious(MccioConfig::new(tuning(), buffer, 64 * KIB))
 }
 
 fn pristine(nodes: usize) -> MemoryModel {
@@ -94,9 +94,9 @@ fn scarce(nodes: usize) -> MemoryModel {
 
 #[test]
 fn collective_beats_independent_on_noncontiguous_patterns() {
-    let independent = run_once(&Strategy::Independent, pristine(4), 16, 4);
+    let independent = run_once(&Independent, pristine(4), 16, 4);
     let collective = run_once(
-        &Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
+        &TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
         pristine(4),
         16,
         4,
@@ -112,12 +112,13 @@ fn collective_beats_independent_on_noncontiguous_patterns() {
 
 #[test]
 fn smaller_buffers_degrade_both_collective_strategies() {
-    for strategy_of in [
-        (&|b| Strategy::TwoPhase(TwoPhaseConfig::with_buffer(b))) as &dyn Fn(u64) -> Strategy,
-        &mc_strategy,
-    ] {
-        let big = run_once(&strategy_of(2 * MIB), pristine(4), 16, 4);
-        let small = run_once(&strategy_of(64 * KIB), pristine(4), 16, 4);
+    let strategies_of: [&dyn Fn(u64) -> Box<dyn Strategy>; 2] = [
+        &|b| Box::new(TwoPhase(TwoPhaseConfig::with_buffer(b))),
+        &|b| Box::new(mc_strategy(b)),
+    ];
+    for strategy_of in strategies_of {
+        let big = run_once(&*strategy_of(2 * MIB), pristine(4), 16, 4);
+        let small = run_once(&*strategy_of(64 * KIB), pristine(4), 16, 4);
         assert!(
             small.write_bw < big.write_bw,
             "write bandwidth must drop with the buffer: {:.0} vs {:.0}",
@@ -132,7 +133,7 @@ fn smaller_buffers_degrade_both_collective_strategies() {
 fn memory_conscious_wins_under_scarce_varied_memory() {
     let buffer = 8 * MIB; // far beyond the starved node's free memory
     let tp = run_once(
-        &Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
+        &TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
         scarce(4),
         16,
         4,
@@ -156,7 +157,7 @@ fn memory_conscious_wins_under_scarce_varied_memory() {
 fn memory_conscious_reduces_peak_memory_and_variance() {
     let buffer = 8 * MIB;
     let tp = run_once(
-        &Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
+        &TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
         scarce(4),
         16,
         4,
@@ -185,7 +186,7 @@ fn results_are_deterministic() {
 #[test]
 fn reads_outpace_writes_as_in_the_paper() {
     let r = run_once(
-        &Strategy::TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
+        &TwoPhase(TwoPhaseConfig::with_buffer(MIB)),
         pristine(4),
         16,
         4,

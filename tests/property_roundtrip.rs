@@ -4,7 +4,6 @@
 //! workspace's seeded PRNG; failures reproduce by case index.
 
 use mccio_suite::core::prelude::*;
-use mccio_suite::core::Strategy as IoStrategy;
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::rng::{stream_rng, Rng};
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
@@ -33,7 +32,7 @@ fn random_disjoint_extents(rng: &mut impl Rng, ranks: usize, slice: u64) -> Vec<
         .collect()
 }
 
-fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u64) {
+fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: &dyn Strategy, buffer_hint: u64) {
     let ranks = per_rank.len();
     let cluster = test_cluster(2, ranks.div_ceil(2));
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
@@ -43,7 +42,6 @@ fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u
         MemoryModel::with_available_variance(&cluster, 16 << 20, 8 << 20, buffer_hint),
     );
     let per_rank = &per_rank;
-    let strategy = &strategy;
     world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("prop");
@@ -57,7 +55,7 @@ fn run_roundtrip(per_rank: Vec<ExtentList>, strategy: IoStrategy, buffer_hint: u
             None,
             "rank {} corruption under {}",
             ctx.rank(),
-            strategy.label()
+            strategy.name()
         );
     });
 }
@@ -70,7 +68,7 @@ fn two_phase_roundtrips_arbitrary_patterns() {
         let buffer = rng.gen_range(1u64..=128 * KIB - 1);
         run_roundtrip(
             per_rank,
-            IoStrategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
+            &TwoPhase(TwoPhaseConfig::with_buffer(buffer)),
             buffer,
         );
         let _ = case;
@@ -97,7 +95,7 @@ fn mccio_roundtrips_arbitrary_patterns() {
             seed,
             align: 8 * KIB,
         };
-        run_roundtrip(per_rank, IoStrategy::MemoryConscious(Box::new(cfg)), buffer);
+        run_roundtrip(per_rank, &MemoryConscious(cfg), buffer);
         let _ = case;
     }
 }

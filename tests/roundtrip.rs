@@ -9,7 +9,7 @@ use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::{KIB, MIB};
 use mccio_suite::workloads::{data, CollPerf, Ior, IorMode, Synthetic, Workload};
 
-fn strategies() -> Vec<Strategy> {
+fn strategies() -> Vec<Box<dyn Strategy>> {
     let tuning = Tuning {
         n_ah: 2,
         msg_ind: MIB,
@@ -17,10 +17,14 @@ fn strategies() -> Vec<Strategy> {
         msg_group: 4 * MIB,
     };
     vec![
-        Strategy::Independent,
-        Strategy::IndependentSieved(SieveConfig::default()),
-        Strategy::TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB)),
-        Strategy::MemoryConscious(Box::new(MccioConfig::new(tuning, 256 * KIB, 64 * KIB))),
+        Box::new(Independent),
+        Box::new(IndependentSieved(SieveConfig::default())),
+        Box::new(TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB))),
+        Box::new(MemoryConscious(MccioConfig::new(
+            tuning,
+            256 * KIB,
+            64 * KIB,
+        ))),
     ]
 }
 
@@ -33,7 +37,7 @@ fn roundtrip(workload: &dyn Workload, n_nodes: usize, cores: usize, ranks: usize
             FileSystem::new(4, 64 * KIB, PfsParams::default()),
             MemoryModel::with_available_variance(&cluster, 64 * MIB, 16 * MIB, 5),
         );
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         let reports = world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("rt");
@@ -47,13 +51,13 @@ fn roundtrip(workload: &dyn Workload, n_nodes: usize, cores: usize, ranks: usize
                 None,
                 "rank {} corrupted under {}",
                 ctx.rank(),
-                strategy.label()
+                strategy.name()
             );
             (w, r)
         });
         let expect = workload.total_bytes(ranks);
         let moved: u64 = reports.iter().map(|(w, _)| w.bytes).sum();
-        assert_eq!(moved, expect, "{}", strategy.label());
+        assert_eq!(moved, expect, "{}", strategy.name());
     }
 }
 
@@ -111,7 +115,7 @@ fn tile_io_ghost_reads_fan_out_correctly() {
             FileSystem::new(4, 16 * KIB, PfsParams::default()),
             MemoryModel::pristine(&cluster),
         );
-        let strategy = &strategy;
+        let strategy: &dyn Strategy = &*strategy;
         let t = &tiles;
         world.run(|ctx| {
             let env = env.clone();
@@ -127,7 +131,7 @@ fn tile_io_ghost_reads_fan_out_correctly() {
                 data::verify(&r_extents, &back),
                 None,
                 "halo read corrupt under {}",
-                strategy.label()
+                strategy.name()
             );
         });
     }
@@ -144,8 +148,8 @@ fn collective_write_then_independent_read_interoperates() {
         MemoryModel::pristine(&cluster),
     );
     let ior = Ior::new(32 * KIB, 4, IorMode::Interleaved);
-    let collective = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB));
-    let independent = Strategy::Independent;
+    let collective = TwoPhase(TwoPhaseConfig::with_buffer(128 * KIB));
+    let independent = Independent;
     world.run(|ctx| {
         let env = env.clone();
         let handle = env.fs.open_or_create("interop");

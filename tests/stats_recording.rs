@@ -26,7 +26,7 @@ fn run_op(buffer: u64) -> (Vec<mccio_suite::core::stats::RoundRecord>, u64) {
         let extents =
             ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 256 * KIB, 256 * KIB)]);
         let payload = data::fill(&extents);
-        let strategy = Strategy::TwoPhase(TwoPhaseConfig::with_buffer(buffer));
+        let strategy = TwoPhase(TwoPhaseConfig::with_buffer(buffer));
         let w = write_all(ctx, &env, &handle, &extents, &payload, &strategy);
         let (_, r) = read_all(ctx, &env, &handle, &extents, &strategy);
         (w, r)
