@@ -1,0 +1,143 @@
+//! Wall-clock smoke benchmark: times fig6/fig7-scale collective runs
+//! per strategy with `std::time::Instant` and writes the results as
+//! JSON — the repo's perf trajectory record (`BENCH_PR3.json`).
+//!
+//! Virtual time measures what the *simulated machine* would do; this
+//! binary measures what the *simulator itself* costs, so engine
+//! optimisations (plan-time scheduling, buffer pooling) show up here
+//! while the golden determinism suite pins virtual time bit-identical.
+//!
+//! ```text
+//! cargo run --release -p mccio-bench --bin perf_smoke [ci|fig7] [out.json]
+//! ```
+//!
+//! * `ci` — a bounded config (24 ranks) that keeps the CI job under a
+//!   minute;
+//! * `fig7` (default) — the fig7-scale config (120 ranks, IOR
+//!   interleaved) used for the recorded before/after numbers.
+//!
+//! `MCCIO_SMOKE_REPS` (default 1) repeats each measurement and keeps
+//! the best wall time, damping scheduler noise on shared machines.
+
+use std::time::Instant;
+
+use mccio_bench::{paper_pair, run, Platform};
+use mccio_sim::units::MIB;
+use mccio_workloads::Ior;
+
+/// Recorded pre-schedule-engine wall clock of the `fig7` config on the
+/// reference host: the two strategies' summed wall seconds, median of 5
+/// interleaved A/B runs against commit 8b14024 (the engine before
+/// plan-time scheduling, buffer pooling, and the zero-copy storage
+/// hop). Lets the emitted JSON carry the before/after comparison;
+/// meaningless for other hosts or modes.
+const FIG7_BASELINE_SECS: f64 = 10.102;
+
+struct Row {
+    name: String,
+    wall_secs: f64,
+    write_mbps: f64,
+    read_mbps: f64,
+}
+
+fn main() {
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig7".to_string());
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    // (nodes, ranks, MiB per rank, aggregation-buffer MiB)
+    let (n_nodes, n_ranks, per_rank_mib, buffer_mib) = match mode.as_str() {
+        "ci" => (4, 24usize, 2u64, 4u64),
+        "fig7" => (10, 120, 4, 16),
+        other => panic!("perf_smoke: unknown mode {other:?} (use ci|fig7)"),
+    };
+    let reps: u32 = std::env::var("MCCIO_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let platform = Platform::testbed(n_nodes, n_ranks, 8).with_memory(320 * MIB, 64 * MIB);
+    // 16 interleaved segments, as IOR -s 16 (the fig7 access pattern).
+    let workload = Ior::interleaved_total(per_rank_mib * MIB, 16);
+    eprintln!(
+        "perf_smoke[{mode}]: IOR interleaved, {per_rank_mib} MiB x {n_ranks} ranks, \
+         buffer {buffer_mib} MiB, best of {reps}"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let total = Instant::now();
+    for (name, strategy) in paper_pair(&platform, buffer_mib * MIB) {
+        let mut best: Option<Row> = None;
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            let r = run(&workload, &*strategy, &platform);
+            let wall = t0.elapsed().as_secs_f64();
+            eprintln!("  {name} rep {rep}: {wall:.3}s wall");
+            if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
+                best = Some(Row {
+                    name: name.clone(),
+                    wall_secs: wall,
+                    write_mbps: r.write_mbps(),
+                    read_mbps: r.read_mbps(),
+                });
+            }
+        }
+        rows.push(best.expect("at least one rep"));
+    }
+    let total_wall = total.elapsed().as_secs_f64();
+
+    let json = render_json(&mode, n_ranks, per_rank_mib, buffer_mib, total_wall, &rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("perf_smoke: wrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design).
+fn render_json(
+    mode: &str,
+    n_ranks: usize,
+    per_rank_mib: u64,
+    buffer_mib: u64,
+    total_wall: f64,
+    rows: &[Row],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"perf_smoke\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"ranks\": {n_ranks},");
+    let _ = writeln!(out, "  \"per_rank_mib\": {per_rank_mib},");
+    let _ = writeln!(out, "  \"buffer_mib\": {buffer_mib},");
+    let _ = writeln!(out, "  \"total_wall_secs\": {total_wall:.3},");
+    if mode == "fig7" {
+        // Rep-count-independent comparison: best wall per strategy,
+        // summed, against the same sum recorded for the pre-PR engine.
+        let measured: f64 = rows.iter().map(|r| r.wall_secs).sum();
+        let _ = writeln!(out, "  \"strategy_wall_secs\": {measured:.3},");
+        let _ = writeln!(
+            out,
+            "  \"baseline_strategy_wall_secs\": {FIG7_BASELINE_SECS:.3},"
+        );
+        let _ = writeln!(
+            out,
+            "  \"speedup_vs_baseline\": {:.2},",
+            FIG7_BASELINE_SECS / measured
+        );
+    }
+    let _ = writeln!(out, "  \"strategies\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, \
+             \"virtual_write_mbps\": {:.1}, \"virtual_read_mbps\": {:.1}}}{comma}",
+            r.name, r.wall_secs, r.write_mbps, r.read_mbps
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}

@@ -18,18 +18,32 @@
 //! virtual time is a pure function of the plan and never of thread
 //! scheduling.
 //!
+//! Before the first byte moves, the executor builds the operation's
+//! [`crate::schedule::CommSchedule`] — per round: send destinations
+//! with exact payload sizes, receive lists, and each aggregated
+//! window's union layout and assembly size. The round loop is then pure
+//! data movement, with payload and assembly buffers recycled through a
+//! bounded pool instead of reallocated per window per round. The
+//! schedule reproduces the legacy per-round discovery exactly, so
+//! virtual time, file bytes, and traffic are bit-identical
+//! (`tests/golden_determinism.rs`) while wall-clock drops
+//! (`perf_smoke` in `mccio-bench`).
+//!
 //! The module tree separates the phases every operation shares from the
 //! one thing that differs between directions:
 //!
 //! * [`env`](self) — [`IoEnv`], the environment operations run against;
 //! * `wire` — section/fact codecs for shuffle and pricing messages;
+//! * `pool` — the bounded buffer free-list the round loop recycles
+//!   assembly and payload buffers through;
 //! * `prologue` — clock sync, fault application, collective reservation,
 //!   and the matching epilogue;
 //! * `rounds` — the single direction-agnostic round executor, driven by
-//!   an `Op::Write`/`Op::Read` data-plane parameter;
+//!   an `Op::Write`/`Op::Read` data-plane parameter over the schedule;
 //! * `settle` — round pricing at the world root.
 
 mod env;
+mod pool;
 mod prologue;
 mod rounds;
 mod settle;

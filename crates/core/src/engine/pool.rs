@@ -1,0 +1,110 @@
+//! A small free-list of byte buffers reused across rounds and domains.
+//!
+//! The round loop used to allocate fresh `vec![0u8; …]` assembly
+//! buffers and growable payload `Vec`s every window of every round; at
+//! MiB scale each of those is an `mmap`/`munmap` pair plus page faults
+//! on first touch. The pool keeps a bounded number of retired buffers —
+//! assembly buffers after their sieved access, received shuffle
+//! payloads after their bytes are absorbed, fetched window buffers
+//! after scatter — and hands them back out sized from the scheduled
+//! byte counts.
+//!
+//! Buffer *contents* never leak between uses: [`BufferPool::take`]
+//! returns an empty (cleared) buffer for append-style encoding and
+//! [`BufferPool::take_filled`] a zero-filled one, exactly matching what
+//! fresh allocation produced — pooling is invisible to the wire format,
+//! the file bytes, and virtual time.
+
+/// Retired buffers kept for reuse; beyond this the pool lets buffers
+/// drop so a burst of wide rounds cannot pin memory for the whole
+/// operation.
+const POOL_CAP: usize = 16;
+
+/// A bounded free-list of byte buffers (see module docs).
+#[derive(Debug, Default)]
+pub(super) struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// An empty buffer with at least `cap` bytes of capacity, preferring
+    /// a retired buffer that already fits.
+    pub(super) fn take(&mut self, cap: usize) -> Vec<u8> {
+        if let Some(i) = self.free.iter().position(|b| b.capacity() >= cap) {
+            let mut v = self.free.swap_remove(i);
+            v.clear();
+            return v;
+        }
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// A zero-filled buffer of exactly `len` bytes.
+    pub(super) fn take_filled(&mut self, len: usize) -> Vec<u8> {
+        let mut v = self.take(len);
+        v.resize(len, 0);
+        v
+    }
+
+    /// Retires a buffer into the pool (dropped if the pool is full or
+    /// the buffer holds no allocation).
+    pub(super) fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < POOL_CAP && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_capacity_and_clears_contents() {
+        let mut pool = BufferPool::default();
+        let mut a = pool.take(64);
+        a.extend_from_slice(&[7u8; 64]);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.take(32);
+        assert_eq!(b.as_ptr(), ptr, "buffer not reused");
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 64);
+    }
+
+    #[test]
+    fn take_filled_is_zeroed() {
+        let mut pool = BufferPool::default();
+        let mut a = pool.take(8);
+        a.extend_from_slice(&[0xFFu8; 8]);
+        pool.put(a);
+        let b = pool.take_filled(8);
+        assert_eq!(b, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn prefers_a_buffer_that_already_fits() {
+        let mut pool = BufferPool::default();
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(256));
+        let v = pool.take(100);
+        assert!(v.capacity() >= 256, "should pick the larger retiree");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = BufferPool::default();
+        for _ in 0..POOL_CAP + 10 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.free.len(), POOL_CAP);
+        pool.put(Vec::new()); // no allocation -> not retained
+        assert_eq!(pool.free.len(), POOL_CAP);
+    }
+}

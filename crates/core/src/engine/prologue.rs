@@ -16,6 +16,7 @@ use crate::plan::CollectivePlan;
 use crate::resilience::MAX_ESCALATIONS;
 
 use super::env::IoEnv;
+use super::pool::BufferPool;
 
 /// Everything the prologue established, carried through the round loop
 /// and consumed by [`close`].
@@ -28,6 +29,8 @@ pub(super) struct OpState {
     pub(super) active: bool,
     /// This rank's per-operation transient-failure context.
     pub(super) faults: IoFaults,
+    /// Assembly/payload buffers recycled across rounds and domains.
+    pub(super) pool: BufferPool,
     /// Aggregation buffers held for the whole operation.
     reservations: Vec<Reservation>,
 }
@@ -84,6 +87,7 @@ pub(super) fn open(
         t0,
         active,
         faults,
+        pool: BufferPool::default(),
         reservations,
     })
 }

@@ -1,37 +1,46 @@
-//! The direction-agnostic round loop.
+//! The direction-agnostic round loop, driven by the plan-time
+//! communication schedule.
 //!
 //! One executor ([`execute_op`]) runs both directions of two-phase
 //! collective I/O; the data plane — which bytes this rank contributes
 //! before the shuffle and which bytes it absorbs after — is the only
 //! thing [`Op`] varies:
 //!
-//! * [`Op::Write`]: clients clip their request against each active
-//!   domain window and ship the pieces to the window's aggregator
-//!   (shuffle); aggregators assemble the pieces and issue one sieved
-//!   storage access per window;
-//! * [`Op::Read`]: aggregators fetch their windows with one sieved
-//!   access and scatter the pieces back to the requesting ranks.
+//! * [`Op::Write`]: clients ship the scheduled pieces of their request
+//!   to each window's aggregator (shuffle); aggregators store each
+//!   window with one priced storage access — gathered straight from
+//!   the payloads when the union is hole-free, assembled and sieved
+//!   when it is not;
+//! * [`Op::Read`]: aggregators fetch their windows with one priced
+//!   access (a zero-copy file view when hole-free, a sieved read
+//!   otherwise) and scatter the scheduled pieces back to the
+//!   requesting ranks.
 //!
-//! Everything else — prologue, reservation, exchange, pricing, epilogue
-//! — is shared code in the sibling modules, which keeps the comparison
-//! between strategies honest and every future engine capability paid
-//! for exactly once.
+//! Nothing is discovered here: send destinations, receive lists, piece
+//! routings, union layouts, and buffer sizes all come from the
+//! [`CommSchedule`] built once per operation, so the loop is pure data
+//! movement — payloads are allocated at exact final size, and assembly
+//! buffers are recycled through the [`BufferPool`] instead of
+//! reallocated per window per round. Everything else — prologue,
+//! reservation, exchange, pricing, epilogue — is shared code in the
+//! sibling modules, which keeps the comparison between strategies
+//! honest and every future engine capability paid for exactly once.
 
-use mccio_mpiio::sieve::{sieved_read_r, sieved_write_r, SieveConfig};
-use mccio_mpiio::{Extent, ExtentList, GroupPattern, IoReport, Resilience};
+use mccio_mpiio::sieve::{sieved_read_into, sieved_write_r};
+use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
+use mccio_net::wire::put_u64;
 use mccio_net::Ctx;
 use mccio_pfs::{FileHandle, IoFaults, ServiceReport};
 use mccio_sim::error::SimResult;
 
 use crate::plan::CollectivePlan;
+use crate::schedule::{CommSchedule, RoundSchedule};
 
 use super::env::IoEnv;
+use super::pool::BufferPool;
 use super::prologue::{self, drive_storage};
 use super::settle::settle_round;
-use super::wire::{
-    append_section, decode_sections, encode_sections, pieces_for_window, retry_delta,
-    BorrowedSection, PackedLayout, SectionRef,
-};
+use super::wire::{append_section, decode_sections, retry_delta, SectionRef};
 
 /// The data plane of a collective operation: what varies between the
 /// write and read directions of the round loop.
@@ -45,25 +54,6 @@ pub(super) enum Op<'d> {
     },
     /// Aggregators fetch their windows and scatter the pieces back.
     Read,
-}
-
-/// Per-round send/receive planning shared by write and read paths.
-struct RoundPlan {
-    /// Active `(domain index, window)` pairs this round.
-    windows: Vec<(usize, Extent)>,
-}
-
-impl RoundPlan {
-    fn new(plan: &CollectivePlan, round: u64) -> Self {
-        RoundPlan {
-            windows: plan
-                .domains
-                .iter()
-                .enumerate()
-                .filter_map(|(i, d)| d.window(round).map(|w| (i, w)))
-                .collect(),
-        }
-    }
 }
 
 /// Mutable per-round facts both directions fill in and settle with.
@@ -100,62 +90,57 @@ pub(super) fn execute_op(
     }
     let mut state = prologue::open(ctx, env, plan, res)?;
     let me = ctx.rank();
-    let my_domains = plan.domains_of(me);
+    let schedule = CommSchedule::build(plan, pattern, me, my_extents);
     let my_cum = my_extents.cumulative_offsets();
     let mut out = match op {
         Op::Write { .. } => None,
         Op::Read => Some(vec![0u8; my_extents.total_bytes() as usize]),
     };
 
-    for round in 0..plan.rounds() {
+    for rs in &schedule.rounds {
         let log_before = state.faults.log;
-        let rp = RoundPlan::new(plan, round);
         let mut report = ServiceReport::empty(env.fs.n_servers());
         let mut facts = RoundFacts::default();
 
         // --- contribute: what this rank puts on the wire ---
         let (sends, recv_from) = match op {
             Op::Write { data } => (
-                client_sends(plan, &rp, my_extents, &my_cum, data, &mut facts),
-                aggregator_sources(me, plan, &rp, pattern),
+                client_sends(rs, data, &mut facts, &mut state.pool),
+                rs.agg_sources.as_slice(),
             ),
             Op::Read => (
                 fetch_and_scatter_sends(
                     handle,
-                    plan,
-                    &rp,
-                    pattern,
-                    me,
-                    my_domains.is_empty(),
+                    rs,
                     &mut state.faults,
                     &mut report,
                     &mut facts,
+                    &mut state.pool,
                 ),
-                client_sources(plan, &rp, my_extents),
+                rs.client_sources.as_slice(),
             ),
         };
 
         // --- shuffle: the one exchange both directions share ---
-        let received = ctx.exchange(&state.world, sends, &recv_from);
+        let received = ctx.exchange(&state.world, sends, recv_from);
 
         // --- absorb: what this rank does with what arrived ---
         match op {
             Op::Write { .. } => aggregate_and_store(
                 handle,
-                plan,
-                &rp,
-                me,
-                my_domains.is_empty(),
+                rs,
                 received,
                 &mut state.faults,
                 &mut report,
                 &mut facts,
+                &mut state.pool,
             ),
             Op::Read => scatter_into(
                 my_extents,
                 &my_cum,
                 received,
                 out.as_mut().expect("read allocates its output buffer"),
+                &mut state.pool,
             ),
         }
 
@@ -177,76 +162,59 @@ pub(super) fn execute_op(
     Ok((out, report))
 }
 
-/// Write contribute-half: clip this rank's request against every active
-/// window and encode one payload per destination aggregator.
+/// Write contribute-half: encode the scheduled pieces of this rank's
+/// request, one exact-size payload per destination aggregator. The
+/// section count is known up front, so each payload is written straight
+/// through with no patching and no reallocation.
 fn client_sends(
-    plan: &CollectivePlan,
-    rp: &RoundPlan,
-    my_extents: &ExtentList,
-    my_cum: &[u64],
+    rs: &RoundSchedule,
     data: &[u8],
     facts: &mut RoundFacts,
+    pool: &mut BufferPool,
 ) -> Vec<(usize, Vec<u8>)> {
-    let mut per_dst: Vec<(usize, Vec<BorrowedSection<'_>>)> = Vec::new();
-    for &(di, w) in &rp.windows {
-        let pieces = pieces_for_window(my_extents, my_cum, data, w);
-        if pieces.is_empty() {
-            continue;
+    let mut per_dst: Vec<(usize, Vec<u8>)> = rs
+        .client_dsts
+        .iter()
+        .map(|d| {
+            let mut buf = pool.take(d.payload_bytes);
+            put_u64(&mut buf, d.sections);
+            (d.rank, buf)
+        })
+        .collect();
+    for cw in &rs.client_windows {
+        facts.flows.push((rs.client_dsts[cw.dst].rank, cw.bytes));
+        let buf = &mut per_dst[cw.dst].1;
+        put_u64(buf, cw.domain as u64);
+        put_u64(buf, cw.pieces.len() as u64);
+        for (e, _) in &cw.pieces {
+            put_u64(buf, e.offset);
+            put_u64(buf, e.len);
         }
-        let bytes: u64 = pieces.iter().map(|(e, _)| e.len).sum();
-        let dst = plan.domains[di].aggregator;
-        facts.flows.push((dst, bytes));
-        match per_dst.iter_mut().find(|(d, _)| *d == dst) {
-            Some((_, sections)) => sections.push((di as u64, pieces)),
-            None => per_dst.push((dst, vec![(di as u64, pieces)])),
+        for &(e, start) in &cw.pieces {
+            let start = start as usize;
+            buf.extend_from_slice(&data[start..start + e.len as usize]);
         }
     }
     per_dst
-        .iter()
-        .map(|(dst, sections)| (*dst, encode_sections(sections)))
-        .collect()
 }
 
-/// Write receive-half source list: the ranks whose data falls in a
-/// window this rank aggregates.
-fn aggregator_sources(
-    me: usize,
-    plan: &CollectivePlan,
-    rp: &RoundPlan,
-    pattern: &GroupPattern,
-) -> Vec<usize> {
-    let mut recv_from: Vec<usize> = Vec::new();
-    for &src in pattern.group().members() {
-        let sends_to_me = rp.windows.iter().any(|&(di, w)| {
-            plan.domains[di].aggregator == me && pattern.extents_of_rank(src).overlaps(w)
-        });
-        if sends_to_me {
-            recv_from.push(src);
-        }
-    }
-    recv_from
-}
-
-/// Write absorb-half: decode received sections, assemble each of this
-/// rank's active windows into a packed buffer, and issue one sieved
-/// storage access per window.
-#[allow(clippy::too_many_arguments)]
+/// Write absorb-half: decode received sections and store each scheduled
+/// window. A hole-free window (single-extent union) gathers the pieces
+/// straight into the file as the one span write the sieve would issue —
+/// no assembly buffer at all; a window with holes assembles into a
+/// pooled buffer and goes through the sieve's read-modify-write.
+/// Payloads and assembly buffers retire into the pool for the next
+/// round.
 fn aggregate_and_store(
     handle: &FileHandle,
-    plan: &CollectivePlan,
-    rp: &RoundPlan,
-    me: usize,
-    idle: bool,
+    rs: &RoundSchedule,
     received: Vec<(usize, Vec<u8>)>,
     faults: &mut IoFaults,
     report: &mut ServiceReport,
     facts: &mut RoundFacts,
+    pool: &mut BufferPool,
 ) {
-    if idle {
-        return;
-    }
-    // Pass 1: decode section references (no byte copies) and group them
-    // per domain.
+    // Pass 1: decode section references (no byte copies).
     let decoded: Vec<(Vec<u8>, Vec<SectionRef>)> = received
         .into_iter()
         .map(|(_, payload)| {
@@ -254,152 +222,132 @@ fn aggregate_and_store(
             (payload, sections)
         })
         .collect();
-    for &(di, w) in &rp.windows {
-        if plan.domains[di].aggregator != me {
+    // Pass 2: move payload bytes into the file, one priced access per
+    // window.
+    for ws in &rs.agg_windows {
+        facts.assembled += ws.assembly_bytes;
+        if let [span] = ws.union.as_slice() {
+            // The union tiles the span, so the sieve would blind-write
+            // exactly this range; scatter the pieces into it directly.
+            // Piece application order matches the assembly path
+            // (payload arrival order), so overlapping writers resolve
+            // identically.
+            let r = drive_storage(faults, |f| {
+                handle.try_write_at_with(span.offset, span.len, f, |dst| {
+                    for (payload, sections) in &decoded {
+                        for (sd, pieces) in sections {
+                            if *sd as usize != ws.domain {
+                                continue;
+                            }
+                            for (e, range) in pieces {
+                                let pos = (e.offset - span.offset) as usize;
+                                dst[pos..pos + e.len as usize]
+                                    .copy_from_slice(&payload[range.clone()]);
+                            }
+                        }
+                    }
+                })
+            });
+            report.merge(&r);
             continue;
         }
-        let mut shapes: Vec<Extent> = Vec::new();
-        for (_, sections) in &decoded {
-            for (sd, pieces) in sections {
-                if *sd as usize == di {
-                    shapes.extend(pieces.iter().map(|(e, _)| *e));
-                }
-            }
-        }
-        if shapes.is_empty() {
-            continue;
-        }
-        let union = ExtentList::normalize(shapes);
-        debug_assert!(union.end().unwrap_or(0) <= w.end());
-        // Pass 2: copy payload bytes straight into the assembly buffer,
-        // then write and drop it before the next domain.
-        let layout = PackedLayout::new(&union);
-        let mut buf = vec![0u8; union.total_bytes() as usize];
+        let mut buf = pool.take_filled(ws.assembly_bytes as usize);
         for (payload, sections) in &decoded {
             for (sd, pieces) in sections {
-                if *sd as usize != di {
+                if *sd as usize != ws.domain {
                     continue;
                 }
                 for (e, range) in pieces {
-                    let pos = layout.position(e.offset);
+                    let pos = ws.position(e.offset);
                     buf[pos..pos + e.len as usize].copy_from_slice(&payload[range.clone()]);
                 }
             }
         }
-        facts.assembled += union.total_bytes();
         let out = drive_storage(faults, |f| {
-            sieved_write_r(
-                handle,
-                &union,
-                &buf,
-                SieveConfig {
-                    buffer_size: w.len.max(1),
-                },
-                f,
-            )
+            sieved_write_r(handle, &ws.union, &buf, ws.sieve(), f)
         });
         report.merge(&out.report);
+        pool.put(buf);
+    }
+    for (payload, _) in decoded {
+        pool.put(payload);
     }
 }
 
-/// Read contribute-half: fetch the union of every member's needs per
-/// active window with one sieved access, and build the per-destination
-/// scatter payloads incrementally — a count slot up front, sections
-/// appended window by window, so the fetched window buffer can be
-/// dropped before the next storage access.
-#[allow(clippy::too_many_arguments)]
+/// Read contribute-half: fetch each scheduled window with one priced
+/// storage access and append the per-rank scatter sections to
+/// exact-size payloads. A hole-free window inside EOF scatters the
+/// pieces straight out of a zero-copy file view; otherwise the union is
+/// sieved into a pooled buffer first (which also supplies the zero
+/// bytes of any beyond-EOF tail).
 fn fetch_and_scatter_sends(
     handle: &FileHandle,
-    plan: &CollectivePlan,
-    rp: &RoundPlan,
-    pattern: &GroupPattern,
-    me: usize,
-    idle: bool,
+    rs: &RoundSchedule,
     faults: &mut IoFaults,
     report: &mut ServiceReport,
     facts: &mut RoundFacts,
+    pool: &mut BufferPool,
 ) -> Vec<(usize, Vec<u8>)> {
-    let mut per_dst: Vec<(usize, u64, Vec<u8>)> = Vec::new();
-    if !idle {
-        for &(di, w) in &rp.windows {
-            if plan.domains[di].aggregator != me {
-                continue;
-            }
-            // Union of every member's needs within the window.
-            let mut need: Vec<Extent> = Vec::new();
-            let mut per_rank: Vec<(usize, ExtentList)> = Vec::new();
-            for &rank in pattern.group().members() {
-                let clipped = pattern.extents_of_rank(rank).clip(w);
-                if !clipped.is_empty() {
-                    need.extend(clipped.as_slice().iter().copied());
-                    per_rank.push((rank, clipped));
-                }
-            }
-            if per_rank.is_empty() {
-                continue;
-            }
-            let union = ExtentList::normalize(need);
-            let (packed, sv) = drive_storage(faults, |f| {
-                sieved_read_r(
-                    handle,
-                    &union,
-                    SieveConfig {
-                        buffer_size: w.len.max(1),
-                    },
-                    f,
-                )
-            });
-            report.merge(&sv.report);
-            facts.assembled += union.total_bytes();
-            let layout = PackedLayout::new(&union);
-            for (rank, clipped) in per_rank {
-                let bytes = clipped.total_bytes();
-                facts.flows.push((rank, bytes));
-                let entry = match per_dst.iter_mut().find(|(d, _, _)| *d == rank) {
-                    Some(e) => e,
-                    None => {
-                        per_dst.push((rank, 0, vec![0u8; 8]));
-                        per_dst.last_mut().expect("just pushed")
-                    }
-                };
-                entry.1 += 1;
-                append_section(&mut entry.2, di as u64, &clipped, |e| {
-                    let pos = layout.position(e.offset);
-                    &packed[pos..pos + e.len as usize]
+    let mut per_dst: Vec<(usize, Vec<u8>)> = rs
+        .agg_dsts
+        .iter()
+        .map(|d| {
+            let mut buf = pool.take(d.payload_bytes);
+            put_u64(&mut buf, d.sections);
+            (d.rank, buf)
+        })
+        .collect();
+    for ws in &rs.agg_windows {
+        facts.assembled += ws.assembly_bytes;
+        for rp in &ws.per_rank {
+            facts.flows.push((rp.rank, rp.bytes));
+        }
+        if let [span] = ws.union.as_slice() {
+            if span.end() <= handle.len() {
+                let ((), r) = drive_storage(faults, |f| {
+                    handle.try_read_at_with(span.offset, span.len, f, |view| {
+                        for rp in &ws.per_rank {
+                            append_section(
+                                &mut per_dst[rp.dst].1,
+                                ws.domain as u64,
+                                &rp.pieces,
+                                |e| {
+                                    let pos = (e.offset - span.offset) as usize;
+                                    &view[pos..pos + e.len as usize]
+                                },
+                            );
+                        }
+                    })
                 });
+                report.merge(&r);
+                continue;
             }
         }
+        let mut packed = pool.take(ws.assembly_bytes as usize);
+        let sv = drive_storage(faults, |f| {
+            sieved_read_into(handle, &ws.union, ws.sieve(), f, &mut packed)
+        });
+        report.merge(&sv.report);
+        for rp in &ws.per_rank {
+            append_section(&mut per_dst[rp.dst].1, ws.domain as u64, &rp.pieces, |e| {
+                let pos = ws.position(e.offset);
+                &packed[pos..pos + e.len as usize]
+            });
+        }
+        pool.put(packed);
     }
     per_dst
-        .into_iter()
-        .map(|(dst, count, mut payload)| {
-            payload[0..8].copy_from_slice(&count.to_le_bytes());
-            (dst, payload)
-        })
-        .collect()
-}
-
-/// Read receive-half source list: the aggregators of windows covering
-/// this rank's data.
-fn client_sources(plan: &CollectivePlan, rp: &RoundPlan, my_extents: &ExtentList) -> Vec<usize> {
-    let mut recv_from: Vec<usize> = Vec::new();
-    for &(di, w) in &rp.windows {
-        let agg = plan.domains[di].aggregator;
-        if my_extents.overlaps(w) && !recv_from.contains(&agg) {
-            recv_from.push(agg);
-        }
-    }
-    recv_from.sort_unstable();
-    recv_from
 }
 
 /// Read absorb-half: scatter received pieces into this rank's packed
-/// output buffer via the shared cumulative-offset layout.
+/// output buffer via the shared cumulative-offset layout, retiring the
+/// payloads into the pool.
 fn scatter_into(
     my_extents: &ExtentList,
     my_cum: &[u64],
     received: Vec<(usize, Vec<u8>)>,
     out: &mut [u8],
+    pool: &mut BufferPool,
 ) {
     for (_, payload) in received {
         for (_, pieces) in decode_sections(&payload) {
@@ -413,5 +361,6 @@ fn scatter_into(
                 out[pos..pos + e.len as usize].copy_from_slice(&payload[range]);
             }
         }
+        pool.put(payload);
     }
 }

@@ -1,82 +1,20 @@
 //! Message codecs for the round engine: shuffle-section payloads and
 //! the per-round fact records the root prices.
+//!
+//! Message layout: `[n_sections]{domain, n_pieces, {off,len}*, bytes}`.
+//! Senders know their section counts from the communication schedule
+//! (`crate::schedule`), so payloads are written straight through into
+//! exact-size buffers — the count goes first, sections append behind
+//! it.
 
 use mccio_mpiio::{Extent, ExtentList};
 use mccio_net::wire::{put_u64, Reader};
 use mccio_pfs::{RetryLog, ServiceReport};
 use mccio_sim::time::VDuration;
 
-/// Packed-buffer layout over an extent list: maps file offsets to
-/// positions in the buffer that stores the extents back-to-back in
-/// offset order.
-pub(super) struct PackedLayout<'a> {
-    extents: &'a ExtentList,
-    cum: Vec<u64>,
-}
-
-impl<'a> PackedLayout<'a> {
-    pub(super) fn new(extents: &'a ExtentList) -> Self {
-        PackedLayout {
-            extents,
-            cum: extents.cumulative_offsets(),
-        }
-    }
-
-    /// Buffer position of file byte `off`, which must be covered.
-    pub(super) fn position(&self, off: u64) -> usize {
-        let slice = self.extents.as_slice();
-        let idx = slice.partition_point(|e| e.end() <= off);
-        let e = &slice[idx];
-        debug_assert!(e.contains(off), "offset {off} outside layout");
-        (self.cum[idx] + (off - e.offset)) as usize
-    }
-}
-
-/// The pieces of `extents`/`data` that fall inside `window`, as
-/// `(file extent, bytes)` pairs in offset order. `cum` is the packed
-/// layout from [`ExtentList::cumulative_offsets`], computed once per
-/// operation — the lookup itself is `O(log n + k)`.
-pub(super) fn pieces_for_window<'d>(
-    extents: &ExtentList,
-    cum: &[u64],
-    data: &'d [u8],
-    window: Extent,
-) -> Vec<(Extent, &'d [u8])> {
-    extents
-        .clip_indexed(window)
-        .map(|(idx, piece)| {
-            let base = extents.as_slice()[idx];
-            let start = (cum[idx] + (piece.offset - base.offset)) as usize;
-            (piece, &data[start..start + piece.len as usize])
-        })
-        .collect()
-}
-
-/// A section to encode: domain index plus `(extent, bytes)` pieces
-/// borrowed from the sender's packed buffer.
-pub(super) type BorrowedSection<'d> = (u64, Vec<(Extent, &'d [u8])>);
-
-/// Message layout: `[n_sections]{domain, n_pieces, {off,len}*, bytes}`.
-pub(super) fn encode_sections(sections: &[BorrowedSection<'_>]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    put_u64(&mut buf, sections.len() as u64);
-    for (domain, pieces) in sections {
-        put_u64(&mut buf, *domain);
-        put_u64(&mut buf, pieces.len() as u64);
-        for (e, _) in pieces {
-            put_u64(&mut buf, e.offset);
-            put_u64(&mut buf, e.len);
-        }
-        for (_, bytes) in pieces {
-            buf.extend_from_slice(bytes);
-        }
-    }
-    buf
-}
-
 /// Appends one section (`domain`, the clipped extents, their bytes
-/// produced by `bytes_of`) to an in-progress payload whose leading
-/// 8-byte section count the caller patches at the end.
+/// produced by `bytes_of`) to an in-progress payload carrying its
+/// scheduled section count up front.
 pub(super) fn append_section<'p>(
     buf: &mut Vec<u8>,
     domain: u64,

@@ -13,6 +13,9 @@
 //!   `Msg_ind`, `Mem_min`, `Msg_group`);
 //! * [`engine`] — the lock-step round executor both strategies share, so
 //!   measured differences come from planning decisions only;
+//! * [`schedule`] — the plan-time communication schedule the engine
+//!   executes: per-round send/receive lists, piece routings, and window
+//!   assembly layouts, computed once per collective operation;
 //! * [`resilience`] — fault application and the degradation ladder's
 //!   per-rank machinery: under an active `mccio_sim::fault::FaultPlan`
 //!   the collective entry points retry, re-plan, and finally degrade
@@ -58,6 +61,7 @@ pub mod placement;
 pub mod plan;
 pub mod ptree;
 pub mod resilience;
+pub mod schedule;
 pub mod stats;
 pub mod strategy;
 pub mod tuner;
@@ -67,6 +71,7 @@ pub use engine::IoEnv;
 pub use hints::Hints;
 pub use mccio::MccioConfig;
 pub use resilience::FaultState;
+pub use schedule::CommSchedule;
 pub use strategy::{Independent, IndependentSieved, MemoryConscious, Strategy, TwoPhase};
 pub use tuner::Tuning;
 pub use two_phase::TwoPhaseConfig;

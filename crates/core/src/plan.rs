@@ -72,6 +72,16 @@ impl CollectivePlan {
             .unwrap_or(0)
     }
 
+    /// The active `(domain index, window)` pairs of round `round`, in
+    /// domain order — the per-round working set both the schedule
+    /// builder and invariants checks iterate.
+    pub fn active_windows(&self, round: u64) -> impl Iterator<Item = (usize, Extent)> + '_ {
+        self.domains
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, d)| d.window(round).map(|w| (i, w)))
+    }
+
     /// Distinct aggregator ranks, ascending.
     #[must_use]
     pub fn aggregators(&self) -> Vec<usize> {
@@ -145,6 +155,21 @@ mod tests {
         };
         assert_eq!(plan.rounds(), 5);
         plan.assert_invariants();
+    }
+
+    #[test]
+    fn active_windows_drop_finished_domains() {
+        let plan = CollectivePlan {
+            domains: vec![dp(0, 100, 100), dp(100, 500, 100)],
+        };
+        let r0: Vec<_> = plan.active_windows(0).collect();
+        assert_eq!(
+            r0,
+            vec![(0, Extent::new(0, 100)), (1, Extent::new(100, 100))]
+        );
+        let r1: Vec<_> = plan.active_windows(1).collect();
+        assert_eq!(r1, vec![(1, Extent::new(200, 100))]);
+        assert_eq!(plan.active_windows(5).count(), 0);
     }
 
     #[test]

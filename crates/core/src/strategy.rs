@@ -26,6 +26,7 @@ use crate::engine::{try_execute_read, try_execute_write, IoEnv};
 use crate::mccio::{plan_mccio, MccioConfig};
 use crate::plan::CollectivePlan;
 use crate::resilience::{independent_read, independent_write, ladder_read, ladder_write};
+use crate::schedule::CommSchedule;
 use crate::two_phase::{plan_two_phase, TwoPhaseConfig};
 
 /// One I/O strategy under study.
@@ -41,6 +42,23 @@ pub trait Strategy: Send + Sync + std::fmt::Debug {
     /// aggregate (independent I/O). Planning is pure — no communication,
     /// no clock movement — so callers may plan and re-plan freely.
     fn plan(&self, ctx: &Ctx, env: &IoEnv, pattern: &GroupPattern) -> Option<CollectivePlan>;
+
+    /// The fully-resolved per-round communication schedule this
+    /// strategy's plan implies for the calling rank — exactly what the
+    /// engine will execute, exposed for tests, diagnostics, and
+    /// capacity estimation. `None` for non-collective strategies.
+    ///
+    /// Like [`Strategy::plan`], this is pure and free of communication.
+    fn schedule(
+        &self,
+        ctx: &Ctx,
+        env: &IoEnv,
+        pattern: &GroupPattern,
+        my_extents: &ExtentList,
+    ) -> Option<CommSchedule> {
+        self.plan(ctx, env, pattern)
+            .map(|plan| CommSchedule::build(&plan, pattern, ctx.rank(), my_extents))
+    }
 
     /// Writes `data` (this rank's extents packed in offset order).
     fn write(

@@ -97,29 +97,61 @@ pub fn sieved_read_r(
     cfg: SieveConfig,
     faults: &mut IoFaults,
 ) -> SimResult<(Vec<u8>, SieveOutcome)> {
-    let mut packed = Vec::with_capacity(extents.total_bytes() as usize);
+    let mut packed = Vec::new();
+    let outcome = sieved_read_into(handle, extents, cfg, faults, &mut packed)?;
+    Ok((packed, outcome))
+}
+
+/// [`sieved_read_r`] into a caller-supplied buffer, so hot loops (the
+/// round engine) can recycle one allocation across calls. `packed` is
+/// cleared first; on success it holds the extents' bytes in offset
+/// order. A window without holes is read straight into `packed` — no
+/// staging buffer, no second copy; the staging path only runs for
+/// windows that sieve over gaps. The accounting (`SieveOutcome`) is
+/// identical either way: `copied_bytes` counts the bytes delivered to
+/// the caller, not the staging traffic, so the fast path changes wall
+/// cost only.
+///
+/// # Errors
+/// Propagates storage-retry exhaustion, as [`sieved_read_r`]. The
+/// buffer's contents are unspecified after an error; the operation is
+/// safe to re-drive (it clears the buffer again).
+pub fn sieved_read_into(
+    handle: &FileHandle,
+    extents: &ExtentList,
+    cfg: SieveConfig,
+    faults: &mut IoFaults,
+    packed: &mut Vec<u8>,
+) -> SimResult<SieveOutcome> {
+    packed.clear();
+    packed.reserve(extents.total_bytes() as usize);
     let mut report = ServiceReport::empty(handle_servers(handle));
     let mut copied = 0u64;
     let mut covered = 0u64;
     for (span, parts) in windows(extents, cfg.buffer_size) {
-        let mut buf = vec![0u8; span.len as usize];
-        let r = handle.try_read_into(span.offset, &mut buf, faults)?;
-        report.merge(&r);
-        covered += span.len;
-        for e in parts {
-            let s = (e.offset - span.offset) as usize;
-            packed.extend_from_slice(&buf[s..s + e.len as usize]);
-            copied += e.len;
+        let fully_covered = parts.iter().map(|e| e.len).sum::<u64>() == span.len;
+        if fully_covered {
+            let start = packed.len();
+            packed.resize(start + span.len as usize, 0);
+            let r = handle.try_read_into(span.offset, &mut packed[start..], faults)?;
+            report.merge(&r);
+        } else {
+            let mut buf = vec![0u8; span.len as usize];
+            let r = handle.try_read_into(span.offset, &mut buf, faults)?;
+            report.merge(&r);
+            for e in &parts {
+                let s = (e.offset - span.offset) as usize;
+                packed.extend_from_slice(&buf[s..s + e.len as usize]);
+            }
         }
+        covered += span.len;
+        copied += parts.iter().map(|e| e.len).sum::<u64>();
     }
-    Ok((
-        packed,
-        SieveOutcome {
-            report,
-            copied_bytes: copied,
-            covered_bytes: covered,
-        },
-    ))
+    Ok(SieveOutcome {
+        report,
+        copied_bytes: copied,
+        covered_bytes: covered,
+    })
 }
 
 /// Sieved write: `data` holds the extents' bytes packed in offset order.
@@ -169,16 +201,27 @@ pub fn sieved_write_r(
     let mut cursor = 0usize;
     for (span, parts) in windows(extents, cfg.buffer_size) {
         let fully_covered = parts.iter().map(|e| e.len).sum::<u64>() == span.len;
-        let mut buf = if fully_covered {
-            // No holes: blind write, no read needed.
-            vec![0u8; span.len as usize]
-        } else {
-            let mut buf = vec![0u8; span.len as usize];
-            let r = handle.try_read_into(span.offset, &mut buf, faults)?;
+        if fully_covered {
+            // No holes: the window's packed bytes are contiguous in
+            // `data` — blind-write them directly, no read-modify-write
+            // and no staging copy. `copied_bytes` still counts the
+            // bytes moved into the window (the priced local traffic),
+            // so the outcome is identical to the staged path.
+            let r = handle.try_write_at(
+                span.offset,
+                &data[cursor..cursor + span.len as usize],
+                faults,
+            )?;
             report.merge(&r);
+            cursor += span.len as usize;
+            copied += span.len;
             covered += span.len;
-            buf
-        };
+            continue;
+        }
+        let mut buf = vec![0u8; span.len as usize];
+        let r = handle.try_read_into(span.offset, &mut buf, faults)?;
+        report.merge(&r);
+        covered += span.len;
         for e in &parts {
             let s = (e.offset - span.offset) as usize;
             buf[s..s + e.len as usize].copy_from_slice(&data[cursor..cursor + e.len as usize]);

@@ -273,12 +273,10 @@ impl FileHandle {
         }
         {
             let bytes = self.file.data.read();
-            let file_len = bytes.len() as u64;
-            buf.fill(0);
-            if offset < file_len {
-                let n = ((file_len - offset) as usize).min(buf.len());
-                buf[..n].copy_from_slice(&bytes[offset as usize..offset as usize + n]);
-            }
+            let start = (offset.min(bytes.len() as u64)) as usize;
+            let n = (bytes.len() - start).min(buf.len());
+            buf[..n].copy_from_slice(&bytes[start..start + n]);
+            buf[n..].fill(0);
         }
         FileSystem {
             inner: Arc::clone(&self.fs),
@@ -292,6 +290,136 @@ impl FileHandle {
         let mut buf = vec![0u8; len as usize];
         let report = self.read_into(offset, &mut buf);
         (buf, report)
+    }
+
+    /// One contiguous write of `len` bytes at `offset`, priced and
+    /// accounted exactly like [`FileHandle::write_at`], with the bytes
+    /// produced in place: `fill` receives the destination file slice
+    /// and must write every byte of it. Built for gather-style callers
+    /// (the collective round engine) that would otherwise assemble the
+    /// span in a staging buffer only to copy it here — the request
+    /// shape, growth, and server accounting are identical to a
+    /// `write_at` of the same range.
+    pub fn write_at_with(
+        &self,
+        offset: u64,
+        len: u64,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> ServiceReport {
+        let mut report = ServiceReport::empty(self.n_servers);
+        if len == 0 {
+            return report;
+        }
+        for ext in self.striping.map_range(offset, len) {
+            report.add_request(ext.server, ext.len);
+        }
+        let end = (offset + len) as usize;
+        {
+            let mut bytes = self.file.data.write();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            fill(&mut bytes[offset as usize..end]);
+        }
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&report);
+        report
+    }
+
+    /// [`FileHandle::write_at_with`] through a fallible request path;
+    /// see [`FileHandle::try_write_at`] for the failure semantics.
+    /// `fill` runs only on the successful attempt.
+    ///
+    /// # Errors
+    /// [`SimError::TransientIo`] or [`SimError::Timeout`] as
+    /// [`FileHandle::try_write_at`]. The file is untouched on error.
+    pub fn try_write_at_with(
+        &self,
+        offset: u64,
+        len: u64,
+        faults: &mut IoFaults,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> SimResult<ServiceReport> {
+        if len == 0 || !faults.can_fail() {
+            return Ok(self.write_at_with(offset, len, fill));
+        }
+        let mut wasted = ServiceReport::empty(self.n_servers);
+        let mut report = faults.run(
+            || wasted.merge(&self.failed_attempt_report(offset, len)),
+            || self.write_at_with(offset, len, fill),
+        )?;
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&wasted);
+        report.merge(&wasted);
+        Ok(report)
+    }
+
+    /// One contiguous read of `len` bytes at `offset`, priced and
+    /// accounted exactly like [`FileHandle::read_into`], handed to the
+    /// caller as a zero-copy view instead of filling a buffer:
+    /// `consume` receives the in-file portion of the range — shorter
+    /// than `len` when the range crosses EOF, where the missing tail
+    /// reads as zero by the sparse-file semantics. Built for
+    /// scatter-style callers that pick pieces out of the span without
+    /// ever materialising it.
+    pub fn read_at_with<R>(
+        &self,
+        offset: u64,
+        len: u64,
+        consume: impl FnOnce(&[u8]) -> R,
+    ) -> (R, ServiceReport) {
+        let mut report = ServiceReport::empty(self.n_servers);
+        if len > 0 {
+            for ext in self.striping.map_range(offset, len) {
+                report.add_request(ext.server, ext.len);
+            }
+        }
+        let r = {
+            let bytes = self.file.data.read();
+            let start = (offset.min(bytes.len() as u64)) as usize;
+            let n = (bytes.len() - start).min(len as usize);
+            consume(&bytes[start..start + n])
+        };
+        if len > 0 {
+            FileSystem {
+                inner: Arc::clone(&self.fs),
+            }
+            .account(&report);
+        }
+        (r, report)
+    }
+
+    /// [`FileHandle::read_at_with`] through a fallible request path;
+    /// see [`FileHandle::try_write_at`] for the failure semantics.
+    /// `consume` runs only on the successful attempt.
+    ///
+    /// # Errors
+    /// [`SimError::TransientIo`] or [`SimError::Timeout`] as above.
+    pub fn try_read_at_with<R>(
+        &self,
+        offset: u64,
+        len: u64,
+        faults: &mut IoFaults,
+        consume: impl FnOnce(&[u8]) -> R,
+    ) -> SimResult<(R, ServiceReport)> {
+        if len == 0 || !faults.can_fail() {
+            return Ok(self.read_at_with(offset, len, consume));
+        }
+        let mut wasted = ServiceReport::empty(self.n_servers);
+        let (r, mut report) = faults.run(
+            || wasted.merge(&self.failed_attempt_report(offset, len)),
+            || self.read_at_with(offset, len, consume),
+        )?;
+        FileSystem {
+            inner: Arc::clone(&self.fs),
+        }
+        .account(&wasted);
+        report.merge(&wasted);
+        Ok((r, report))
     }
 
     /// The wasted per-server round-trips of one *failed* attempt at this
