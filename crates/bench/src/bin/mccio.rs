@@ -22,9 +22,10 @@
 use std::collections::BTreeMap;
 use std::process::exit;
 
-use mccio_bench::{run, Platform};
-use mccio_core::stats::{OpSummary, Recorder};
+use mccio_bench::{run_traced, Platform};
+use mccio_core::stats::{derive_rounds, OpSummary};
 use mccio_core::Hints;
+use mccio_obs::ObsSink;
 use mccio_sim::units::{fmt_bandwidth, fmt_bytes};
 use mccio_workloads::{CollPerf, FsTest, Ior, IorMode, Synthetic, Workload};
 
@@ -224,11 +225,9 @@ fn main() {
         fmt_bytes(workload.total_bytes(ranks))
     );
 
-    let recorder = Recorder::new();
-    recorder.install();
-    let result = run(workload.as_ref(), &*strategy, &platform);
-    Recorder::uninstall();
-    let records = recorder.take();
+    let obs = ObsSink::enabled();
+    let result = run_traced(workload.as_ref(), &*strategy, &platform, &obs);
+    let records = derive_rounds(&obs);
     let writes: Vec<_> = records.iter().copied().filter(|r| r.is_write).collect();
     let reads: Vec<_> = records.iter().copied().filter(|r| !r.is_write).collect();
 
@@ -258,6 +257,19 @@ fn main() {
             s.shuffle_secs * 1e3,
             s.storage_secs * 1e3,
             s.assembly_secs * 1e3,
+        );
+    }
+    let m = result.metrics;
+    if m.any() {
+        println!(
+            "engine   : {} rounds, shuffle {}, storage {} in {} requests, \
+             pool {}/{} hits",
+            m.rounds,
+            fmt_bytes(m.shuffle_bytes),
+            fmt_bytes(m.storage_bytes),
+            m.storage_requests,
+            m.pool_hits,
+            m.pool_hits + m.pool_misses,
         );
     }
     let peaks = result.peak_mem;

@@ -38,6 +38,7 @@ struct Row {
     wall_secs: f64,
     write_mbps: f64,
     read_mbps: f64,
+    metrics: mccio_mpiio::OpMetrics,
 }
 
 fn main() {
@@ -81,6 +82,7 @@ fn main() {
                     wall_secs: wall,
                     write_mbps: r.write_mbps(),
                     read_mbps: r.read_mbps(),
+                    metrics: r.metrics,
                 });
             }
         }
@@ -130,11 +132,27 @@ fn render_json(
     let _ = writeln!(out, "  \"strategies\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let m = r.metrics;
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, \
-             \"virtual_write_mbps\": {:.1}, \"virtual_read_mbps\": {:.1}}}{comma}",
-            r.name, r.wall_secs, r.write_mbps, r.read_mbps
+             \"virtual_write_mbps\": {:.1}, \"virtual_read_mbps\": {:.1}, \
+             \"counters\": {{\"rounds\": {}, \"shuffle_bytes\": {}, \
+             \"storage_requests\": {}, \"storage_bytes\": {}, \
+             \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"mem_peak_max\": {:.0}, \"mem_peak_cov\": {:.4}}}}}{comma}",
+            r.name,
+            r.wall_secs,
+            r.write_mbps,
+            r.read_mbps,
+            m.rounds,
+            m.shuffle_bytes,
+            m.storage_requests,
+            m.storage_bytes,
+            m.pool_hits,
+            m.pool_misses,
+            m.mem_peak_max,
+            m.mem_peak_cov,
         );
     }
     let _ = writeln!(out, "  ]");

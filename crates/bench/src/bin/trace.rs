@@ -1,0 +1,195 @@
+//! `trace` — run a figure-scale collective I/O config with the
+//! observability layer enabled and emit its artifacts: a Chrome
+//! `trace_event` JSON per strategy (loadable in Perfetto /
+//! `chrome://tracing`), a JSONL event stream, and a metrics summary
+//! table.
+//!
+//! ```text
+//! cargo run --release -p mccio-bench --bin trace -- [ci|fig7] [outdir]
+//! cargo run --release -p mccio-bench --bin trace -- gate <perf_smoke.json>
+//! ```
+//!
+//! * `ci` — the bounded 24-rank config (CI artifact validation);
+//! * `fig7` (default) — the fig7-scale config (120 ranks, IOR
+//!   interleaved);
+//! * `gate <perf_smoke.json>` — the tracing-overhead gate: re-runs the
+//!   JSON's mode with the sink *disabled* and fails if wall time
+//!   regressed past noise against the recorded smoke numbers, then runs
+//!   it *enabled* and fails unless every virtual time is bit-identical.
+//!
+//! Every emitted artifact is validated before the binary exits 0, so CI
+//! can treat "trace ran" as "trace is loadable".
+
+use std::process::exit;
+use std::time::Instant;
+
+use mccio_bench::{paper_pair, run, run_traced, Platform};
+use mccio_obs::{export, json, ObsSink};
+use mccio_sim::units::MIB;
+use mccio_workloads::Ior;
+
+/// Wall-clock noise allowance for the gate: simulator wall time on a
+/// shared machine jitters; a zero-cost disabled path stays well inside
+/// this, an accidentally-hot instrumentation path does not.
+const GATE_NOISE_FACTOR: f64 = 1.6;
+
+/// `(nodes, ranks, MiB per rank, aggregation-buffer MiB)` for a mode —
+/// the same configs `perf_smoke` times.
+fn config(mode: &str) -> (usize, usize, u64, u64) {
+    match mode {
+        "ci" => (4, 24, 2, 4),
+        "fig7" => (10, 120, 4, 16),
+        other => {
+            eprintln!("trace: unknown mode {other:?} (use ci|fig7|gate)");
+            exit(2);
+        }
+    }
+}
+
+fn platform_for(mode: &str) -> (Platform, Ior, u64) {
+    let (n_nodes, n_ranks, per_rank_mib, buffer_mib) = config(mode);
+    let platform = Platform::testbed(n_nodes, n_ranks, 8).with_memory(320 * MIB, 64 * MIB);
+    let workload = Ior::interleaved_total(per_rank_mib * MIB, 16);
+    (platform, workload, buffer_mib * MIB)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gate") => {
+            let baseline = args.get(1).unwrap_or_else(|| {
+                eprintln!("trace gate: missing <perf_smoke.json> argument");
+                exit(2);
+            });
+            gate(baseline);
+        }
+        mode => {
+            let mode = mode.unwrap_or("fig7").to_string();
+            let outdir = args.get(1).cloned().unwrap_or_else(|| ".".to_string());
+            emit(&mode, &outdir);
+        }
+    }
+}
+
+/// Runs both paper strategies with tracing enabled and writes the
+/// artifacts into `outdir`, validating each before exit.
+fn emit(mode: &str, outdir: &str) {
+    let (platform, workload, buffer) = platform_for(mode);
+    std::fs::create_dir_all(outdir).expect("create output directory");
+    let mut failures = 0usize;
+    for (name, strategy) in paper_pair(&platform, buffer) {
+        let obs = ObsSink::enabled();
+        let result = run_traced(&workload, &*strategy, &platform, &obs);
+        let events = obs.events();
+        println!(
+            "{name}: write {:.1} MB/s, read {:.1} MB/s, {} events recorded",
+            result.write_mbps(),
+            result.read_mbps(),
+            events.len()
+        );
+
+        let chrome = export::chrome_trace(&events);
+        let chrome_path = format!("{outdir}/trace_{name}.json");
+        std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+        match export::validate_chrome_trace(&chrome) {
+            Ok(summary) => {
+                println!(
+                    "  {chrome_path}: {} events on {} tracks, ends at {:.1} virtual ms",
+                    summary.events,
+                    summary.tracks,
+                    summary.end_ts / 1e3
+                );
+                // The operation must be covered end to end: plan →
+                // prologue → rounds (shuffle/storage) → settle → op.
+                for required in ["op", "schedule", "prologue", "round", "storage", "settle"] {
+                    if !summary.has(required) {
+                        eprintln!("  MISSING span {required:?} in {chrome_path}");
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("  INVALID {chrome_path}: {e}");
+                failures += 1;
+            }
+        }
+
+        let jsonl = export::jsonl(&events);
+        let jsonl_path = format!("{outdir}/events_{name}.jsonl");
+        std::fs::write(&jsonl_path, &jsonl).expect("write jsonl");
+        match export::validate_jsonl(&jsonl) {
+            Ok(n) => println!("  {jsonl_path}: {n} lines"),
+            Err(e) => {
+                eprintln!("  INVALID {jsonl_path}: {e}");
+                failures += 1;
+            }
+        }
+
+        println!("metrics [{name}]:");
+        print!("{}", obs.metrics().summary_table());
+    }
+    if failures > 0 {
+        eprintln!("trace: {failures} artifact validation failure(s)");
+        exit(1);
+    }
+}
+
+/// The overhead gate; see the module docs.
+fn gate(baseline_path: &str) {
+    let doc = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("trace gate: read {baseline_path}: {e}"));
+    let baseline = json::parse(&doc).unwrap_or_else(|e| panic!("trace gate: parse baseline: {e}"));
+    let mode = baseline
+        .get("mode")
+        .and_then(json::Value::as_str)
+        .expect("baseline json has a \"mode\"")
+        .to_string();
+    let recorded_wall: f64 = baseline
+        .get("strategies")
+        .and_then(json::Value::as_arr)
+        .expect("baseline json has \"strategies\"")
+        .iter()
+        .map(|s| {
+            s.get("wall_secs")
+                .and_then(json::Value::as_f64)
+                .expect("strategy row has wall_secs")
+        })
+        .sum();
+
+    let (platform, workload, buffer) = platform_for(&mode);
+    let mut disabled_wall = 0.0;
+    let mut ok = true;
+    for (name, strategy) in paper_pair(&platform, buffer) {
+        // Tracing disabled: the sink must cost nothing.
+        let t0 = Instant::now();
+        let plain = run(&workload, &*strategy, &platform);
+        disabled_wall += t0.elapsed().as_secs_f64();
+        // Tracing enabled: virtual time must not move by a bit.
+        let traced = run_traced(&workload, &*strategy, &platform, &ObsSink::enabled());
+        if plain.write_secs.to_bits() != traced.write_secs.to_bits()
+            || plain.read_secs.to_bits() != traced.read_secs.to_bits()
+        {
+            eprintln!(
+                "GATE FAIL [{name}]: tracing moved virtual time \
+                 (write {} vs {}, read {} vs {})",
+                plain.write_secs, traced.write_secs, plain.read_secs, traced.read_secs
+            );
+            ok = false;
+        }
+    }
+    println!(
+        "gate[{mode}]: disabled-tracing wall {disabled_wall:.3}s vs recorded {recorded_wall:.3}s \
+         (allowance x{GATE_NOISE_FACTOR})"
+    );
+    if disabled_wall > recorded_wall * GATE_NOISE_FACTOR {
+        eprintln!(
+            "GATE FAIL: wall time with tracing disabled exceeds the recorded smoke numbers \
+             beyond noise — the disabled sink is not free"
+        );
+        ok = false;
+    }
+    if !ok {
+        exit(1);
+    }
+    println!("gate: ok (virtual time bit-identical with tracing on/off; disabled path at speed)");
+}

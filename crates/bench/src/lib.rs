@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use mccio_core::prelude::*;
 use mccio_mem::MemoryModel;
+use mccio_mpiio::OpMetrics;
 use mccio_net::{TrafficSnapshot, World};
+use mccio_obs::ObsSink;
 use mccio_pfs::{FileSystem, PfsParams};
 use mccio_sim::cost::CostModel;
 use mccio_sim::stats::Welford;
@@ -113,6 +115,9 @@ pub struct RunResult {
     pub peak_mem: Welford,
     /// Network traffic counters at the end of the run.
     pub traffic: TrafficSnapshot,
+    /// Engine metrics summed across every rank's write and read reports
+    /// (memory high-water fields are environment-wide, taken once).
+    pub metrics: OpMetrics,
 }
 
 impl RunResult {
@@ -137,13 +142,27 @@ impl RunResult {
 /// workload wrote — correctness is part of every measurement.
 #[must_use]
 pub fn run(workload: &dyn Workload, strategy: &dyn Strategy, platform: &Platform) -> RunResult {
+    run_traced(workload, strategy, platform, &ObsSink::disabled())
+}
+
+/// Like [`run`], with the environment recording spans and metrics into
+/// `obs`. Tracing never moves virtual time, so a traced run's bandwidths
+/// are bit-identical to [`run`]'s.
+#[must_use]
+pub fn run_traced(
+    workload: &dyn Workload,
+    strategy: &dyn Strategy,
+    platform: &Platform,
+    obs: &ObsSink,
+) -> RunResult {
     let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
         .expect("platform placement");
     let world = World::new(CostModel::new(platform.cluster.clone()), placement);
     let env = IoEnv::new(
         FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
         platform.memory(),
-    );
+    )
+    .with_obs(obs.clone());
     run_with(&world, &env, workload, strategy)
 }
 
@@ -184,6 +203,11 @@ pub fn run_with(
         .iter()
         .map(|(_, r)| r.elapsed.as_secs())
         .fold(0.0, f64::max);
+    let mut metrics = OpMetrics::default();
+    for (w, r) in &reports {
+        metrics.absorb(w.metrics);
+        metrics.absorb(r.metrics);
+    }
     RunResult {
         write_bw: if write_secs > 0.0 {
             total_bytes as f64 / write_secs
@@ -200,6 +224,7 @@ pub fn run_with(
         read_secs,
         peak_mem: env.mem.peak_statistics(),
         traffic: world.traffic().snapshot(),
+        metrics,
     }
 }
 

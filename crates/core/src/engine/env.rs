@@ -2,6 +2,7 @@
 //! against: file system, memory model, fault state.
 
 use mccio_mem::MemoryModel;
+use mccio_obs::ObsSink;
 use mccio_pfs::FileSystem;
 use mccio_sim::fault::FaultPlan;
 
@@ -19,6 +20,7 @@ pub struct IoEnv {
     /// The per-node memory model.
     pub mem: MemoryModel,
     faults: FaultState,
+    obs: ObsSink,
 }
 
 impl IoEnv {
@@ -29,6 +31,7 @@ impl IoEnv {
             fs,
             mem,
             faults: FaultState::none(),
+            obs: ObsSink::disabled(),
         }
     }
 
@@ -41,12 +44,33 @@ impl IoEnv {
             fs,
             mem,
             faults: FaultState::new(plan),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// The same environment, recording spans and metrics into `obs`.
+    ///
+    /// Tracing is a pure side-channel: every priced virtual time is
+    /// bit-identical with tracing on or off. Each environment carries
+    /// its own sink, so concurrent simulation worlds never interleave
+    /// records (the cross-world caveat of the old process-global
+    /// [`crate::stats::Recorder`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The fault state this environment executes under.
     #[must_use]
     pub fn faults(&self) -> &FaultState {
         &self.faults
+    }
+
+    /// The observability sink this environment records into (the
+    /// disabled, inert sink unless [`IoEnv::with_obs`] was used).
+    #[must_use]
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 }

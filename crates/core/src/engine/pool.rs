@@ -24,6 +24,10 @@ const POOL_CAP: usize = 16;
 #[derive(Debug, Default)]
 pub(super) struct BufferPool {
     free: Vec<Vec<u8>>,
+    /// Takes served from a retired buffer without allocating.
+    hits: u64,
+    /// Takes that had to allocate (or grow a too-small retiree).
+    misses: u64,
 }
 
 impl BufferPool {
@@ -31,10 +35,12 @@ impl BufferPool {
     /// a retired buffer that already fits.
     pub(super) fn take(&mut self, cap: usize) -> Vec<u8> {
         if let Some(i) = self.free.iter().position(|b| b.capacity() >= cap) {
+            self.hits += 1;
             let mut v = self.free.swap_remove(i);
             v.clear();
             return v;
         }
+        self.misses += 1;
         match self.free.pop() {
             Some(mut v) => {
                 v.clear();
@@ -43,6 +49,11 @@ impl BufferPool {
             }
             None => Vec::with_capacity(cap),
         }
+    }
+
+    /// `(hits, misses)` over the pool's lifetime.
+    pub(super) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// A zero-filled buffer of exactly `len` bytes.
@@ -95,6 +106,16 @@ mod tests {
         pool.put(Vec::with_capacity(256));
         let v = pool.take(100);
         assert!(v.capacity() >= 256, "should pick the larger retiree");
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut pool = BufferPool::default();
+        let a = pool.take(16);
+        pool.put(a);
+        let _b = pool.take(8);
+        let _c = pool.take(1024);
+        assert_eq!(pool.stats(), (1, 2));
     }
 
     #[test]

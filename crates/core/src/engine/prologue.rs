@@ -6,10 +6,12 @@
 //! the round loop (`super::rounds`).
 
 use mccio_mem::Reservation;
-use mccio_mpiio::{IoReport, Resilience};
+use mccio_mpiio::{IoReport, OpMetrics, Resilience};
 use mccio_net::{Ctx, RankSet};
+use mccio_obs::{AttrValue, ObsSink, ENGINE_TRACK};
 use mccio_pfs::IoFaults;
 use mccio_sim::error::{SimError, SimResult};
+use mccio_sim::fault::{FaultEvent, TimedEvent};
 use mccio_sim::time::VTime;
 
 use crate::plan::CollectivePlan;
@@ -31,8 +33,35 @@ pub(super) struct OpState {
     pub(super) faults: IoFaults,
     /// Assembly/payload buffers recycled across rounds and domains.
     pub(super) pool: BufferPool,
+    /// Per-rank engine counters accumulated across the round loop
+    /// (local facts only — filling them never moves virtual time).
+    pub(super) scratch: OpMetrics,
     /// Aggregation buffers held for the whole operation.
     reservations: Vec<Reservation>,
+}
+
+/// Marks fault events applied by this rank on the trace's engine track.
+pub(super) fn mark_fault_events(obs: &ObsSink, fired: &[TimedEvent]) {
+    if !obs.is_enabled() {
+        return;
+    }
+    for timed in fired {
+        let (name, node, bytes) = match timed.event {
+            FaultEvent::RevokeMemory { node, bytes } => ("fault.mem.revoke", node, bytes),
+            FaultEvent::RestoreMemory { node, bytes } => ("fault.mem.restore", node, bytes),
+        };
+        obs.instant(
+            ENGINE_TRACK,
+            name,
+            "fault",
+            timed.at,
+            &[
+                ("node", AttrValue::U64(node as u64)),
+                ("bytes", AttrValue::U64(bytes)),
+            ],
+        );
+        obs.counter_add("fault.mem.events", 1);
+    }
 }
 
 /// The shared prologue: invariants, clock sync, due fault events, and
@@ -55,7 +84,8 @@ pub(super) fn open(
     let t0 = ctx.group_sync_clocks(&world);
     if active {
         ctx.world().set_ctl_delay(env.faults().plan().ctl_delay);
-        env.faults().apply_due(ctx.clock(), &env.mem);
+        let fired = env.faults().apply_due(ctx.clock(), &env.mem);
+        mark_fault_events(env.obs(), &fired);
         ctx.group_barrier(&world);
     }
 
@@ -82,12 +112,24 @@ pub(super) fn open(
     } else {
         IoFaults::none()
     };
+    let obs = env.obs();
+    if obs.is_enabled() {
+        obs.span(
+            me as u32,
+            "prologue",
+            "engine",
+            t0,
+            ctx.clock() - t0,
+            &[("reservations", AttrValue::U64(reservations.len() as u64))],
+        );
+    }
     Ok(OpState {
         world,
         t0,
         active,
         faults,
         pool: BufferPool::default(),
+        scratch: OpMetrics::default(),
         reservations,
     })
 }
@@ -101,6 +143,7 @@ pub(super) fn close(
     bytes: u64,
     res: &mut Resilience,
 ) -> IoReport {
+    let (pool_hits, pool_misses) = state.pool.stats();
     drop(state.reservations);
     ctx.group_barrier(&state.world);
     if state.active {
@@ -110,9 +153,41 @@ pub(super) fn close(
             .plan()
             .revocations_between(state.t0, ctx.clock());
     }
+    let mut metrics = crate::resilience::mem_metrics(env);
+    metrics.rounds = state.scratch.rounds;
+    metrics.shuffle_bytes = state.scratch.shuffle_bytes;
+    metrics.storage_requests = state.scratch.storage_requests;
+    metrics.storage_bytes = state.scratch.storage_bytes;
+    metrics.pool_hits = pool_hits;
+    metrics.pool_misses = pool_misses;
+    let obs = env.obs();
+    if obs.is_enabled() {
+        obs.counter_add("pool.hits", pool_hits);
+        obs.counter_add("pool.misses", pool_misses);
+        // One rank snapshots the per-node memory high-water marks so the
+        // registry's histogram (and its CoV) reflects each node once per
+        // operation, not once per rank.
+        if ctx.rank() == 0 {
+            for node in 0..env.mem.n_nodes() {
+                let peak = env.mem.peak_reserved(node);
+                if peak > 0 {
+                    obs.observe("mem.node_peak_bytes", peak);
+                    obs.counter_sample(
+                        ENGINE_TRACK,
+                        "mem.peak_reserved",
+                        "mem",
+                        ctx.clock(),
+                        peak as f64,
+                        &[("node", AttrValue::U64(node as u64))],
+                    );
+                }
+            }
+        }
+    }
     IoReport::builder(bytes)
         .elapsed(ctx.clock() - state.t0)
         .resilience(*res)
+        .metrics(metrics)
         .build()
 }
 
@@ -161,13 +236,30 @@ fn reserve_collectively(
             ctx.advance(pause);
             res.retries += 1;
             res.backoff += pause;
+            env.obs().instant(
+                ctx.rank() as u32,
+                "reserve.retry",
+                "mem",
+                ctx.clock(),
+                &[("attempt", AttrValue::U64(u64::from(attempt)))],
+            );
+            env.obs().counter_add("reserve.retries", 1);
             // A restoration event may fire during the pause and rescue
             // the next attempt.
-            env.faults().apply_due(ctx.clock(), &env.mem);
+            let fired = env.faults().apply_due(ctx.clock(), &env.mem);
+            mark_fault_events(env.obs(), &fired);
             ctx.group_barrier(world);
         }
     }
     res.exhausted += 1;
+    env.obs().instant(
+        ctx.rank() as u32,
+        "reserve.exhausted",
+        "mem",
+        ctx.clock(),
+        &[],
+    );
+    env.obs().counter_add("reserve.exhausted", 1);
     Err(SimError::TransientIo {
         attempts: policy.max_attempts,
     })

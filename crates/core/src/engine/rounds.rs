@@ -30,6 +30,7 @@ use mccio_mpiio::sieve::{sieved_read_into, sieved_write_r};
 use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
 use mccio_net::wire::put_u64;
 use mccio_net::Ctx;
+use mccio_obs::{AttrValue, ENGINE_TRACK};
 use mccio_pfs::{FileHandle, IoFaults, ServiceReport};
 use mccio_sim::error::SimResult;
 
@@ -91,6 +92,23 @@ pub(super) fn execute_op(
     let mut state = prologue::open(ctx, env, plan, res)?;
     let me = ctx.rank();
     let schedule = CommSchedule::build(plan, pattern, me, my_extents);
+    let obs = env.obs().clone();
+    if obs.is_enabled() {
+        obs.instant(
+            me as u32,
+            "schedule",
+            "plan",
+            ctx.clock(),
+            &[
+                ("rounds", AttrValue::U64(schedule.rounds.len() as u64)),
+                ("client_bytes", AttrValue::U64(schedule.client_bytes())),
+                (
+                    "assembled_bytes",
+                    AttrValue::U64(schedule.assembled_bytes()),
+                ),
+            ],
+        );
+    }
     let my_cum = my_extents.cumulative_offsets();
     let mut out = match op {
         Op::Write { .. } => None,
@@ -145,6 +163,32 @@ pub(super) fn execute_op(
         }
 
         let delta = retry_delta(state.faults.log, log_before);
+        let sent: u64 = facts.flows.iter().map(|&(_, b)| b).sum();
+        state.scratch.rounds += 1;
+        state.scratch.shuffle_bytes += sent;
+        state.scratch.storage_requests += report.total_requests();
+        state.scratch.storage_bytes += report.total_bytes();
+        if obs.is_enabled() {
+            // Rank clocks stand still between settlements, so per-rank
+            // round facts are zero-duration marks at the round's start.
+            obs.instant(
+                me as u32,
+                "rank.round",
+                "engine",
+                ctx.clock(),
+                &[
+                    ("sent_bytes", AttrValue::U64(sent)),
+                    ("assembled_bytes", AttrValue::U64(facts.assembled)),
+                    ("storage_requests", AttrValue::U64(report.total_requests())),
+                    ("storage_bytes", AttrValue::U64(report.total_bytes())),
+                    ("retries", AttrValue::U64(delta.retries)),
+                ],
+            );
+            obs.counter_add("shuffle.bytes", sent);
+            obs.counter_add("storage.requests", report.total_requests());
+            obs.counter_add("storage.bytes", report.total_bytes());
+        }
+
         settle_round(
             ctx,
             env,
@@ -157,8 +201,31 @@ pub(super) fn execute_op(
         );
     }
 
+    let t0 = state.t0;
     let bytes = my_extents.total_bytes();
+    let rounds = state.scratch.rounds;
     let report = prologue::close(ctx, env, state, bytes, res);
+    if obs.is_enabled() && me == 0 {
+        obs.span(
+            ENGINE_TRACK,
+            "op",
+            "engine",
+            t0,
+            ctx.clock() - t0,
+            &[
+                (
+                    "dir",
+                    AttrValue::Str(match op {
+                        Op::Write { .. } => "write",
+                        Op::Read => "read",
+                    }),
+                ),
+                ("bytes", AttrValue::U64(bytes)),
+                ("rounds", AttrValue::U64(rounds)),
+            ],
+        );
+        obs.counter_add("op.count", 1);
+    }
     Ok((out, report))
 }
 

@@ -3,11 +3,13 @@
 //! function of the plan and never of thread scheduling.
 
 use mccio_net::{Ctx, RankSet};
+use mccio_obs::{AttrValue, ENGINE_TRACK};
 use mccio_pfs::{RetryLog, ServiceReport};
 use mccio_sim::cost::Flow;
 use mccio_sim::time::VDuration;
 
 use super::env::IoEnv;
+use super::prologue::mark_fault_events;
 use super::wire::{decode_facts, encode_facts};
 
 /// Gathers every rank's round facts at the world root, prices the round,
@@ -90,6 +92,74 @@ pub(super) fn settle_round(
             transient_faults,
             retries,
         });
+        let obs = env.obs();
+        if obs.is_enabled() {
+            // The root's clock has not advanced yet, so `ctx.clock()` is
+            // the round's virtual start; the phase spans tile the round
+            // in pricing order. Everything `derive_rounds` needs to
+            // rebuild a `RoundRecord` rides on the round span's attrs.
+            let start = ctx.clock();
+            let total = sync + shuffle + storage + assembly + waiting;
+            obs.span(
+                ENGINE_TRACK,
+                "round",
+                "engine",
+                start,
+                total,
+                &[
+                    (
+                        "dir",
+                        AttrValue::Str(if is_write { "write" } else { "read" }),
+                    ),
+                    ("flows", AttrValue::U64(flows.len() as u64)),
+                    ("volume", AttrValue::U64(merged.total_bytes())),
+                    ("requests", AttrValue::U64(merged.total_requests())),
+                    ("clients", AttrValue::U64(n_clients as u64)),
+                    ("sync_secs", AttrValue::F64(sync.as_secs())),
+                    ("shuffle_secs", AttrValue::F64(shuffle.as_secs())),
+                    ("storage_secs", AttrValue::F64(storage.as_secs())),
+                    ("assembly_secs", AttrValue::F64(assembly.as_secs())),
+                    ("backoff_secs", AttrValue::F64(waiting.as_secs())),
+                    ("transient_faults", AttrValue::U64(transient_faults)),
+                    ("retries", AttrValue::U64(retries)),
+                ],
+            );
+            let mut t = start;
+            for (name, dur) in [
+                ("sync", sync),
+                ("shuffle", shuffle),
+                ("storage", storage),
+                ("assembly", assembly),
+                ("backoff", waiting),
+            ] {
+                if dur.as_secs() > 0.0 {
+                    obs.span(ENGINE_TRACK, name, "engine", t, dur, &[]);
+                }
+                t += dur;
+            }
+            obs.instant(
+                ENGINE_TRACK,
+                "settle",
+                "engine",
+                t,
+                &[("round_secs", AttrValue::F64(total.as_secs()))],
+            );
+            if !slowdowns.is_empty() {
+                obs.instant(
+                    ENGINE_TRACK,
+                    "pfs.slow_servers",
+                    "fault",
+                    start,
+                    &[(
+                        "servers",
+                        AttrValue::U64(slowdowns.iter().filter(|&&f| f > 1.0).count() as u64),
+                    )],
+                );
+            }
+            obs.counter_add("round.count", 1);
+            obs.counter_add("storage.volume_bytes", merged.total_bytes());
+            obs.observe("round.clients", n_clients as u64);
+        }
         if std::env::var_os("MCCIO_TRACE").is_some() {
             eprintln!(
                 "[mccio round] {} flows={} vol={}B reqs={} sync={} shuffle={} storage={} assembly={} backoff={} faults={}",
@@ -115,6 +185,7 @@ pub(super) fn settle_round(
     // next one prices: every rank reports the same crossing, the state
     // applies each event once.
     if env.faults().is_active() {
-        env.faults().apply_due(ctx.clock(), &env.mem);
+        let fired = env.faults().apply_due(ctx.clock(), &env.mem);
+        mark_fault_events(env.obs(), &fired);
     }
 }

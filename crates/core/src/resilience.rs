@@ -28,8 +28,9 @@
 use mccio_mpiio::independent::{read_sieved_r, write_sieved_r};
 use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience, SieveConfig};
 use mccio_net::{Ctx, RankSet};
+use mccio_obs::{AttrValue, ENGINE_TRACK};
 use mccio_pfs::{FileHandle, IoFaults};
-use mccio_sim::fault::{FaultPlan, FaultStream};
+use mccio_sim::fault::{FaultPlan, FaultStream, TimedEvent};
 use mccio_sim::sync::Mutex;
 use mccio_sim::time::VTime;
 
@@ -98,14 +99,20 @@ impl FaultState {
     /// all ranks agree on `now` and no concurrent reservation activity
     /// is in flight; each event fires exactly once no matter how many
     /// ranks call in.
-    pub fn apply_due(&self, now: VTime, mem: &MemoryModel) {
+    ///
+    /// Returns the events *this call* fired (empty for the ranks that
+    /// lost the race), so instrumented call sites can mark them on a
+    /// trace without double-counting.
+    pub fn apply_due(&self, now: VTime, mem: &MemoryModel) -> Vec<TimedEvent> {
         if self.plan.events().is_empty() {
-            return;
+            return Vec::new();
         }
         let due = self.plan.due_by(now);
+        let mut fired = Vec::new();
         let mut cursor = self.applied.lock();
         while *cursor < due {
-            match self.plan.events()[*cursor].event {
+            let timed = self.plan.events()[*cursor];
+            match timed.event {
                 mccio_sim::fault::FaultEvent::RevokeMemory { node, bytes } => {
                     let _ = mem.revoke(node, bytes);
                 }
@@ -113,8 +120,10 @@ impl FaultState {
                     mem.restore(node, bytes);
                 }
             }
+            fired.push(timed);
             *cursor += 1;
         }
+        fired
     }
 
     /// Builds `rank`'s fault context, resuming its parked stream if one
@@ -190,6 +199,7 @@ pub fn independent_write(
     });
     env.faults().return_io_faults(ctx.rank(), faults, res);
     report.resilience = *res;
+    report.metrics = mem_metrics(env);
     report
 }
 
@@ -208,6 +218,7 @@ pub fn independent_read(
     });
     env.faults().return_io_faults(ctx.rank(), faults, res);
     report.resilience = *res;
+    report.metrics = mem_metrics(env);
     (data, report)
 }
 
@@ -245,10 +256,12 @@ pub fn ladder_write(
     let t0 = ctx.group_sync_clocks(&world);
     let mut res = Resilience::default();
     for (rung, strategy) in rungs.iter().enumerate() {
-        if let Ok(report) =
-            strategy.try_write(ctx, env, handle, &pattern, my_extents, data, &mut res)
-        {
-            return finish(ctx, t0, report, res, rung as u32);
+        match strategy.try_write(ctx, env, handle, &pattern, my_extents, data, &mut res) {
+            Ok(report) => {
+                mark_rung(ctx, env, rung, strategy.name(), true);
+                return finish(ctx, t0, report, res, rung as u32);
+            }
+            Err(_) => mark_rung(ctx, env, rung, strategy.name(), false),
         }
     }
     panic!("degradation ladder exhausted: the bottom rung must be infallible");
@@ -276,13 +289,44 @@ pub fn ladder_read(
     let t0 = ctx.group_sync_clocks(&world);
     let mut res = Resilience::default();
     for (rung, strategy) in rungs.iter().enumerate() {
-        if let Ok((data, report)) =
-            strategy.try_read(ctx, env, handle, &pattern, my_extents, &mut res)
-        {
-            return (data, finish(ctx, t0, report, res, rung as u32));
+        match strategy.try_read(ctx, env, handle, &pattern, my_extents, &mut res) {
+            Ok((data, report)) => {
+                mark_rung(ctx, env, rung, strategy.name(), true);
+                return (data, finish(ctx, t0, report, res, rung as u32));
+            }
+            Err(_) => mark_rung(ctx, env, rung, strategy.name(), false),
         }
     }
     panic!("degradation ladder exhausted: the bottom rung must be infallible");
+}
+
+/// Marks a ladder-rung outcome on the trace (engine track, world rank 0
+/// only so one descent leaves one mark per rung attempted).
+fn mark_rung(ctx: &Ctx, env: &IoEnv, rung: usize, strategy: &'static str, completed: bool) {
+    if ctx.rank() != 0 {
+        return;
+    }
+    let obs = env.obs();
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.instant(
+        ENGINE_TRACK,
+        if completed {
+            "ladder.completed"
+        } else {
+            "ladder.descend"
+        },
+        "ladder",
+        ctx.clock(),
+        &[
+            ("rung", AttrValue::U64(rung as u64)),
+            ("strategy", AttrValue::Str(strategy)),
+        ],
+    );
+    if !completed {
+        obs.counter_add("ladder.descents", 1);
+    }
 }
 
 /// Stamps the ladder outcome onto the final report: elapsed spans the
@@ -293,7 +337,20 @@ fn finish(ctx: &Ctx, t0: VTime, report: IoReport, res: Resilience, rung: u32) ->
         .elapsed(ctx.clock() - t0)
         .resilience(res)
         .fallbacks(rung)
+        .metrics(report.metrics)
         .build()
+}
+
+/// The memory high-water fields of [`mccio_mpiio::OpMetrics`], read
+/// from the environment's ledger (engine-counter fields zeroed).
+pub(crate) fn mem_metrics(env: &IoEnv) -> mccio_mpiio::OpMetrics {
+    let w = env.mem.peak_statistics();
+    mccio_mpiio::OpMetrics {
+        mem_peak_mean: w.mean(),
+        mem_peak_max: if w.count() == 0 { 0.0 } else { w.max() },
+        mem_peak_cov: w.cv(),
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

@@ -8,14 +8,18 @@
 //! per-phase cost attribution, and regression checks on round counts all
 //! read from here.
 //!
-//! The recorder is process-global (the engine's pricing happens on one
-//! rank-0 thread per operation): install one with [`Recorder::install`],
-//! run operations, then [`Recorder::take`] the records. Concurrent
-//! *distinct* worlds record into the same sink; give each test its own
-//! recorder scope or run operations sequentially when attribution
-//! matters.
+//! Since the observability layer landed, round facts also ride on the
+//! per-environment span sink: attach an `mccio_obs::ObsSink` with
+//! `IoEnv::with_obs` and rebuild the same records with
+//! [`derive_rounds`]. That path attributes correctly when several
+//! simulation worlds run concurrently — each environment records into
+//! its own sink — which the process-global [`Recorder`] cannot do.
+//! [`Recorder::install`] is deprecated accordingly; `RoundRecord` and
+//! [`OpSummary`] stay as the analysis vocabulary either way.
 
 use std::sync::{Arc, Mutex, OnceLock};
+
+use mccio_obs::ObsSink;
 
 /// One priced round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +141,12 @@ impl Recorder {
     /// Installs this recorder as the process-global sink, replacing any
     /// previous one (which stops receiving records but keeps what it
     /// has).
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach a per-environment sink with `IoEnv::with_obs` and rebuild records \
+                via `stats::derive_rounds`; a process-global recorder cannot attribute \
+                rounds when simulation worlds run concurrently"
+    )]
     pub fn install(&self) {
         *slot().lock().expect("recorder lock") = Some(self.clone());
     }
@@ -172,6 +182,38 @@ pub(crate) fn record(rec: RoundRecord) {
     }
 }
 
+/// Rebuilds the [`RoundRecord`] sequence from a per-environment span
+/// sink: every `"round"` span the engine emitted carries the full fact
+/// set as attributes, so the records are a pure view over the trace —
+/// one source of truth, two presentations.
+///
+/// Records come back in emission order (the order rounds were priced).
+/// The sink is read, not drained; exporting the same sink afterwards
+/// still sees every span.
+#[must_use]
+pub fn derive_rounds(sink: &ObsSink) -> Vec<RoundRecord> {
+    let mut events = sink.events();
+    events.sort_by_key(|e| e.seq);
+    events
+        .iter()
+        .filter(|e| e.name == "round")
+        .map(|e| RoundRecord {
+            is_write: e.attr_str("dir") == Some("write"),
+            flows: e.attr_u64("flows").unwrap_or(0) as usize,
+            volume: e.attr_u64("volume").unwrap_or(0),
+            requests: e.attr_u64("requests").unwrap_or(0),
+            clients: e.attr_u64("clients").unwrap_or(0) as usize,
+            sync_secs: e.attr_f64("sync_secs").unwrap_or(0.0),
+            shuffle_secs: e.attr_f64("shuffle_secs").unwrap_or(0.0),
+            storage_secs: e.attr_f64("storage_secs").unwrap_or(0.0),
+            assembly_secs: e.attr_f64("assembly_secs").unwrap_or(0.0),
+            backoff_secs: e.attr_f64("backoff_secs").unwrap_or(0.0),
+            transient_faults: e.attr_u64("transient_faults").unwrap_or(0),
+            retries: e.attr_u64("retries").unwrap_or(0),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +247,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn recorder_take_drains() {
         let r = Recorder::new();
         r.install();
@@ -220,6 +263,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn install_replaces_previous() {
         let a = Recorder::new();
         let b = Recorder::new();
@@ -230,5 +274,37 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
         Recorder::uninstall();
+    }
+
+    #[test]
+    fn derive_rounds_rebuilds_records_from_round_spans() {
+        use mccio_obs::{AttrValue, ENGINE_TRACK};
+        use mccio_sim::time::{VDuration, VTime};
+        let sink = ObsSink::enabled();
+        sink.instant(0, "schedule", "plan", VTime::ZERO, &[]);
+        sink.span(
+            ENGINE_TRACK,
+            "round",
+            "engine",
+            VTime::ZERO,
+            VDuration::from_secs(1.0),
+            &[
+                ("dir", AttrValue::Str("write")),
+                ("flows", AttrValue::U64(3)),
+                ("volume", AttrValue::U64(100)),
+                ("requests", AttrValue::U64(2)),
+                ("clients", AttrValue::U64(1)),
+                ("sync_secs", AttrValue::F64(0.1)),
+                ("shuffle_secs", AttrValue::F64(0.2)),
+                ("storage_secs", AttrValue::F64(0.3)),
+                ("assembly_secs", AttrValue::F64(0.4)),
+                ("backoff_secs", AttrValue::F64(0.0)),
+                ("transient_faults", AttrValue::U64(0)),
+                ("retries", AttrValue::U64(0)),
+            ],
+        );
+        let records = derive_rounds(&sink);
+        assert_eq!(records, vec![rec(true, 100)]);
+        assert_eq!(sink.len(), 2, "derive_rounds reads without draining");
     }
 }

@@ -35,5 +35,5 @@ pub use analysis::GroupPattern;
 pub use datatype::{darray_block, Datatype};
 pub use extent::{Extent, ExtentList};
 pub use fileview::FileView;
-pub use report::{IoReport, IoReportBuilder, Resilience};
+pub use report::{IoReport, IoReportBuilder, OpMetrics, Resilience};
 pub use sieve::SieveConfig;

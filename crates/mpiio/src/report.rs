@@ -45,6 +45,60 @@ impl Resilience {
     }
 }
 
+/// Per-operation engine metrics: what the round loop did to move the
+/// bytes, and what it cost in aggregation memory. All zero for paths
+/// that bypass the round engine (independent I/O reports only the
+/// memory fields). Counters are per-rank facts accumulated with zero
+/// communication, so populating them never moves virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpMetrics {
+    /// Rounds the operation ran.
+    pub rounds: u64,
+    /// Bytes this rank put on the wire in shuffle phases.
+    pub shuffle_bytes: u64,
+    /// Storage requests this rank issued.
+    pub storage_requests: u64,
+    /// Bytes this rank moved through storage.
+    pub storage_bytes: u64,
+    /// Buffer-pool takes served from a retired buffer.
+    pub pool_hits: u64,
+    /// Buffer-pool takes that had to allocate.
+    pub pool_misses: u64,
+    /// Mean per-node aggregation-buffer high-water mark, bytes.
+    pub mem_peak_mean: f64,
+    /// Largest per-node aggregation-buffer high-water mark, bytes.
+    pub mem_peak_max: f64,
+    /// Coefficient of variation of the per-node high-water marks — the
+    /// paper's "variance among processes" statistic.
+    pub mem_peak_cov: f64,
+}
+
+impl OpMetrics {
+    /// True when anything was recorded.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != OpMetrics::default()
+    }
+
+    /// Folds a sequential follow-up operation's metrics into this one:
+    /// counters add; memory high-water fields take the later reading
+    /// (peaks are monotone over an environment's lifetime, so the
+    /// follow-up's view supersedes).
+    pub fn absorb(&mut self, other: OpMetrics) {
+        self.rounds += other.rounds;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.storage_requests += other.storage_requests;
+        self.storage_bytes += other.storage_bytes;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        if other.mem_peak_max > 0.0 {
+            self.mem_peak_mean = other.mem_peak_mean;
+            self.mem_peak_max = other.mem_peak_max;
+            self.mem_peak_cov = other.mem_peak_cov;
+        }
+    }
+}
+
 /// Result of one I/O operation (or one whole benchmark phase) at one
 /// rank: how many application bytes moved and how long it took in
 /// virtual time.
@@ -56,6 +110,9 @@ pub struct IoReport {
     pub elapsed: VDuration,
     /// Fault-recovery counters (all zero on a healthy run).
     pub resilience: Resilience,
+    /// Engine metrics for the operation (zeroed on paths that bypass
+    /// the round engine).
+    pub metrics: OpMetrics,
 }
 
 impl IoReport {
@@ -66,6 +123,7 @@ impl IoReport {
             bytes,
             elapsed,
             resilience: Resilience::default(),
+            metrics: OpMetrics::default(),
         }
     }
 
@@ -78,6 +136,7 @@ impl IoReport {
             bytes,
             elapsed: VDuration::ZERO,
             resilience: Resilience::default(),
+            metrics: OpMetrics::default(),
         }
     }
 
@@ -103,6 +162,7 @@ impl IoReport {
         self.bytes += other.bytes;
         self.elapsed += other.elapsed;
         self.resilience.absorb(other.resilience);
+        self.metrics.absorb(other.metrics);
     }
 }
 
@@ -112,6 +172,7 @@ pub struct IoReportBuilder {
     bytes: u64,
     elapsed: VDuration,
     resilience: Resilience,
+    metrics: OpMetrics,
 }
 
 impl IoReportBuilder {
@@ -137,6 +198,13 @@ impl IoReportBuilder {
         self
     }
 
+    /// Sets the engine metrics the operation accumulated.
+    #[must_use]
+    pub fn metrics(mut self, metrics: OpMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Finishes the report.
     #[must_use]
     pub fn build(self) -> IoReport {
@@ -144,6 +212,7 @@ impl IoReportBuilder {
             bytes: self.bytes,
             elapsed: self.elapsed,
             resilience: self.resilience,
+            metrics: self.metrics,
         }
     }
 }

@@ -1,0 +1,290 @@
+//! [`ObsSink`] — the per-environment collection point for spans and
+//! metrics.
+//!
+//! One sink is carried by each `IoEnv` (cheaply cloned alongside it, all
+//! clones share the same buffers), so concurrent simulation worlds each
+//! record into their own sink instead of interleaving into one
+//! process-global `Mutex` — the cross-world attribution caveat the old
+//! `core::stats::Recorder` documented is structurally gone.
+//!
+//! The default sink is **disabled**: `inner` is `None`, every record
+//! method is one predictable branch and an immediate return — no locks
+//! taken, nothing allocated, no clocks touched. Enabled or not,
+//! recording never advances virtual time, so traces are a pure
+//! side-channel: the engine's priced times are bit-identical with
+//! tracing on or off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mccio_sim::time::{VDuration, VTime};
+
+use crate::metrics::MetricsRegistry;
+use crate::span::{AttrValue, Event, EventKind};
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Mutex<Vec<Event>>,
+    metrics: Mutex<MetricsRegistry>,
+    seq: AtomicU64,
+}
+
+/// A handle to a span/metrics sink; see the module docs. Clones share
+/// the same buffers.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSink {
+    inner: Option<Arc<Inner>>,
+}
+
+impl ObsSink {
+    /// The disabled sink: every record call is inert.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ObsSink { inner: None }
+    }
+
+    /// A recording sink.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObsSink {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// True when this sink records; instrumentation sites may use this
+    /// to skip attribute construction entirely.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a complete span.
+    #[inline]
+    pub fn span(
+        &self,
+        track: u32,
+        name: &'static str,
+        cat: &'static str,
+        start: VTime,
+        dur: VDuration,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.push(Event {
+            name,
+            cat,
+            track,
+            kind: EventKind::Span { start, dur },
+            attrs: attrs.to_vec(),
+            seq: 0,
+        });
+    }
+
+    /// Records a zero-duration mark.
+    #[inline]
+    pub fn instant(
+        &self,
+        track: u32,
+        name: &'static str,
+        cat: &'static str,
+        at: VTime,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.push(Event {
+            name,
+            cat,
+            track,
+            kind: EventKind::Instant { at },
+            attrs: attrs.to_vec(),
+            seq: 0,
+        });
+    }
+
+    /// Records a counter sample on a track.
+    #[inline]
+    pub fn counter_sample(
+        &self,
+        track: u32,
+        name: &'static str,
+        cat: &'static str,
+        at: VTime,
+        value: f64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.push(Event {
+            name,
+            cat,
+            track,
+            kind: EventKind::Counter { at, value },
+            attrs: attrs.to_vec(),
+            seq: 0,
+        });
+    }
+
+    /// Adds `delta` to the named registry counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .counter_add(name, delta);
+    }
+
+    /// Sets the named registry gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .gauge_set(name, value);
+    }
+
+    /// Raises the named registry gauge to `value` if higher.
+    #[inline]
+    pub fn gauge_max(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .gauge_max(name, value);
+    }
+
+    /// Records one observation into the named histogram.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .observe(name, value);
+    }
+
+    /// Events recorded so far (copied, in emission order).
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().expect("events lock").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes and returns everything recorded so far.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut *inner.events.lock().expect("events lock")),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.events.lock().expect("events lock").len(),
+            None => 0,
+        }
+    }
+
+    /// True when nothing has been recorded (always true when disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the metrics registry (empty when disabled).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        match &self.inner {
+            Some(inner) => inner.metrics.lock().expect("metrics lock").clone(),
+            None => MetricsRegistry::new(),
+        }
+    }
+}
+
+impl Inner {
+    fn push(&self, mut event: Event) {
+        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().expect("events lock").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let s = ObsSink::disabled();
+        assert!(!s.is_enabled());
+        s.span(0, "a", "t", VTime::ZERO, VDuration::ZERO, &[]);
+        s.instant(0, "b", "t", VTime::ZERO, &[]);
+        s.counter_add("c", 1);
+        s.observe("h", 2);
+        assert!(s.is_empty());
+        assert_eq!(s.metrics().counter("c"), 0);
+    }
+
+    #[test]
+    fn enabled_sink_records_in_sequence() {
+        let s = ObsSink::enabled();
+        assert!(s.is_enabled());
+        s.span(0, "a", "t", VTime::ZERO, VDuration::from_secs(1.0), &[]);
+        s.instant(
+            1,
+            "b",
+            "t",
+            VTime::from_secs(0.5),
+            &[("n", AttrValue::U64(3))],
+        );
+        let events = s.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].attr_u64("n"), Some(3));
+        assert_eq!(s.take_events().len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clones_share_buffers() {
+        let s = ObsSink::enabled();
+        let t = s.clone();
+        t.counter_add("c", 5);
+        t.instant(0, "x", "t", VTime::ZERO, &[]);
+        assert_eq!(s.metrics().counter("c"), 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_emission_is_safe_and_complete() {
+        let s = ObsSink::enabled();
+        std::thread::scope(|scope| {
+            for rank in 0..8u32 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        s.instant(rank, "tick", "t", VTime::from_secs(i as f64), &[]);
+                        s.counter_add("ticks", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 800);
+        assert_eq!(s.metrics().counter("ticks"), 800);
+        // Sequence numbers are unique.
+        let mut seqs: Vec<u64> = s.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800);
+    }
+}

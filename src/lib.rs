@@ -9,6 +9,7 @@ pub use mccio_core as core;
 pub use mccio_mem as mem;
 pub use mccio_mpiio as mpiio;
 pub use mccio_net as net;
+pub use mccio_obs as obs;
 pub use mccio_pfs as pfs;
 pub use mccio_sim as sim;
 pub use mccio_workloads as workloads;

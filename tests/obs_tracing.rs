@@ -1,0 +1,159 @@
+//! End-to-end checks of the observability layer: span nesting and
+//! ordering on the engine track, bit-identical virtual time with
+//! tracing on or off, and Chrome-trace export validity.
+
+use mccio_suite::core::prelude::*;
+use mccio_suite::mpiio::IoReport;
+use mccio_suite::obs::{export, EventKind, ObsSink, ENGINE_TRACK};
+use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
+use mccio_suite::sim::units::KIB;
+use mccio_suite::workloads::data;
+
+/// Containment tolerance: phase spans tile their round from f64 sums of
+/// the same priced durations, so ends agree to rounding only.
+const EPS: f64 = 1e-9;
+
+/// Runs a fixed two-phase write+read on 4 ranks with `obs` attached and
+/// returns the per-rank `(write, read)` reports.
+fn run_op(obs: &ObsSink) -> Vec<(IoReport, IoReport)> {
+    let cluster = test_cluster(2, 2);
+    let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv::new(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+    )
+    .with_obs(obs.clone());
+    world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("traced");
+        let extents =
+            ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 256 * KIB, 256 * KIB)]);
+        let payload = data::fill(&extents);
+        let strategy = TwoPhase(TwoPhaseConfig::with_buffer(96 * KIB));
+        let w = write_all(ctx, &env, &handle, &extents, &payload, &strategy);
+        let (_, r) = read_all(ctx, &env, &handle, &extents, &strategy);
+        (w, r)
+    })
+}
+
+#[test]
+fn disabled_sink_records_nothing() {
+    let obs = ObsSink::disabled();
+    let reports = run_op(&obs);
+    assert!(obs.is_empty(), "disabled sink must stay empty");
+    let metrics = obs.metrics();
+    assert_eq!(
+        metrics.counters().count() + metrics.histograms().count(),
+        0,
+        "disabled registry must stay empty"
+    );
+    // The reports themselves still carry metrics: those are per-rank
+    // facts on the report, not sink state.
+    assert!(reports.iter().all(|(w, _)| w.metrics.any()));
+}
+
+#[test]
+fn virtual_time_is_bit_identical_with_tracing_on_and_off() {
+    let plain = run_op(&ObsSink::disabled());
+    let traced = run_op(&ObsSink::enabled());
+    assert_eq!(plain.len(), traced.len());
+    for (rank, ((pw, pr), (tw, tr))) in plain.iter().zip(&traced).enumerate() {
+        assert_eq!(
+            pw.elapsed.as_secs().to_bits(),
+            tw.elapsed.as_secs().to_bits(),
+            "rank {rank} write time moved under tracing"
+        );
+        assert_eq!(
+            pr.elapsed.as_secs().to_bits(),
+            tr.elapsed.as_secs().to_bits(),
+            "rank {rank} read time moved under tracing"
+        );
+    }
+}
+
+#[test]
+fn round_spans_nest_their_phase_children() {
+    let obs = ObsSink::enabled();
+    run_op(&obs);
+    let events = obs.events();
+    let engine_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.track == ENGINE_TRACK && matches!(e.kind, EventKind::Span { .. }))
+        .collect();
+    let rounds: Vec<_> = engine_spans.iter().filter(|e| e.name == "round").collect();
+    assert!(rounds.len() >= 2, "write and read each settle rounds");
+
+    const PHASES: [&str; 5] = ["sync", "shuffle", "storage", "assembly", "backoff"];
+    for round in &rounds {
+        let (start, end) = (round.kind.at().as_secs(), round.end().as_secs());
+        assert!(end > start, "round spans have priced duration");
+        // Every phase child is contained in its round and they tile it:
+        // child durations sum back to the round duration.
+        let children: Vec<_> = engine_spans
+            .iter()
+            .filter(|e| {
+                PHASES.contains(&e.name)
+                    && e.kind.at().as_secs() >= start - EPS
+                    && e.end().as_secs() <= end + EPS
+            })
+            .collect();
+        assert!(!children.is_empty(), "round has phase children");
+        let tiled: f64 = children
+            .iter()
+            .map(|e| e.end().as_secs() - e.kind.at().as_secs())
+            .sum();
+        assert!(
+            (tiled - (end - start)).abs() < EPS,
+            "phase spans tile the round: {tiled} vs {}",
+            end - start
+        );
+        for child in &children {
+            assert!(
+                child.seq > round.seq,
+                "parent round is emitted before its children"
+            );
+        }
+    }
+
+    // The two op spans (write then read) cover every round of their
+    // direction.
+    let ops: Vec<_> = engine_spans.iter().filter(|e| e.name == "op").collect();
+    assert_eq!(ops.len(), 2, "one op span per direction");
+    for round in &rounds {
+        let dir = round.attr_str("dir").expect("round spans carry dir");
+        let op = ops
+            .iter()
+            .find(|o| o.attr_str("dir") == Some(dir))
+            .expect("matching op span");
+        assert!(round.kind.at().as_secs() >= op.kind.at().as_secs() - EPS);
+        assert!(round.end().as_secs() <= op.end().as_secs() + EPS);
+    }
+
+    // Round starts are monotone along the engine track.
+    let starts: Vec<f64> = rounds.iter().map(|e| e.kind.at().as_secs()).collect();
+    assert!(
+        starts.windows(2).all(|w| w[0] <= w[1]),
+        "rounds settle in virtual-time order"
+    );
+}
+
+#[test]
+fn chrome_export_validates_with_full_coverage() {
+    let obs = ObsSink::enabled();
+    run_op(&obs);
+    let chrome = export::chrome_trace(&obs.events());
+    let summary = export::validate_chrome_trace(&chrome)
+        .unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+    assert!(summary.events > 0);
+    // 4 rank tracks plus the engine track.
+    assert!(summary.tracks >= 5, "got {} tracks", summary.tracks);
+    for required in ["op", "schedule", "prologue", "round", "storage", "settle"] {
+        assert!(summary.has(required), "missing {required:?} in trace");
+    }
+
+    let jsonl = export::jsonl(&obs.events());
+    let lines = export::validate_jsonl(&jsonl).expect("jsonl validates");
+    assert_eq!(lines, obs.len());
+}

@@ -1,24 +1,33 @@
-//! End-to-end checks of the operation-statistics recorder: round
-//! counts, volumes and phase attributions must match what the plan
-//! implies.
+//! End-to-end checks of operation statistics: round records derived
+//! from the per-environment observability sink must match what the
+//! plan implies, and the per-rank metrics carried on [`IoReport`] must
+//! agree with them.
 
 use mccio_suite::core::prelude::*;
-use mccio_suite::core::stats::{OpSummary, Recorder};
+use mccio_suite::core::stats::{derive_rounds, OpSummary};
+use mccio_suite::mpiio::IoReport;
+use mccio_suite::obs::ObsSink;
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::KIB;
 use mccio_suite::workloads::data;
 
-fn run_op(buffer: u64) -> (Vec<mccio_suite::core::stats::RoundRecord>, u64) {
-    let recorder = Recorder::new();
-    recorder.install();
+struct OpRun {
+    records: Vec<mccio_suite::core::stats::RoundRecord>,
+    reports: Vec<(IoReport, IoReport)>,
+    total: u64,
+}
+
+fn run_op(buffer: u64) -> OpRun {
+    let obs = ObsSink::enabled();
     let cluster = test_cluster(2, 2);
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
     let world = World::new(CostModel::new(cluster.clone()), placement);
     let env = IoEnv::new(
         FileSystem::new(4, 16 * KIB, PfsParams::default()),
         MemoryModel::pristine(&cluster),
-    );
+    )
+    .with_obs(obs.clone());
     let total = 4u64 * 256 * KIB;
     let reports = world.run(|ctx| {
         let env = env.clone();
@@ -31,20 +40,27 @@ fn run_op(buffer: u64) -> (Vec<mccio_suite::core::stats::RoundRecord>, u64) {
         let (_, r) = read_all(ctx, &env, &handle, &extents, &strategy);
         (w, r)
     });
-    Recorder::uninstall();
-    let _ = reports;
-    (recorder.take(), total)
+    OpRun {
+        records: derive_rounds(&obs),
+        reports,
+        total,
+    }
 }
 
 #[test]
 fn records_cover_both_directions_with_full_volume() {
-    let (records, total) = run_op(128 * KIB);
-    let writes: Vec<_> = records.iter().copied().filter(|r| r.is_write).collect();
-    let reads: Vec<_> = records.iter().copied().filter(|r| !r.is_write).collect();
+    let run = run_op(128 * KIB);
+    let writes: Vec<_> = run.records.iter().copied().filter(|r| r.is_write).collect();
+    let reads: Vec<_> = run
+        .records
+        .iter()
+        .copied()
+        .filter(|r| !r.is_write)
+        .collect();
     assert!(!writes.is_empty() && !reads.is_empty());
-    assert_eq!(OpSummary::of(&writes).volume, total);
-    assert_eq!(OpSummary::of(&reads).volume, total);
-    for r in &records {
+    assert_eq!(OpSummary::of(&writes).volume, run.total);
+    assert_eq!(OpSummary::of(&reads).volume, run.total);
+    for r in &run.records {
         assert!(r.total_secs() > 0.0);
         assert!(r.clients >= 1);
         assert!(r.requests >= 1);
@@ -53,24 +69,49 @@ fn records_cover_both_directions_with_full_volume() {
 
 #[test]
 fn smaller_buffers_record_more_rounds() {
-    let (big, _) = run_op(512 * KIB);
-    let (small, _) = run_op(64 * KIB);
+    let big = run_op(512 * KIB);
+    let small = run_op(64 * KIB);
     let rounds = |records: &[mccio_suite::core::stats::RoundRecord]| {
         records.iter().filter(|r| r.is_write).count()
     };
     assert!(
-        rounds(&small) > rounds(&big),
+        rounds(&small.records) > rounds(&big.records),
         "{} vs {}",
-        rounds(&small),
-        rounds(&big)
+        rounds(&small.records),
+        rounds(&big.records)
     );
 }
 
 #[test]
 fn phase_times_sum_to_something_plausible() {
-    let (records, _) = run_op(128 * KIB);
-    let s = OpSummary::of(&records);
+    let run = run_op(128 * KIB);
+    let s = OpSummary::of(&run.records);
     assert!(s.storage_secs > 0.0, "storage must dominate somewhere");
     assert!(s.total_secs() >= s.storage_secs);
-    assert!(s.rounds == records.len());
+    assert!(s.rounds == run.records.len());
+}
+
+#[test]
+fn report_metrics_agree_with_derived_records() {
+    let run = run_op(128 * KIB);
+    let writes: Vec<_> = run.records.iter().copied().filter(|r| r.is_write).collect();
+    let write_rounds = writes.len() as u64;
+
+    // Fold every rank's write-side metrics the way `IoReport::absorb`
+    // does for a collective operation.
+    let mut folded = mccio_suite::mpiio::OpMetrics::default();
+    for (w, r) in &run.reports {
+        assert!(w.metrics.any(), "write report carries metrics");
+        assert!(r.metrics.any(), "read report carries metrics");
+        // Per-rank round counts match the engine's global round count:
+        // every rank participates in every settled round.
+        assert_eq!(w.metrics.rounds, write_rounds, "rank saw all write rounds");
+        assert!(w.metrics.mem_peak_max > 0.0, "aggregators reserved memory");
+        folded.absorb(w.metrics);
+    }
+    // Summed storage traffic equals the operation volume: the two-phase
+    // write pushes every byte through the aggregation buffers exactly
+    // once.
+    assert_eq!(folded.storage_bytes, run.total);
+    assert_eq!(folded.storage_requests, OpSummary::of(&writes).requests);
 }
