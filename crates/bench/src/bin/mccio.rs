@@ -136,6 +136,8 @@ options (all have defaults):
   --hints \"K=V,...\"    ROMIO-style hints                 [\"\"]
   --mem MEAN:STD       per-node available memory         [none = pristine]
   --seed N             memory-sampling seed              [0xC0FFEE]
+  --trace-out PATH     write trace artifacts: PATH.json (Chrome),
+                       PATH.jsonl (event stream), PATH.html (report)
   --help
 
 workload specs:
@@ -158,6 +160,7 @@ fn main() {
     let mut hints_spec = String::new();
     let mut mem: Option<(u64, u64)> = None;
     let mut seed = 0xC0FFEEu64;
+    let mut trace_out: Option<String> = None;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -194,6 +197,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("bad --seed"))
             }
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             "--help" | "-h" => {
                 print!("{HELP}");
                 return;
@@ -287,4 +291,38 @@ fn main() {
         fmt_bytes(result.traffic.inter_bytes),
         result.traffic.data_msgs
     );
+    if let Some(prefix) = trace_out {
+        write_trace_artifacts(&prefix, &obs);
+    }
+}
+
+/// Writes the run's trace as `<prefix>.json` (Chrome), `<prefix>.jsonl`
+/// (event stream), and `<prefix>.html` (self-contained report), each
+/// validated before it lands on disk.
+fn write_trace_artifacts(prefix: &str, obs: &ObsSink) {
+    use mccio_obs::{analyze, export, report};
+    let events = obs.events();
+    let chrome = export::chrome_trace(&events);
+    export::validate_chrome_trace(&chrome)
+        .unwrap_or_else(|e| fail(&format!("emitted Chrome trace is invalid: {e}")));
+    let chrome_path = format!("{prefix}.json");
+    std::fs::write(&chrome_path, &chrome)
+        .unwrap_or_else(|e| fail(&format!("write {chrome_path}: {e}")));
+    let jsonl = export::jsonl(&events);
+    export::validate_jsonl(&jsonl)
+        .unwrap_or_else(|e| fail(&format!("emitted JSONL is invalid: {e}")));
+    let jsonl_path = format!("{prefix}.jsonl");
+    std::fs::write(&jsonl_path, &jsonl)
+        .unwrap_or_else(|e| fail(&format!("write {jsonl_path}: {e}")));
+    let analysis = analyze::TraceAnalysis::of_sink(obs)
+        .unwrap_or_else(|e| fail(&format!("trace analysis failed: {e}")));
+    let replayable: Vec<analyze::TraceEvent> = {
+        let mut sorted = events;
+        mccio_obs::span::sort_for_export(&mut sorted);
+        sorted.iter().map(analyze::TraceEvent::from_live).collect()
+    };
+    let html = report::render("mccio run report", &replayable, &analysis, None);
+    let html_path = format!("{prefix}.html");
+    std::fs::write(&html_path, &html).unwrap_or_else(|e| fail(&format!("write {html_path}: {e}")));
+    println!("trace    : wrote {chrome_path}, {jsonl_path}, {html_path}");
 }

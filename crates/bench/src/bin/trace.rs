@@ -7,6 +7,9 @@
 //! ```text
 //! cargo run --release -p mccio-bench --bin trace -- [ci|fig7] [outdir]
 //! cargo run --release -p mccio-bench --bin trace -- gate <perf_smoke.json>
+//! cargo run --release -p mccio-bench --bin trace -- report [ci|fig7] [outdir]
+//! cargo run --release -p mccio-bench --bin trace -- regress <bench.json> \
+//!     [--wall-threshold F] [--inject-wall F]
 //! ```
 //!
 //! * `ci` — the bounded 24-rank config (CI artifact validation);
@@ -15,7 +18,19 @@
 //! * `gate <perf_smoke.json>` — the tracing-overhead gate: re-runs the
 //!   JSON's mode with the sink *disabled* and fails if wall time
 //!   regressed past noise against the recorded smoke numbers, then runs
-//!   it *enabled* and fails unless every virtual time is bit-identical.
+//!   it *enabled* and fails unless every virtual time is bit-identical;
+//! * `report` — runs both paper strategies traced, analyzes each trace
+//!   (critical path, occupancy timelines), and writes one self-contained
+//!   HTML report per strategy — the second carries the A/B diff against
+//!   the first. Exits nonzero unless every op's critical-path total is
+//!   bit-identical to its op span and the JSONL artifact replays into a
+//!   bit-identical analysis;
+//! * `regress <bench.json>` — the perf-regression gate: re-runs the
+//!   baseline's mode, requires every deterministic counter to match
+//!   exactly, virtual bandwidths to match at print precision, and total
+//!   wall time to stay within `--wall-threshold` (default 0.15) of the
+//!   recording. `--inject-wall F` scales the measured wall by `F` to
+//!   prove the gate trips.
 //!
 //! Every emitted artifact is validated before the binary exits 0, so CI
 //! can treat "trace ran" as "trace is loadable".
@@ -24,7 +39,7 @@ use std::process::exit;
 use std::time::Instant;
 
 use mccio_bench::{paper_pair, run, run_traced, Platform};
-use mccio_obs::{export, json, ObsSink};
+use mccio_obs::{analyze, export, json, report, ObsSink};
 use mccio_sim::units::MIB;
 use mccio_workloads::Ior;
 
@@ -40,7 +55,7 @@ fn config(mode: &str) -> (usize, usize, u64, u64) {
         "ci" => (4, 24, 2, 4),
         "fig7" => (10, 120, 4, 16),
         other => {
-            eprintln!("trace: unknown mode {other:?} (use ci|fig7|gate)");
+            eprintln!("trace: unknown mode {other:?} (use ci|fig7|gate|report|regress)");
             exit(2);
         }
     }
@@ -62,6 +77,49 @@ fn main() {
                 exit(2);
             });
             gate(baseline);
+        }
+        Some("report") => {
+            let mode = args.get(1).cloned().unwrap_or_else(|| "fig7".to_string());
+            let outdir = args.get(2).cloned().unwrap_or_else(|| ".".to_string());
+            report_mode(&mode, &outdir);
+        }
+        Some("regress") => {
+            let baseline = args.get(1).cloned().unwrap_or_else(|| {
+                eprintln!("trace regress: missing <bench.json> argument");
+                exit(2);
+            });
+            let mut wall_threshold = 0.15;
+            let mut inject_wall = 1.0;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--wall-threshold" => {
+                        wall_threshold = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| {
+                                eprintln!("trace regress: --wall-threshold wants a number");
+                                exit(2);
+                            });
+                        i += 2;
+                    }
+                    "--inject-wall" => {
+                        inject_wall =
+                            args.get(i + 1)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| {
+                                    eprintln!("trace regress: --inject-wall wants a number");
+                                    exit(2);
+                                });
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("trace regress: unknown option {other:?}");
+                        exit(2);
+                    }
+                }
+            }
+            regress(&baseline, wall_threshold, inject_wall);
         }
         mode => {
             let mode = mode.unwrap_or("fig7").to_string();
@@ -192,4 +250,245 @@ fn gate(baseline_path: &str) {
         exit(1);
     }
     println!("gate: ok (virtual time bit-identical with tracing on/off; disabled path at speed)");
+}
+
+/// Runs both paper strategies traced, analyzes each trace, and writes
+/// one self-contained HTML report per strategy (the second carrying the
+/// A/B diff against the first). Fails unless the analysis is exact: the
+/// critical-path total must equal the op span's virtual duration to the
+/// bit, the phase tiling must close, and the JSONL artifact must replay
+/// into a bit-identical analysis.
+fn report_mode(mode: &str, outdir: &str) {
+    let (platform, workload, buffer) = platform_for(mode);
+    std::fs::create_dir_all(outdir).expect("create output directory");
+    let mut failures = 0usize;
+    let mut first: Option<analyze::TraceAnalysis> = None;
+    for (name, strategy) in paper_pair(&platform, buffer) {
+        let obs = ObsSink::enabled();
+        let result = run_traced(&workload, &*strategy, &platform, &obs);
+        let analysis = analyze::TraceAnalysis::of_sink(&obs).unwrap_or_else(|e| {
+            eprintln!("report[{name}]: analysis failed: {e}");
+            exit(1);
+        });
+
+        // Acceptance invariant 1: the critical-path total is the op
+        // span's priced duration, bit for bit. Cross-check against the
+        // events independently of how the analyzer stored it.
+        let events: Vec<analyze::TraceEvent> = {
+            let mut live = obs.events();
+            mccio_obs::span::sort_for_export(&mut live);
+            live.iter().map(analyze::TraceEvent::from_live).collect()
+        };
+        let op_durs: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name == "op")
+            .map(|e| e.end().as_secs() - e.kind.at().as_secs())
+            .collect();
+        let virt = [result.write_secs, result.read_secs];
+        for (i, op) in analysis.ops.iter().enumerate() {
+            if op.total.as_secs().to_bits() != virt[i.min(1)].to_bits() {
+                eprintln!(
+                    "report[{name}]: op {i} critical-path total {} != measured virtual {}",
+                    op.total.as_secs(),
+                    virt[i.min(1)]
+                );
+                failures += 1;
+            }
+            if op_durs
+                .get(i)
+                .is_none_or(|d| d.to_bits() != op.total.as_secs().to_bits())
+            {
+                eprintln!("report[{name}]: op {i} total does not match its span event");
+                failures += 1;
+            }
+            if op.tiling_error.abs() > analyze::TILING_EPS * op.rounds.max(1) as f64 {
+                eprintln!(
+                    "report[{name}]: op {i} tiling error {} over {} rounds",
+                    op.tiling_error, op.rounds
+                );
+                failures += 1;
+            }
+        }
+        // Acceptance invariant 2: the JSONL artifact replays into a
+        // bit-identical analysis (attribution and totals).
+        let replayed = analyze::TraceEvent::from_jsonl(&export::jsonl(&obs.events()))
+            .and_then(|evs| analyze::TraceAnalysis::from_events(&evs))
+            .unwrap_or_else(|e| {
+                eprintln!("report[{name}]: JSONL replay failed: {e}");
+                exit(1);
+            });
+        if replayed.ops.len() != analysis.ops.len()
+            || replayed.ops.iter().zip(&analysis.ops).any(|(r, l)| {
+                r.total.as_secs().to_bits() != l.total.as_secs().to_bits()
+                    || r.attribution.total().to_bits() != l.attribution.total().to_bits()
+            })
+        {
+            eprintln!("report[{name}]: JSONL replay is not bit-identical to the live analysis");
+            failures += 1;
+        }
+
+        let diff = first.as_ref().map(|a| a.diff(&analysis));
+        let title = format!("mccio trace report — {mode} / {name}");
+        let html = report::render(&title, &events, &analysis, diff.as_ref());
+        if !html.starts_with("<!DOCTYPE html>") || !html.ends_with("</html>\n") {
+            eprintln!("report[{name}]: malformed HTML envelope");
+            failures += 1;
+        }
+        let path = format!("{outdir}/report_{mode}_{name}.html");
+        std::fs::write(&path, &html).expect("write report");
+        for op in &analysis.ops {
+            println!(
+                "report[{name}]: {} op {:.6}s over {} rounds, dominant {}, top straggler {}",
+                op.dir,
+                op.total.as_secs(),
+                op.rounds,
+                op.attribution.dominant().name(),
+                op.top_straggler()
+                    .map_or("none".to_string(), |(r, n)| format!(
+                        "rank {r} ({n} rounds)"
+                    )),
+            );
+        }
+        for tl in &analysis.memory {
+            println!(
+                "report[{name}]: node {} peak {} B of ceiling, balance {} B, overflow windows {}",
+                tl.node,
+                tl.peak,
+                tl.final_occupancy,
+                tl.overflow.len()
+            );
+        }
+        println!("  wrote {path} ({} bytes)", html.len());
+        first = Some(analysis);
+    }
+    if failures > 0 {
+        eprintln!("report: {failures} invariant failure(s)");
+        exit(1);
+    }
+}
+
+/// Exact-match tolerance for replayed f64 counters recorded at `{:.0}`.
+const COUNTER_F64_EPS: f64 = 0.5;
+/// Tolerance for `mem_peak_cov`, recorded at 4 decimal places.
+const COV_EPS: f64 = 1e-3;
+/// Tolerance for virtual bandwidths, recorded at 1 decimal place.
+const MBPS_EPS: f64 = 0.1;
+
+/// The perf-regression gate; see the module docs.
+fn regress(baseline_path: &str, wall_threshold: f64, inject_wall: f64) {
+    let doc = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("trace regress: read {baseline_path}: {e}"));
+    let baseline =
+        json::parse(&doc).unwrap_or_else(|e| panic!("trace regress: parse baseline: {e}"));
+    let mode = baseline
+        .get("mode")
+        .and_then(json::Value::as_str)
+        .expect("baseline json has a \"mode\"")
+        .to_string();
+    let rows = baseline
+        .get("strategies")
+        .and_then(json::Value::as_arr)
+        .expect("baseline json has \"strategies\"");
+
+    let (platform, workload, buffer) = platform_for(&mode);
+    // Best-of-reps, matching how perf_smoke records its wall numbers:
+    // the recorded baseline is a best-of measurement, so a single cold
+    // run (binary load, page faults) would read as a false regression.
+    let reps: u32 = std::env::var("MCCIO_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let mut ok = true;
+    let mut baseline_wall = 0.0;
+    let mut measured_wall = 0.0;
+    for (name, strategy) in paper_pair(&platform, buffer) {
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").and_then(json::Value::as_str) == Some(&name))
+            .unwrap_or_else(|| panic!("baseline has no strategy row {name:?}"));
+        let mut best_wall = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = run(&workload, &*strategy, &platform);
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let result = result.expect("at least one rep");
+        measured_wall += best_wall;
+        baseline_wall += row
+            .get("wall_secs")
+            .and_then(json::Value::as_f64)
+            .expect("row has wall_secs");
+
+        let m = result.metrics;
+        let counters = row.get("counters").expect("row has counters");
+        let exact: [(&str, f64); 7] = [
+            ("rounds", m.rounds as f64),
+            ("shuffle_bytes", m.shuffle_bytes as f64),
+            ("storage_requests", m.storage_requests as f64),
+            ("storage_bytes", m.storage_bytes as f64),
+            ("pool_hits", m.pool_hits as f64),
+            ("pool_misses", m.pool_misses as f64),
+            ("mem_peak_max", m.mem_peak_max),
+        ];
+        for (key, measured) in exact {
+            let recorded = counters
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .unwrap_or_else(|| panic!("baseline counter {key:?} missing"));
+            if (measured - recorded).abs() > COUNTER_F64_EPS {
+                eprintln!(
+                    "REGRESS FAIL [{name}]: counter {key} = {measured} vs recorded {recorded}"
+                );
+                ok = false;
+            }
+        }
+        if let Some(cov) = counters.get("mem_peak_cov").and_then(json::Value::as_f64) {
+            if (m.mem_peak_cov - cov).abs() > COV_EPS {
+                eprintln!(
+                    "REGRESS FAIL [{name}]: mem_peak_cov = {:.4} vs recorded {cov:.4}",
+                    m.mem_peak_cov
+                );
+                ok = false;
+            }
+        }
+        for (key, measured) in [
+            ("virtual_write_mbps", result.write_mbps()),
+            ("virtual_read_mbps", result.read_mbps()),
+        ] {
+            let recorded = row
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .unwrap_or_else(|| panic!("baseline {key:?} missing"));
+            if (measured - recorded).abs() > MBPS_EPS {
+                eprintln!("REGRESS FAIL [{name}]: {key} = {measured:.1} vs recorded {recorded:.1}");
+                ok = false;
+            }
+        }
+    }
+    measured_wall *= inject_wall;
+    let limit = baseline_wall * (1.0 + wall_threshold);
+    println!(
+        "regress[{mode}]: wall {measured_wall:.3}s vs recorded {baseline_wall:.3}s \
+         (limit {limit:.3}s{})",
+        if inject_wall != 1.0 {
+            format!(", injected x{inject_wall}")
+        } else {
+            String::new()
+        }
+    );
+    if measured_wall > limit {
+        eprintln!(
+            "REGRESS FAIL: wall time {measured_wall:.3}s exceeds recorded {baseline_wall:.3}s \
+             by more than {:.0}%",
+            wall_threshold * 100.0
+        );
+        ok = false;
+    }
+    if !ok {
+        exit(1);
+    }
+    println!("regress: ok (counters exact, virtual bandwidth at print precision, wall in budget)");
 }

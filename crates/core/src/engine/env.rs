@@ -53,8 +53,8 @@ impl IoEnv {
     /// Tracing is a pure side-channel: every priced virtual time is
     /// bit-identical with tracing on or off. Each environment carries
     /// its own sink, so concurrent simulation worlds never interleave
-    /// records (the cross-world caveat of the old process-global
-    /// [`crate::stats::Recorder`]).
+    /// records (the cross-world caveat of the process-global recorder
+    /// this crate used to carry).
     #[must_use]
     pub fn with_obs(mut self, obs: ObsSink) -> Self {
         self.obs = obs;

@@ -40,6 +40,34 @@ pub(super) struct OpState {
     reservations: Vec<Reservation>,
 }
 
+/// Marks one aggregation-buffer accounting event (`mem.reserve` /
+/// `mem.release`) on the recording rank's track. Each event carries the
+/// node, the delta, and the node's current ceiling (capacity minus
+/// application usage), so an occupancy timeline can be reconstructed
+/// exactly from the trace — every reserve is paired with a release, and
+/// the ceiling steps when fault revocations move it.
+fn mark_mem_event(
+    obs: &ObsSink,
+    rank: u32,
+    name: &'static str,
+    at: VTime,
+    env: &IoEnv,
+    r: &Reservation,
+) {
+    obs.instant(
+        rank,
+        name,
+        "mem",
+        at,
+        &[
+            ("node", AttrValue::U64(r.node() as u64)),
+            ("bytes", AttrValue::U64(r.bytes())),
+            ("ceiling", AttrValue::U64(env.mem.ceiling(r.node()))),
+        ],
+    );
+    obs.counter_add(name, 1);
+}
+
 /// Marks fault events applied by this rank on the trace's engine track.
 pub(super) fn mark_fault_events(obs: &ObsSink, fired: &[TimedEvent]) {
     if !obs.is_enabled() {
@@ -114,6 +142,10 @@ pub(super) fn open(
     };
     let obs = env.obs();
     if obs.is_enabled() {
+        for r in &reservations {
+            mark_mem_event(obs, me as u32, "mem.reserve", ctx.clock(), env, r);
+            obs.counter_add("mem.reserve.bytes", r.bytes());
+        }
         obs.span(
             me as u32,
             "prologue",
@@ -144,6 +176,22 @@ pub(super) fn close(
     res: &mut Resilience,
 ) -> IoReport {
     let (pool_hits, pool_misses) = state.pool.stats();
+    if env.obs().is_enabled() {
+        // The paired half of the prologue's `mem.reserve` marks: every
+        // buffer held for the operation releases here, at the virtual
+        // time the epilogue runs, so occupancy timelines balance to zero.
+        for r in &state.reservations {
+            mark_mem_event(
+                env.obs(),
+                ctx.rank() as u32,
+                "mem.release",
+                ctx.clock(),
+                env,
+                r,
+            );
+            env.obs().counter_add("mem.release.bytes", r.bytes());
+        }
+    }
     drop(state.reservations);
     ctx.group_barrier(&state.world);
     if state.active {

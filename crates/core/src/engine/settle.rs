@@ -39,6 +39,12 @@ pub(super) fn settle_round(
         let mut waiting = VDuration::ZERO;
         let mut transient_faults = 0u64;
         let mut retries = 0u64;
+        // Straggler attribution: the rank whose contribution set each
+        // max-over-ranks phase term. Critical-path analysis names these
+        // per round (`obs::analyze`).
+        let mut assembly_rank = 0u64;
+        let mut storage_rank = 0u64;
+        let mut backoff_rank = 0u64;
         let mut factors = env.mem.pressure_factors();
         // Straggler nodes run their compute/memory phases slower; this
         // composes with memory pressure the same way pressure composes
@@ -57,11 +63,21 @@ pub(super) fn settle_round(
             if facts.report.total_bytes() > 0 {
                 n_clients += 1;
             }
+            if facts.report.total_bytes() > max_client {
+                storage_rank = src as u64;
+            }
             max_client = max_client.max(facts.report.total_bytes());
             merged.merge(&facts.report);
             if facts.assembled > 0 {
                 let node = placement.node_of(src);
-                assembly = assembly.max(cost.local_copy(node, facts.assembled, factors[node]));
+                let local = cost.local_copy(node, facts.assembled, factors[node]);
+                if local > assembly {
+                    assembly = local;
+                    assembly_rank = src as u64;
+                }
+            }
+            if facts.retry.backoff > waiting {
+                backoff_rank = src as u64;
             }
             waiting = waiting.max(facts.retry.backoff);
             transient_faults += facts.retry.transient_faults;
@@ -78,20 +94,6 @@ pub(super) fn settle_round(
             .fs
             .params()
             .phase_time_faulty(&merged, max_client, is_write, n_clients, &slowdowns);
-        crate::stats::record(crate::stats::RoundRecord {
-            is_write,
-            flows: flows.len(),
-            volume: merged.total_bytes(),
-            requests: merged.total_requests(),
-            clients: n_clients,
-            sync_secs: sync.as_secs(),
-            shuffle_secs: shuffle.as_secs(),
-            storage_secs: storage.as_secs(),
-            assembly_secs: assembly.as_secs(),
-            backoff_secs: waiting.as_secs(),
-            transient_faults,
-            retries,
-        });
         let obs = env.obs();
         if obs.is_enabled() {
             // The root's clock has not advanced yet, so `ctx.clock()` is
@@ -122,6 +124,11 @@ pub(super) fn settle_round(
                     ("backoff_secs", AttrValue::F64(waiting.as_secs())),
                     ("transient_faults", AttrValue::U64(transient_faults)),
                     ("retries", AttrValue::U64(retries)),
+                    // Straggler attribution (meaningful only when the
+                    // matching phase term is non-zero).
+                    ("storage_rank", AttrValue::U64(storage_rank)),
+                    ("assembly_rank", AttrValue::U64(assembly_rank)),
+                    ("backoff_rank", AttrValue::U64(backoff_rank)),
                 ],
             );
             let mut t = start;

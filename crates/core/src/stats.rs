@@ -1,23 +1,19 @@
 //! Per-round operation statistics.
 //!
-//! The round engine prices every round at the world root; when a
-//! [`Recorder`] is installed, each round's facts (direction, flows,
-//! volume, requests, and the four priced phase terms) are captured as
-//! [`RoundRecord`]s. This is the programmatic form of the `MCCIO_TRACE`
-//! output: the paper's "memory consumption and variance" analysis,
-//! per-phase cost attribution, and regression checks on round counts all
-//! read from here.
+//! The round engine prices every round at the world root and, when an
+//! `mccio_obs::ObsSink` is attached via `IoEnv::with_obs`, records each
+//! round's facts (direction, flows, volume, requests, and the five
+//! priced phase terms) as attributes on the round span. [`derive_rounds`]
+//! rebuilds the [`RoundRecord`] sequence from that sink — the
+//! programmatic form of the `MCCIO_TRACE` output: the paper's "memory
+//! consumption and variance" analysis, per-phase cost attribution, and
+//! regression checks on round counts all read from here.
 //!
-//! Since the observability layer landed, round facts also ride on the
-//! per-environment span sink: attach an `mccio_obs::ObsSink` with
-//! `IoEnv::with_obs` and rebuild the same records with
-//! [`derive_rounds`]. That path attributes correctly when several
-//! simulation worlds run concurrently — each environment records into
-//! its own sink — which the process-global [`Recorder`] cannot do.
-//! [`Recorder::install`] is deprecated accordingly; `RoundRecord` and
-//! [`OpSummary`] stay as the analysis vocabulary either way.
-
-use std::sync::{Arc, Mutex, OnceLock};
+//! The per-environment sink attributes correctly when several simulation
+//! worlds run concurrently — each environment records into its own sink
+//! — which the process-global `Recorder` this module used to carry could
+//! not do. That deprecated path is gone; `RoundRecord` and [`OpSummary`]
+//! remain as the analysis vocabulary.
 
 use mccio_obs::ObsSink;
 
@@ -119,69 +115,6 @@ impl OpSummary {
     }
 }
 
-/// A handle to a record sink. Clones share the same buffer.
-#[derive(Debug, Clone, Default)]
-pub struct Recorder {
-    records: Arc<Mutex<Vec<RoundRecord>>>,
-}
-
-static ACTIVE: OnceLock<Mutex<Option<Recorder>>> = OnceLock::new();
-
-fn slot() -> &'static Mutex<Option<Recorder>> {
-    ACTIVE.get_or_init(|| Mutex::new(None))
-}
-
-impl Recorder {
-    /// Creates an empty recorder.
-    #[must_use]
-    pub fn new() -> Self {
-        Recorder::default()
-    }
-
-    /// Installs this recorder as the process-global sink, replacing any
-    /// previous one (which stops receiving records but keeps what it
-    /// has).
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach a per-environment sink with `IoEnv::with_obs` and rebuild records \
-                via `stats::derive_rounds`; a process-global recorder cannot attribute \
-                rounds when simulation worlds run concurrently"
-    )]
-    pub fn install(&self) {
-        *slot().lock().expect("recorder lock") = Some(self.clone());
-    }
-
-    /// Uninstalls whatever recorder is active.
-    pub fn uninstall() {
-        *slot().lock().expect("recorder lock") = None;
-    }
-
-    /// Removes and returns everything recorded so far.
-    #[must_use]
-    pub fn take(&self) -> Vec<RoundRecord> {
-        std::mem::take(&mut *self.records.lock().expect("records lock"))
-    }
-
-    /// Number of records currently held.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.records.lock().expect("records lock").len()
-    }
-
-    /// True when nothing has been recorded.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// Engine hook: append a record to the active recorder, if any.
-pub(crate) fn record(rec: RoundRecord) {
-    if let Some(active) = slot().lock().expect("recorder lock").as_ref() {
-        active.records.lock().expect("records lock").push(rec);
-    }
-}
-
 /// Rebuilds the [`RoundRecord`] sequence from a per-environment span
 /// sink: every `"round"` span the engine emitted carries the full fact
 /// set as attributes, so the records are a pure view over the trace —
@@ -244,36 +177,6 @@ mod tests {
         assert_eq!(s.requests, 4);
         assert!((s.total_secs() - 2.0).abs() < 1e-12);
         assert!((records[0].total_secs() - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn recorder_take_drains() {
-        let r = Recorder::new();
-        r.install();
-        record(rec(false, 7));
-        record(rec(true, 9));
-        assert_eq!(r.len(), 2);
-        let taken = r.take();
-        assert_eq!(taken.len(), 2);
-        assert!(r.is_empty());
-        Recorder::uninstall();
-        record(rec(true, 1));
-        assert!(r.is_empty(), "uninstalled recorder receives nothing");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn install_replaces_previous() {
-        let a = Recorder::new();
-        let b = Recorder::new();
-        a.install();
-        record(rec(true, 1));
-        b.install();
-        record(rec(true, 2));
-        assert_eq!(a.len(), 1);
-        assert_eq!(b.len(), 1);
-        Recorder::uninstall();
     }
 
     #[test]

@@ -284,6 +284,18 @@ impl MemoryModel {
         self.inner.nodes[node].lock().reserved
     }
 
+    /// `node`'s aggregation-memory ceiling: capacity minus what the
+    /// application and OS currently hold (`capacity − app_used`).
+    /// Reservations up to the ceiling fit in DRAM; beyond it the node
+    /// pages ([`MemoryModel::pressure_factor`] rises above 1.0). Fault
+    /// revocations/restorations move the ceiling mid-run, which is why
+    /// occupancy timelines record it per event rather than once.
+    #[must_use]
+    pub fn ceiling(&self, node: usize) -> u64 {
+        let n = self.inner.nodes[node].lock();
+        n.capacity.saturating_sub(n.app_used)
+    }
+
     /// High-water mark of aggregation memory on `node` — the paper's
     /// per-aggregator "memory consumption" metric.
     #[must_use]
@@ -519,6 +531,21 @@ mod tests {
         });
         assert_eq!(m.reserved(0), 0);
         assert!(m.peak_reserved(0) >= MIB);
+    }
+
+    #[test]
+    fn ceiling_tracks_app_usage_not_reservations() {
+        let cluster = test_cluster(1, 2); // 256 MiB capacity
+        let m = MemoryModel::build(&cluster, |_, _| 100 * MIB, MemParams::default());
+        assert_eq!(m.ceiling(0), m.capacity(0) - 100 * MIB);
+        // Reservations consume availability but not the ceiling.
+        let _r = m.reserve(0, 50 * MIB);
+        assert_eq!(m.ceiling(0), m.capacity(0) - 100 * MIB);
+        // Revocation lowers the ceiling; restoration raises it back.
+        m.revoke(0, 20 * MIB);
+        assert_eq!(m.ceiling(0), m.capacity(0) - 120 * MIB);
+        m.restore(0, 20 * MIB);
+        assert_eq!(m.ceiling(0), m.capacity(0) - 100 * MIB);
     }
 
     #[test]

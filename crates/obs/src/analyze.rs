@@ -1,0 +1,1268 @@
+//! Trace analytics: critical-path extraction, memory-pressure
+//! timelines, and A/B run diffing.
+//!
+//! The raw trace (spans, instants, counters) answers *what happened*;
+//! this module answers the questions the paper asks of it:
+//!
+//! * **Critical path** — the engine prices every round at the world
+//!   root, so the longest virtual-time chain through an operation is
+//!   the op span itself, tiled by its rounds' phase terms (sync →
+//!   shuffle → storage → assembly → backoff, in pricing order) plus
+//!   whatever the rounds do not cover (prologue, inter-round gaps,
+//!   epilogue). [`CriticalPath`] reconstructs that tiling from the
+//!   round spans' attributes, attributes every virtual second to a
+//!   [`Phase`], and names the straggler rank that set each
+//!   max-over-ranks phase term.
+//! * **Memory pressure** — paired `mem.reserve` / `mem.release`
+//!   instants (plus `fault.mem.revoke` / `fault.mem.restore`) replay
+//!   into exact per-node occupancy step functions ([`MemTimeline`]),
+//!   not just high-water marks, with overflow windows flagged wherever
+//!   occupancy exceeds the node's ceiling.
+//! * **A/B diffing** — [`TraceAnalysis::diff`] compares two runs'
+//!   attribution tables and counters with per-phase deltas
+//!   ([`RunDiff`]); a run diffed against itself is exactly zero.
+//!
+//! Input is either a live [`ObsSink`] ([`TraceAnalysis::of_sink`]) or a
+//! replayed artifact: [`TraceEvent::from_jsonl`] round-trips the JSONL
+//! exporter bit-exactly (f64s are printed shortest-roundtrip), while
+//! [`TraceEvent::from_chrome`] accepts the Chrome artifact's microsecond
+//! timestamps (lossy at the 1e-9 s level, fine for inspection).
+
+use std::collections::BTreeMap;
+
+use mccio_sim::time::{VDuration, VTime};
+
+use crate::json::{self, Value};
+use crate::sink::ObsSink;
+use crate::span::{sort_for_export, AttrValue, Event, EventKind, ENGINE_TRACK, PHASE_NAMES};
+
+/// Tolerance for tiling checks: segment sums are f64 accumulations of
+/// attribute values, so they match the priced durations to rounding.
+pub const TILING_EPS: f64 = 1e-9;
+
+/// An owned attribute value — the replayable mirror of [`AttrValue`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrVal {
+    /// An unsigned count or byte size.
+    U64(u64),
+    /// A floating-point quantity (seconds, factors).
+    F64(f64),
+    /// A label (direction, strategy name, event taxonomy).
+    Str(String),
+}
+
+/// An owned observability event: the replayable mirror of [`Event`],
+/// buildable from a live sink or parsed back from an exported artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name within the taxonomy (`"op"`, `"round"`, …).
+    pub name: String,
+    /// Category (`"engine"`, `"mem"`, `"fault"`, …).
+    pub cat: String,
+    /// The track the event renders on: a rank number or
+    /// [`ENGINE_TRACK`].
+    pub track: u32,
+    /// The mark this event places on the track.
+    pub kind: EventKind,
+    /// Structured attributes.
+    pub attrs: Vec<(String, AttrVal)>,
+    /// Order key. Live events keep their emission sequence; replayed
+    /// events use their line/array position, which the exporters sort
+    /// parent-before-child, so ordering semantics survive the round
+    /// trip.
+    pub seq: u64,
+}
+
+impl TraceEvent {
+    /// Converts a live sink event.
+    #[must_use]
+    pub fn from_live(e: &Event) -> TraceEvent {
+        TraceEvent {
+            name: e.name.to_string(),
+            cat: e.cat.to_string(),
+            track: e.track,
+            kind: e.kind,
+            attrs: e
+                .attrs
+                .iter()
+                .map(|(k, v)| {
+                    let v = match v {
+                        AttrValue::U64(x) => AttrVal::U64(*x),
+                        AttrValue::F64(x) => AttrVal::F64(*x),
+                        AttrValue::Str(s) => AttrVal::Str((*s).to_string()),
+                    };
+                    ((*k).to_string(), v)
+                })
+                .collect(),
+            seq: e.seq,
+        }
+    }
+
+    /// Looks up an attribute by key.
+    #[must_use]
+    pub fn attr(&self, key: &str) -> Option<&AttrVal> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// An attribute as u64, if present and integral.
+    #[must_use]
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key) {
+            Some(AttrVal::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// An attribute as f64 (also accepts u64), if present.
+    #[must_use]
+    pub fn attr_f64(&self, key: &str) -> Option<f64> {
+        match self.attr(key) {
+            Some(AttrVal::F64(v)) => Some(*v),
+            Some(AttrVal::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// An attribute as a string, if present and of that type.
+    #[must_use]
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        match self.attr(key) {
+            Some(AttrVal::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Virtual end of the event (start + duration for spans, the mark
+    /// itself otherwise).
+    #[must_use]
+    pub fn end(&self) -> VTime {
+        match self.kind {
+            EventKind::Span { start, dur } => start + dur,
+            EventKind::Instant { at } | EventKind::Counter { at, .. } => at,
+        }
+    }
+
+    /// Replays a JSONL artifact (the [`crate::export::jsonl`] format)
+    /// back into events. JSONL prints f64s shortest-roundtrip, so every
+    /// virtual time comes back bit-identical to the live sink's.
+    ///
+    /// # Errors
+    /// Describes the first malformed line.
+    pub fn from_jsonl(doc: &str) -> Result<Vec<TraceEvent>, String> {
+        let mut out = Vec::new();
+        for (i, line) in doc.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let field = |k: &str| {
+                v.get(k)
+                    .cloned()
+                    .ok_or(format!("line {} missing {k:?}", i + 1))
+            };
+            let num = |k: &str| {
+                field(k)?
+                    .as_f64()
+                    .ok_or(format!("line {}: {k:?} not a number", i + 1))
+            };
+            let kind = match field("kind")?.as_str() {
+                Some("span") => EventKind::Span {
+                    start: VTime::from_secs(num("start_s")?),
+                    dur: VDuration::from_secs(num("dur_s")?),
+                },
+                Some("instant") => EventKind::Instant {
+                    at: VTime::from_secs(num("at_s")?),
+                },
+                Some("counter") => EventKind::Counter {
+                    at: VTime::from_secs(num("at_s")?),
+                    value: num("value")?,
+                },
+                other => return Err(format!("line {}: bad kind {other:?}", i + 1)),
+            };
+            out.push(TraceEvent {
+                name: field("name")?
+                    .as_str()
+                    .ok_or(format!("line {}: name not a string", i + 1))?
+                    .to_string(),
+                cat: field("cat")?.as_str().unwrap_or("").to_string(),
+                track: num("track")? as u32,
+                kind,
+                attrs: parse_attrs(v.get("attrs")),
+                seq: out.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Replays a Chrome `trace_event` artifact back into events.
+    /// Timestamps are microseconds printed at fixed precision, so
+    /// virtual times round-trip to ~1e-9 s, not to the bit — use JSONL
+    /// when exactness matters.
+    ///
+    /// # Errors
+    /// Describes the first malformed record.
+    pub fn from_chrome(doc: &str) -> Result<Vec<TraceEvent>, String> {
+        const US: f64 = 1e6;
+        let parsed = json::parse(doc)?;
+        let records = parsed.as_arr().ok_or("top level must be a JSON array")?;
+        let mut out = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let ph = r
+                .get("ph")
+                .and_then(Value::as_str)
+                .ok_or(format!("record {i} missing \"ph\""))?;
+            if ph == "M" {
+                continue;
+            }
+            let num = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("record {i} missing numeric {k:?}"))
+            };
+            let kind = match ph {
+                "X" => EventKind::Span {
+                    start: VTime::from_secs(num("ts")? / US),
+                    dur: VDuration::from_secs(num("dur")? / US),
+                },
+                "i" => EventKind::Instant {
+                    at: VTime::from_secs(num("ts")? / US),
+                },
+                "C" => EventKind::Counter {
+                    at: VTime::from_secs(num("ts")? / US),
+                    value: r
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("counter record {i} missing args.value"))?,
+                },
+                other => return Err(format!("record {i}: unknown ph {other:?}")),
+            };
+            out.push(TraceEvent {
+                name: r
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or(format!("record {i} missing \"name\""))?
+                    .to_string(),
+                cat: r
+                    .get("cat")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                track: num("tid")? as u32,
+                kind,
+                attrs: if matches!(kind, EventKind::Counter { .. }) {
+                    Vec::new()
+                } else {
+                    parse_attrs(r.get("args"))
+                },
+                seq: out.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Parses an exported `attrs`/`args` object back into attribute pairs.
+/// Integral numbers come back as [`AttrVal::U64`] (the exporters print
+/// u64s without a decimal point); everything else stays f64.
+fn parse_attrs(v: Option<&Value>) -> Vec<(String, AttrVal)> {
+    let Some(obj) = v.and_then(Value::as_obj) else {
+        return Vec::new();
+    };
+    obj.iter()
+        .map(|(k, v)| {
+            let val = match v {
+                Value::Str(s) => AttrVal::Str(s.clone()),
+                Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                    AttrVal::U64(*n as u64)
+                }
+                Value::Num(n) => AttrVal::F64(*n),
+                other => AttrVal::Str(format!("{other:?}")),
+            };
+            (k.clone(), val)
+        })
+        .collect()
+}
+
+/// Where a slice of critical-path time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Round control synchronization.
+    Sync,
+    /// Shuffle (client → aggregator data exchange).
+    Shuffle,
+    /// Storage phase (aggregator ↔ file system).
+    Storage,
+    /// Aggregation-buffer assembly copies.
+    Assembly,
+    /// Retry backoff the round waited on its slowest rank.
+    Backoff,
+    /// Before the first round: clock sync, fault application, buffer
+    /// reservation (including collective reservation retries).
+    Prologue,
+    /// Virtual time between consecutive rounds not claimed by either
+    /// (zero on healthy runs; escalation pauses land here).
+    Gap,
+    /// After the last round: release barriers and report assembly.
+    Epilogue,
+}
+
+impl Phase {
+    /// Every phase, round phases first in pricing order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Sync,
+        Phase::Shuffle,
+        Phase::Storage,
+        Phase::Assembly,
+        Phase::Backoff,
+        Phase::Prologue,
+        Phase::Gap,
+        Phase::Epilogue,
+    ];
+
+    /// The phase's lowercase display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sync => "sync",
+            Phase::Shuffle => "shuffle",
+            Phase::Storage => "storage",
+            Phase::Assembly => "assembly",
+            Phase::Backoff => "backoff",
+            Phase::Prologue => "prologue",
+            Phase::Gap => "gap",
+            Phase::Epilogue => "epilogue",
+        }
+    }
+
+    /// The round phase with this name (`"sync"` … `"backoff"`), if any.
+    /// Round phases lead [`Phase::ALL`] in [`PHASE_NAMES`] order.
+    #[must_use]
+    pub fn round_phase(name: &str) -> Option<Phase> {
+        PHASE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| Phase::ALL[i])
+    }
+}
+
+/// One contiguous slice of an operation's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// What the time was spent on.
+    pub phase: Phase,
+    /// Virtual start of the slice.
+    pub start: VTime,
+    /// Virtual duration of the slice.
+    pub dur: VDuration,
+    /// Index of the round this slice belongs to (round phases only).
+    pub round: Option<usize>,
+    /// The rank that set this max-over-ranks phase term — the round's
+    /// straggler. Named for storage (the busiest aggregator), assembly,
+    /// and backoff; sync and shuffle are priced globally.
+    pub straggler: Option<u32>,
+}
+
+/// Seconds of critical-path time attributed to each phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Attribution {
+    /// Control-synchronization seconds.
+    pub sync: f64,
+    /// Shuffle seconds.
+    pub shuffle: f64,
+    /// Storage seconds.
+    pub storage: f64,
+    /// Assembly seconds.
+    pub assembly: f64,
+    /// Retry-backoff seconds.
+    pub backoff: f64,
+    /// Prologue seconds.
+    pub prologue: f64,
+    /// Inter-round gap seconds.
+    pub gap: f64,
+    /// Epilogue seconds.
+    pub epilogue: f64,
+}
+
+impl Attribution {
+    /// Seconds attributed to `phase`.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Sync => self.sync,
+            Phase::Shuffle => self.shuffle,
+            Phase::Storage => self.storage,
+            Phase::Assembly => self.assembly,
+            Phase::Backoff => self.backoff,
+            Phase::Prologue => self.prologue,
+            Phase::Gap => self.gap,
+            Phase::Epilogue => self.epilogue,
+        }
+    }
+
+    fn add(&mut self, phase: Phase, secs: f64) {
+        match phase {
+            Phase::Sync => self.sync += secs,
+            Phase::Shuffle => self.shuffle += secs,
+            Phase::Storage => self.storage += secs,
+            Phase::Assembly => self.assembly += secs,
+            Phase::Backoff => self.backoff += secs,
+            Phase::Prologue => self.prologue += secs,
+            Phase::Gap => self.gap += secs,
+            Phase::Epilogue => self.epilogue += secs,
+        }
+    }
+
+    /// Sum over every phase.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// The phase holding the most time.
+    #[must_use]
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::Sync;
+        for &p in &Phase::ALL {
+            if self.get(p) > self.get(best) {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// The critical path of one collective operation.
+///
+/// The engine advances every rank's clock by the same root-priced
+/// duration each round, so the op span *is* the longest virtual-time
+/// chain; what this adds is the tiling — which phase of which round
+/// each slice belongs to, and who the straggler was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// `"write"` or `"read"`.
+    pub dir: String,
+    /// Virtual start of the operation (the op span's start).
+    pub start: VTime,
+    /// Total critical-path duration — the op span's priced virtual
+    /// duration, verbatim (bit-identical, never re-derived from the
+    /// segment sum).
+    pub total: VDuration,
+    /// The path, tiled in virtual-time order.
+    pub segments: Vec<Segment>,
+    /// Per-phase attribution (sums of the segments).
+    pub attribution: Attribution,
+    /// Rounds on the path.
+    pub rounds: usize,
+    /// `attribution.total() - total.as_secs()` — how far the f64
+    /// segment sum drifts from the priced duration. Bounded by
+    /// [`TILING_EPS`] × rounds on any trace the engine emitted.
+    pub tiling_error: f64,
+}
+
+impl CriticalPath {
+    /// The rank named as straggler most often across this path's
+    /// storage/assembly/backoff segments, with its count.
+    #[must_use]
+    pub fn top_straggler(&self) -> Option<(u32, usize)> {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for s in &self.segments {
+            if let Some(r) = s.straggler {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(r, n)| (n, std::cmp::Reverse(r)))
+    }
+}
+
+/// One step of a node's occupancy timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemPoint {
+    /// Virtual time of the step.
+    pub at: VTime,
+    /// Aggregation-buffer bytes held from this instant on.
+    pub occupancy: u64,
+    /// The node's ceiling (capacity minus application usage) from this
+    /// instant on.
+    pub ceiling: u64,
+}
+
+/// A node's exact aggregation-buffer occupancy over virtual time,
+/// replayed from paired `mem.reserve`/`mem.release` instants, with the
+/// ceiling stepped by `fault.mem.revoke`/`fault.mem.restore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemTimeline {
+    /// The node this timeline describes.
+    pub node: usize,
+    /// Occupancy/ceiling steps in virtual-time order.
+    pub points: Vec<MemPoint>,
+    /// Highest occupancy reached.
+    pub peak: u64,
+    /// Total bytes reserved across the run.
+    pub reserved: u64,
+    /// Total bytes released across the run.
+    pub released: u64,
+    /// Occupancy after the last event — zero iff every reserve was
+    /// released.
+    pub final_occupancy: u64,
+    /// Windows `[start, end)` where occupancy exceeded the ceiling
+    /// (`end == start of the step that cleared it`; an unclosed window
+    /// ends at the last event).
+    pub overflow: Vec<(VTime, VTime)>,
+}
+
+impl MemTimeline {
+    /// True when occupancy never exceeded the ceiling.
+    #[must_use]
+    pub fn within_ceiling(&self) -> bool {
+        self.overflow.is_empty()
+    }
+}
+
+/// Everything the analyzer extracts from one run's trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceAnalysis {
+    /// Critical paths, one per collective operation, in virtual-time
+    /// order (a paper run is a write op followed by a read op).
+    pub ops: Vec<CriticalPath>,
+    /// Per-node occupancy timelines, in node order (only nodes that
+    /// reserved anything appear).
+    pub memory: Vec<MemTimeline>,
+    /// Counter snapshot, when analyzing a live sink (replayed artifacts
+    /// carry events only).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TraceAnalysis {
+    /// Analyzes a live sink: events plus the metrics registry's
+    /// counters. The sink is read, not drained.
+    ///
+    /// # Errors
+    /// Propagates [`TraceAnalysis::from_events`] errors.
+    pub fn of_sink(sink: &ObsSink) -> Result<TraceAnalysis, String> {
+        let events: Vec<TraceEvent> = {
+            let mut live = sink.events();
+            sort_for_export(&mut live);
+            live.iter().map(TraceEvent::from_live).collect()
+        };
+        let mut analysis = TraceAnalysis::from_events(&events)?;
+        analysis.counters = sink.metrics().counter_map();
+        Ok(analysis)
+    }
+
+    /// Analyzes a replayed (or pre-converted) event stream.
+    ///
+    /// # Errors
+    /// Returns a description when the trace is structurally broken —
+    /// a round span outside any op span, or a round whose phase terms
+    /// do not tile its duration.
+    pub fn from_events(events: &[TraceEvent]) -> Result<TraceAnalysis, String> {
+        let mut ops: Vec<&TraceEvent> = Vec::new();
+        let mut rounds: Vec<&TraceEvent> = Vec::new();
+        for e in events {
+            if e.track == ENGINE_TRACK {
+                match (e.name.as_str(), &e.kind) {
+                    ("op", EventKind::Span { .. }) => ops.push(e),
+                    ("round", EventKind::Span { .. }) => rounds.push(e),
+                    _ => {}
+                }
+            }
+        }
+        let by_time = |a: &&TraceEvent, b: &&TraceEvent| {
+            (a.kind.at().as_secs(), a.seq)
+                .partial_cmp(&(b.kind.at().as_secs(), b.seq))
+                .expect("virtual times are finite")
+        };
+        ops.sort_by(by_time);
+        rounds.sort_by(by_time);
+
+        let mut paths = Vec::with_capacity(ops.len());
+        let mut used = vec![false; rounds.len()];
+        for op in &ops {
+            let (start, dur) = match op.kind {
+                EventKind::Span { start, dur } => (start, dur),
+                _ => unreachable!("filtered to spans"),
+            };
+            let end = start + dur;
+            let mut mine: Vec<&TraceEvent> = Vec::new();
+            for (r, claimed) in rounds.iter().zip(used.iter_mut()) {
+                if *claimed {
+                    continue;
+                }
+                let contained = r.kind.at().as_secs() >= start.as_secs() - TILING_EPS
+                    && r.end().as_secs() <= end.as_secs() + TILING_EPS;
+                if contained {
+                    *claimed = true;
+                    mine.push(r);
+                }
+            }
+            paths.push(critical_path(op, start, dur, &mine)?);
+        }
+        if let Some(pos) = used.iter().position(|&u| !u) {
+            return Err(format!(
+                "round span at t={} lies outside every op span",
+                rounds[pos].kind.at()
+            ));
+        }
+        Ok(TraceAnalysis {
+            ops: paths,
+            memory: mem_timelines(events),
+            counters: BTreeMap::new(),
+        })
+    }
+
+    /// Structured comparison of two runs: per-phase attribution deltas
+    /// (summed across each run's ops) and counter deltas.
+    #[must_use]
+    pub fn diff(&self, other: &TraceAnalysis) -> RunDiff {
+        let sum = |a: &TraceAnalysis| {
+            let mut acc = Attribution::default();
+            for op in &a.ops {
+                for &p in &Phase::ALL {
+                    acc.add(p, op.attribution.get(p));
+                }
+            }
+            acc
+        };
+        let (a, b) = (sum(self), sum(other));
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| PhaseDelta {
+                phase: p,
+                a_secs: a.get(p),
+                b_secs: b.get(p),
+            })
+            .collect();
+        let mut names: Vec<&String> = self.counters.keys().collect();
+        for k in other.counters.keys() {
+            if !self.counters.contains_key(k) {
+                names.push(k);
+            }
+        }
+        names.sort();
+        let counters = names
+            .into_iter()
+            .map(|k| CounterDelta {
+                name: k.clone(),
+                a: self.counters.get(k).copied().unwrap_or(0),
+                b: other.counters.get(k).copied().unwrap_or(0),
+            })
+            .collect();
+        RunDiff {
+            ops_a: self.ops.len(),
+            ops_b: other.ops.len(),
+            phases,
+            counters,
+        }
+    }
+}
+
+/// One phase's attribution in two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDelta {
+    /// The phase compared.
+    pub phase: Phase,
+    /// Seconds in run A.
+    pub a_secs: f64,
+    /// Seconds in run B.
+    pub b_secs: f64,
+}
+
+impl PhaseDelta {
+    /// `b - a` seconds.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.b_secs - self.a_secs
+    }
+}
+
+/// One counter's value in two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Value in run A.
+    pub a: u64,
+    /// Value in run B.
+    pub b: u64,
+}
+
+impl CounterDelta {
+    /// `b - a`.
+    #[must_use]
+    pub fn delta(&self) -> i64 {
+        self.b as i64 - self.a as i64
+    }
+}
+
+/// A structured A/B comparison of two analyzed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDiff {
+    /// Op count in run A.
+    pub ops_a: usize,
+    /// Op count in run B.
+    pub ops_b: usize,
+    /// Per-phase attribution deltas (summed across ops).
+    pub phases: Vec<PhaseDelta>,
+    /// Counter deltas, name order, union of both runs' counters.
+    pub counters: Vec<CounterDelta>,
+}
+
+impl RunDiff {
+    /// True when every phase delta is within `eps` seconds and every
+    /// counter delta is zero — what a run diffed against itself yields.
+    #[must_use]
+    pub fn is_zero(&self, eps: f64) -> bool {
+        self.ops_a == self.ops_b
+            && self.phases.iter().all(|p| p.delta().abs() <= eps)
+            && self.counters.iter().all(|c| c.delta() == 0)
+    }
+
+    /// A fixed-width text rendering of the comparison.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "ops: a={} b={}", self.ops_a, self.ops_b);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>14} {:>14}",
+            "phase", "a_secs", "b_secs", "delta"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14.6} {:>14.6} {:>+14.6}",
+                p.phase.name(),
+                p.a_secs,
+                p.b_secs,
+                p.delta()
+            );
+        }
+        let changed: Vec<&CounterDelta> = self.counters.iter().filter(|c| c.delta() != 0).collect();
+        if changed.is_empty() {
+            let _ = writeln!(out, "counters: no deltas");
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>14} {:>14} {:>10}",
+                "counter", "a", "b", "delta"
+            );
+            for c in changed {
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>14} {:>14} {:>+10}",
+                    c.name,
+                    c.a,
+                    c.b,
+                    c.delta()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Tiles one op span with its rounds' phase terms.
+fn critical_path(
+    op: &TraceEvent,
+    start: VTime,
+    dur: VDuration,
+    rounds: &[&TraceEvent],
+) -> Result<CriticalPath, String> {
+    let end = start + dur;
+    let mut segments = Vec::new();
+    let mut attribution = Attribution::default();
+    let mut push =
+        |phase: Phase, at: VTime, secs: f64, round: Option<usize>, straggler: Option<u32>| {
+            if secs > 0.0 {
+                segments.push(Segment {
+                    phase,
+                    start: at,
+                    dur: VDuration::from_secs(secs),
+                    round,
+                    straggler,
+                });
+            }
+            attribution.add(phase, secs);
+        };
+    let mut cursor = start;
+    for (i, r) in rounds.iter().enumerate() {
+        let r_start = r.kind.at();
+        let lead = r_start.as_secs() - cursor.as_secs();
+        if lead > TILING_EPS {
+            let phase = if i == 0 { Phase::Prologue } else { Phase::Gap };
+            push(phase, cursor, lead, None, None);
+        }
+        let mut t = r_start;
+        for (name, phase) in [
+            ("sync_secs", Phase::Sync),
+            ("shuffle_secs", Phase::Shuffle),
+            ("storage_secs", Phase::Storage),
+            ("assembly_secs", Phase::Assembly),
+            ("backoff_secs", Phase::Backoff),
+        ] {
+            let secs = r.attr_f64(name).unwrap_or(0.0);
+            let straggler = match phase {
+                Phase::Storage => r.attr_u64("storage_rank"),
+                Phase::Assembly => r.attr_u64("assembly_rank"),
+                Phase::Backoff => r.attr_u64("backoff_rank"),
+                _ => None,
+            }
+            .map(|v| v as u32)
+            .filter(|_| secs > 0.0);
+            push(phase, t, secs, Some(i), straggler);
+            t += VDuration::from_secs(secs);
+        }
+        let round_end = r.end();
+        if (t.as_secs() - round_end.as_secs()).abs() > TILING_EPS * 10.0 {
+            return Err(format!(
+                "round {i} phase terms sum to {} but the span ends at {} (op {})",
+                t,
+                round_end,
+                op.attr_str("dir").unwrap_or("?"),
+            ));
+        }
+        cursor = round_end;
+    }
+    let tail = end.as_secs() - cursor.as_secs();
+    if tail > TILING_EPS {
+        let phase = if rounds.is_empty() {
+            Phase::Prologue
+        } else {
+            Phase::Epilogue
+        };
+        push(phase, cursor, tail, None, None);
+    }
+    let tiling_error = attribution.total() - dur.as_secs();
+    Ok(CriticalPath {
+        dir: op.attr_str("dir").unwrap_or("?").to_string(),
+        start,
+        total: dur,
+        segments,
+        attribution,
+        rounds: rounds.len(),
+        tiling_error,
+    })
+}
+
+/// Replays `mem.reserve`/`mem.release` and `fault.mem.*` events into
+/// per-node occupancy step functions.
+fn mem_timelines(events: &[TraceEvent]) -> Vec<MemTimeline> {
+    // Per node, chronological (occupancy delta, ceiling observation or
+    // delta) — reserve/release carry an exact ceiling reading, fault
+    // events step it.
+    #[derive(Clone, Copy)]
+    enum Ceil {
+        Observed(u64),
+        Delta(i64),
+    }
+    let mut per_node: BTreeMap<usize, Vec<(f64, u64, i64, Ceil)>> = BTreeMap::new();
+    for e in events {
+        let (occ_delta, ceil) = match e.name.as_str() {
+            "mem.reserve" => (
+                e.attr_u64("bytes").unwrap_or(0) as i64,
+                Ceil::Observed(e.attr_u64("ceiling").unwrap_or(0)),
+            ),
+            "mem.release" => (
+                -(e.attr_u64("bytes").unwrap_or(0) as i64),
+                Ceil::Observed(e.attr_u64("ceiling").unwrap_or(0)),
+            ),
+            "fault.mem.revoke" => (0, Ceil::Delta(-(e.attr_u64("bytes").unwrap_or(0) as i64))),
+            "fault.mem.restore" => (0, Ceil::Delta(e.attr_u64("bytes").unwrap_or(0) as i64)),
+            _ => continue,
+        };
+        let Some(node) = e.attr_u64("node") else {
+            continue;
+        };
+        per_node.entry(node as usize).or_default().push((
+            e.kind.at().as_secs(),
+            e.seq,
+            occ_delta,
+            ceil,
+        ));
+    }
+    per_node
+        .into_iter()
+        .filter(|(_, evs)| evs.iter().any(|&(_, _, d, _)| d != 0))
+        .map(|(node, mut evs)| {
+            evs.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+            // Back-fill the initial ceiling from the first exact reading
+            // so fault deltas before any reservation still level out.
+            let first_obs = evs
+                .iter()
+                .find_map(|&(_, _, _, c)| match c {
+                    Ceil::Observed(v) => Some(v),
+                    Ceil::Delta(_) => None,
+                })
+                .unwrap_or(0);
+            let mut pre_delta = 0i64;
+            for &(_, _, _, c) in &evs {
+                match c {
+                    Ceil::Observed(_) => break,
+                    Ceil::Delta(d) => pre_delta += d,
+                }
+            }
+            let mut ceiling = (first_obs as i64 - pre_delta).max(0) as u64;
+            let mut occupancy = 0u64;
+            let mut tl = MemTimeline {
+                node,
+                points: Vec::with_capacity(evs.len()),
+                peak: 0,
+                reserved: 0,
+                released: 0,
+                final_occupancy: 0,
+                overflow: Vec::new(),
+            };
+            let mut over_since: Option<VTime> = None;
+            for (at_secs, _, occ_delta, ceil) in evs {
+                let at = VTime::from_secs(at_secs);
+                if occ_delta > 0 {
+                    tl.reserved += occ_delta as u64;
+                } else {
+                    tl.released += (-occ_delta) as u64;
+                }
+                occupancy = (occupancy as i64 + occ_delta).max(0) as u64;
+                ceiling = match ceil {
+                    Ceil::Observed(v) => v,
+                    Ceil::Delta(d) => (ceiling as i64 + d).max(0) as u64,
+                };
+                tl.peak = tl.peak.max(occupancy);
+                match (occupancy > ceiling, over_since) {
+                    (true, None) => over_since = Some(at),
+                    (false, Some(since)) => {
+                        tl.overflow.push((since, at));
+                        over_since = None;
+                    }
+                    _ => {}
+                }
+                tl.points.push(MemPoint {
+                    at,
+                    occupancy,
+                    ceiling,
+                });
+            }
+            if let (Some(since), Some(last)) = (over_since, tl.points.last()) {
+                tl.overflow.push((since, last.at));
+            }
+            tl.final_occupancy = occupancy;
+            tl
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        name: &str,
+        track: u32,
+        kind: EventKind,
+        attrs: Vec<(&str, AttrVal)>,
+        seq: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "t".to_string(),
+            track,
+            kind,
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            seq,
+        }
+    }
+
+    fn span(start: f64, dur: f64) -> EventKind {
+        EventKind::Span {
+            start: VTime::from_secs(start),
+            dur: VDuration::from_secs(dur),
+        }
+    }
+
+    fn at(t: f64) -> EventKind {
+        EventKind::Instant {
+            at: VTime::from_secs(t),
+        }
+    }
+
+    fn round(start: f64, secs: [f64; 5], straggler: u64, seq: u64) -> TraceEvent {
+        let dur: f64 = secs.iter().sum();
+        ev(
+            "round",
+            ENGINE_TRACK,
+            span(start, dur),
+            vec![
+                ("dir", AttrVal::Str("write".into())),
+                ("sync_secs", AttrVal::F64(secs[0])),
+                ("shuffle_secs", AttrVal::F64(secs[1])),
+                ("storage_secs", AttrVal::F64(secs[2])),
+                ("assembly_secs", AttrVal::F64(secs[3])),
+                ("backoff_secs", AttrVal::F64(secs[4])),
+                ("storage_rank", AttrVal::U64(straggler)),
+                ("assembly_rank", AttrVal::U64(straggler + 1)),
+                ("backoff_rank", AttrVal::U64(straggler + 2)),
+            ],
+            seq,
+        )
+    }
+
+    #[test]
+    fn critical_path_tiles_op_with_rounds_gaps_and_epilogue() {
+        let op = ev(
+            "op",
+            ENGINE_TRACK,
+            span(0.0, 10.0),
+            vec![("dir", AttrVal::Str("write".into()))],
+            0,
+        );
+        let events = vec![
+            op,
+            round(1.0, [0.5, 1.0, 1.5, 0.0, 0.0], 3, 1),
+            round(5.0, [0.5, 0.5, 2.0, 1.0, 0.0], 7, 2),
+        ];
+        let a = TraceAnalysis::from_events(&events).unwrap();
+        assert_eq!(a.ops.len(), 1);
+        let cp = &a.ops[0];
+        assert_eq!(cp.dir, "write");
+        assert_eq!(cp.rounds, 2);
+        // Total is the op span's duration verbatim.
+        assert_eq!(cp.total.as_secs().to_bits(), 10.0f64.to_bits());
+        // Prologue [0,1), round1 3s, gap [4,5), round2 4s, epilogue [9,10).
+        assert!((cp.attribution.prologue - 1.0).abs() < 1e-12);
+        assert!((cp.attribution.gap - 1.0).abs() < 1e-12);
+        assert!((cp.attribution.epilogue - 1.0).abs() < 1e-12);
+        assert!((cp.attribution.storage - 3.5).abs() < 1e-12);
+        assert!(cp.tiling_error.abs() < TILING_EPS);
+        assert_eq!(cp.attribution.dominant(), Phase::Storage);
+        // Stragglers named only on nonzero storage/assembly/backoff.
+        let stragglers: Vec<(Phase, u32)> = cp
+            .segments
+            .iter()
+            .filter_map(|s| s.straggler.map(|r| (s.phase, r)))
+            .collect();
+        assert_eq!(
+            stragglers,
+            vec![
+                (Phase::Storage, 3),
+                (Phase::Storage, 7),
+                (Phase::Assembly, 8)
+            ]
+        );
+        assert_eq!(cp.top_straggler(), Some((3, 1)));
+        // Segments are contiguous from start to end.
+        let mut t = cp.start;
+        for s in &cp.segments {
+            assert!((s.start.as_secs() - t.as_secs()).abs() < 1e-9);
+            t = s.start + s.dur;
+        }
+        assert!((t.as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_outside_any_op_is_an_error() {
+        let events = vec![
+            ev("op", ENGINE_TRACK, span(0.0, 1.0), vec![], 0),
+            round(5.0, [1.0, 0.0, 0.0, 0.0, 0.0], 0, 1),
+        ];
+        let err = TraceAnalysis::from_events(&events).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn untiled_round_is_an_error() {
+        let mut bad = round(0.0, [1.0, 0.0, 0.0, 0.0, 0.0], 0, 1);
+        bad.kind = span(0.0, 2.0); // claims 2s, terms sum to 1s
+        let events = vec![ev("op", ENGINE_TRACK, span(0.0, 2.0), vec![], 0), bad];
+        let err = TraceAnalysis::from_events(&events).unwrap_err();
+        assert!(err.contains("phase terms"), "{err}");
+    }
+
+    fn mem_ev(name: &str, t: f64, node: u64, bytes: u64, ceiling: u64, seq: u64) -> TraceEvent {
+        ev(
+            name,
+            0,
+            at(t),
+            vec![
+                ("node", AttrVal::U64(node)),
+                ("bytes", AttrVal::U64(bytes)),
+                ("ceiling", AttrVal::U64(ceiling)),
+            ],
+            seq,
+        )
+    }
+
+    #[test]
+    fn occupancy_steps_and_balances() {
+        let events = vec![
+            mem_ev("mem.reserve", 0.0, 0, 100, 150, 0),
+            mem_ev("mem.reserve", 1.0, 0, 40, 150, 1),
+            mem_ev("mem.release", 2.0, 0, 100, 150, 2),
+            mem_ev("mem.release", 2.0, 0, 40, 150, 3),
+        ];
+        let a = TraceAnalysis::from_events(&events).unwrap();
+        assert_eq!(a.memory.len(), 1);
+        let tl = &a.memory[0];
+        assert_eq!(tl.node, 0);
+        assert_eq!(tl.peak, 140);
+        assert_eq!(tl.reserved, 140);
+        assert_eq!(tl.released, 140);
+        assert_eq!(tl.final_occupancy, 0);
+        assert!(tl.within_ceiling());
+        let occ: Vec<u64> = tl.points.iter().map(|p| p.occupancy).collect();
+        assert_eq!(occ, vec![100, 140, 40, 0]);
+    }
+
+    #[test]
+    fn overflow_windows_track_ceiling_revocations() {
+        let events = vec![
+            mem_ev("mem.reserve", 0.0, 2, 100, 150, 0),
+            // A revocation drops the ceiling below occupancy…
+            ev(
+                "fault.mem.revoke",
+                ENGINE_TRACK,
+                at(1.0),
+                vec![("node", AttrVal::U64(2)), ("bytes", AttrVal::U64(80))],
+                1,
+            ),
+            // …and a restoration clears it.
+            ev(
+                "fault.mem.restore",
+                ENGINE_TRACK,
+                at(3.0),
+                vec![("node", AttrVal::U64(2)), ("bytes", AttrVal::U64(80))],
+                2,
+            ),
+            mem_ev("mem.release", 5.0, 2, 100, 150, 3),
+        ];
+        let a = TraceAnalysis::from_events(&events).unwrap();
+        let tl = &a.memory[0];
+        assert!(!tl.within_ceiling());
+        assert_eq!(tl.overflow.len(), 1);
+        let (s, e) = tl.overflow[0];
+        assert!((s.as_secs() - 1.0).abs() < 1e-12);
+        assert!((e.as_secs() - 3.0).abs() < 1e-12);
+        // Ceiling readings: 150, 70, 150, 150.
+        let ceils: Vec<u64> = tl.points.iter().map(|p| p.ceiling).collect();
+        assert_eq!(ceils, vec![150, 70, 150, 150]);
+    }
+
+    #[test]
+    fn self_diff_is_zero_and_deltas_show() {
+        let events = vec![
+            ev("op", ENGINE_TRACK, span(0.0, 2.0), vec![], 0),
+            round(0.0, [1.0, 1.0, 0.0, 0.0, 0.0], 0, 1),
+        ];
+        let mut a = TraceAnalysis::from_events(&events).unwrap();
+        a.counters.insert("round.count".into(), 1);
+        let d = a.diff(&a.clone());
+        assert!(d.is_zero(0.0));
+        assert!(d.table().contains("no deltas"));
+
+        let mut b = a.clone();
+        b.counters.insert("round.count".into(), 3);
+        b.ops[0].attribution.shuffle += 0.5;
+        let d = a.diff(&b);
+        assert!(!d.is_zero(1e-12));
+        let shuffle = d.phases.iter().find(|p| p.phase == Phase::Shuffle).unwrap();
+        assert!((shuffle.delta() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            d.counters
+                .iter()
+                .find(|c| c.name == "round.count")
+                .unwrap()
+                .delta(),
+            2
+        );
+        assert!(d.table().contains("round.count"));
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_bit_exact() {
+        use crate::export;
+        let sink = ObsSink::enabled();
+        sink.span(
+            ENGINE_TRACK,
+            "op",
+            "engine",
+            VTime::ZERO,
+            VDuration::from_secs(0.1 + 0.2), // not representable exactly
+            &[("dir", AttrValue::Str("write"))],
+        );
+        sink.instant(
+            3,
+            "mem.reserve",
+            "mem",
+            VTime::from_secs(1.0 / 3.0),
+            &[("node", AttrValue::U64(1)), ("bytes", AttrValue::U64(42))],
+        );
+        sink.counter_sample(0, "occ", "mem", VTime::from_secs(0.7), 12.5, &[]);
+        let mut live = sink.events();
+        sort_for_export(&mut live);
+        let replayed = TraceEvent::from_jsonl(&export::jsonl(&live)).unwrap();
+        assert_eq!(replayed.len(), live.len());
+        for (r, l) in replayed.iter().zip(&live) {
+            assert_eq!(r.name, l.name);
+            assert_eq!(r.track, l.track);
+            match (r.kind, l.kind) {
+                (
+                    EventKind::Span { start: rs, dur: rd },
+                    EventKind::Span { start: ls, dur: ld },
+                ) => {
+                    assert_eq!(rs.as_secs().to_bits(), ls.as_secs().to_bits());
+                    assert_eq!(rd.as_secs().to_bits(), ld.as_secs().to_bits());
+                }
+                (EventKind::Instant { at: ra }, EventKind::Instant { at: la }) => {
+                    assert_eq!(ra.as_secs().to_bits(), la.as_secs().to_bits());
+                }
+                (
+                    EventKind::Counter { at: ra, value: rv },
+                    EventKind::Counter { at: la, value: lv },
+                ) => {
+                    assert_eq!(ra.as_secs().to_bits(), la.as_secs().to_bits());
+                    assert_eq!(rv.to_bits(), lv.to_bits());
+                }
+                other => panic!("kind mismatch: {other:?}"),
+            }
+        }
+        // Attribute types survive: u64 stays integral, str stays str.
+        let op = replayed.iter().find(|e| e.name == "op").unwrap();
+        assert_eq!(op.attr_str("dir"), Some("write"));
+        let res = replayed.iter().find(|e| e.name == "mem.reserve").unwrap();
+        assert_eq!(res.attr_u64("bytes"), Some(42));
+    }
+
+    #[test]
+    fn chrome_round_trip_preserves_structure() {
+        use crate::export;
+        let sink = ObsSink::enabled();
+        sink.span(
+            ENGINE_TRACK,
+            "op",
+            "engine",
+            VTime::ZERO,
+            VDuration::from_secs(1.5),
+            &[("bytes", AttrValue::U64(1024))],
+        );
+        sink.instant(2, "rank.round", "engine", VTime::from_secs(0.25), &[]);
+        let mut live = sink.events();
+        sort_for_export(&mut live);
+        let replayed = TraceEvent::from_chrome(&export::chrome_trace(&live)).unwrap();
+        // Metadata records are skipped; the two real events survive.
+        assert_eq!(replayed.len(), 2);
+        let op = replayed.iter().find(|e| e.name == "op").unwrap();
+        assert_eq!(op.track, ENGINE_TRACK);
+        assert_eq!(op.attr_u64("bytes"), Some(1024));
+        assert!((op.end().as_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_names_agree_with_round_phase() {
+        for name in PHASE_NAMES {
+            let p = Phase::round_phase(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(Phase::round_phase("prologue"), None);
+    }
+}

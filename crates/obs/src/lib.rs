@@ -23,7 +23,13 @@
 //! * [`export`] — Chrome `trace_event` JSON (loadable in Perfetto or
 //!   `chrome://tracing`) and a JSONL event stream;
 //! * [`json`] — a small self-contained JSON parser used to validate
-//!   emitted artifacts (the workspace is dependency-free by design).
+//!   emitted artifacts (the workspace is dependency-free by design);
+//! * [`analyze`] — trace analytics over a sink or a replayed artifact:
+//!   critical-path extraction with per-phase attribution and straggler
+//!   naming, exact per-node memory-occupancy timelines, and structured
+//!   A/B run diffing;
+//! * [`report`] — a self-contained HTML report (inline SVG timeline
+//!   lanes, critical path, occupancy strip charts; zero dependencies).
 //!
 //! ## Quick example
 //!
@@ -50,12 +56,15 @@
 
 #![deny(missing_docs)]
 
+pub mod analyze;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use analyze::{CriticalPath, MemTimeline, Phase, RunDiff, TraceAnalysis, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::ObsSink;
-pub use span::{AttrValue, Event, EventKind, ENGINE_TRACK};
+pub use span::{AttrValue, Event, EventKind, ENGINE_TRACK, PHASE_NAMES};

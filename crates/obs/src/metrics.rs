@@ -200,6 +200,16 @@ impl MetricsRegistry {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// The counters as an owned name → value map (the analyzer's
+    /// run-comparison currency).
+    #[must_use]
+    pub fn counter_map(&self) -> std::collections::BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect()
+    }
+
     /// All gauges in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
         self.gauges.iter().map(|(&k, &v)| (k, v))

@@ -4,8 +4,9 @@
 //! One sink is carried by each `IoEnv` (cheaply cloned alongside it, all
 //! clones share the same buffers), so concurrent simulation worlds each
 //! record into their own sink instead of interleaving into one
-//! process-global `Mutex` — the cross-world attribution caveat the old
-//! `core::stats::Recorder` documented is structurally gone.
+//! process-global `Mutex` — the cross-world attribution caveat of the
+//! process-global recorder `core::stats` used to carry is structurally
+//! gone.
 //!
 //! The default sink is **disabled**: `inner` is `None`, every record
 //! method is one predictable branch and an immediate return — no locks

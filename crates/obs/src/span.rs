@@ -21,6 +21,11 @@ use mccio_sim::time::{VDuration, VTime};
 /// the rank number; this sits far above any plausible rank count.
 pub const ENGINE_TRACK: u32 = 1_000_000;
 
+/// The five priced round phases in pricing order — the names the engine
+/// gives the child spans tiling each `"round"` span, and the order the
+/// analyzer walks them back in.
+pub const PHASE_NAMES: [&str; 5] = ["sync", "shuffle", "storage", "assembly", "backoff"];
+
 /// One structured attribute value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttrValue {
