@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use mccio_core::prelude::*;
 use mccio_mem::MemoryModel;
-use mccio_mpiio::OpMetrics;
+use mccio_mpiio::{OpMetrics, Resilience};
 use mccio_net::{TrafficSnapshot, World};
 use mccio_obs::ObsSink;
 use mccio_pfs::{FileSystem, PfsParams};
@@ -118,6 +118,10 @@ pub struct RunResult {
     /// Engine metrics summed across every rank's write and read reports
     /// (memory high-water fields are environment-wide, taken once).
     pub metrics: OpMetrics,
+    /// Resilience counters absorbed across every rank's write and read
+    /// reports — what the run endured (faults, retries, crash
+    /// recoveries) on its way to the reported bandwidths.
+    pub resilience: Resilience,
 }
 
 impl RunResult {
@@ -204,9 +208,12 @@ pub fn run_with(
         .map(|(_, r)| r.elapsed.as_secs())
         .fold(0.0, f64::max);
     let mut metrics = OpMetrics::default();
+    let mut resilience = Resilience::default();
     for (w, r) in &reports {
         metrics.absorb(w.metrics);
         metrics.absorb(r.metrics);
+        resilience.absorb(w.resilience);
+        resilience.absorb(r.resilience);
     }
     RunResult {
         write_bw: if write_secs > 0.0 {
@@ -225,6 +232,7 @@ pub fn run_with(
         peak_mem: env.mem.peak_statistics(),
         traffic: world.traffic().snapshot(),
         metrics,
+        resilience,
     }
 }
 

@@ -40,16 +40,20 @@
 //!   and the matching epilogue;
 //! * `rounds` — the single direction-agnostic round executor, driven by
 //!   an `Op::Write`/`Op::Read` data-plane parameter over the schedule;
+//! * `recover` — crash detection, aggregator re-election, and mid-op
+//!   re-planning when the fault plan schedules rank crashes;
 //! * `settle` — round pricing at the world root.
 
 mod env;
 mod pool;
 mod prologue;
+mod recover;
 mod rounds;
 mod settle;
 mod wire;
 
 pub use env::IoEnv;
+pub(crate) use wire::CHECKSUM_TRAILER;
 
 use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience};
 use mccio_net::Ctx;

@@ -11,29 +11,42 @@
 //!
 //! Buffer *contents* never leak between uses: [`BufferPool::take`]
 //! returns an empty (cleared) buffer for append-style encoding and
-//! [`BufferPool::take_filled`] a zero-filled one, exactly matching what
+//! [`BufferPool::loan_filled`] a zero-filled one, exactly matching what
 //! fresh allocation produced — pooling is invisible to the wire format,
 //! the file bytes, and virtual time.
+//!
+//! ## Leak safety
+//!
+//! Loop-local buffers are handed out as [`PoolLoan`] RAII guards that
+//! return themselves on drop, so an early `?`-return from a faulted
+//! storage access can no longer strand a buffer outside the pool.
+//! Buffers whose ownership genuinely leaves the rank (encoded shuffle
+//! payloads moved into the wire) use the untracked [`BufferPool::take`]
+//! / [`BufferPool::put`] pair. [`BufferPool::loans_outstanding`] counts
+//! live loans; the epilogue asserts it is zero so any future leak fails
+//! loudly instead of silently bloating allocation.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 
 /// Retired buffers kept for reuse; beyond this the pool lets buffers
 /// drop so a burst of wide rounds cannot pin memory for the whole
 /// operation.
 const POOL_CAP: usize = 16;
 
-/// A bounded free-list of byte buffers (see module docs).
 #[derive(Debug, Default)]
-pub(super) struct BufferPool {
+struct Inner {
     free: Vec<Vec<u8>>,
     /// Takes served from a retired buffer without allocating.
     hits: u64,
     /// Takes that had to allocate (or grow a too-small retiree).
     misses: u64,
+    /// Live [`PoolLoan`]s not yet returned.
+    outstanding: u64,
 }
 
-impl BufferPool {
-    /// An empty buffer with at least `cap` bytes of capacity, preferring
-    /// a retired buffer that already fits.
-    pub(super) fn take(&mut self, cap: usize) -> Vec<u8> {
+impl Inner {
+    fn take(&mut self, cap: usize) -> Vec<u8> {
         if let Some(i) = self.free.iter().position(|b| b.capacity() >= cap) {
             self.hits += 1;
             let mut v = self.free.swap_remove(i);
@@ -51,24 +64,100 @@ impl BufferPool {
         }
     }
 
-    /// `(hits, misses)` over the pool's lifetime.
-    pub(super) fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < POOL_CAP && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// A bounded free-list of byte buffers (see module docs). Interior
+/// mutability (the pool lives in the per-rank `OpState` and is only
+/// ever touched from its own rank's thread) lets loans borrow the pool
+/// while the round loop keeps using it.
+#[derive(Debug, Default)]
+pub(super) struct BufferPool {
+    inner: RefCell<Inner>,
+}
+
+impl BufferPool {
+    /// An empty buffer with at least `cap` bytes of capacity, preferring
+    /// a retired buffer that already fits. Untracked: for buffers whose
+    /// ownership leaves this rank (wire payloads). Pair with
+    /// [`BufferPool::put`] where the buffer comes back.
+    pub(super) fn take(&self, cap: usize) -> Vec<u8> {
+        self.inner.borrow_mut().take(cap)
     }
 
-    /// A zero-filled buffer of exactly `len` bytes.
-    pub(super) fn take_filled(&mut self, len: usize) -> Vec<u8> {
-        let mut v = self.take(len);
-        v.resize(len, 0);
-        v
+    /// A tracked, auto-returning empty buffer with at least `cap` bytes
+    /// of capacity — the default for loop-local assembly/staging
+    /// buffers.
+    pub(super) fn loan(&self, cap: usize) -> PoolLoan<'_> {
+        let buf = {
+            let mut inner = self.inner.borrow_mut();
+            inner.outstanding += 1;
+            inner.take(cap)
+        };
+        PoolLoan {
+            pool: self,
+            buf: Some(buf),
+        }
+    }
+
+    /// A tracked, auto-returning zero-filled buffer of exactly `len`
+    /// bytes.
+    pub(super) fn loan_filled(&self, len: usize) -> PoolLoan<'_> {
+        let mut loan = self.loan(len);
+        loan.resize(len, 0);
+        loan
+    }
+
+    /// `(hits, misses)` over the pool's lifetime.
+    pub(super) fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.hits, inner.misses)
+    }
+
+    /// Live loans not yet dropped; the epilogue asserts this is zero.
+    pub(super) fn loans_outstanding(&self) -> u64 {
+        self.inner.borrow().outstanding
     }
 
     /// Retires a buffer into the pool (dropped if the pool is full or
     /// the buffer holds no allocation).
-    pub(super) fn put(&mut self, buf: Vec<u8>) {
-        if self.free.len() < POOL_CAP && buf.capacity() > 0 {
-            self.free.push(buf);
-        }
+    pub(super) fn put(&self, buf: Vec<u8>) {
+        self.inner.borrow_mut().put(buf);
+    }
+}
+
+/// RAII loan of a pooled buffer: derefs to `Vec<u8>` and returns itself
+/// to the pool on drop — including drops driven by `?`-propagation out
+/// of a faulted round.
+#[derive(Debug)]
+pub(super) struct PoolLoan<'p> {
+    pool: &'p BufferPool,
+    buf: Option<Vec<u8>>,
+}
+
+impl Deref for PoolLoan<'_> {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        self.buf.as_ref().expect("loan present until drop")
+    }
+}
+
+impl DerefMut for PoolLoan<'_> {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.buf.as_mut().expect("loan present until drop")
+    }
+}
+
+impl Drop for PoolLoan<'_> {
+    fn drop(&mut self) {
+        let buf = self.buf.take().expect("loan returned exactly once");
+        let mut inner = self.pool.inner.borrow_mut();
+        inner.outstanding -= 1;
+        inner.put(buf);
     }
 }
 
@@ -78,7 +167,7 @@ mod tests {
 
     #[test]
     fn reuses_capacity_and_clears_contents() {
-        let mut pool = BufferPool::default();
+        let pool = BufferPool::default();
         let mut a = pool.take(64);
         a.extend_from_slice(&[7u8; 64]);
         let ptr = a.as_ptr();
@@ -91,17 +180,17 @@ mod tests {
 
     #[test]
     fn take_filled_is_zeroed() {
-        let mut pool = BufferPool::default();
+        let pool = BufferPool::default();
         let mut a = pool.take(8);
         a.extend_from_slice(&[0xFFu8; 8]);
         pool.put(a);
-        let b = pool.take_filled(8);
-        assert_eq!(b, vec![0u8; 8]);
+        let b = pool.loan_filled(8);
+        assert_eq!(*b, vec![0u8; 8]);
     }
 
     #[test]
     fn prefers_a_buffer_that_already_fits() {
-        let mut pool = BufferPool::default();
+        let pool = BufferPool::default();
         pool.put(Vec::with_capacity(8));
         pool.put(Vec::with_capacity(256));
         let v = pool.take(100);
@@ -110,7 +199,7 @@ mod tests {
 
     #[test]
     fn hit_miss_accounting() {
-        let mut pool = BufferPool::default();
+        let pool = BufferPool::default();
         let a = pool.take(16);
         pool.put(a);
         let _b = pool.take(8);
@@ -120,12 +209,39 @@ mod tests {
 
     #[test]
     fn pool_is_bounded() {
-        let mut pool = BufferPool::default();
+        let pool = BufferPool::default();
         for _ in 0..POOL_CAP + 10 {
             pool.put(Vec::with_capacity(16));
         }
-        assert_eq!(pool.free.len(), POOL_CAP);
+        assert_eq!(pool.inner.borrow().free.len(), POOL_CAP);
         pool.put(Vec::new()); // no allocation -> not retained
-        assert_eq!(pool.free.len(), POOL_CAP);
+        assert_eq!(pool.inner.borrow().free.len(), POOL_CAP);
+    }
+
+    #[test]
+    fn loans_return_on_drop_even_mid_error_path() {
+        let pool = BufferPool::default();
+        let attempt = |pool: &BufferPool| -> Result<(), ()> {
+            let mut a = pool.loan(128);
+            a.extend_from_slice(&[1, 2, 3]);
+            assert_eq!(pool.loans_outstanding(), 1);
+            Err(())?; // early exit: the loan must still come home
+            Ok(())
+        };
+        assert!(attempt(&pool).is_err());
+        assert_eq!(pool.loans_outstanding(), 0, "loan returned on unwind");
+        let b = pool.take(64);
+        assert!(b.capacity() >= 128, "errored loan's buffer was pooled");
+    }
+
+    #[test]
+    fn concurrent_loans_are_counted() {
+        let pool = BufferPool::default();
+        let a = pool.loan(8);
+        let b = pool.loan_filled(16);
+        assert_eq!(pool.loans_outstanding(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.loans_outstanding(), 0);
     }
 }

@@ -40,6 +40,36 @@ pub(super) struct OpState {
     reservations: Vec<Reservation>,
 }
 
+impl OpState {
+    /// Releases every aggregation buffer this rank holds, with the
+    /// paired `mem.release` trace marks. Used when this rank's
+    /// aggregator role dies mid-operation (the replacement re-reserves)
+    /// and on the collective error path out of recovery, so occupancy
+    /// timelines stay balanced even when [`close`] never runs.
+    pub(super) fn release_reservations(&mut self, ctx: &Ctx, env: &IoEnv) {
+        let obs = env.obs();
+        if obs.is_enabled() {
+            for r in &self.reservations {
+                mark_mem_event(obs, ctx.rank() as u32, "mem.release", ctx.clock(), env, r);
+                obs.counter_add("mem.release.bytes", r.bytes());
+            }
+        }
+        self.reservations.clear();
+    }
+
+    /// Adopts a mid-operation reservation (a re-elected aggregator's
+    /// buffer for a domain inherited from a dead rank), with the same
+    /// `mem.reserve` trace mark the prologue emits.
+    pub(super) fn adopt_reservation(&mut self, ctx: &Ctx, env: &IoEnv, r: Reservation) {
+        let obs = env.obs();
+        if obs.is_enabled() {
+            mark_mem_event(obs, ctx.rank() as u32, "mem.reserve", ctx.clock(), env, &r);
+            obs.counter_add("mem.reserve.bytes", r.bytes());
+        }
+        self.reservations.push(r);
+    }
+}
+
 /// Marks one aggregation-buffer accounting event (`mem.reserve` /
 /// `mem.release`) on the recording rank's track. Each event carries the
 /// node, the delta, and the node's current ceiling (capacity minus
@@ -74,21 +104,42 @@ pub(super) fn mark_fault_events(obs: &ObsSink, fired: &[TimedEvent]) {
         return;
     }
     for timed in fired {
-        let (name, node, bytes) = match timed.event {
-            FaultEvent::RevokeMemory { node, bytes } => ("fault.mem.revoke", node, bytes),
-            FaultEvent::RestoreMemory { node, bytes } => ("fault.mem.restore", node, bytes),
-        };
-        obs.instant(
-            ENGINE_TRACK,
-            name,
-            "fault",
-            timed.at,
-            &[
-                ("node", AttrValue::U64(node as u64)),
-                ("bytes", AttrValue::U64(bytes)),
-            ],
-        );
-        obs.counter_add("fault.mem.events", 1);
+        match timed.event {
+            FaultEvent::RevokeMemory { node, bytes }
+            | FaultEvent::RestoreMemory { node, bytes } => {
+                let name = if matches!(timed.event, FaultEvent::RevokeMemory { .. }) {
+                    "fault.mem.revoke"
+                } else {
+                    "fault.mem.restore"
+                };
+                obs.instant(
+                    ENGINE_TRACK,
+                    name,
+                    "fault",
+                    timed.at,
+                    &[
+                        ("node", AttrValue::U64(node as u64)),
+                        ("bytes", AttrValue::U64(bytes)),
+                    ],
+                );
+                obs.counter_add("fault.mem.events", 1);
+            }
+            FaultEvent::RankCrash { rank } | FaultEvent::RankRecover { rank } => {
+                let name = if matches!(timed.event, FaultEvent::RankCrash { .. }) {
+                    "fault.rank.crash"
+                } else {
+                    "fault.rank.recover"
+                };
+                obs.instant(
+                    ENGINE_TRACK,
+                    name,
+                    "fault",
+                    timed.at,
+                    &[("rank", AttrValue::U64(rank as u64))],
+                );
+                obs.counter_add("fault.rank.events", 1);
+            }
+        }
     }
 }
 
@@ -176,6 +227,11 @@ pub(super) fn close(
     res: &mut Resilience,
 ) -> IoReport {
     let (pool_hits, pool_misses) = state.pool.stats();
+    assert_eq!(
+        state.pool.loans_outstanding(),
+        0,
+        "buffer-pool loan leaked out of the round loop"
+    );
     if env.obs().is_enabled() {
         // The paired half of the prologue's `mem.reserve` marks: every
         // buffer held for the operation releases here, at the virtual

@@ -40,8 +40,11 @@ use crate::schedule::{CommSchedule, RoundSchedule};
 use super::env::IoEnv;
 use super::pool::BufferPool;
 use super::prologue::{self, drive_storage};
+use super::recover::CrashTracker;
 use super::settle::settle_round;
-use super::wire::{append_section, decode_sections, retry_delta, SectionRef};
+use super::wire::{
+    append_section, decode_sections, retry_delta, seal_payload, verify_payload, SectionRef,
+};
 
 /// The data plane of a collective operation: what varies between the
 /// write and read directions of the round loop.
@@ -59,11 +62,15 @@ pub(super) enum Op<'d> {
 
 /// Mutable per-round facts both directions fill in and settle with.
 #[derive(Default)]
-struct RoundFacts {
-    /// `(dst, bytes)` flows this rank sends this round.
-    flows: Vec<(usize, u64)>,
+pub(super) struct RoundFacts {
+    /// `(dst, bytes)` flows this rank sends this round (recovery
+    /// prepends the interrupted round's lost flows so the replay is
+    /// priced).
+    pub(super) flows: Vec<(usize, u64)>,
     /// Bytes this rank assembled in aggregation buffers.
-    assembled: u64,
+    pub(super) assembled: u64,
+    /// Payload checksums this rank verified (crash-gated, else zero).
+    pub(super) integrity: u64,
 }
 
 /// Executes one collective operation of either direction. SPMD: every
@@ -91,7 +98,14 @@ pub(super) fn execute_op(
     }
     let mut state = prologue::open(ctx, env, plan, res)?;
     let me = ctx.rank();
-    let schedule = CommSchedule::build(plan, pattern, me, my_extents);
+    // Everything crash recovery needs — payload checksums, the agreed
+    // clock, the mutable live plan — is gated on the plan actually
+    // scheduling crashes, so crash-free runs execute the exact healthy
+    // path (bit-identical goldens).
+    let integrity = env.faults().plan().has_crashes();
+    let mut schedule = CommSchedule::build_with_integrity(plan, pattern, me, my_extents, integrity);
+    let mut tracker = CrashTracker::begin(ctx, env, &state.world);
+    let mut live_plan = tracker.as_ref().map(|_| plan.clone());
     let obs = env.obs().clone();
     if obs.is_enabled() {
         obs.instant(
@@ -115,15 +129,41 @@ pub(super) fn execute_op(
         Op::Read => Some(vec![0u8; my_extents.total_bytes() as usize]),
     };
 
-    for rs in &schedule.rounds {
+    let n_rounds = schedule.rounds.len();
+    for round in 0..n_rounds {
         let log_before = state.faults.log;
         let mut report = ServiceReport::empty(env.fs.n_servers());
         let mut facts = RoundFacts::default();
 
+        // --- recover: detect crashes, re-elect, re-plan (crash-gated) ---
+        if let Some(t) = tracker.as_mut() {
+            let live = live_plan.as_mut().expect("tracker implies a live plan");
+            if let Err(e) = t.begin_round(
+                ctx,
+                env,
+                &mut state,
+                live,
+                pattern,
+                my_extents,
+                &mut schedule,
+                round as u64,
+                matches!(op, Op::Write { .. }),
+                &mut facts,
+                res,
+            ) {
+                // Collective failure: every rank returns together.
+                // Release with trace marks so occupancy balances even
+                // though the epilogue never runs on this path.
+                state.release_reservations(ctx, env);
+                return Err(e);
+            }
+        }
+        let rs = &schedule.rounds[round];
+
         // --- contribute: what this rank puts on the wire ---
         let (sends, recv_from) = match op {
             Op::Write { data } => (
-                client_sends(rs, data, &mut facts, &mut state.pool),
+                client_sends(rs, data, &mut facts, &state.pool, integrity),
                 rs.agg_sources.as_slice(),
             ),
             Op::Read => (
@@ -133,7 +173,8 @@ pub(super) fn execute_op(
                     &mut state.faults,
                     &mut report,
                     &mut facts,
-                    &mut state.pool,
+                    &state.pool,
+                    integrity,
                 ),
                 rs.client_sources.as_slice(),
             ),
@@ -151,14 +192,17 @@ pub(super) fn execute_op(
                 &mut state.faults,
                 &mut report,
                 &mut facts,
-                &mut state.pool,
+                &state.pool,
+                integrity,
             ),
             Op::Read => scatter_into(
                 my_extents,
                 &my_cum,
                 received,
                 out.as_mut().expect("read allocates its output buffer"),
-                &mut state.pool,
+                &mut facts,
+                &state.pool,
+                integrity,
             ),
         }
 
@@ -189,7 +233,8 @@ pub(super) fn execute_op(
             obs.counter_add("storage.bytes", report.total_bytes());
         }
 
-        settle_round(
+        res.integrity_verified += facts.integrity;
+        let settled = settle_round(
             ctx,
             env,
             &state.world,
@@ -198,7 +243,11 @@ pub(super) fn execute_op(
             facts.assembled,
             delta,
             matches!(op, Op::Write { .. }),
+            facts.integrity,
         );
+        if let Some(t) = tracker.as_mut() {
+            t.advance(settled);
+        }
     }
 
     let t0 = state.t0;
@@ -237,7 +286,8 @@ fn client_sends(
     rs: &RoundSchedule,
     data: &[u8],
     facts: &mut RoundFacts,
-    pool: &mut BufferPool,
+    pool: &BufferPool,
+    integrity: bool,
 ) -> Vec<(usize, Vec<u8>)> {
     let mut per_dst: Vec<(usize, Vec<u8>)> = rs
         .client_dsts
@@ -262,6 +312,11 @@ fn client_sends(
             buf.extend_from_slice(&data[start..start + e.len as usize]);
         }
     }
+    if integrity {
+        for (_, buf) in &mut per_dst {
+            seal_payload(buf);
+        }
+    }
     per_dst
 }
 
@@ -272,6 +327,7 @@ fn client_sends(
 /// pooled buffer and goes through the sieve's read-modify-write.
 /// Payloads and assembly buffers retire into the pool for the next
 /// round.
+#[allow(clippy::too_many_arguments)]
 fn aggregate_and_store(
     handle: &FileHandle,
     rs: &RoundSchedule,
@@ -279,13 +335,22 @@ fn aggregate_and_store(
     faults: &mut IoFaults,
     report: &mut ServiceReport,
     facts: &mut RoundFacts,
-    pool: &mut BufferPool,
+    pool: &BufferPool,
+    integrity: bool,
 ) {
-    // Pass 1: decode section references (no byte copies).
+    // Pass 1: decode section references (no byte copies), verifying the
+    // end-to-end checksum first under a crash plan. The decoded ranges
+    // index into the payload from its start, so verifying (a body
+    // prefix) and decoding compose without a copy.
     let decoded: Vec<(Vec<u8>, Vec<SectionRef>)> = received
         .into_iter()
         .map(|(_, payload)| {
-            let sections = decode_sections(&payload);
+            let sections = if integrity {
+                facts.integrity += 1;
+                decode_sections(verify_payload(&payload))
+            } else {
+                decode_sections(&payload)
+            };
             (payload, sections)
         })
         .collect();
@@ -318,7 +383,7 @@ fn aggregate_and_store(
             report.merge(&r);
             continue;
         }
-        let mut buf = pool.take_filled(ws.assembly_bytes as usize);
+        let mut buf = pool.loan_filled(ws.assembly_bytes as usize);
         for (payload, sections) in &decoded {
             for (sd, pieces) in sections {
                 if *sd as usize != ws.domain {
@@ -334,7 +399,6 @@ fn aggregate_and_store(
             sieved_write_r(handle, &ws.union, &buf, ws.sieve(), f)
         });
         report.merge(&out.report);
-        pool.put(buf);
     }
     for (payload, _) in decoded {
         pool.put(payload);
@@ -347,13 +411,15 @@ fn aggregate_and_store(
 /// pieces straight out of a zero-copy file view; otherwise the union is
 /// sieved into a pooled buffer first (which also supplies the zero
 /// bytes of any beyond-EOF tail).
+#[allow(clippy::too_many_arguments)]
 fn fetch_and_scatter_sends(
     handle: &FileHandle,
     rs: &RoundSchedule,
     faults: &mut IoFaults,
     report: &mut ServiceReport,
     facts: &mut RoundFacts,
-    pool: &mut BufferPool,
+    pool: &BufferPool,
+    integrity: bool,
 ) -> Vec<(usize, Vec<u8>)> {
     let mut per_dst: Vec<(usize, Vec<u8>)> = rs
         .agg_dsts
@@ -390,7 +456,7 @@ fn fetch_and_scatter_sends(
                 continue;
             }
         }
-        let mut packed = pool.take(ws.assembly_bytes as usize);
+        let mut packed = pool.loan(ws.assembly_bytes as usize);
         let sv = drive_storage(faults, |f| {
             sieved_read_into(handle, &ws.union, ws.sieve(), f, &mut packed)
         });
@@ -401,7 +467,11 @@ fn fetch_and_scatter_sends(
                 &packed[pos..pos + e.len as usize]
             });
         }
-        pool.put(packed);
+    }
+    if integrity {
+        for (_, buf) in &mut per_dst {
+            seal_payload(buf);
+        }
     }
     per_dst
 }
@@ -414,10 +484,18 @@ fn scatter_into(
     my_cum: &[u64],
     received: Vec<(usize, Vec<u8>)>,
     out: &mut [u8],
-    pool: &mut BufferPool,
+    facts: &mut RoundFacts,
+    pool: &BufferPool,
+    integrity: bool,
 ) {
     for (_, payload) in received {
-        for (_, pieces) in decode_sections(&payload) {
+        let sections = if integrity {
+            facts.integrity += 1;
+            decode_sections(verify_payload(&payload))
+        } else {
+            decode_sections(&payload)
+        };
+        for (_, pieces) in sections {
             for (e, range) in pieces {
                 // Each piece lies within exactly one of my extents.
                 let slice = my_extents.as_slice();

@@ -14,6 +14,8 @@ use super::wire::{decode_facts, encode_facts};
 
 /// Gathers every rank's round facts at the world root, prices the round,
 /// broadcasts the duration, and advances every rank's clock by it.
+/// Returns the broadcast duration — identical on every rank — which the
+/// crash tracker folds into the agreed clock.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn settle_round(
     ctx: &mut Ctx,
@@ -24,8 +26,9 @@ pub(super) fn settle_round(
     my_assembled: u64,
     my_retry: RetryLog,
     is_write: bool,
-) {
-    let payload = encode_facts(my_flows, my_report, my_assembled, my_retry);
+    my_integrity: u64,
+) -> VDuration {
+    let payload = encode_facts(my_flows, my_report, my_assembled, my_retry, my_integrity);
     let gathered = ctx.group_gather(world, payload);
     let duration = if let Some(parts) = gathered {
         let fault_plan = env.faults().plan();
@@ -39,6 +42,7 @@ pub(super) fn settle_round(
         let mut waiting = VDuration::ZERO;
         let mut transient_faults = 0u64;
         let mut retries = 0u64;
+        let mut integrity = 0u64;
         // Straggler attribution: the rank whose contribution set each
         // max-over-ranks phase term. Critical-path analysis names these
         // per round (`obs::analyze`).
@@ -82,6 +86,7 @@ pub(super) fn settle_round(
             waiting = waiting.max(facts.retry.backoff);
             transient_faults += facts.retry.transient_faults;
             retries += facts.retry.retries;
+            integrity += facts.integrity;
         }
         let sync = cost.round_sync(world.len());
         let shuffle = cost.shuffle_phase(&placement, &flows, &factors);
@@ -166,6 +171,11 @@ pub(super) fn settle_round(
             obs.counter_add("round.count", 1);
             obs.counter_add("storage.volume_bytes", merged.total_bytes());
             obs.observe("round.clients", n_clients as u64);
+            // Crash-gated: zero on healthy runs, so traces never grow a
+            // dead counter.
+            if integrity > 0 {
+                obs.counter_add(mccio_obs::INTEGRITY_VERIFIED, integrity);
+            }
         }
         if std::env::var_os("MCCIO_TRACE").is_some() {
             eprintln!(
@@ -187,7 +197,8 @@ pub(super) fn settle_round(
         0.0
     };
     let secs = ctx.group_bcast(world, mccio_net::wire::encode_f64(duration));
-    ctx.advance(VDuration::from_secs(mccio_net::wire::decode_f64(&secs)));
+    let settled = VDuration::from_secs(mccio_net::wire::decode_f64(&secs));
+    ctx.advance(settled);
     // Memory events that fired during this round take effect before the
     // next one prices: every rank reports the same crossing, the state
     // applies each event once.
@@ -195,4 +206,5 @@ pub(super) fn settle_round(
         let fired = env.faults().apply_due(ctx.clock(), &env.mem);
         mark_fault_events(env.obs(), &fired);
     }
+    settled
 }

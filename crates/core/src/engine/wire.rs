@@ -32,6 +32,50 @@ pub(super) fn append_section<'p>(
     }
 }
 
+/// Bytes the end-to-end checksum trailer adds to a sealed payload.
+pub(crate) const CHECKSUM_TRAILER: usize = 8;
+
+/// FNV-1a over `bytes` — the end-to-end integrity hash. Kept in-tree
+/// (like the test suites' copies) so the wire format never depends on
+/// an external hasher's stability.
+pub(super) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seals a fully-encoded shuffle payload with its FNV-1a trailer. Only
+/// called when the fault plan schedules crashes (the schedule sized the
+/// payload for the extra [`CHECKSUM_TRAILER`] bytes).
+pub(super) fn seal_payload(buf: &mut Vec<u8>) {
+    let h = fnv1a(buf);
+    put_u64(buf, h);
+}
+
+/// Verifies and strips a sealed payload's trailer, returning the body.
+///
+/// # Panics
+/// Panics on checksum mismatch: inside the simulator a corrupt payload
+/// can only mean an engine bug (a replayed round delivering stale
+/// bytes), and that must never be silently priced as success.
+pub(super) fn verify_payload(payload: &[u8]) -> &[u8] {
+    assert!(
+        payload.len() >= CHECKSUM_TRAILER,
+        "sealed payload shorter than its trailer"
+    );
+    let (body, trailer) = payload.split_at(payload.len() - CHECKSUM_TRAILER);
+    let want = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let got = fnv1a(body);
+    assert_eq!(
+        got, want,
+        "end-to-end checksum mismatch: payload corrupted in flight"
+    );
+    body
+}
+
 /// A decoded section referencing payload bytes by range — no copies
 /// until the bytes land in their final buffer. Round volumes reach
 /// gigabytes; every avoided copy is real memory.
@@ -67,13 +111,17 @@ pub(super) fn decode_sections(buf: &[u8]) -> Vec<SectionRef> {
 
 /// Round facts each rank contributes to the root's pricing:
 /// `[n_flows]{dst, bytes}` (flows this rank *sends*), the rank's storage
-/// report pairs, the bytes it assembled in aggregation buffers, and the
-/// retry activity it endured this round.
+/// report pairs, the bytes it assembled in aggregation buffers, the
+/// retry activity it endured this round, and the payload checksums it
+/// verified (crash-gated, zero otherwise). The record rides `send_ctl`,
+/// whose traffic accounting counts messages rather than bytes, so
+/// growing it never disturbs crash-free goldens.
 pub(super) fn encode_facts(
     flows: &[(usize, u64)],
     report: &ServiceReport,
     assembled: u64,
     retry: RetryLog,
+    integrity: u64,
 ) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, flows.len() as u64);
@@ -91,6 +139,7 @@ pub(super) fn encode_facts(
     put_u64(&mut buf, retry.transient_faults);
     put_u64(&mut buf, retry.retries);
     put_u64(&mut buf, retry.exhausted);
+    put_u64(&mut buf, integrity);
     buf
 }
 
@@ -99,6 +148,7 @@ pub(super) struct Facts {
     pub(super) report: ServiceReport,
     pub(super) assembled: u64,
     pub(super) retry: RetryLog,
+    pub(super) integrity: u64,
 }
 
 pub(super) fn decode_facts(buf: &[u8]) -> Facts {
@@ -114,12 +164,14 @@ pub(super) fn decode_facts(buf: &[u8]) -> Facts {
         retries: r.u64(),
         exhausted: r.u64(),
     };
+    let integrity = r.u64();
     r.finish();
     Facts {
         flows,
         report: ServiceReport::from_pairs(&pairs),
         assembled,
         retry,
+        integrity,
     }
 }
 
@@ -130,5 +182,42 @@ pub(super) fn retry_delta(now: RetryLog, before: RetryLog) -> RetryLog {
         retries: now.retries - before.retries,
         backoff: VDuration::from_secs((now.backoff.as_secs() - before.backoff.as_secs()).max(0.0)),
         exhausted: now.exhausted - before.exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_payload_roundtrips() {
+        let mut buf = vec![1u8, 2, 3, 4, 5];
+        seal_payload(&mut buf);
+        assert_eq!(buf.len(), 5 + CHECKSUM_TRAILER);
+        assert_eq!(verify_payload(&buf), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum mismatch")]
+    fn corrupted_payload_is_caught() {
+        let mut buf = vec![9u8; 32];
+        seal_payload(&mut buf);
+        buf[4] ^= 0xFF;
+        let _ = verify_payload(&buf);
+    }
+
+    #[test]
+    fn facts_carry_the_integrity_count() {
+        let buf = encode_facts(
+            &[(3, 100)],
+            &ServiceReport::empty(2),
+            42,
+            RetryLog::default(),
+            7,
+        );
+        let facts = decode_facts(&buf);
+        assert_eq!(facts.flows, vec![(3, 100)]);
+        assert_eq!(facts.assembled, 42);
+        assert_eq!(facts.integrity, 7);
     }
 }

@@ -53,6 +53,14 @@ impl AggregatorLoad {
     pub fn node_load(&self, node: usize) -> usize {
         self.per_node.get(&node).copied().unwrap_or(0)
     }
+
+    /// Records an existing assignment of `rank` (on `node`) — used to
+    /// seed a tracker from an already-built plan before re-electing
+    /// replacements against it.
+    pub fn record(&mut self, node: usize, rank: usize) {
+        *self.per_node.entry(node).or_default() += 1;
+        *self.per_rank.entry(rank).or_default() += 1;
+    }
 }
 
 /// A domain → aggregator decision.
@@ -194,6 +202,77 @@ pub fn assign_aggregators(
             })
         })
         .collect()
+}
+
+/// Re-elects a replacement aggregator for `domain` after its owner
+/// crashed: the Aggregators Location preference order (data locality,
+/// node load, available memory, id) restricted to the survivor set.
+///
+/// Pure in the sense that matters for SPMD recovery: given identical
+/// inputs — and the engine only calls this with plan-derived, agreed
+/// state — every rank elects the same replacement with no extra
+/// communication. Returns `None` only when no survivor remains in the
+/// group (the caller then falls down the degradation ladder). A host
+/// below the `mem_min` bar is still electable as a last resort, exactly
+/// like the planner's last-domain-standing rule: whether it can
+/// actually hold the buffer is decided by the collective reservation
+/// that follows.
+#[allow(clippy::too_many_arguments)]
+pub fn reelect_aggregator(
+    domain: Extent,
+    mem_min: u64,
+    pattern: &GroupPattern,
+    members: &RankSet,
+    placement: &Placement,
+    mem: &MemoryModel,
+    dead: &[usize],
+    load: &mut AggregatorLoad,
+) -> Option<usize> {
+    let survivors: Vec<usize> = members.iter().filter(|r| !dead.contains(r)).collect();
+    if survivors.is_empty() {
+        return None;
+    }
+    let touching: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&r| pattern.extents_of_rank(r).overlaps(domain))
+        .collect();
+    let mut host_bytes: HashMap<usize, u64> = HashMap::new();
+    for &r in &touching {
+        let bytes = pattern.extents_of_rank(r).clip(domain).total_bytes();
+        *host_bytes.entry(placement.node_of(r)).or_default() += bytes;
+    }
+    let mut hosts: Vec<usize> = survivors.iter().map(|&r| placement.node_of(r)).collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    let best = |require_mem: bool, load: &AggregatorLoad| {
+        hosts
+            .iter()
+            .copied()
+            .filter(|&n| !require_mem || mem.available(n) >= mem_min)
+            .min_by(|&a, &b| {
+                let local_a = host_bytes.get(&a).copied().unwrap_or(0);
+                let local_b = host_bytes.get(&b).copied().unwrap_or(0);
+                local_b
+                    .cmp(&local_a)
+                    .then(load.node_load(a).cmp(&load.node_load(b)))
+                    .then(mem.available(b).cmp(&mem.available(a)))
+                    .then(a.cmp(&b))
+            })
+    };
+    let host = best(true, load).or_else(|| best(false, load))?;
+    let candidates: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&r| placement.node_of(r) == host)
+        .collect();
+    let rank = *candidates.iter().min_by_key(|&&r| {
+        let is_touching = touching.contains(&r);
+        let l = load.per_rank.get(&r).copied().unwrap_or(0);
+        (usize::from(!is_touching), l, r)
+    })?;
+    load.record(host, rank);
+    Some(rank)
 }
 
 /// Chooses which rank on `host` becomes the aggregator: prefer ranks
@@ -403,6 +482,76 @@ mod tests {
         assert_eq!(out.len(), 2, "{out:?}");
         assert_eq!(out[0].domain, Extent::new(0, 200));
         assert_eq!(out[1].domain, Extent::new(600, 200));
+    }
+
+    #[test]
+    fn reelection_prefers_surviving_data_local_rank() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[100 * MIB; 4]);
+        // Domain [200, 400) belongs to ranks 2 and 3 on node 1; rank 2
+        // is dead, so its node-mate 3 should inherit the duty.
+        let domain = Extent::new(200, 200);
+        let mut load = AggregatorLoad::new();
+        let got = reelect_aggregator(
+            domain,
+            MIB,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            &[2],
+            &mut load,
+        );
+        assert_eq!(got, Some(3));
+        // With the whole node dead, the duty moves off-node to the
+        // least-loaded surviving host.
+        let mut load = AggregatorLoad::new();
+        let got = reelect_aggregator(
+            domain,
+            MIB,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            &[2, 3],
+            &mut load,
+        );
+        let r = got.expect("survivors exist");
+        assert!(!([2usize, 3].contains(&r)), "dead ranks cannot serve: {r}");
+        // Determinism: the same inputs elect the same rank.
+        let mut load2 = AggregatorLoad::new();
+        assert_eq!(
+            got,
+            reelect_aggregator(
+                domain,
+                MIB,
+                &pattern,
+                &RankSet::world(8),
+                &placement,
+                &mem,
+                &[2, 3],
+                &mut load2,
+            )
+        );
+    }
+
+    #[test]
+    fn reelection_with_no_survivors_fails() {
+        let (placement, pattern) = setup();
+        let mem = mem_with(&[100 * MIB; 4]);
+        let dead: Vec<usize> = (0..8).collect();
+        let mut load = AggregatorLoad::new();
+        let got = reelect_aggregator(
+            Extent::new(0, 800),
+            MIB,
+            &pattern,
+            &RankSet::world(8),
+            &placement,
+            &mem,
+            &dead,
+            &mut load,
+        );
+        assert_eq!(got, None);
     }
 
     #[test]

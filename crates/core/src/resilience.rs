@@ -119,6 +119,12 @@ impl FaultState {
                 mccio_sim::fault::FaultEvent::RestoreMemory { node, bytes } => {
                     mem.restore(node, bytes);
                 }
+                // Crash/recover events change no memory state when they
+                // fire: liveness is a pure function of (plan, agreed
+                // clock) that the engine's crash tracker re-evaluates at
+                // every round boundary.
+                mccio_sim::fault::FaultEvent::RankCrash { .. }
+                | mccio_sim::fault::FaultEvent::RankRecover { .. } => {}
             }
             fired.push(timed);
             *cursor += 1;

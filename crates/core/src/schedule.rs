@@ -58,11 +58,15 @@ pub struct SendDst {
 }
 
 impl SendDst {
-    fn new(rank: usize) -> Self {
+    /// `trailer` is the per-payload overhead of the end-to-end checksum
+    /// (0 when integrity is off, [`crate::engine::CHECKSUM_TRAILER`]
+    /// under a crash plan) — baked into the size at creation so encoded
+    /// payloads still land exactly on `payload_bytes`.
+    fn new(rank: usize, trailer: usize) -> Self {
         SendDst {
             rank,
             sections: 0,
-            payload_bytes: COUNT_WORD,
+            payload_bytes: COUNT_WORD + trailer,
         }
     }
 
@@ -188,6 +192,26 @@ impl CommSchedule {
         me: usize,
         my_extents: &ExtentList,
     ) -> Self {
+        Self::build_with_integrity(plan, pattern, me, my_extents, false)
+    }
+
+    /// Like [`CommSchedule::build`], with optional end-to-end payload
+    /// integrity: when `integrity` is set every scheduled payload is
+    /// sized for a trailing checksum word, matching what the engine's
+    /// crash-gated sealing appends at encode time.
+    #[must_use]
+    pub fn build_with_integrity(
+        plan: &CollectivePlan,
+        pattern: &GroupPattern,
+        me: usize,
+        my_extents: &ExtentList,
+        integrity: bool,
+    ) -> Self {
+        let trailer = if integrity {
+            crate::engine::CHECKSUM_TRAILER
+        } else {
+            0
+        };
         let my_cum = my_extents.cumulative_offsets();
         // Contributor candidates per domain this rank aggregates,
         // prefiltered once against the whole domain so per-round clips
@@ -235,7 +259,7 @@ impl CommSchedule {
                     .iter()
                     .position(|d| d.rank == agg)
                     .unwrap_or_else(|| {
-                        rs.client_dsts.push(SendDst::new(agg));
+                        rs.client_dsts.push(SendDst::new(agg, trailer));
                         rs.client_dsts.len() - 1
                     });
                 rs.client_dsts[dst].sections += 1;
@@ -275,7 +299,7 @@ impl CommSchedule {
                         .iter()
                         .position(|d| d.rank == rank)
                         .unwrap_or_else(|| {
-                            rs.agg_dsts.push(SendDst::new(rank));
+                            rs.agg_dsts.push(SendDst::new(rank, trailer));
                             rs.agg_dsts.len() - 1
                         });
                     rs.agg_dsts[dst].add_section(&clipped);
@@ -415,6 +439,30 @@ mod tests {
         assert_eq!(ws.per_rank[0].bytes, 9);
         assert_eq!(ws.position(8), 5);
         assert_eq!(ws.sieve().buffer_size, 12);
+    }
+
+    #[test]
+    fn integrity_sizing_adds_one_trailer_per_payload() {
+        let pattern = pattern_of(vec![vec![(0, 5), (8, 4)], vec![]]);
+        let plan = plan_of(vec![(0, 12, 1, 12)]);
+        let plain = CommSchedule::build(&plan, &pattern, 0, pattern.extents_of_rank(0));
+        let sealed = CommSchedule::build_with_integrity(
+            &plan,
+            &pattern,
+            0,
+            pattern.extents_of_rank(0),
+            true,
+        );
+        let p = &plain.rounds[0].client_dsts[0];
+        let s = &sealed.rounds[0].client_dsts[0];
+        assert_eq!(s.payload_bytes, p.payload_bytes + 8);
+        assert_eq!(s.sections, p.sections);
+        // Everything but payload sizing is identical.
+        assert_eq!(
+            plain.rounds[0].client_windows,
+            sealed.rounds[0].client_windows
+        );
+        assert_eq!(plain.client_bytes(), sealed.client_bytes());
     }
 
     #[test]

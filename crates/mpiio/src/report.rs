@@ -24,6 +24,17 @@ pub struct Resilience {
     /// Rungs descended on the degradation ladder (0 = planned strategy
     /// ran; 1 = one fallback, e.g. MC-CIO replanned or two-phase; ...).
     pub fallbacks: u32,
+    /// Aggregator crashes this operation detected (via an expired
+    /// receive deadline at a round boundary).
+    pub crashes_detected: u64,
+    /// Replacement aggregators elected from the survivor set.
+    pub reelections: u64,
+    /// Rounds whose shuffle payloads were replayed against a re-planned
+    /// schedule after their original aggregator died.
+    pub rounds_replayed: u64,
+    /// Shuffle payloads whose end-to-end checksum was verified at
+    /// assembly (crash-gated: zero unless the plan schedules crashes).
+    pub integrity_verified: u64,
 }
 
 impl Resilience {
@@ -42,6 +53,10 @@ impl Resilience {
         self.exhausted += other.exhausted;
         self.revocations += other.revocations;
         self.fallbacks = self.fallbacks.max(other.fallbacks);
+        self.crashes_detected += other.crashes_detected;
+        self.reelections += other.reelections;
+        self.rounds_replayed += other.rounds_replayed;
+        self.integrity_verified += other.integrity_verified;
     }
 }
 
@@ -246,6 +261,10 @@ mod tests {
             exhausted: 0,
             revocations: 1,
             fallbacks: 2,
+            crashes_detected: 1,
+            reelections: 1,
+            rounds_replayed: 1,
+            integrity_verified: 8,
         };
         assert!(a.any());
         a.absorb(Resilience {
@@ -255,6 +274,10 @@ mod tests {
             exhausted: 1,
             revocations: 0,
             fallbacks: 1,
+            crashes_detected: 1,
+            reelections: 2,
+            rounds_replayed: 0,
+            integrity_verified: 4,
         });
         assert_eq!(a.transient_faults, 4);
         assert_eq!(a.retries, 3);
@@ -262,6 +285,10 @@ mod tests {
         assert_eq!(a.exhausted, 1);
         assert_eq!(a.revocations, 1);
         assert_eq!(a.fallbacks, 2, "ladder position is a max, not a sum");
+        assert_eq!(a.crashes_detected, 2);
+        assert_eq!(a.reelections, 3);
+        assert_eq!(a.rounds_replayed, 1);
+        assert_eq!(a.integrity_verified, 12);
         assert!(!Resilience::default().any());
     }
 }

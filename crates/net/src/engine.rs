@@ -22,6 +22,7 @@ use std::sync::Arc;
 use mccio_sim::cost::CostModel;
 use mccio_sim::time::{VDuration, VTime};
 use mccio_sim::topology::Placement;
+use mccio_sim::{SimError, SimResult};
 
 use crate::mailbox::{Envelope, Mailbox, Pattern};
 
@@ -358,6 +359,42 @@ impl Ctx {
         self.settle(&env);
         (env.src, env.payload)
     }
+
+    /// Deadline-bounded receive from `src`: the failure-detection
+    /// primitive. If a matching message arrives it is settled and
+    /// returned exactly like [`Ctx::recv`]; otherwise the clock advances
+    /// to `deadline` — the virtual-time price of waiting out the timeout
+    /// — and [`SimError::RankFailed`] names the silent peer.
+    ///
+    /// Determinism caveat: the miss arm is detected by a short
+    /// *wall-clock* parking budget, so callers must only probe peers
+    /// whose silence is already decided by shared data (the fault plan's
+    /// crash schedule at an agreed virtual time). The engine's crash
+    /// tracker honors this: it probes on a tag nothing ever sends on,
+    /// and only ranks every peer has independently declared dead.
+    ///
+    /// # Errors
+    /// [`SimError::RankFailed`] when no matching message arrived.
+    pub fn recv_deadline(&mut self, src: usize, tag: u32, deadline: VTime) -> SimResult<Vec<u8>> {
+        const DETECT_WALL_BUDGET: std::time::Duration = std::time::Duration::from_millis(2);
+        let got = self.world.mailboxes[self.rank].recv_budgeted(
+            Pattern {
+                src: Some(src),
+                tag,
+            },
+            DETECT_WALL_BUDGET,
+        );
+        match got {
+            Some(env) => {
+                self.settle(&env);
+                Ok(env.payload)
+            }
+            None => {
+                self.advance_to(deadline);
+                Err(SimError::RankFailed { rank: src })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -488,6 +525,48 @@ mod tests {
             }
         });
         assert_eq!(r[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_deadline_charges_the_timeout_on_silence() {
+        let w = world(1, 2, 2);
+        let r = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                // Rank 1 never sends on tag 77: the deadline must expire
+                // and the clock must land exactly on it.
+                let deadline = ctx.clock() + VDuration::from_secs(0.5);
+                let err = ctx.recv_deadline(1, 77, deadline).unwrap_err();
+                assert_eq!(err, mccio_sim::SimError::RankFailed { rank: 1 });
+                ctx.clock().as_secs()
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(r[0], 0.5);
+    }
+
+    #[test]
+    fn recv_deadline_delivers_a_present_message() {
+        let w = world(1, 2, 2);
+        let r = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_ctl(1, 78, vec![9]);
+                ctx.barrier();
+                0
+            } else {
+                // The barrier orders the send before the probe, so the
+                // match is already queued: no wall-clock race.
+                ctx.barrier();
+                let deadline = ctx.clock() + VDuration::from_secs(10.0);
+                let payload = ctx.recv_deadline(0, 78, deadline).unwrap();
+                assert!(
+                    ctx.clock().as_secs() < 10.0,
+                    "delivery must not charge the deadline"
+                );
+                payload[0]
+            }
+        });
+        assert_eq!(r[1], 9);
     }
 
     #[test]

@@ -86,6 +86,29 @@ impl Mailbox {
         }
     }
 
+    /// Bounded receive: blocks until a message matching `pattern`
+    /// arrives or `budget` of *wall-clock* time elapses, returning
+    /// `None` on expiry. The budget is an implementation detail of
+    /// failure detection — it only bounds how long the OS thread parks;
+    /// the virtual-time price of a miss is charged by the caller
+    /// ([`crate::Ctx::recv_deadline`]) and never depends on the budget.
+    pub fn recv_budgeted(&self, pattern: Pattern, budget: std::time::Duration) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + budget;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.items.iter().position(|e| pattern.matches(e)) {
+                return Some(q.items.remove(idx));
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            // A timed-out wait loops once more: the predicate re-check
+            // above decides, so a racing delivery is never missed.
+            let _ = self.available.wait_timeout(&mut q, remaining);
+        }
+    }
+
     /// Non-blocking probe: removes and returns a match if one is queued.
     pub fn try_recv(&self, pattern: Pattern) -> Option<Envelope> {
         let mut q = self.queue.lock();
@@ -168,6 +191,23 @@ mod tests {
         mb.deliver(env(0, 1, b'z'));
         assert!(mb.try_recv(Pattern { src: None, tag: 1 }).is_some());
         assert!(mb.try_recv(Pattern { src: None, tag: 1 }).is_none());
+    }
+
+    #[test]
+    fn recv_budgeted_expires_and_delivers() {
+        let mb = Mailbox::new();
+        let got = mb.recv_budgeted(
+            Pattern { src: None, tag: 4 },
+            std::time::Duration::from_millis(5),
+        );
+        assert!(got.is_none(), "empty mailbox: budget expires");
+        mb.deliver(env(2, 4, b'k'));
+        let got = mb.recv_budgeted(
+            Pattern { src: None, tag: 4 },
+            std::time::Duration::from_secs(5),
+        );
+        assert_eq!(got.unwrap().payload, b"k");
+        assert_eq!(mb.pending(), 0);
     }
 
     #[test]

@@ -67,4 +67,7 @@ pub mod span;
 pub use analyze::{CriticalPath, MemTimeline, Phase, RunDiff, TraceAnalysis, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::ObsSink;
-pub use span::{AttrValue, Event, EventKind, ENGINE_TRACK, PHASE_NAMES};
+pub use span::{
+    AttrValue, Event, EventKind, CRASH_DETECTED, ENGINE_TRACK, INTEGRITY_VERIFIED, PHASE_NAMES,
+    REELECTION, ROUNDS_REPLAYED,
+};

@@ -56,6 +56,13 @@ pub enum SimError {
         /// Virtual microseconds spent backing off before giving up.
         waited_us: u64,
     },
+    /// A peer rank was declared dead: a receive deadline on its traffic
+    /// expired, or recovery from its crash could not be completed (no
+    /// survivor could take over its duties).
+    RankFailed {
+        /// The rank declared dead.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -84,6 +91,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Timeout { waited_us } => {
                 write!(f, "gave up after {waited_us} us of retry backoff")
+            }
+            SimError::RankFailed { rank } => {
+                write!(f, "rank {rank} declared dead")
             }
         }
     }
@@ -128,5 +138,7 @@ mod tests {
         );
         let e = SimError::Timeout { waited_us: 2500 };
         assert!(e.to_string().contains("2500 us"), "{e}");
+        let e = SimError::RankFailed { rank: 17 };
+        assert_eq!(e.to_string(), "rank 17 declared dead");
     }
 }

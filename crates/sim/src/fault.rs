@@ -50,12 +50,24 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Largest exponent [`RetryPolicy::backoff`] will raise the multiplier
+/// to. Beyond this the backoff saturates: with the default 2× multiplier
+/// the cap already prices a wait of 2⁶⁴ × base, far past any
+/// `give_up_after` deadline, while keeping the computation finite for
+/// adversarial retry counts (`powi(u32 as i32)` would otherwise wrap
+/// negative at retry ≥ 2³¹ and *shrink* the wait).
+pub const MAX_BACKOFF_EXPONENT: u32 = 64;
+
 impl RetryPolicy {
     /// Backoff charged before retry number `retry` (0-based: the wait
     /// after the first failure is `backoff(0) == base_backoff`).
+    ///
+    /// Growth saturates at [`MAX_BACKOFF_EXPONENT`]: every retry at or
+    /// past the cap is charged the same (large but finite) wait.
     #[must_use]
     pub fn backoff(&self, retry: u32) -> VDuration {
-        self.base_backoff * self.backoff_multiplier.powi(retry as i32)
+        let exponent = retry.min(MAX_BACKOFF_EXPONENT);
+        self.base_backoff * self.backoff_multiplier.powi(exponent as i32)
     }
 
     /// Panics if the policy is structurally invalid.
@@ -87,6 +99,23 @@ pub enum FaultEvent {
         node: usize,
         /// Bytes returned.
         bytes: u64,
+    },
+    /// Rank `rank` stops serving its aggregation role: once the engine's
+    /// agreed clock crosses this point the rank answers no shuffle
+    /// traffic and must be replaced by re-election. The rank's *process*
+    /// keeps lock-step as a plain client (the loosely-coupled CIO model:
+    /// participants drop aggregation duty, not membership), so its own
+    /// file data still reaches storage through the recovered plan.
+    RankCrash {
+        /// Rank whose aggregator role dies.
+        rank: usize,
+    },
+    /// Rank `rank` becomes eligible for aggregation duty again. Recovery
+    /// affects *future* plans and re-elections only; domains already
+    /// moved away stay with their replacement.
+    RankRecover {
+        /// Rank rejoining the candidate set.
+        rank: usize,
     },
 }
 
@@ -130,6 +159,7 @@ pub struct FaultPlan {
     pub ctl_delay: VDuration,
     /// Retry policy governing fallible request paths.
     pub retry: RetryPolicy,
+    detect_timeout: VDuration,
 }
 
 impl FaultPlan {
@@ -144,6 +174,7 @@ impl FaultPlan {
             stragglers: Vec::new(),
             ctl_delay: VDuration::ZERO,
             retry: RetryPolicy::default(),
+            detect_timeout: VDuration::from_micros(250.0),
         }
     }
 
@@ -166,6 +197,79 @@ impl FaultPlan {
             event: FaultEvent::RestoreMemory { node, bytes },
         });
         self.sort_events();
+        self
+    }
+
+    /// Schedules an aggregator-role crash of `rank` at virtual time `at`.
+    #[must_use]
+    pub fn crash_rank_at(mut self, at: VTime, rank: usize) -> Self {
+        self.events.push(TimedEvent {
+            at,
+            event: FaultEvent::RankCrash { rank },
+        });
+        self.sort_events();
+        self
+    }
+
+    /// Schedules `rank` to rejoin the aggregation candidate set at `at`.
+    #[must_use]
+    pub fn recover_rank_at(mut self, at: VTime, rank: usize) -> Self {
+        self.events.push(TimedEvent {
+            at,
+            event: FaultEvent::RankRecover { rank },
+        });
+        self.sort_events();
+        self
+    }
+
+    /// Schedules `count` crashes of distinct ranks drawn from
+    /// `0..n_ranks`, at times drawn uniformly from `[from, until]` —
+    /// the seeded crash schedule for chaos sweeps. The draw depends only
+    /// on `(seed, count, n_ranks, window)`, so two plans built with the
+    /// same seed inject identical schedules.
+    ///
+    /// # Panics
+    /// Panics if `count > n_ranks` (crashed ranks are distinct) or the
+    /// window is inverted.
+    #[must_use]
+    pub fn random_crashes(
+        mut self,
+        count: usize,
+        n_ranks: usize,
+        from: VTime,
+        until: VTime,
+    ) -> Self {
+        assert!(
+            count <= n_ranks,
+            "cannot crash {count} distinct ranks out of {n_ranks}"
+        );
+        assert!(from <= until, "inverted crash window");
+        let mut rng = stream_rng(self.seed, "crash-schedule");
+        let mut pool: Vec<usize> = (0..n_ranks).collect();
+        for _ in 0..count {
+            let idx = rng.gen_range(0..=pool.len() - 1);
+            let rank = pool.swap_remove(idx);
+            let span = until.since(from).as_secs();
+            let at = from + VDuration::from_secs(rng.gen::<f64>() * span);
+            self.events.push(TimedEvent {
+                at,
+                event: FaultEvent::RankCrash { rank },
+            });
+        }
+        self.sort_events();
+        self
+    }
+
+    /// Sets how long a rank waits on a silent peer before declaring it
+    /// dead — the virtual-time price of failure detection, charged per
+    /// probed aggregator at the detection point.
+    #[must_use]
+    pub fn detection_timeout(mut self, timeout: VDuration) -> Self {
+        assert!(
+            timeout > VDuration::ZERO,
+            "detection timeout must be positive"
+        );
+        self.detect_timeout = timeout;
         self
     }
 
@@ -304,6 +408,45 @@ impl FaultPlan {
             .map_or(1.0, |&(_, f)| f)
     }
 
+    /// True if the plan schedules any rank crash. The engine keys *all*
+    /// crash machinery (agreed-clock broadcast, liveness probes, payload
+    /// checksums, re-planning) off this, so crash-free plans pay nothing.
+    #[must_use]
+    pub fn has_crashes(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.event, FaultEvent::RankCrash { .. }))
+    }
+
+    /// The ranks whose aggregator role is dead at virtual time `now`:
+    /// for each rank, the latest crash/recover event with `at ≤ now`
+    /// wins. Sorted ascending — a pure function of `(plan, now)`, so
+    /// every rank evaluating it at an agreed clock computes the same
+    /// survivor set with no extra communication.
+    #[must_use]
+    pub fn crashed_at(&self, now: VTime) -> Vec<usize> {
+        let mut dead = Vec::new();
+        for e in self.events.iter().take_while(|e| e.at <= now) {
+            match e.event {
+                FaultEvent::RankCrash { rank } => {
+                    if !dead.contains(&rank) {
+                        dead.push(rank);
+                    }
+                }
+                FaultEvent::RankRecover { rank } => dead.retain(|&r| r != rank),
+                FaultEvent::RevokeMemory { .. } | FaultEvent::RestoreMemory { .. } => {}
+            }
+        }
+        dead.sort_unstable();
+        dead
+    }
+
+    /// How long a rank waits on a silent peer before declaring it dead.
+    #[must_use]
+    pub fn detect_timeout(&self) -> VDuration {
+        self.detect_timeout
+    }
+
     /// True if the plan injects anything at all.
     #[must_use]
     pub fn is_active(&self) -> bool {
@@ -354,6 +497,61 @@ mod tests {
         assert!((p.backoff(0).as_secs() - 100e-6).abs() < 1e-12);
         assert!((p.backoff(1).as_secs() - 200e-6).abs() < 1e-12);
         assert!((p.backoff(3).as_secs() - 800e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_exponent_cap() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: VDuration::from_micros(1.0),
+            backoff_multiplier: 2.0,
+            give_up_after: None,
+        };
+        let at_cap = p.backoff(MAX_BACKOFF_EXPONENT);
+        assert!(at_cap.as_secs().is_finite());
+        // Everything past the cap charges exactly the capped wait — in
+        // particular retry counts whose `as i32` cast would wrap
+        // negative and *shrink* the backoff.
+        assert_eq!(p.backoff(MAX_BACKOFF_EXPONENT + 1), at_cap);
+        assert_eq!(p.backoff(u32::MAX), at_cap);
+        assert!(p.backoff(u32::MAX) >= p.backoff(0));
+    }
+
+    #[test]
+    fn crash_schedule_tracks_latest_event() {
+        let t = VTime::from_secs;
+        let plan = FaultPlan::new(3)
+            .crash_rank_at(t(1.0), 4)
+            .crash_rank_at(t(2.0), 1)
+            .recover_rank_at(t(3.0), 4);
+        assert!(plan.has_crashes());
+        assert!(plan.is_active(), "crash events activate the plan");
+        assert_eq!(plan.crashed_at(t(0.5)), Vec::<usize>::new());
+        assert_eq!(plan.crashed_at(t(1.0)), vec![4]);
+        assert_eq!(plan.crashed_at(t(2.5)), vec![1, 4]);
+        assert_eq!(plan.crashed_at(t(9.0)), vec![1], "recover wins after 3s");
+        assert!(!FaultPlan::new(3).recover_rank_at(t(1.0), 0).has_crashes());
+    }
+
+    #[test]
+    fn random_crash_schedules_are_seeded_and_bounded() {
+        let t = VTime::from_secs;
+        let build = |seed| FaultPlan::new(seed).random_crashes(3, 8, t(1.0), t(2.0));
+        assert_eq!(build(5).events(), build(5).events());
+        assert_ne!(build(5).events(), build(6).events());
+        let plan = build(5);
+        let dead = plan.crashed_at(t(10.0));
+        assert_eq!(dead.len(), 3, "distinct ranks: {dead:?}");
+        for e in plan.events() {
+            assert!(e.at >= t(1.0) && e.at <= t(2.0), "crash at {:?}", e.at);
+            assert!(matches!(e.event, FaultEvent::RankCrash { rank } if rank < 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct ranks")]
+    fn more_crashes_than_ranks_rejected() {
+        let _ = FaultPlan::new(0).random_crashes(4, 3, VTime::ZERO, VTime::from_secs(1.0));
     }
 
     #[test]

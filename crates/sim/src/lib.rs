@@ -42,7 +42,7 @@ pub mod topology;
 pub mod units;
 
 pub use cost::CostModel;
-pub use error::SimError;
+pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, RetryPolicy};
 pub use time::VTime;
 pub use topology::{ClusterSpec, NodeSpec, Placement};

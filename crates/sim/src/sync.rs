@@ -79,6 +79,25 @@ impl Condvar {
         guard.0 = Some(reacquired);
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout` of wall-clock
+    /// time. Returns `true` if the wait timed out without a notification.
+    ///
+    /// Spurious wakeups are possible either way; callers must re-check
+    /// their predicate, exactly as with [`Condvar::wait`].
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (reacquired, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(reacquired);
+        result.timed_out()
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -185,6 +204,35 @@ mod tests {
         let mut ready = m.lock();
         while !*ready {
             cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry_and_delivery() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nothing ever notifies: the wait must expire.
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            let timed_out = cv.wait_timeout(&mut g, std::time::Duration::from_millis(5));
+            assert!(timed_out);
+            assert!(!*g, "guard is usable after a timed-out wait");
+        }
+        // A notification before expiry is seen as a normal wakeup.
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            if cv.wait_timeout(&mut ready, std::time::Duration::from_secs(5)) {
+                panic!("notification should arrive well before the timeout");
+            }
         }
         drop(ready);
         t.join().unwrap();

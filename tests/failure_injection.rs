@@ -229,6 +229,183 @@ fn identical_fault_plans_reproduce_bit_identical_runs() {
     }
 }
 
+/// FNV-1a over the whole file — the integrity fingerprint the crash
+/// tests compare against crash-free baselines.
+fn file_hash(env: &IoEnv, name: &str) -> u64 {
+    let handle = env.fs.open(name).expect("file exists");
+    let (bytes, _) = handle.read_at(0, handle.len());
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Like [`run_faulty`], but also returns the final file hash so crashed
+/// runs can be checked byte-for-byte against crash-free ones.
+fn run_faulty_hashed(
+    strategy: &dyn Strategy,
+    plan: FaultPlan,
+) -> (Vec<(IoReport, IoReport)>, TrafficSnapshot, u64) {
+    let cluster = test_cluster(3, 2);
+    let world = world_of(3, 2, 6);
+    let env = IoEnv::with_faults(
+        FileSystem::new(4, 16 * KIB, PfsParams::default()),
+        MemoryModel::pristine(&cluster),
+        plan,
+    );
+    let reports = world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("faulty");
+        let extents = slice_extents(ctx.rank());
+        let payload = data::fill(&extents);
+        let w = write_all(ctx, &env, &handle, &extents, &payload, strategy);
+        ctx.barrier();
+        let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(
+            data::verify(&extents, &back),
+            None,
+            "rank {} corruption under {}",
+            ctx.rank(),
+            strategy.name()
+        );
+        (w, r)
+    });
+    let snapshot = world.traffic().snapshot();
+    let hash = file_hash(&env, "faulty");
+    (reports, snapshot, hash)
+}
+
+#[test]
+fn aggregator_crash_mid_write_recovers_with_identical_bytes() {
+    // Rank 0 aggregates for both strategies in this configuration; it
+    // crashes mid-write (the clean write takes ~0.021s of virtual
+    // time). The operation must complete through detection and
+    // re-election — no degradation-ladder fallback — and the file must
+    // be byte-identical to a crash-free run. The read that follows
+    // re-detects the same dead rank under its own fresh plan and
+    // recovers again.
+    for strategy in both_collectives() {
+        let baseline = FaultPlan::new(0xC0);
+        let (_, _, clean_hash) = run_faulty_hashed(&*strategy, baseline);
+        let crashy = FaultPlan::new(0xC0).crash_rank_at(VTime::from_secs(0.005), 0);
+        let (reports, _, crashed_hash) = run_faulty_hashed(&*strategy, crashy);
+        let total = total_resilience(&reports);
+        assert!(
+            total.crashes_detected > 0,
+            "{}: the mid-write crash must be detected",
+            strategy.name()
+        );
+        assert!(
+            total.reelections > 0,
+            "{}: the dead aggregator's domains must be re-elected",
+            strategy.name()
+        );
+        assert!(
+            total.rounds_replayed > 0,
+            "{}: the interrupted round must be replayed",
+            strategy.name()
+        );
+        assert!(
+            total.integrity_verified > 0,
+            "{}: crash-gated payload checksums must be verified",
+            strategy.name()
+        );
+        assert_eq!(
+            total.fallbacks,
+            0,
+            "{}: survivors exist, so recovery must not fall down the ladder",
+            strategy.name()
+        );
+        assert_eq!(
+            crashed_hash,
+            clean_hash,
+            "{}: recovered file must be byte-identical to the crash-free run",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_runs_are_bit_identical() {
+    // Same seed + same crash schedule ⇒ identical reports (including
+    // the recovery counters), identical traffic, identical bytes, on
+    // any thread schedule.
+    let plan = || {
+        FaultPlan::new(0x0DD)
+            .transient_io_rate(0.05)
+            .crash_rank_at(VTime::from_secs(0.004), 0)
+            .crash_rank_at(VTime::from_secs(0.012), 2)
+    };
+    for strategy in both_collectives() {
+        let (reports_a, traffic_a, hash_a) = run_faulty_hashed(&*strategy, plan());
+        let (reports_b, traffic_b, hash_b) = run_faulty_hashed(&*strategy, plan());
+        assert_eq!(
+            reports_a,
+            reports_b,
+            "{}: reports diverged",
+            strategy.name()
+        );
+        assert_eq!(
+            traffic_a,
+            traffic_b,
+            "{}: traffic diverged",
+            strategy.name()
+        );
+        assert_eq!(hash_a, hash_b, "{}: file bytes diverged", strategy.name());
+    }
+}
+
+#[test]
+fn crashing_every_rank_falls_down_the_ladder() {
+    // All six ranks crash before the first round: no survivor can be
+    // elected, every collective rung refuses, and the operation still
+    // completes through independent I/O (the crashed threads keep
+    // lock-step — only their aggregator roles died). Data verification
+    // inside the harness proves the bottom rung delivered.
+    for strategy in both_collectives() {
+        let mut plan = FaultPlan::new(0xA11);
+        for rank in 0..6 {
+            plan = plan.crash_rank_at(VTime::from_secs(1e-9), rank);
+        }
+        let (reports, _, _) = run_faulty_hashed(&*strategy, plan);
+        let total = total_resilience(&reports);
+        assert!(
+            total.crashes_detected > 0,
+            "{}: the crashes must be detected before the ladder descends",
+            strategy.name()
+        );
+        assert!(
+            total.fallbacks > 0,
+            "{}: with no survivors the ladder must fall to independent I/O",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn crash_with_transient_faults_and_revocation_still_recovers() {
+    // The full chaos stack at once: a mid-write aggregator crash, 5 %
+    // transient storage failures, and a memory revocation. Recovery,
+    // retries, and the revocation all surface in the reports; the
+    // buffer-pool balance assertion in the engine epilogue (loans
+    // outstanding must be zero) runs implicitly on every operation
+    // here, including the replayed rounds.
+    for strategy in both_collectives() {
+        let plan = FaultPlan::new(0x0C7)
+            .transient_io_rate(0.05)
+            .revoke_memory_at(VTime::from_secs(1e-9), 1, 64 * MIB)
+            .crash_rank_at(VTime::from_secs(0.006), 0);
+        let (reports, _, _) = run_faulty_hashed(&*strategy, plan);
+        let total = total_resilience(&reports);
+        assert!(total.crashes_detected > 0, "{}", strategy.name());
+        assert!(total.reelections > 0, "{}", strategy.name());
+        assert!(total.transient_faults > 0, "{}", strategy.name());
+        assert!(total.revocations > 0, "{}", strategy.name());
+    }
+}
+
 #[test]
 fn fault_free_plan_changes_nothing() {
     // An inactive plan must leave the engine on the legacy code path:

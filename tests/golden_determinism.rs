@@ -12,10 +12,11 @@ use mccio_suite::core::mccio::MccioConfig;
 use mccio_suite::core::prelude::*;
 use mccio_suite::core::two_phase::TwoPhaseConfig;
 use mccio_suite::mem::MemoryModel;
-use mccio_suite::mpiio::SieveConfig;
+use mccio_suite::mpiio::{Resilience, SieveConfig};
 use mccio_suite::net::{TrafficSnapshot, World};
 use mccio_suite::pfs::{FileSystem, PfsParams};
 use mccio_suite::sim::cost::CostModel;
+use mccio_suite::sim::time::VTime;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
 use mccio_suite::sim::units::{KIB, MIB};
 
@@ -164,6 +165,46 @@ fn expected(name: &str) -> Golden {
     }
 }
 
+/// Like [`run_strategy`], but with a crash schedule injected; also
+/// returns the summed resilience counters so the caller can check the
+/// schedule actually fired.
+fn run_strategy_crashed(strategy: &dyn Strategy, plan: FaultPlan) -> (Golden, Resilience) {
+    let cluster = test_cluster(3, 2);
+    let placement = Placement::new(&cluster, RANKS, FillOrder::Block).unwrap();
+    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let env = IoEnv::with_faults(
+        FileSystem::new(4, 64 * KIB, PfsParams::default()),
+        MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
+        plan,
+    );
+    let reports = world.run(|ctx| {
+        let env = env.clone();
+        let handle = env.fs.open_or_create("golden");
+        let extents = extents_of(ctx.rank());
+        let data = data_of(ctx.rank());
+        let w = write_all(ctx, &env, &handle, &extents, &data, strategy);
+        ctx.barrier();
+        let (back, r) = read_all(ctx, &env, &handle, &extents, strategy);
+        assert_eq!(back, data, "rank {} roundtrip", ctx.rank());
+        (w, r)
+    });
+    let handle = env.fs.open("golden").unwrap();
+    let (contents, _) = handle.read_at(0, handle.len());
+    let mut res = Resilience::default();
+    for (w, r) in &reports {
+        res.absorb(w.resilience);
+        res.absorb(r.resilience);
+    }
+    let golden = Golden {
+        write_secs: reports.iter().map(|(w, _)| w.elapsed.as_secs()).collect(),
+        read_secs: reports.iter().map(|(_, r)| r.elapsed.as_secs()).collect(),
+        file_hash: fnv1a(&contents),
+        file_len: handle.len(),
+        traffic: world.traffic().snapshot(),
+    };
+    (golden, res)
+}
+
 #[test]
 fn golden_values_hold() {
     let capture = std::env::var_os("MCCIO_GOLDEN_CAPTURE").is_some();
@@ -179,5 +220,52 @@ fn golden_values_hold() {
         } else {
             assert_eq!(g, expected(name), "golden mismatch for {name}");
         }
+    }
+}
+
+/// Crash-schedule determinism: a run that detects a mid-write
+/// aggregator crash, re-elects, and replays is just as reproducible as
+/// a healthy one — run twice from scratch it yields bit-identical
+/// reports, traffic, recovery counters, and file bytes. The recovered
+/// bytes must also equal the crash-free golden hash, because recovery
+/// changes who aggregates, never what lands in the file.
+#[test]
+fn crash_schedule_runs_are_bit_identical() {
+    // Rank 4 aggregates under both collectives on this cluster, so one
+    // schedule exercises recovery in each.
+    let plan = || FaultPlan::new(0x60_1D).crash_rank_at(VTime::from_secs(0.0005), 4);
+    let collectives: Vec<(&str, Box<dyn Strategy>)> = vec![
+        (
+            "two-phase",
+            Box::new(TwoPhase(TwoPhaseConfig::with_buffer(256 * KIB))),
+        ),
+        (
+            "memory-conscious",
+            Box::new(MemoryConscious(MccioConfig::new(
+                Tuning {
+                    n_ah: 2,
+                    msg_ind: MIB,
+                    mem_min: 2 * MIB,
+                    msg_group: 4 * MIB,
+                },
+                256 * KIB,
+                64 * KIB,
+            ))),
+        ),
+    ];
+    for (name, strategy) in &collectives {
+        let (a, res_a) = run_strategy_crashed(&**strategy, plan());
+        let (b, res_b) = run_strategy_crashed(&**strategy, plan());
+        assert!(
+            res_a.crashes_detected > 0,
+            "{name}: the scheduled crash must land inside the operation"
+        );
+        assert_eq!(a, b, "{name}: crashed runs must be bit-identical");
+        assert_eq!(res_a, res_b, "{name}: recovery counters must reproduce");
+        assert_eq!(
+            a.file_hash,
+            expected(name).file_hash,
+            "{name}: recovered bytes must equal the crash-free golden"
+        );
     }
 }
