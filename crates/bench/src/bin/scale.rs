@@ -1,0 +1,187 @@
+//! Rank-scaling benchmark: simulator wall clock vs rank count for both
+//! rank executors, written as JSON (`BENCH_PR7.json`) — the record of
+//! what the discrete-event executor buys at scale.
+//!
+//! Each point runs the memory-conscious strategy on a fig7-shaped
+//! platform (testbed nodes of 12 cores, 8 OSTs, Normal(320 MiB, 64 MiB)
+//! per-node memory, IOR interleaved) with the per-rank volume scaled
+//! down as ranks grow, so the axis measures executor overhead rather
+//! than total data volume. The thread-per-rank oracle runs where one
+//! OS thread per rank is still feasible; wherever both engines run a
+//! point, their virtual times must agree bit for bit.
+//!
+//! ```text
+//! cargo run --release -p mccio-bench --bin scale [full|ci|10k] [out.json]
+//! ```
+//!
+//! * `full` (default) — 120 / 1008 / 10080 ranks, both executors up to
+//!   the thread ceiling; writes the JSON record;
+//! * `ci` — the 1008-rank event-executor smoke, bounded for CI;
+//! * `10k` — the 10080-rank event-executor point alone (the scaling
+//!   acceptance gate).
+
+use std::time::Instant;
+
+use mccio_bench::{paper_pair, run_on, Platform};
+use mccio_net::ExecutorKind;
+use mccio_sim::units::{KIB, MIB};
+use mccio_workloads::Ior;
+
+/// Largest rank count the thread-per-rank oracle is asked to run: one
+/// OS thread per rank stops being feasible long before 10k ranks (stack
+/// reservation and scheduler pressure), which is the point of the event
+/// executor.
+const THREADS_MAX_RANKS: usize = 2048;
+
+/// One point on the rank axis. Volume shrinks as ranks grow: group
+/// analysis memory is O(ranks) per rank, and the axis measures executor
+/// overhead, not aggregate bandwidth.
+struct Point {
+    ranks: usize,
+    per_rank_kib: u64,
+    segments: u64,
+}
+
+fn points(mode: &str) -> Vec<Point> {
+    let p = |ranks, per_rank_kib, segments| Point {
+        ranks,
+        per_rank_kib,
+        segments,
+    };
+    match mode {
+        // The fig7 config, then two decades up it.
+        "full" => vec![p(120, 4096, 16), p(1008, 512, 8), p(10_080, 64, 2)],
+        "ci" => vec![p(1008, 256, 4)],
+        "10k" => vec![p(10_080, 64, 2)],
+        other => panic!("scale: unknown mode {other:?} (use full|ci|10k)"),
+    }
+}
+
+struct Row {
+    ranks: usize,
+    executor: ExecutorKind,
+    per_rank_kib: u64,
+    segments: u64,
+    wall_secs: f64,
+    write_secs: f64,
+    read_secs: f64,
+    write_mbps: f64,
+    read_mbps: f64,
+}
+
+fn main() {
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "full".to_string());
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let event_only = mode != "full";
+
+    let mut rows: Vec<Row> = Vec::new();
+    for point in points(&mode) {
+        let Point {
+            ranks,
+            per_rank_kib,
+            segments,
+        } = point;
+        let platform = Platform::testbed(ranks / 12, ranks, 8).with_memory(320 * MIB, 64 * MIB);
+        let workload = Ior::interleaved_total(per_rank_kib * KIB, segments);
+        // The figure pair's memory-conscious half — the paper's subject.
+        let [_, (name, strategy)] = paper_pair(&platform, 4 * MIB);
+        let mut executors = vec![ExecutorKind::Event];
+        if !event_only && ranks <= THREADS_MAX_RANKS {
+            executors.push(ExecutorKind::Threads);
+        }
+        for executor in executors {
+            eprintln!(
+                "scale[{mode}]: {ranks} ranks x {per_rank_kib} KiB, {name}, {executor:?} ..."
+            );
+            let t0 = Instant::now();
+            let r = run_on(&workload, &*strategy, &platform, executor);
+            let wall = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "  {wall:.3}s wall, virtual write {:.6}s, rounds {}, shuffle {} MiB, msgs {}",
+                r.write_secs,
+                r.metrics.rounds,
+                r.metrics.shuffle_bytes / (1024 * 1024),
+                r.traffic.data_msgs + r.traffic.ctl_msgs
+            );
+            rows.push(Row {
+                ranks,
+                executor,
+                per_rank_kib,
+                segments,
+                wall_secs: wall,
+                write_secs: r.write_secs,
+                read_secs: r.read_secs,
+                write_mbps: r.write_mbps(),
+                read_mbps: r.read_mbps(),
+            });
+        }
+    }
+
+    // Wherever both engines ran a point, their virtual times must agree
+    // bit for bit — the scale bench doubles as a large-rank differential
+    // check the unit suites can't afford.
+    for ranks in rows.iter().map(|r| r.ranks).collect::<Vec<_>>() {
+        let of = |kind: ExecutorKind| rows.iter().find(|r| r.ranks == ranks && r.executor == kind);
+        if let (Some(e), Some(t)) = (of(ExecutorKind::Event), of(ExecutorKind::Threads)) {
+            assert_eq!(
+                e.write_secs.to_bits(),
+                t.write_secs.to_bits(),
+                "{ranks} ranks: executors disagree on virtual write time"
+            );
+            assert_eq!(
+                e.read_secs.to_bits(),
+                t.read_secs.to_bits(),
+                "{ranks} ranks: executors disagree on virtual read time"
+            );
+        }
+    }
+
+    let json = render_json(&mode, &rows);
+    if mode == "full" {
+        std::fs::write(&out_path, &json).expect("write bench json");
+        eprintln!("scale: wrote {out_path}");
+    }
+    println!("{json}");
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design).
+fn render_json(mode: &str, rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"scale\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"workload\": \"ior-interleaved\",");
+    let _ = writeln!(out, "  \"strategy\": \"memory-conscious\",");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let executor = match r.executor {
+            ExecutorKind::Event => "event",
+            ExecutorKind::Threads => "threads",
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"ranks\": {}, \"executor\": \"{executor}\", \
+             \"per_rank_kib\": {}, \"segments\": {}, \
+             \"wall_secs\": {:.3}, \
+             \"virtual_write_secs\": {:.9}, \"virtual_read_secs\": {:.9}, \
+             \"virtual_write_mbps\": {:.1}, \"virtual_read_mbps\": {:.1}}}{comma}",
+            r.ranks,
+            r.per_rank_kib,
+            r.segments,
+            r.wall_secs,
+            r.write_secs,
+            r.read_secs,
+            r.write_mbps,
+            r.read_mbps,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}

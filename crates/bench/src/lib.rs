@@ -23,7 +23,7 @@ use std::sync::Arc;
 use mccio_core::prelude::*;
 use mccio_mem::MemoryModel;
 use mccio_mpiio::{OpMetrics, Resilience};
-use mccio_net::{TrafficSnapshot, World};
+use mccio_net::{ExecutorKind, TrafficSnapshot, World};
 use mccio_obs::ObsSink;
 use mccio_pfs::{FileSystem, PfsParams};
 use mccio_sim::cost::CostModel;
@@ -147,6 +147,30 @@ impl RunResult {
 #[must_use]
 pub fn run(workload: &dyn Workload, strategy: &dyn Strategy, platform: &Platform) -> RunResult {
     run_traced(workload, strategy, platform, &ObsSink::disabled())
+}
+
+/// Like [`run`], pinned to one rank executor instead of inheriting the
+/// `MCCIO_EXECUTOR` override — the scale bench compares the two engines
+/// side by side, so each run must name its engine explicitly.
+#[must_use]
+pub fn run_on(
+    workload: &dyn Workload,
+    strategy: &dyn Strategy,
+    platform: &Platform,
+    executor: ExecutorKind,
+) -> RunResult {
+    let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
+        .expect("platform placement");
+    let world = World::with_executor(
+        CostModel::new(platform.cluster.clone()),
+        placement,
+        executor,
+    );
+    let env = IoEnv::new(
+        FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
+        platform.memory(),
+    );
+    run_with(&world, &env, workload, strategy)
 }
 
 /// Like [`run`], with the environment recording spans and metrics into

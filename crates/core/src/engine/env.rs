@@ -1,12 +1,60 @@
 //! The shared simulation environment a collective operation runs
 //! against: file system, memory model, fault state.
 
+use std::fmt;
+use std::sync::Arc;
+
 use mccio_mem::MemoryModel;
+use mccio_mpiio::GroupPattern;
 use mccio_obs::ObsSink;
 use mccio_pfs::FileSystem;
 use mccio_sim::fault::FaultPlan;
+use mccio_sim::sync::Mutex;
 
+use super::wire::fnv1a;
+use crate::plan::CollectivePlan;
 use crate::resilience::FaultState;
+
+/// Entries the plan cache retains. Collective operations are planned in
+/// lock-step, so at any instant the live set is one plan per in-flight
+/// (strategy, pattern) — a handful even with re-plan ladder rungs.
+const PLAN_CACHE_CAP: usize = 16;
+
+/// One memoized collective plan.
+///
+/// The key is pure identity: *which* gathered pattern (by shared-`Arc`
+/// pointer — every rank of a group holds the same decoded pattern, see
+/// [`GroupPattern::gather`]), *which* strategy configuration (an FNV-1a
+/// fingerprint of its debug rendering), and *which* memory-model state
+/// (allocation-version fingerprint, so a re-plan after a revocation
+/// never sees a stale plan). Holding a strong `Arc` to the pattern keeps
+/// the pointer from being recycled while the entry lives.
+struct PlanEntry {
+    pattern: Arc<GroupPattern>,
+    strategy_fp: u64,
+    mem_fp: (usize, u64),
+    plan: Arc<CollectivePlan>,
+}
+
+/// A small per-environment memo of collective plans.
+///
+/// Planning is a pure function of (pattern, placement, memory state,
+/// config), and under SPMD every rank computes the identical plan — so
+/// the environment computes it once and hands every rank the same
+/// `Arc`. Clones of an [`IoEnv`] share the cache, which is exactly what
+/// per-rank `env.clone()` closures want.
+#[derive(Clone, Default)]
+struct PlanCache {
+    entries: Arc<Mutex<Vec<PlanEntry>>>,
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
+}
 
 /// Shared simulation environment a collective operation runs against.
 ///
@@ -21,6 +69,7 @@ pub struct IoEnv {
     pub mem: MemoryModel,
     faults: FaultState,
     obs: ObsSink,
+    plans: PlanCache,
 }
 
 impl IoEnv {
@@ -32,6 +81,7 @@ impl IoEnv {
             mem,
             faults: FaultState::none(),
             obs: ObsSink::disabled(),
+            plans: PlanCache::default(),
         }
     }
 
@@ -45,6 +95,7 @@ impl IoEnv {
             mem,
             faults: FaultState::new(plan),
             obs: ObsSink::disabled(),
+            plans: PlanCache::default(),
         }
     }
 
@@ -72,5 +123,49 @@ impl IoEnv {
     #[must_use]
     pub fn obs(&self) -> &ObsSink {
         &self.obs
+    }
+
+    /// Returns the memoized collective plan for (`pattern`,
+    /// `strategy_key`, current memory state), computing it with
+    /// `compute` on the first call.
+    ///
+    /// SPMD redundancy elimination: every rank of a group plans the
+    /// identical operation against identical inputs, so the first rank
+    /// to arrive computes and the rest share the `Arc`. The lock is held
+    /// across `compute` deliberately — concurrent ranks wait for one
+    /// plan instead of racing to duplicate it. `compute` must therefore
+    /// be pure (no communication, no clock movement — already the
+    /// [`crate::strategy::Strategy::plan`] contract) and must not
+    /// re-enter this cache.
+    ///
+    /// Keying on [`MemoryModel::state_fingerprint`] makes the memo safe
+    /// for memory-conscious planning: any reservation, revocation, or
+    /// restore bumps the fingerprint, so a re-plan ladder rung always
+    /// recomputes against the post-revocation landscape.
+    pub fn plan_cached(
+        &self,
+        pattern: &Arc<GroupPattern>,
+        strategy_key: &str,
+        compute: impl FnOnce() -> CollectivePlan,
+    ) -> Arc<CollectivePlan> {
+        let strategy_fp = fnv1a(strategy_key.as_bytes());
+        let mem_fp = self.mem.state_fingerprint();
+        let mut entries = self.plans.entries.lock();
+        if let Some(e) = entries.iter().find(|e| {
+            e.strategy_fp == strategy_fp && e.mem_fp == mem_fp && Arc::ptr_eq(&e.pattern, pattern)
+        }) {
+            return Arc::clone(&e.plan);
+        }
+        let plan = Arc::new(compute());
+        if entries.len() == PLAN_CACHE_CAP {
+            entries.remove(0);
+        }
+        entries.push(PlanEntry {
+            pattern: Arc::clone(pattern),
+            strategy_fp,
+            mem_fp,
+            plan: Arc::clone(&plan),
+        });
+        plan
     }
 }

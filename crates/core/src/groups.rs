@@ -73,20 +73,41 @@ pub fn divide_groups(
         PatternShape::Serial => serial_cuts(pattern, placement, msg_group, global),
         PatternShape::Interleaved => view_cuts(pattern, global, msg_group),
     };
-    let mut groups = Vec::with_capacity(cuts.len());
+    // Membership in one sweep: for each rank, binary-search which
+    // regions its extents overlap, instead of scanning every rank for
+    // every region — the region count grows with the rank count, so the
+    // scan is quadratic per planning rank. Ranks are visited in
+    // ascending order, so per-region member lists come out ascending
+    // exactly as `ranks_touching` produced them.
+    let mut regions = Vec::with_capacity(cuts.len());
     let mut start = global.offset;
     for cut in cuts {
-        let region = Extent::new(start, cut - start);
-        let members = pattern.ranks_touching(region);
-        if !members.is_empty() {
-            groups.push(GroupPlan {
-                region,
-                members: RankSet::new(members),
-            });
-        }
+        regions.push(Extent::new(start, cut - start));
         start = cut;
     }
-    groups
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); regions.len()];
+    for r in pattern.group().iter() {
+        for e in pattern.extents_of_rank(r).as_slice() {
+            // First region whose end clears the extent's start, through
+            // the last one starting before the extent's end.
+            let mut gi = regions.partition_point(|g| g.end() <= e.offset);
+            while gi < regions.len() && regions[gi].offset < e.end() {
+                if members[gi].last() != Some(&r) {
+                    members[gi].push(r);
+                }
+                gi += 1;
+            }
+        }
+    }
+    regions
+        .into_iter()
+        .zip(members)
+        .filter(|(_, m)| !m.is_empty())
+        .map(|(region, m)| GroupPlan {
+            region,
+            members: RankSet::new(m),
+        })
+        .collect()
 }
 
 /// Figure 4 cuts: walk nodes in placement order; each node contributes
@@ -155,18 +176,24 @@ fn view_cuts(pattern: &GroupPattern, global: Extent, msg_group: u64) -> Vec<u64>
         .collect();
     boundaries.sort_unstable();
     boundaries.dedup();
+    // Straddle counting: rank `r` straddles `cut` iff `begin < cut <
+    // end`. Since `begin < end` for every data-carrying rank, that is
+    // `#(begin < cut) − #(end ≤ cut)` over two sorted arrays — O(log n)
+    // per query instead of a rank scan, which matters because the cut
+    // count grows with the rank count (quadratic planning otherwise).
+    let mut begins: Vec<u64> = Vec::new();
+    let mut ends: Vec<u64> = Vec::new();
+    for r in pattern.group().iter() {
+        let e = pattern.extents_of_rank(r);
+        if let (Some(b), Some(x)) = (e.begin(), e.end()) {
+            begins.push(b);
+            ends.push(x);
+        }
+    }
+    begins.sort_unstable();
+    ends.sort_unstable();
     let straddlers = |cut: u64| -> usize {
-        pattern
-            .group()
-            .iter()
-            .filter(|&r| {
-                let e = pattern.extents_of_rank(r);
-                match (e.begin(), e.end()) {
-                    (Some(b), Some(x)) => b < cut && cut < x,
-                    _ => false,
-                }
-            })
-            .count()
+        begins.partition_point(|&b| b < cut) - ends.partition_point(|&x| x <= cut)
     };
     let mut cuts = Vec::with_capacity(n as usize);
     let mut prev = global.offset;

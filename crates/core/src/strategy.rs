@@ -15,6 +15,7 @@
 //! ladder, the hint resolver, and every harness pick it up unchanged.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use mccio_mpiio::independent::{read_direct, read_sieved, write_direct, write_sieved};
 use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience, SieveConfig};
@@ -41,7 +42,19 @@ pub trait Strategy: Send + Sync + std::fmt::Debug {
     /// current environment, or `None` for strategies that do not
     /// aggregate (independent I/O). Planning is pure — no communication,
     /// no clock movement — so callers may plan and re-plan freely.
-    fn plan(&self, ctx: &Ctx, env: &IoEnv, pattern: &GroupPattern) -> Option<CollectivePlan>;
+    ///
+    /// The pattern arrives as the shared `Arc` that
+    /// [`GroupPattern::gather`] hands every member, and the plan comes
+    /// back shared too: collective strategies memoize through
+    /// [`IoEnv::plan_cached`], so the world plans each operation once
+    /// instead of once per rank (at 10k+ ranks, the difference between
+    /// O(ranks) and O(ranks²) planning work per collective).
+    fn plan(
+        &self,
+        ctx: &Ctx,
+        env: &IoEnv,
+        pattern: &Arc<GroupPattern>,
+    ) -> Option<Arc<CollectivePlan>>;
 
     /// The fully-resolved per-round communication schedule this
     /// strategy's plan implies for the calling rank — exactly what the
@@ -53,7 +66,7 @@ pub trait Strategy: Send + Sync + std::fmt::Debug {
         &self,
         ctx: &Ctx,
         env: &IoEnv,
-        pattern: &GroupPattern,
+        pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
     ) -> Option<CommSchedule> {
         self.plan(ctx, env, pattern)
@@ -94,7 +107,7 @@ pub trait Strategy: Send + Sync + std::fmt::Debug {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        pattern: &GroupPattern,
+        pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         data: &[u8],
         res: &mut Resilience,
@@ -115,7 +128,7 @@ pub trait Strategy: Send + Sync + std::fmt::Debug {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        pattern: &GroupPattern,
+        pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         res: &mut Resilience,
     ) -> SimResult<(Vec<u8>, IoReport)> {
@@ -140,7 +153,12 @@ impl Strategy for Independent {
         "independent"
     }
 
-    fn plan(&self, _ctx: &Ctx, _env: &IoEnv, _pattern: &GroupPattern) -> Option<CollectivePlan> {
+    fn plan(
+        &self,
+        _ctx: &Ctx,
+        _env: &IoEnv,
+        _pattern: &Arc<GroupPattern>,
+    ) -> Option<Arc<CollectivePlan>> {
         None
     }
 
@@ -170,7 +188,7 @@ impl Strategy for Independent {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        _pattern: &GroupPattern,
+        _pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         data: &[u8],
         _res: &mut Resilience,
@@ -184,7 +202,7 @@ impl Strategy for Independent {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        _pattern: &GroupPattern,
+        _pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         _res: &mut Resilience,
     ) -> SimResult<(Vec<u8>, IoReport)> {
@@ -207,7 +225,12 @@ impl Strategy for IndependentSieved {
         "sieved"
     }
 
-    fn plan(&self, _ctx: &Ctx, _env: &IoEnv, _pattern: &GroupPattern) -> Option<CollectivePlan> {
+    fn plan(
+        &self,
+        _ctx: &Ctx,
+        _env: &IoEnv,
+        _pattern: &Arc<GroupPattern>,
+    ) -> Option<Arc<CollectivePlan>> {
         None
     }
 
@@ -237,7 +260,7 @@ impl Strategy for IndependentSieved {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        _pattern: &GroupPattern,
+        _pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         data: &[u8],
         res: &mut Resilience,
@@ -252,7 +275,7 @@ impl Strategy for IndependentSieved {
         ctx: &mut Ctx,
         env: &IoEnv,
         handle: &FileHandle,
-        _pattern: &GroupPattern,
+        _pattern: &Arc<GroupPattern>,
         my_extents: &ExtentList,
         res: &mut Resilience,
     ) -> SimResult<(Vec<u8>, IoReport)> {
@@ -280,8 +303,16 @@ impl Strategy for TwoPhase {
         "two-phase"
     }
 
-    fn plan(&self, ctx: &Ctx, _env: &IoEnv, pattern: &GroupPattern) -> Option<CollectivePlan> {
-        Some(plan_two_phase(pattern, ctx.placement(), self.0))
+    fn plan(
+        &self,
+        ctx: &Ctx,
+        env: &IoEnv,
+        pattern: &Arc<GroupPattern>,
+    ) -> Option<Arc<CollectivePlan>> {
+        let key = format!("{}:{:?}", self.name(), self.0);
+        Some(env.plan_cached(pattern, &key, || {
+            plan_two_phase(pattern, ctx.placement(), self.0)
+        }))
     }
 
     fn write(
@@ -339,8 +370,16 @@ impl Strategy for MemoryConscious {
         "memory-conscious"
     }
 
-    fn plan(&self, ctx: &Ctx, env: &IoEnv, pattern: &GroupPattern) -> Option<CollectivePlan> {
-        Some(plan_mccio(pattern, ctx.placement(), &env.mem, &self.0))
+    fn plan(
+        &self,
+        ctx: &Ctx,
+        env: &IoEnv,
+        pattern: &Arc<GroupPattern>,
+    ) -> Option<Arc<CollectivePlan>> {
+        let key = format!("{}:{:?}", self.name(), self.0);
+        Some(env.plan_cached(pattern, &key, || {
+            plan_mccio(pattern, ctx.placement(), &env.mem, &self.0)
+        }))
     }
 
     fn write(

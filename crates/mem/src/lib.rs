@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mccio_sim::sync::Mutex;
@@ -90,6 +91,9 @@ pub struct MemoryModel {
 struct Inner {
     nodes: Vec<Mutex<NodeMem>>,
     params: MemParams,
+    /// Bumped on every availability-changing mutation; see
+    /// [`MemoryModel::state_fingerprint`].
+    version: AtomicU64,
 }
 
 impl MemoryModel {
@@ -161,8 +165,34 @@ impl MemoryModel {
             })
             .collect();
         MemoryModel {
-            inner: Arc::new(Inner { nodes, params }),
+            inner: Arc::new(Inner {
+                nodes,
+                params,
+                version: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// Marks an availability-changing mutation. Relaxed is enough: the
+    /// fingerprint is only meaningful at points where the mutating calls
+    /// are already ordered before the reading call (collective planning
+    /// windows), never as a synchronization edge of its own.
+    fn touch(&self) {
+        self.inner.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An identity-plus-version stamp of this model's availability
+    /// state: two equal fingerprints from the same process observe the
+    /// same `available()` values on every node (versions only grow, and
+    /// the pointer half distinguishes distinct models). Plan caches use
+    /// this to recognize that a re-plan would see exactly the memory
+    /// landscape an existing plan was computed against.
+    #[must_use]
+    pub fn state_fingerprint(&self) -> (usize, u64) {
+        (
+            Arc::as_ptr(&self.inner) as usize,
+            self.inner.version.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of nodes tracked.
@@ -195,6 +225,7 @@ impl MemoryModel {
             n.reserved += bytes;
             n.peak_reserved = n.peak_reserved.max(n.reserved);
         }
+        self.touch();
         Reservation {
             model: self.clone(),
             node,
@@ -222,6 +253,7 @@ impl MemoryModel {
             n.reserved += bytes;
             n.peak_reserved = n.peak_reserved.max(n.reserved);
         }
+        self.touch();
         Some(Reservation {
             model: self.clone(),
             node,
@@ -237,6 +269,8 @@ impl MemoryModel {
         let mut n = self.inner.nodes[node].lock();
         let actual = bytes.min(n.capacity - n.app_used);
         n.app_used += actual;
+        drop(n);
+        self.touch();
         actual
     }
 
@@ -245,6 +279,8 @@ impl MemoryModel {
     pub fn restore(&self, node: usize, bytes: u64) {
         let mut n = self.inner.nodes[node].lock();
         n.app_used = n.app_used.saturating_sub(bytes);
+        drop(n);
+        self.touch();
     }
 
     /// Current DRAM-time multiplier for `node`: 1.0 while everything
@@ -317,6 +353,8 @@ impl MemoryModel {
             n.capacity
         );
         n.app_used = bytes;
+        drop(n);
+        self.touch();
     }
 
     /// Current application memory usage on `node`.
@@ -373,6 +411,8 @@ impl MemoryModel {
             n.reserved
         );
         n.reserved -= bytes;
+        drop(n);
+        self.touch();
     }
 }
 

@@ -8,6 +8,8 @@
 //! state, which is why both sides of every later exchange can be computed
 //! locally without further negotiation.
 
+use std::sync::Arc;
+
 use mccio_net::wire::{decode_u64s, encode_u64s};
 use mccio_net::{Ctx, RankSet};
 
@@ -24,16 +26,22 @@ pub struct GroupPattern {
 impl GroupPattern {
     /// SPMD: all members call this with their own extents; everyone
     /// returns the full pattern.
-    pub fn gather(ctx: &mut Ctx, group: &RankSet, mine: &ExtentList) -> GroupPattern {
-        let payloads = ctx.group_allgather(group, encode_u64s(&mine.to_words()));
-        let extents = payloads
-            .iter()
-            .map(|p| ExtentList::from_words(&decode_u64s(p)))
-            .collect();
-        GroupPattern {
-            group: group.clone(),
-            extents,
-        }
+    ///
+    /// Every member returns a handle to the *same* decoded pattern: the
+    /// all-gather delivers one shared packed buffer to the whole group,
+    /// and the world's decode cache parses it exactly once. At 10k+
+    /// ranks this is the difference between one O(ranks) decode per
+    /// operation and one per rank — and the shared handle's identity is
+    /// what lets downstream plan caches recognize "same operation".
+    pub fn gather(ctx: &mut Ctx, group: &RankSet, mine: &ExtentList) -> Arc<GroupPattern> {
+        let packed = ctx.group_allgather_shared(group, encode_u64s(&mine.to_words()));
+        let group = group.clone();
+        ctx.world().decode_shared(&packed, move |bytes| {
+            let extents = Ctx::allgather_parts(bytes)
+                .map(|p| ExtentList::from_words(&decode_u64s(p)))
+                .collect();
+            GroupPattern { group, extents }
+        })
     }
 
     /// Builds a pattern directly (single-threaded analysis, tests,

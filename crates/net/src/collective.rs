@@ -13,10 +13,13 @@
 //! *all* members of the set, SPMD-style, in the same order — exactly
 //! MPI's rule. The designated root is the smallest member.
 
+use std::sync::Arc;
+
 use mccio_sim::time::VTime;
 
 use crate::engine::Ctx;
 use crate::group::RankSet;
+use crate::mailbox::Payload;
 use crate::wire::{decode_f64, encode_f64, put_u64, Reader};
 
 /// Internal tag space; user tags must stay below this.
@@ -84,12 +87,17 @@ impl Ctx {
 
     /// Broadcasts the root's payload to every member; all members return
     /// the payload. Non-roots pass anything (conventionally empty).
+    ///
+    /// All in-flight copies share one buffer: a plan broadcast to 100k
+    /// ranks queues O(plan) bytes, not O(ranks × plan). Receivers copy
+    /// out on delivery.
     pub fn group_bcast(&mut self, group: &RankSet, payload: Vec<u8>) -> Vec<u8> {
         self.assert_member(group, "group_bcast");
         let root = group.root();
         if self.rank() == root {
+            let shared: Arc<[u8]> = payload.as_slice().into();
             for dst in group.iter().filter(|&r| r != root) {
-                self.send_ctl(dst, TAG_BCAST, payload.clone());
+                self.send_ctl_payload(dst, TAG_BCAST, Payload::Shared(Arc::clone(&shared)));
             }
             payload
         } else {
@@ -97,24 +105,28 @@ impl Ctx {
         }
     }
 
+    /// [`Ctx::group_bcast`] without the receive-side copy: every member
+    /// (root included) returns a clone of the *same* shared allocation,
+    /// whose identity can key [`crate::World::decode_shared`]. Wire
+    /// traffic and clocks are identical to [`Ctx::group_bcast`].
+    pub fn group_bcast_shared(&mut self, group: &RankSet, payload: Vec<u8>) -> Arc<[u8]> {
+        self.assert_member(group, "group_bcast");
+        let root = group.root();
+        if self.rank() == root {
+            let shared: Arc<[u8]> = payload.into();
+            for dst in group.iter().filter(|&r| r != root) {
+                self.send_ctl_payload(dst, TAG_BCAST, Payload::Shared(Arc::clone(&shared)));
+            }
+            shared
+        } else {
+            self.recv_shared(root, TAG_BCAST)
+        }
+    }
+
     /// All-gather: every member returns all members' payloads in group
     /// order. Implemented as gather + bcast of the concatenation.
     pub fn group_allgather(&mut self, group: &RankSet, payload: Vec<u8>) -> Vec<Vec<u8>> {
-        self.assert_member(group, "group_allgather");
-        let gathered = self.group_gather(group, payload);
-        let packed = if let Some(parts) = gathered {
-            let mut buf = Vec::new();
-            put_u64(&mut buf, parts.len() as u64);
-            for p in &parts {
-                put_u64(&mut buf, p.len() as u64);
-            }
-            for p in &parts {
-                buf.extend_from_slice(p);
-            }
-            self.group_bcast(group, buf)
-        } else {
-            self.group_bcast(group, Vec::new())
-        };
+        let packed = self.group_allgather_shared(group, payload);
         let mut r = Reader::new(&packed);
         let n = r.u64() as usize;
         let lens: Vec<usize> = (0..n).map(|_| r.u64() as usize).collect();
@@ -123,12 +135,57 @@ impl Ctx {
         parts
     }
 
+    /// [`Ctx::group_allgather`], returning the packed concatenation as
+    /// one shared buffer instead of splitting it into per-member copies:
+    /// a `u64` member count, the `u64` length of each part, then the
+    /// parts back to back ([`Ctx::allgather_parts`] iterates them).
+    /// Every member returns a clone of the same allocation, so decoding
+    /// can be done once per world ([`crate::World::decode_shared`])
+    /// instead of once per rank — the difference between O(n) and O(n²)
+    /// total work for the metadata exchanges at 10k+ ranks.
+    pub fn group_allgather_shared(&mut self, group: &RankSet, payload: Vec<u8>) -> Arc<[u8]> {
+        self.assert_member(group, "group_allgather");
+        let gathered = self.group_gather(group, payload);
+        if let Some(parts) = gathered {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, parts.len() as u64);
+            for p in &parts {
+                put_u64(&mut buf, p.len() as u64);
+            }
+            for p in &parts {
+                buf.extend_from_slice(p);
+            }
+            self.group_bcast_shared(group, buf)
+        } else {
+            self.group_bcast_shared(group, Vec::new())
+        }
+    }
+
+    /// Iterates the per-member parts of a packed all-gather buffer
+    /// (as produced by [`Ctx::group_allgather_shared`]) without copying
+    /// them out.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not a well-formed packed all-gather.
+    pub fn allgather_parts(packed: &[u8]) -> impl Iterator<Item = &[u8]> {
+        let mut r = Reader::new(packed);
+        let n = r.u64() as usize;
+        let lens: Vec<usize> = (0..n).map(|_| r.u64() as usize).collect();
+        lens.into_iter().map(move |len| r.bytes(len))
+    }
+
     /// All-reduce max over one `f64` per member.
+    ///
+    /// The fold over the gathered values is computed once per world and
+    /// shared between the members (they all hold the same packed buffer),
+    /// so a 10k-rank reduction costs one O(n) pass, not n of them.
     pub fn group_allreduce_max_f64(&mut self, group: &RankSet, value: f64) -> f64 {
-        let all = self.group_allgather(group, encode_f64(value));
-        all.iter()
-            .map(|b| decode_f64(b))
-            .fold(f64::NEG_INFINITY, f64::max)
+        let packed = self.group_allgather_shared(group, encode_f64(value));
+        *self.world().decode_shared(&packed, |bytes| {
+            Ctx::allgather_parts(bytes)
+                .map(decode_f64)
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
     }
 
     /// Synchronizes clocks across the group: every member leaves with
@@ -196,17 +253,10 @@ impl Ctx {
     }
 
     fn account_exchange(&self, dst: usize, bytes: u64) {
-        use std::sync::atomic::Ordering;
-        let traffic = self.world().traffic();
         let dst_node = self.placement().node_of(dst);
-        if dst_node == self.node() {
-            traffic.intra_bytes.fetch_add(bytes, Ordering::Relaxed);
-        } else {
-            traffic.inter_bytes.fetch_add(bytes, Ordering::Relaxed);
-            traffic.node_egress[self.node()].fetch_add(bytes, Ordering::Relaxed);
-            traffic.node_ingress[dst_node].fetch_add(bytes, Ordering::Relaxed);
-        }
-        traffic.data_msgs.fetch_add(1, Ordering::Relaxed);
+        self.world()
+            .traffic()
+            .account_data(self.node(), dst_node, bytes);
     }
 }
 
@@ -219,22 +269,32 @@ mod tests {
     use mccio_sim::topology::{test_cluster, FillOrder, Placement};
     use std::sync::Arc;
 
-    fn world(nodes: usize, cores: usize, ranks: usize) -> Arc<World> {
+    use crate::engine::ExecutorKind;
+
+    const BOTH: [ExecutorKind; 2] = [ExecutorKind::Threads, ExecutorKind::Event];
+
+    fn world_with(nodes: usize, cores: usize, ranks: usize, kind: ExecutorKind) -> Arc<World> {
         let cluster = test_cluster(nodes, cores);
         let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
-        World::new(CostModel::new(cluster), placement)
+        World::with_executor(CostModel::new(cluster), placement, kind)
+    }
+
+    fn world(nodes: usize, cores: usize, ranks: usize) -> Arc<World> {
+        world_with(nodes, cores, ranks, ExecutorKind::Threads)
     }
 
     #[test]
     fn barrier_syncs_clocks_to_max() {
-        let w = world(2, 2, 4);
-        let clocks = w.run(|ctx| {
-            ctx.advance(VDuration::from_secs(ctx.rank() as f64));
-            ctx.barrier();
-            ctx.clock().as_secs()
-        });
-        for c in clocks {
-            assert!((c - 3.0).abs() < 1e-12, "clock {c}");
+        for kind in BOTH {
+            let w = world_with(2, 2, 4, kind);
+            let clocks = w.run(|ctx| {
+                ctx.advance(VDuration::from_secs(ctx.rank() as f64));
+                ctx.barrier();
+                ctx.clock().as_secs()
+            });
+            for c in clocks {
+                assert!((c - 3.0).abs() < 1e-12, "clock {c}");
+            }
         }
     }
 
@@ -259,32 +319,36 @@ mod tests {
 
     #[test]
     fn bcast_distributes_root_payload() {
-        let w = world(2, 2, 4);
-        let r = w.run(|ctx| {
-            let group = RankSet::world(ctx.size());
-            let payload = if ctx.rank() == 0 {
-                b"hello".to_vec()
-            } else {
-                vec![]
-            };
-            ctx.group_bcast(&group, payload)
-        });
-        for p in r {
-            assert_eq!(p, b"hello");
+        for kind in BOTH {
+            let w = world_with(2, 2, 4, kind);
+            let r = w.run(|ctx| {
+                let group = RankSet::world(ctx.size());
+                let payload = if ctx.rank() == 0 {
+                    b"hello".to_vec()
+                } else {
+                    vec![]
+                };
+                ctx.group_bcast(&group, payload)
+            });
+            for p in r {
+                assert_eq!(p, b"hello");
+            }
         }
     }
 
     #[test]
     fn allgather_gives_everyone_everything() {
-        let w = world(2, 2, 4);
-        let r = w.run(|ctx| {
-            let group = RankSet::world(ctx.size());
-            ctx.group_allgather(&group, vec![ctx.rank() as u8; ctx.rank() + 1])
-        });
-        for parts in r {
-            assert_eq!(parts.len(), 4);
-            for (i, p) in parts.iter().enumerate() {
-                assert_eq!(p, &vec![i as u8; i + 1]);
+        for kind in BOTH {
+            let w = world_with(2, 2, 4, kind);
+            let r = w.run(|ctx| {
+                let group = RankSet::world(ctx.size());
+                ctx.group_allgather(&group, vec![ctx.rank() as u8; ctx.rank() + 1])
+            });
+            for parts in r {
+                assert_eq!(parts.len(), 4);
+                for (i, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![i as u8; i + 1]);
+                }
             }
         }
     }
@@ -321,7 +385,13 @@ mod tests {
 
     #[test]
     fn exchange_delivers_personalized_payloads() {
-        let w = world(2, 2, 4);
+        for kind in BOTH {
+            exchange_case(kind);
+        }
+    }
+
+    fn exchange_case(kind: ExecutorKind) {
+        let w = world_with(2, 2, 4, kind);
         let r = w.run(|ctx| {
             let group = RankSet::world(ctx.size());
             let me = ctx.rank();

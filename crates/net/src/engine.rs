@@ -1,8 +1,13 @@
 //! The SPMD rank engine.
 //!
-//! [`World::run`] executes one closure per rank, each on its own OS
-//! thread, exactly like `mpiexec` launches one process per core. Ranks
-//! communicate through [`Ctx`]: point-to-point sends/receives and (in
+//! [`World::run`] executes one closure per rank, exactly like `mpiexec`
+//! launches one process per core. Two executors implement that contract
+//! ([`ExecutorKind`]): the *threaded* engine gives every rank its own OS
+//! thread and blocks on condition variables — simple, parallel, and the
+//! differential-testing oracle — while the *event* engine runs every
+//! rank as a cooperative task over virtual time on one thread, which is
+//! what makes 10k–100k rank worlds practical. Ranks communicate through
+//! [`Ctx`] either way: point-to-point sends/receives and (in
 //! `collective.rs`) MPI-style collectives.
 //!
 //! ## Virtual time
@@ -14,20 +19,55 @@
 //! [`CostModel`]'s point-to-point price. *Control* messages (driver
 //! metadata whose real-world cost is priced analytically by the phase
 //! model) carry causality only: the receiver advances to the departure
-//! time but pays no transfer cost. Wall-clock never enters either path.
+//! time but pays no transfer cost. Wall-clock never enters either path,
+//! which is why both executors produce bit-identical times.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use mccio_sim::cost::CostModel;
+use mccio_sim::sync::Mutex;
 use mccio_sim::time::{VDuration, VTime};
 use mccio_sim::topology::Placement;
 use mccio_sim::{SimError, SimResult};
 
-use crate::mailbox::{Envelope, Mailbox, Pattern};
+use crate::executor::{self, TaskHandle};
+use crate::mailbox::{Envelope, Mailbox, Pattern, Payload};
+
+/// Which engine drives the ranks of a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One OS thread per rank (the original engine). Parallel and
+    /// preemptive; practical to a few thousand ranks.
+    Threads,
+    /// Discrete-event cooperative scheduler: every rank is a resumable
+    /// task on one thread, resumed smallest-virtual-clock first.
+    /// Practical to 100k ranks.
+    Event,
+}
+
+impl ExecutorKind {
+    /// Reads the `MCCIO_EXECUTOR` override (`threads` or `event`);
+    /// `None` when unset or empty.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo silently falling back
+    /// to the default would invalidate a scaling experiment.
+    #[must_use]
+    pub fn from_env() -> Option<ExecutorKind> {
+        let raw = std::env::var("MCCIO_EXECUTOR").ok()?;
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" => None,
+            "threads" | "thread" => Some(ExecutorKind::Threads),
+            "event" => Some(ExecutorKind::Event),
+            other => panic!("MCCIO_EXECUTOR must be `threads` or `event`, got {other:?}"),
+        }
+    }
+}
 
 /// Aggregate traffic counters, updated on every delivery.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Traffic {
     /// Bytes moved between ranks on the same node (data plane).
     pub intra_bytes: AtomicU64,
@@ -37,10 +77,25 @@ pub struct Traffic {
     pub data_msgs: AtomicU64,
     /// Control-plane message count (metadata, barriers, clock sync).
     pub ctl_msgs: AtomicU64,
-    /// Per-node NIC ingress bytes (data plane, inter-node only).
-    pub node_ingress: Vec<AtomicU64>,
-    /// Per-node NIC egress bytes (data plane, inter-node only).
-    pub node_egress: Vec<AtomicU64>,
+    /// Per-node NIC counters, allocated on the first inter-node byte so
+    /// control-plane-only worlds never pay O(nodes) memory.
+    node_flows: OnceLock<NodeFlows>,
+    n_nodes: usize,
+}
+
+#[derive(Debug)]
+struct NodeFlows {
+    ingress: Box<[AtomicU64]>,
+    egress: Box<[AtomicU64]>,
+}
+
+impl NodeFlows {
+    fn new(n_nodes: usize) -> NodeFlows {
+        NodeFlows {
+            ingress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            egress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// A point-in-time copy of [`Traffic`].
@@ -63,31 +118,76 @@ pub struct TrafficSnapshot {
 impl Traffic {
     fn new(n_nodes: usize) -> Self {
         Traffic {
-            node_ingress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
-            node_egress: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
-            ..Traffic::default()
+            intra_bytes: AtomicU64::new(0),
+            inter_bytes: AtomicU64::new(0),
+            data_msgs: AtomicU64::new(0),
+            ctl_msgs: AtomicU64::new(0),
+            node_flows: OnceLock::new(),
+            n_nodes,
+        }
+    }
+
+    /// Counts one data-plane message of `bytes` from `src_node` to
+    /// `dst_node`, maintaining the per-node NIC counters for the
+    /// inter-node case.
+    pub(crate) fn account_data(&self, src_node: usize, dst_node: usize, bytes: u64) {
+        self.data_msgs.fetch_add(1, Ordering::Relaxed);
+        if src_node == dst_node {
+            self.intra_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.inter_bytes.fetch_add(bytes, Ordering::Relaxed);
+            let flows = self.node_flows.get_or_init(|| NodeFlows::new(self.n_nodes));
+            flows.egress[src_node].fetch_add(bytes, Ordering::Relaxed);
+            flows.ingress[dst_node].fetch_add(bytes, Ordering::Relaxed);
         }
     }
 
     /// Copies the counters.
     #[must_use]
     pub fn snapshot(&self) -> TrafficSnapshot {
+        let load = |v: &[AtomicU64]| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let (node_ingress, node_egress) = match self.node_flows.get() {
+            Some(flows) => (load(&flows.ingress), load(&flows.egress)),
+            None => (vec![0; self.n_nodes], vec![0; self.n_nodes]),
+        };
         TrafficSnapshot {
             intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
             inter_bytes: self.inter_bytes.load(Ordering::Relaxed),
             data_msgs: self.data_msgs.load(Ordering::Relaxed),
             ctl_msgs: self.ctl_msgs.load(Ordering::Relaxed),
-            node_ingress: self
-                .node_ingress
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
-            node_egress: self
-                .node_egress
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect(),
+            node_ingress,
+            node_egress,
         }
+    }
+}
+
+/// How many decoded-payload entries a world retains. Collective I/O
+/// keeps at most a couple of broadcast buffers live per operation, so a
+/// small ring is ample; the cap only bounds memory if a caller streams
+/// many distinct broadcasts through one world.
+const DECODE_CACHE_CAP: usize = 16;
+
+/// Per-world cache of values decoded from shared broadcast buffers,
+/// keyed by buffer *identity* (`Arc::ptr_eq`). Every receiver of a
+/// broadcast holds a clone of the same allocation, so the first rank to
+/// decode it does the work once and the other `n - 1` ranks reuse the
+/// result — turning per-rank O(ranks) decode CPU into per-world O(ranks).
+/// Entries keep the keyed `Arc` alive, which is what makes pointer
+/// comparison sound: a live key can never be a recycled allocation.
+#[derive(Default)]
+struct DecodeCache {
+    entries: Mutex<Vec<DecodeEntry>>,
+}
+
+/// One cached decode: the shared packed buffer (the identity key) and
+/// the type-erased decoded value.
+type DecodeEntry = (Arc<[u8]>, Arc<dyn Any + Send + Sync>);
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field("entries", &self.entries.lock().len())
+            .finish()
     }
 }
 
@@ -99,6 +199,8 @@ pub struct World {
     cost: CostModel,
     mailboxes: Vec<Mailbox>,
     traffic: Traffic,
+    executor: ExecutorKind,
+    decode_cache: DecodeCache,
     /// Extra latency on every control-plane message, stored as f64 bits
     /// so fault plans can set it after the world is shared. Zero when no
     /// faults are injected.
@@ -106,9 +208,22 @@ pub struct World {
 }
 
 impl World {
-    /// Builds a world for `placement` priced by `cost`.
+    /// Builds a world for `placement` priced by `cost`, driven by the
+    /// `MCCIO_EXECUTOR` env override or the threaded engine by default.
     #[must_use]
     pub fn new(cost: CostModel, placement: Placement) -> Arc<World> {
+        let kind = ExecutorKind::from_env().unwrap_or(ExecutorKind::Threads);
+        World::with_executor(cost, placement, kind)
+    }
+
+    /// Builds a world driven by a specific executor, ignoring the env
+    /// override — differential tests pin both engines this way.
+    #[must_use]
+    pub fn with_executor(
+        cost: CostModel,
+        placement: Placement,
+        executor: ExecutorKind,
+    ) -> Arc<World> {
         let n_ranks = placement.n_ranks();
         let n_nodes = placement.n_nodes();
         Arc::new(World {
@@ -116,8 +231,47 @@ impl World {
             cost,
             mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
             traffic: Traffic::new(n_nodes),
+            executor,
+            decode_cache: DecodeCache::default(),
             ctl_delay_bits: AtomicU64::new(0.0_f64.to_bits()),
         })
+    }
+
+    /// Decodes a shared broadcast buffer once per world: the first caller
+    /// for a given `packed` allocation runs `decode` and every later
+    /// caller holding a clone of the same `Arc` gets the cached value.
+    ///
+    /// The lock is held across `decode`, so concurrent ranks under the
+    /// threaded executor wait for the one decode instead of duplicating
+    /// it. `decode` must be pure (same bytes, same value) — true of every
+    /// wire decoder — or caching would change behaviour; and each buffer
+    /// must always be decoded to one type, or hits degrade to misses.
+    pub fn decode_shared<T: Send + Sync + 'static>(
+        &self,
+        packed: &Arc<[u8]>,
+        decode: impl FnOnce(&[u8]) -> T,
+    ) -> Arc<T> {
+        let mut entries = self.decode_cache.entries.lock();
+        if let Some((_, v)) = entries.iter().find(|(k, _)| Arc::ptr_eq(k, packed)) {
+            if let Ok(hit) = Arc::clone(v).downcast::<T>() {
+                return hit;
+            }
+        }
+        let value = Arc::new(decode(packed));
+        if entries.len() == DECODE_CACHE_CAP {
+            entries.remove(0);
+        }
+        entries.push((
+            Arc::clone(packed),
+            Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+        ));
+        value
+    }
+
+    /// The executor driving this world's ranks.
+    #[must_use]
+    pub fn executor(&self) -> ExecutorKind {
+        self.executor
     }
 
     /// Sets the control-message delay injected on every subsequent
@@ -157,14 +311,53 @@ impl World {
         &self.traffic
     }
 
-    /// Runs `f` once per rank, each on its own thread, and returns the
-    /// per-rank results in rank order.
+    pub(crate) fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    /// Asserts every mailbox drained — a queued leftover is a protocol
+    /// bug in the caller. Both executors run this at shutdown.
+    pub(crate) fn check_drained(&self) {
+        for (rank, mb) in self.mailboxes.iter().enumerate() {
+            assert_eq!(
+                mb.pending(),
+                0,
+                "rank {rank} exited with unmatched messages queued"
+            );
+        }
+    }
+
+    /// Runs `f` once per rank — on its own thread or as a cooperative
+    /// task, per [`World::executor`] — and returns the per-rank results
+    /// in rank order. Virtual times, file hashes, and traffic are
+    /// bit-identical across executors.
     ///
     /// # Panics
-    /// Propagates any rank's panic after all threads have been joined,
-    /// and panics if any mailbox still holds unmatched messages at exit
+    /// Propagates any rank's panic after the world has wound down, and
+    /// panics if any mailbox still holds unmatched messages at exit
     /// (a protocol bug in the caller).
     pub fn run<F, R>(self: &Arc<Self>, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+        R: Send,
+    {
+        match self.executor {
+            ExecutorKind::Threads => self.run_threads(f),
+            ExecutorKind::Event if executor::SUPPORTED => executor::run_event(self, f),
+            ExecutorKind::Event => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "mccio-net: event executor has no context-switch backend on this \
+                         architecture; falling back to the threaded engine"
+                    );
+                });
+                self.run_threads(f)
+            }
+        }
+    }
+
+    fn run_threads<F, R>(self: &Arc<Self>, f: F) -> Vec<R>
     where
         F: Fn(&mut Ctx) -> R + Send + Sync,
         R: Send,
@@ -185,6 +378,7 @@ impl World {
                             node: world.placement.node_of(rank),
                             world: Arc::clone(&world),
                             clock: VTime::ZERO,
+                            task: None,
                         };
                         *slot = Some(f(&mut ctx));
                     })
@@ -192,13 +386,7 @@ impl World {
                 handles.push(handle);
             }
         });
-        for (rank, mb) in self.mailboxes.iter().enumerate() {
-            assert_eq!(
-                mb.pending(),
-                0,
-                "rank {rank} exited with unmatched messages queued"
-            );
-        }
+        self.check_drained();
         results
             .into_iter()
             .map(|r| r.expect("every rank produced a result"))
@@ -213,9 +401,23 @@ pub struct Ctx {
     node: usize,
     world: Arc<World>,
     clock: VTime,
+    /// Present when this rank runs as a cooperative task: blocking
+    /// receives yield to the scheduler through it instead of parking an
+    /// OS thread.
+    task: Option<TaskHandle>,
 }
 
 impl Ctx {
+    pub(crate) fn for_event_task(rank: usize, world: &Arc<World>, task: TaskHandle) -> Ctx {
+        Ctx {
+            rank,
+            node: world.placement.node_of(rank),
+            world: Arc::clone(world),
+            clock: VTime::ZERO,
+            task: Some(task),
+        }
+    }
+
     /// This rank's id, `0..size`.
     #[must_use]
     pub fn rank(&self) -> usize {
@@ -283,14 +485,15 @@ impl Ctx {
             t.ctl_msgs.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        t.data_msgs.fetch_add(1, Ordering::Relaxed);
-        let dst_node = self.world.placement.node_of(dst);
-        if dst_node == self.node {
-            t.intra_bytes.fetch_add(bytes, Ordering::Relaxed);
-        } else {
-            t.inter_bytes.fetch_add(bytes, Ordering::Relaxed);
-            t.node_egress[self.node].fetch_add(bytes, Ordering::Relaxed);
-            t.node_ingress[dst_node].fetch_add(bytes, Ordering::Relaxed);
+        t.account_data(self.node, self.world.placement.node_of(dst), bytes);
+    }
+
+    /// Wakes `dst` if it runs as a parked task whose receive now has a
+    /// match; a no-op under the threaded executor (deliver notified the
+    /// condvar already).
+    fn notify(&self, dst: usize) {
+        if let Some(task) = &self.task {
+            task.notify_delivery(dst, &self.world);
         }
     }
 
@@ -303,15 +506,23 @@ impl Ctx {
         self.world.mailboxes[dst].deliver(Envelope {
             src: self.rank,
             tag,
-            payload,
+            payload: payload.into(),
             depart: self.clock,
             costed: true,
         });
+        self.notify(dst);
     }
 
     /// Sends a control-plane message: causality only, no transfer cost
     /// (the bulk-data phases it coordinates are priced analytically).
     pub fn send_ctl(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        self.send_ctl_payload(dst, tag, payload.into());
+    }
+
+    /// Control-plane send of an owned *or shared* payload; collectives
+    /// use the shared form so a broadcast queues one buffer, not one
+    /// clone per destination.
+    pub(crate) fn send_ctl_payload(&mut self, dst: usize, tag: u32, payload: Payload) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         self.account(dst, payload.len() as u64, false);
         // An injected control-network delay shifts the departure stamp:
@@ -325,6 +536,7 @@ impl Ctx {
             depart,
             costed: false,
         });
+        self.notify(dst);
     }
 
     fn settle(&mut self, env: &Envelope) {
@@ -342,22 +554,52 @@ impl Ctx {
         }
     }
 
+    /// Blocking receive, routed per executor: condvar park on a thread,
+    /// scheduler yield as a task. The yield loop re-probes after every
+    /// wakeup — the scheduler only guarantees a match existed at notify
+    /// time.
+    fn recv_matched(&self, pattern: Pattern) -> Envelope {
+        let mb = &self.world.mailboxes[self.rank];
+        match &self.task {
+            None => mb.recv(pattern),
+            Some(task) => loop {
+                if let Some(env) = mb.try_recv(pattern) {
+                    return env;
+                }
+                task.block_on_message(pattern, self.clock);
+            },
+        }
+    }
+
     /// Blocks for a message from `src` with `tag`; returns the payload.
     pub fn recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        let env = self.world.mailboxes[self.rank].recv(Pattern {
+        let env = self.recv_matched(Pattern {
             src: Some(src),
             tag,
         });
         self.settle(&env);
-        env.payload
+        env.payload.into_vec()
+    }
+
+    /// Like [`Ctx::recv`] but keeps the payload shared: at a broadcast
+    /// every receiver gets a clone of the *same* `Arc`, so the buffer is
+    /// never copied and its identity can key per-world decode caches.
+    /// Clock and traffic behave exactly like [`Ctx::recv`].
+    pub fn recv_shared(&mut self, src: usize, tag: u32) -> Arc<[u8]> {
+        let env = self.recv_matched(Pattern {
+            src: Some(src),
+            tag,
+        });
+        self.settle(&env);
+        env.payload.into_shared()
     }
 
     /// Blocks for a message with `tag` from any source; returns
     /// `(src, payload)`.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<u8>) {
-        let env = self.world.mailboxes[self.rank].recv(Pattern { src: None, tag });
+        let env = self.recv_matched(Pattern { src: None, tag });
         self.settle(&env);
-        (env.src, env.payload)
+        (env.src, env.payload.into_vec())
     }
 
     /// Deadline-bounded receive from `src`: the failure-detection
@@ -366,28 +608,40 @@ impl Ctx {
     /// to `deadline` — the virtual-time price of waiting out the timeout
     /// — and [`SimError::RankFailed`] names the silent peer.
     ///
-    /// Determinism caveat: the miss arm is detected by a short
-    /// *wall-clock* parking budget, so callers must only probe peers
-    /// whose silence is already decided by shared data (the fault plan's
-    /// crash schedule at an agreed virtual time). The engine's crash
-    /// tracker honors this: it probes on a tag nothing ever sends on,
-    /// and only ranks every peer has independently declared dead.
+    /// The miss arm is executor-specific but the result is not. The
+    /// threaded engine parks for a short *wall-clock* budget; the event
+    /// engine waits for quiescence (no runnable task), which proves the
+    /// message can never arrive. Callers must only probe peers whose
+    /// silence is already decided by shared data (the fault plan's crash
+    /// schedule at an agreed virtual time). The engine's crash tracker
+    /// honors this: it probes on a tag nothing ever sends on, and only
+    /// ranks every peer has independently declared dead.
     ///
     /// # Errors
     /// [`SimError::RankFailed`] when no matching message arrived.
     pub fn recv_deadline(&mut self, src: usize, tag: u32, deadline: VTime) -> SimResult<Vec<u8>> {
-        const DETECT_WALL_BUDGET: std::time::Duration = std::time::Duration::from_millis(2);
-        let got = self.world.mailboxes[self.rank].recv_budgeted(
-            Pattern {
-                src: Some(src),
-                tag,
-            },
-            DETECT_WALL_BUDGET,
-        );
+        let pattern = Pattern {
+            src: Some(src),
+            tag,
+        };
+        let got = match &self.task {
+            None => {
+                const DETECT_WALL_BUDGET: std::time::Duration = std::time::Duration::from_millis(2);
+                self.world.mailboxes[self.rank].recv_budgeted(pattern, DETECT_WALL_BUDGET)
+            }
+            Some(task) => {
+                let mb = &self.world.mailboxes[self.rank];
+                match mb.try_recv(pattern) {
+                    Some(env) => Some(env),
+                    None if task.block_with_deadline(pattern, deadline, self.clock) => None,
+                    None => Some(mb.try_recv(pattern).expect("woken with a queued match")),
+                }
+            }
+        };
         match got {
             Some(env) => {
                 self.settle(&env);
-                Ok(env.payload)
+                Ok(env.payload.into_vec())
             }
             None => {
                 self.advance_to(deadline);
@@ -403,54 +657,87 @@ mod tests {
     use mccio_sim::topology::{test_cluster, FillOrder};
     use mccio_sim::units::MIB;
 
-    fn world(nodes: usize, cores: usize, ranks: usize) -> Arc<World> {
+    fn world_with(nodes: usize, cores: usize, ranks: usize, kind: ExecutorKind) -> Arc<World> {
         let cluster = test_cluster(nodes, cores);
         let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
-        World::new(CostModel::new(cluster), placement)
+        World::with_executor(CostModel::new(cluster), placement, kind)
     }
+
+    fn world(nodes: usize, cores: usize, ranks: usize) -> Arc<World> {
+        world_with(nodes, cores, ranks, ExecutorKind::Threads)
+    }
+
+    const BOTH: [ExecutorKind; 2] = [ExecutorKind::Threads, ExecutorKind::Event];
 
     #[test]
     fn ping_pong_moves_data_and_time() {
-        let w = world(2, 1, 2);
-        let results = w.run(|ctx| {
-            if ctx.rank() == 0 {
-                ctx.send(1, 1, vec![42; 1024]);
-                let back = ctx.recv(1, 2);
-                (back.len(), ctx.clock().as_secs())
-            } else {
-                let msg = ctx.recv(0, 1);
-                ctx.send(0, 2, msg);
-                (0, ctx.clock().as_secs())
-            }
-        });
-        assert_eq!(results[0].0, 1024);
-        // Two inter-node hops: time strictly positive on both ranks.
-        assert!(results[0].1 > 0.0);
-        assert!(results[1].1 > 0.0);
-        let t = w.traffic().snapshot();
-        assert_eq!(t.data_msgs, 2);
-        assert_eq!(t.inter_bytes, 2048);
-        assert_eq!(t.node_egress[0], 1024);
-        assert_eq!(t.node_ingress[0], 1024);
+        for kind in BOTH {
+            let w = world_with(2, 1, 2, kind);
+            let results = w.run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 1, vec![42; 1024]);
+                    let back = ctx.recv(1, 2);
+                    (back.len(), ctx.clock().as_secs())
+                } else {
+                    let msg = ctx.recv(0, 1);
+                    ctx.send(0, 2, msg);
+                    (0, ctx.clock().as_secs())
+                }
+            });
+            assert_eq!(results[0].0, 1024);
+            // Two inter-node hops: time strictly positive on both ranks.
+            assert!(results[0].1 > 0.0);
+            assert!(results[1].1 > 0.0);
+            let t = w.traffic().snapshot();
+            assert_eq!(t.data_msgs, 2);
+            assert_eq!(t.inter_bytes, 2048);
+            assert_eq!(t.node_egress[0], 1024);
+            assert_eq!(t.node_ingress[0], 1024);
+        }
+    }
+
+    #[test]
+    fn executors_agree_bit_for_bit() {
+        let run = |kind| {
+            let w = world_with(2, 2, 4, kind);
+            let clocks = w.run(|ctx| {
+                let me = ctx.rank();
+                ctx.advance(VDuration::from_secs(me as f64 * 0.125));
+                let next = (me + 1) % ctx.size();
+                let prev = (me + ctx.size() - 1) % ctx.size();
+                ctx.send(next, 5, vec![me as u8; 256 * (me + 1)]);
+                let got = ctx.recv(prev, 5);
+                assert_eq!(got.len(), 256 * (prev + 1));
+                ctx.barrier();
+                ctx.clock().as_secs().to_bits()
+            });
+            (clocks, w.traffic().snapshot())
+        };
+        let (threaded, t_snap) = run(ExecutorKind::Threads);
+        let (event, e_snap) = run(ExecutorKind::Event);
+        assert_eq!(threaded, event, "virtual clocks must match bit-for-bit");
+        assert_eq!(t_snap, e_snap, "traffic must match exactly");
     }
 
     #[test]
     fn control_messages_carry_causality_without_cost() {
-        let w = world(2, 1, 2);
-        let results = w.run(|ctx| {
-            if ctx.rank() == 0 {
-                ctx.advance(VDuration::from_secs(5.0));
-                ctx.send_ctl(1, 9, vec![]);
-                ctx.clock().as_secs()
-            } else {
-                let _ = ctx.recv(0, 9);
-                ctx.clock().as_secs()
-            }
-        });
-        // Receiver is pulled forward to the sender's clock, exactly.
-        assert_eq!(results[1], 5.0);
-        assert_eq!(w.traffic().snapshot().ctl_msgs, 1);
-        assert_eq!(w.traffic().snapshot().inter_bytes, 0);
+        for kind in BOTH {
+            let w = world_with(2, 1, 2, kind);
+            let results = w.run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.advance(VDuration::from_secs(5.0));
+                    ctx.send_ctl(1, 9, vec![]);
+                    ctx.clock().as_secs()
+                } else {
+                    let _ = ctx.recv(0, 9);
+                    ctx.clock().as_secs()
+                }
+            });
+            // Receiver is pulled forward to the sender's clock, exactly.
+            assert_eq!(results[1], 5.0);
+            assert_eq!(w.traffic().snapshot().ctl_msgs, 1);
+            assert_eq!(w.traffic().snapshot().inter_bytes, 0);
+        }
     }
 
     #[test]
@@ -489,9 +776,11 @@ mod tests {
 
     #[test]
     fn results_are_in_rank_order() {
-        let w = world(2, 4, 8);
-        let results = w.run(|ctx| ctx.rank() * 10);
-        assert_eq!(results, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+        for kind in BOTH {
+            let w = world_with(2, 4, 8, kind);
+            let results = w.run(|ctx| ctx.rank() * 10);
+            assert_eq!(results, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -509,64 +798,175 @@ mod tests {
 
     #[test]
     fn recv_any_reports_source() {
-        let w = world(1, 4, 4);
-        let r = w.run(|ctx| {
-            if ctx.rank() == 0 {
-                let mut seen = Vec::new();
-                for _ in 0..3 {
-                    let (src, _) = ctx.recv_any(7);
-                    seen.push(src);
+        for kind in BOTH {
+            let w = world_with(1, 4, 4, kind);
+            let r = w.run(|ctx| {
+                if ctx.rank() == 0 {
+                    let mut seen = Vec::new();
+                    for _ in 0..3 {
+                        let (src, _) = ctx.recv_any(7);
+                        seen.push(src);
+                    }
+                    seen.sort_unstable();
+                    seen
+                } else {
+                    ctx.send(0, 7, vec![ctx.rank() as u8]);
+                    vec![]
                 }
-                seen.sort_unstable();
-                seen
-            } else {
-                ctx.send(0, 7, vec![ctx.rank() as u8]);
-                vec![]
-            }
-        });
-        assert_eq!(r[0], vec![1, 2, 3]);
+            });
+            assert_eq!(r[0], vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn recv_deadline_charges_the_timeout_on_silence() {
-        let w = world(1, 2, 2);
-        let r = w.run(|ctx| {
-            if ctx.rank() == 0 {
-                // Rank 1 never sends on tag 77: the deadline must expire
-                // and the clock must land exactly on it.
-                let deadline = ctx.clock() + VDuration::from_secs(0.5);
-                let err = ctx.recv_deadline(1, 77, deadline).unwrap_err();
-                assert_eq!(err, mccio_sim::SimError::RankFailed { rank: 1 });
-                ctx.clock().as_secs()
-            } else {
-                0.0
-            }
-        });
-        assert_eq!(r[0], 0.5);
+        for kind in BOTH {
+            let w = world_with(1, 2, 2, kind);
+            let r = w.run(|ctx| {
+                if ctx.rank() == 0 {
+                    // Rank 1 never sends on tag 77: the deadline must expire
+                    // and the clock must land exactly on it.
+                    let deadline = ctx.clock() + VDuration::from_secs(0.5);
+                    let err = ctx.recv_deadline(1, 77, deadline).unwrap_err();
+                    assert_eq!(err, mccio_sim::SimError::RankFailed { rank: 1 });
+                    ctx.clock().as_secs()
+                } else {
+                    0.0
+                }
+            });
+            assert_eq!(r[0], 0.5);
+        }
     }
 
     #[test]
     fn recv_deadline_delivers_a_present_message() {
-        let w = world(1, 2, 2);
-        let r = w.run(|ctx| {
-            if ctx.rank() == 0 {
-                ctx.send_ctl(1, 78, vec![9]);
-                ctx.barrier();
-                0
-            } else {
-                // The barrier orders the send before the probe, so the
-                // match is already queued: no wall-clock race.
-                ctx.barrier();
-                let deadline = ctx.clock() + VDuration::from_secs(10.0);
-                let payload = ctx.recv_deadline(0, 78, deadline).unwrap();
-                assert!(
-                    ctx.clock().as_secs() < 10.0,
-                    "delivery must not charge the deadline"
-                );
-                payload[0]
+        for kind in BOTH {
+            let w = world_with(1, 2, 2, kind);
+            let r = w.run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send_ctl(1, 78, vec![9]);
+                    ctx.barrier();
+                    0
+                } else {
+                    // The barrier orders the send before the probe, so the
+                    // match is already queued: no wall-clock race.
+                    ctx.barrier();
+                    let deadline = ctx.clock() + VDuration::from_secs(10.0);
+                    let payload = ctx.recv_deadline(0, 78, deadline).unwrap();
+                    assert!(
+                        ctx.clock().as_secs() < 10.0,
+                        "delivery must not charge the deadline"
+                    );
+                    payload[0]
+                }
+            });
+            assert_eq!(r[1], 9);
+        }
+    }
+
+    #[test]
+    fn event_deadline_waits_for_late_traffic_before_expiring() {
+        // The deadline waiter must only be declared missed at
+        // quiescence: rank 1 does unrelated work first, then sends the
+        // probed message, and the waiter must still get it.
+        let w = world_with(1, 3, 3, ExecutorKind::Event);
+        let r = w.run(|ctx| match ctx.rank() {
+            0 => {
+                let deadline = ctx.clock() + VDuration::from_secs(4.0);
+                ctx.recv_deadline(1, 80, deadline).map(|p| p[0])
+            }
+            1 => {
+                // A detour through rank 2 keeps the world busy while
+                // rank 0 is already parked on its deadline.
+                ctx.send_ctl(2, 81, vec![]);
+                let _ = ctx.recv(2, 82);
+                ctx.send_ctl(0, 80, vec![7]);
+                Ok(0)
+            }
+            _ => {
+                let _ = ctx.recv(1, 81);
+                ctx.send_ctl(1, 82, vec![]);
+                Ok(0)
             }
         });
-        assert_eq!(r[1], 9);
+        assert_eq!(r[0], Ok(7), "late but reachable traffic beats the deadline");
+    }
+
+    #[test]
+    fn event_scheduler_breaks_clock_ties_by_rank_order() {
+        // Satellite: same virtual clock => wake order is (rank, seq).
+        // Ranks 1..4 park at clock zero; the root's release fan-out
+        // makes them all runnable at once. Their post-recv side effects
+        // must interleave in rank order, reproducibly.
+        let w = world_with(1, 4, 4, ExecutorKind::Event);
+        let log = std::sync::Mutex::new(Vec::new());
+        let _ = w.run(|ctx| {
+            let me = ctx.rank();
+            if me == 0 {
+                for src in 1..4 {
+                    let _ = ctx.recv(src, 1);
+                }
+                for dst in 1..4 {
+                    ctx.send_ctl(dst, 2, vec![]);
+                }
+            } else {
+                ctx.send_ctl(0, 1, vec![]);
+                let _ = ctx.recv(0, 2);
+                log.lock().unwrap().push(me);
+            }
+        });
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn event_scheduler_runs_smallest_clock_first() {
+        // Ranks park with distinct clocks (rank r waits at n - r
+        // seconds); when the root releases everyone at once, the
+        // scheduler must resume them smallest clock first.
+        let n = 4;
+        let w = world_with(1, n, n, ExecutorKind::Event);
+        let log = std::sync::Mutex::new(Vec::new());
+        let _ = w.run(|ctx| {
+            let me = ctx.rank();
+            if me == 0 {
+                for src in 1..n {
+                    let _ = ctx.recv(src, 1);
+                }
+                for dst in 1..n {
+                    ctx.send_ctl(dst, 2, vec![]);
+                }
+            } else {
+                ctx.advance(VDuration::from_secs((n - me) as f64));
+                ctx.send_ctl(0, 1, vec![]);
+                let _ = ctx.recv(0, 2);
+                log.lock().unwrap().push(me);
+            }
+        });
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![3, 2, 1],
+            "rank 3 parked at the smallest clock and must wake first"
+        );
+    }
+
+    #[test]
+    fn event_panic_propagates_with_its_message() {
+        let w = world_with(1, 2, 2, ExecutorKind::Event);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = w.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("rank 1 exploded"), "got panic: {msg}");
     }
 
     #[test]
@@ -579,5 +979,49 @@ mod tests {
             }
             // rank 1 never receives.
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "unmatched messages")]
+    fn event_leaked_message_is_detected() {
+        let w = world_with(1, 2, 2, ExecutorKind::Event);
+        let _ = w.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send_ctl(1, 99, vec![1]);
+            }
+            // rank 1 never receives.
+        });
+    }
+
+    #[test]
+    fn event_executor_deadlock_is_diagnosed() {
+        let w = world_with(1, 2, 2, ExecutorKind::Event);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = w.run(|ctx| {
+                // Everyone waits for a message nobody sends.
+                let _ = ctx.recv((ctx.rank() + 1) % 2, 123);
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "got panic: {msg}");
+        assert!(msg.contains("rank 0"), "names the stuck ranks: {msg}");
+    }
+
+    #[test]
+    fn event_executor_handles_thousands_of_ranks() {
+        // A 2000-rank world on OS threads would need gigabytes of
+        // committed stacks; as tasks it is a quick smoke.
+        let n = 2000;
+        let w = world_with(20, 100, n, ExecutorKind::Event);
+        let clocks = w.run(|ctx| {
+            ctx.advance(VDuration::from_secs(ctx.rank() as f64 * 1e-6));
+            ctx.barrier();
+            ctx.clock().as_secs()
+        });
+        let expect = (n - 1) as f64 * 1e-6;
+        for c in clocks {
+            assert_eq!(c, expect, "barrier syncs every clock to the max");
+        }
     }
 }

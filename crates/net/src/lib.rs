@@ -3,9 +3,12 @@
 //! MPI bindings for Rust are immature and the reproduction needs no real
 //! cluster: collective I/O is a data-movement algorithm whose correctness
 //! and traffic pattern are fully exercised in-process. This crate runs
-//! one OS thread per rank ([`World::run`]), gives each rank a [`Ctx`]
-//! with point-to-point messaging and MPI-style collectives over arbitrary
-//! [`RankSet`]s, and keeps a *virtual* clock per rank:
+//! one closure per rank ([`World::run`]) under either of two executors
+//! ([`ExecutorKind`]) — one OS thread per rank, or a discrete-event
+//! cooperative scheduler that scales to 100k ranks on a single thread —
+//! gives each rank a [`Ctx`] with point-to-point messaging and MPI-style
+//! collectives over arbitrary [`RankSet`]s, and keeps a *virtual* clock
+//! per rank:
 //!
 //! * **data-plane** sends ([`Ctx::send`]) are priced by the
 //!   [`mccio_sim::CostModel`] point-to-point rule — the sender pays
@@ -27,10 +30,11 @@
 
 pub mod collective;
 pub mod engine;
+mod executor;
 pub mod group;
 pub mod mailbox;
 pub mod wire;
 
 pub use collective::INTERNAL_TAG_BASE;
-pub use engine::{Ctx, Traffic, TrafficSnapshot, World};
+pub use engine::{Ctx, ExecutorKind, Traffic, TrafficSnapshot, World};
 pub use group::RankSet;

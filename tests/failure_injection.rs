@@ -13,7 +13,7 @@
 use mccio_suite::core::prelude::*;
 use mccio_suite::mem::MemParams;
 use mccio_suite::mpiio::Resilience;
-use mccio_suite::net::TrafficSnapshot;
+use mccio_suite::net::{ExecutorKind, TrafficSnapshot};
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::time::VTime;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
@@ -24,6 +24,14 @@ fn world_of(nodes: usize, cores: usize, ranks: usize) -> std::sync::Arc<World> {
     let cluster = test_cluster(nodes, cores);
     let placement = Placement::new(&cluster, ranks, FillOrder::Block).unwrap();
     World::new(CostModel::new(cluster), placement)
+}
+
+/// The standard 3×2/6-rank fault world, pinned to one executor so the
+/// differential matrix ignores any `MCCIO_EXECUTOR` override.
+fn world_pinned(kind: ExecutorKind) -> std::sync::Arc<World> {
+    let cluster = test_cluster(3, 2);
+    let placement = Placement::new(&cluster, 6, FillOrder::Block).unwrap();
+    World::with_executor(CostModel::new(cluster), placement, kind)
 }
 
 fn both_collectives() -> Vec<Box<dyn Strategy>> {
@@ -248,8 +256,17 @@ fn run_faulty_hashed(
     strategy: &dyn Strategy,
     plan: FaultPlan,
 ) -> (Vec<(IoReport, IoReport)>, TrafficSnapshot, u64) {
+    run_faulty_hashed_in(strategy, plan, world_of(3, 2, 6))
+}
+
+/// [`run_faulty_hashed`] on a caller-supplied world, so the executor
+/// matrix can pin the engine explicitly.
+fn run_faulty_hashed_in(
+    strategy: &dyn Strategy,
+    plan: FaultPlan,
+    world: std::sync::Arc<World>,
+) -> (Vec<(IoReport, IoReport)>, TrafficSnapshot, u64) {
     let cluster = test_cluster(3, 2);
-    let world = world_of(3, 2, 6);
     let env = IoEnv::with_faults(
         FileSystem::new(4, 16 * KIB, PfsParams::default()),
         MemoryModel::pristine(&cluster),
@@ -354,6 +371,44 @@ fn crash_recovery_runs_are_bit_identical() {
             strategy.name()
         );
         assert_eq!(hash_a, hash_b, "{}: file bytes diverged", strategy.name());
+    }
+}
+
+#[test]
+fn threaded_and_event_executors_replay_crashes_identically() {
+    // Differential executor matrix: the discrete-event scheduler must
+    // reproduce the thread-per-rank oracle bit for bit on the nastiest
+    // schedule in the suite — transient storage faults plus two
+    // mid-operation aggregator crashes — reports, traffic, and bytes.
+    let plan = || {
+        FaultPlan::new(0x0DD)
+            .transient_io_rate(0.05)
+            .crash_rank_at(VTime::from_secs(0.004), 0)
+            .crash_rank_at(VTime::from_secs(0.012), 2)
+    };
+    for strategy in both_collectives() {
+        let (reports_t, traffic_t, hash_t) =
+            run_faulty_hashed_in(&*strategy, plan(), world_pinned(ExecutorKind::Threads));
+        let (reports_e, traffic_e, hash_e) =
+            run_faulty_hashed_in(&*strategy, plan(), world_pinned(ExecutorKind::Event));
+        assert_eq!(
+            reports_t,
+            reports_e,
+            "{}: reports diverged across executors",
+            strategy.name()
+        );
+        assert_eq!(
+            traffic_t,
+            traffic_e,
+            "{}: traffic diverged across executors",
+            strategy.name()
+        );
+        assert_eq!(
+            hash_t,
+            hash_e,
+            "{}: file bytes diverged across executors",
+            strategy.name()
+        );
     }
 }
 

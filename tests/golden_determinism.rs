@@ -13,7 +13,7 @@ use mccio_suite::core::prelude::*;
 use mccio_suite::core::two_phase::TwoPhaseConfig;
 use mccio_suite::mem::MemoryModel;
 use mccio_suite::mpiio::{Resilience, SieveConfig};
-use mccio_suite::net::{TrafficSnapshot, World};
+use mccio_suite::net::{ExecutorKind, TrafficSnapshot, World};
 use mccio_suite::pfs::{FileSystem, PfsParams};
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::time::VTime;
@@ -56,10 +56,10 @@ fn data_of(rank: usize) -> Vec<u8> {
         .collect()
 }
 
-fn run_strategy(strategy: &dyn Strategy) -> Golden {
+fn run_strategy(strategy: &dyn Strategy, executor: ExecutorKind) -> Golden {
     let cluster = test_cluster(3, 2);
     let placement = Placement::new(&cluster, RANKS, FillOrder::Block).unwrap();
-    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let world = World::with_executor(CostModel::new(cluster.clone()), placement, executor);
     let env = IoEnv::new(
         FileSystem::new(4, 64 * KIB, PfsParams::default()),
         MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
@@ -168,10 +168,14 @@ fn expected(name: &str) -> Golden {
 /// Like [`run_strategy`], but with a crash schedule injected; also
 /// returns the summed resilience counters so the caller can check the
 /// schedule actually fired.
-fn run_strategy_crashed(strategy: &dyn Strategy, plan: FaultPlan) -> (Golden, Resilience) {
+fn run_strategy_crashed(
+    strategy: &dyn Strategy,
+    plan: FaultPlan,
+    executor: ExecutorKind,
+) -> (Golden, Resilience) {
     let cluster = test_cluster(3, 2);
     let placement = Placement::new(&cluster, RANKS, FillOrder::Block).unwrap();
-    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let world = World::with_executor(CostModel::new(cluster.clone()), placement, executor);
     let env = IoEnv::with_faults(
         FileSystem::new(4, 64 * KIB, PfsParams::default()),
         MemoryModel::with_available_variance(&cluster, 32 * MIB, 16 * MIB, 11),
@@ -205,20 +209,31 @@ fn run_strategy_crashed(strategy: &dyn Strategy, plan: FaultPlan) -> (Golden, Re
     (golden, res)
 }
 
+/// Executor matrix: the thread-per-rank oracle and the discrete-event
+/// scheduler must both reproduce the pinned constants — which also
+/// proves them bit-identical to each other — for every strategy.
 #[test]
 fn golden_values_hold() {
     let capture = std::env::var_os("MCCIO_GOLDEN_CAPTURE").is_some();
     for (name, strategy) in &strategies() {
-        let g = run_strategy(&**strategy);
-        if capture {
-            println!("// --- {name} ---");
-            println!("write_secs: {:?}", g.write_secs);
-            println!("read_secs: {:?}", g.read_secs);
-            println!("file_hash: {:#x}", g.file_hash);
-            println!("file_len: {}", g.file_len);
-            println!("traffic: {:?}", g.traffic);
-        } else {
-            assert_eq!(g, expected(name), "golden mismatch for {name}");
+        for executor in [ExecutorKind::Threads, ExecutorKind::Event] {
+            let g = run_strategy(&**strategy, executor);
+            if capture {
+                if executor == ExecutorKind::Threads {
+                    println!("// --- {name} ---");
+                    println!("write_secs: {:?}", g.write_secs);
+                    println!("read_secs: {:?}", g.read_secs);
+                    println!("file_hash: {:#x}", g.file_hash);
+                    println!("file_len: {}", g.file_len);
+                    println!("traffic: {:?}", g.traffic);
+                }
+            } else {
+                assert_eq!(
+                    g,
+                    expected(name),
+                    "golden mismatch for {name} ({executor:?})"
+                );
+            }
         }
     }
 }
@@ -254,8 +269,8 @@ fn crash_schedule_runs_are_bit_identical() {
         ),
     ];
     for (name, strategy) in &collectives {
-        let (a, res_a) = run_strategy_crashed(&**strategy, plan());
-        let (b, res_b) = run_strategy_crashed(&**strategy, plan());
+        let (a, res_a) = run_strategy_crashed(&**strategy, plan(), ExecutorKind::Threads);
+        let (b, res_b) = run_strategy_crashed(&**strategy, plan(), ExecutorKind::Threads);
         assert!(
             res_a.crashes_detected > 0,
             "{name}: the scheduled crash must land inside the operation"
@@ -266,6 +281,14 @@ fn crash_schedule_runs_are_bit_identical() {
             a.file_hash,
             expected(name).file_hash,
             "{name}: recovered bytes must equal the crash-free golden"
+        );
+        // Executor matrix: the event scheduler replays the same crash,
+        // detection, re-election, and round replay bit-for-bit.
+        let (e, res_e) = run_strategy_crashed(&**strategy, plan(), ExecutorKind::Event);
+        assert_eq!(a, e, "{name}: event executor diverged on a crash schedule");
+        assert_eq!(
+            res_a, res_e,
+            "{name}: event executor recovery counters diverged"
         );
     }
 }

@@ -4,6 +4,7 @@
 
 use mccio_suite::core::prelude::*;
 use mccio_suite::mpiio::IoReport;
+use mccio_suite::net::ExecutorKind;
 use mccio_suite::obs::{export, EventKind, ObsSink, ENGINE_TRACK};
 use mccio_suite::sim::cost::CostModel;
 use mccio_suite::sim::topology::{test_cluster, FillOrder, Placement};
@@ -17,9 +18,18 @@ const EPS: f64 = 1e-9;
 /// Runs a fixed two-phase write+read on 4 ranks with `obs` attached and
 /// returns the per-rank `(write, read)` reports.
 fn run_op(obs: &ObsSink) -> Vec<(IoReport, IoReport)> {
+    run_op_in(obs, World::new)
+}
+
+/// [`run_op`] with the world built by `make` — the executor matrix pins
+/// the engine explicitly instead of inheriting `MCCIO_EXECUTOR`.
+fn run_op_in(
+    obs: &ObsSink,
+    make: impl FnOnce(CostModel, Placement) -> std::sync::Arc<World>,
+) -> Vec<(IoReport, IoReport)> {
     let cluster = test_cluster(2, 2);
     let placement = Placement::new(&cluster, 4, FillOrder::Block).unwrap();
-    let world = World::new(CostModel::new(cluster.clone()), placement);
+    let world = make(CostModel::new(cluster.clone()), placement);
     let env = IoEnv::new(
         FileSystem::new(4, 16 * KIB, PfsParams::default()),
         MemoryModel::pristine(&cluster),
@@ -137,6 +147,42 @@ fn round_spans_nest_their_phase_children() {
         starts.windows(2).all(|w| w[0] <= w[1]),
         "rounds settle in virtual-time order"
     );
+}
+
+#[test]
+fn span_streams_are_bit_identical_across_executors() {
+    // Executor matrix for the observability layer: the discrete-event
+    // scheduler must emit the same spans at the same virtual times as
+    // the thread-per-rank oracle. Spans are compared as canonical
+    // (track, start, end, name) sets because sink arrival order is the
+    // one thing the executors legitimately do differently.
+    let canon = |kind: ExecutorKind| {
+        let obs = ObsSink::enabled();
+        let reports = run_op_in(&obs, |cost, placement| {
+            World::with_executor(cost, placement, kind)
+        });
+        let events = obs.events();
+        let mut spans: Vec<(u32, u64, u64, &'static str)> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+            .map(|e| {
+                (
+                    e.track,
+                    e.kind.at().as_secs().to_bits(),
+                    e.end().as_secs().to_bits(),
+                    e.name,
+                )
+            })
+            .collect();
+        spans.sort_unstable();
+        (reports, spans, events.len())
+    };
+    let (reports_t, spans_t, n_t) = canon(ExecutorKind::Threads);
+    let (reports_e, spans_e, n_e) = canon(ExecutorKind::Event);
+    assert!(!spans_t.is_empty(), "traced op must record spans");
+    assert_eq!(reports_t, reports_e, "reports diverged across executors");
+    assert_eq!(n_t, n_e, "event counts diverged across executors");
+    assert_eq!(spans_t, spans_e, "span streams diverged across executors");
 }
 
 #[test]
