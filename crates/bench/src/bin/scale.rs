@@ -1,5 +1,5 @@
 //! Rank-scaling benchmark: simulator wall clock vs rank count for both
-//! rank executors, written as JSON (`BENCH_PR7.json`) — the record of
+//! rank executors, written as JSON (`BENCH_PR8.json`) — the record of
 //! what the discrete-event executor buys at scale.
 //!
 //! Each point runs the memory-conscious strategy on a fig7-shaped
@@ -11,15 +11,18 @@
 //! point, their virtual times must agree bit for bit.
 //!
 //! ```text
-//! cargo run --release -p mccio-bench --bin scale [full|ci|10k] [out.json]
+//! cargo run --release -p mccio-bench --bin scale [full|ci|10k|100k] [out.json]
 //! ```
 //!
-//! * `full` (default) — 120 / 1008 / 10080 ranks, both executors up to
-//!   the thread ceiling; writes the JSON record;
+//! * `full` (default) — 120 / 1008 / 10080 / 100800 ranks, both
+//!   executors up to the thread ceiling; writes the JSON record;
 //! * `ci` — the 1008-rank event-executor smoke, bounded for CI;
-//! * `10k` — the 10080-rank event-executor point alone (the scaling
-//!   acceptance gate).
+//! * `10k` — the 10080-rank event-executor point alone;
+//! * `100k` — the 100800-rank event-executor point alone (the
+//!   allocation-free hot-path acceptance gate).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use mccio_bench::{paper_pair, run_on, Platform};
@@ -32,6 +35,92 @@ use mccio_workloads::Ior;
 /// reservation and scheduler pressure), which is the point of the event
 /// executor.
 const THREADS_MAX_RANKS: usize = 2048;
+
+/// Counting wrapper around the system allocator (diagnostic; printed
+/// per point so allocation churn regressions are visible in the log).
+struct CountingAlloc;
+
+static TRACE_BUCKET: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(usize::MAX);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+static SIZE_HIST: [AtomicU64; 33] = [const { AtomicU64::new(0) }; 33];
+static SIZE_BYTES: [AtomicU64; 33] = [const { AtomicU64::new(0) }; 33];
+
+thread_local! {
+    static IN_TRACE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if layout.size() >= 128 * 1024 {
+            BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        let b = (64 - (layout.size() as u64).leading_zeros() as usize).min(32);
+        let n = SIZE_HIST[b].fetch_add(1, Ordering::Relaxed);
+        SIZE_BYTES[b].fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if TRACE_BUCKET.load(Ordering::Relaxed) == b
+            && n % 5_000 == 7
+            && IN_TRACE.with(|f| !f.replace(true))
+        {
+            eprintln!(
+                "--- alloc {} bytes (bucket {b}) ---\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+            IN_TRACE.with(|f| f.set(false));
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    // Forward instead of inheriting the defaults: the default
+    // `alloc_zeroed` is alloc + memset, which defeats lazily-zeroed
+    // calloc mappings and would charge giant one-shot buffers (the
+    // coroutine stack slab, the file image) with an eager fault storm
+    // the real program never pays.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if layout.size() >= 128 * 1024 {
+            BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        let b = (64 - (layout.size() as u64).leading_zeros() as usize).min(32);
+        SIZE_HIST[b].fetch_add(1, Ordering::Relaxed);
+        SIZE_BYTES[b].fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+fn dump_size_hist() {
+    for b in 0..33 {
+        let n = SIZE_HIST[b].load(Ordering::Relaxed);
+        if n > 0 {
+            eprintln!(
+                "  size<2^{b:<2} n={n:<10} {} MiB",
+                SIZE_BYTES[b].load(Ordering::Relaxed) / (1024 * 1024)
+            );
+        }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+        BIG_ALLOCS.load(Ordering::Relaxed),
+    )
+}
 
 /// One point on the rank axis. Volume shrinks as ranks grow: group
 /// analysis memory is O(ranks) per rank, and the axis measures executor
@@ -49,11 +138,18 @@ fn points(mode: &str) -> Vec<Point> {
         segments,
     };
     match mode {
-        // The fig7 config, then two decades up it.
-        "full" => vec![p(120, 4096, 16), p(1008, 512, 8), p(10_080, 64, 2)],
+        // The fig7 config, then three decades up it.
+        "full" => vec![
+            p(120, 4096, 16),
+            p(1008, 512, 8),
+            p(10_080, 64, 2),
+            p(100_800, 16, 1),
+        ],
         "ci" => vec![p(1008, 256, 4)],
+        "fig7" => vec![p(120, 4096, 16)],
         "10k" => vec![p(10_080, 64, 2)],
-        other => panic!("scale: unknown mode {other:?} (use full|ci|10k)"),
+        "100k" => vec![p(100_800, 16, 1)],
+        other => panic!("scale: unknown mode {other:?} (use full|ci|fig7|10k|100k)"),
     }
 }
 
@@ -70,13 +166,18 @@ struct Row {
 }
 
 fn main() {
+    if let Ok(b) = std::env::var("SCALE_TRACE_BUCKET") {
+        if let Ok(b) = b.parse::<usize>() {
+            TRACE_BUCKET.store(b, Ordering::Relaxed);
+        }
+    }
     let mode = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "full".to_string());
     let out_path = std::env::args()
         .nth(2)
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
-    let event_only = mode != "full";
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let event_only = mode != "full" && mode != "fig7";
 
     let mut rows: Vec<Row> = Vec::new();
     for point in points(&mode) {
@@ -97,15 +198,34 @@ fn main() {
             eprintln!(
                 "scale[{mode}]: {ranks} ranks x {per_rank_kib} KiB, {name}, {executor:?} ..."
             );
+            let a0 = alloc_snapshot();
             let t0 = Instant::now();
             let r = run_on(&workload, &*strategy, &platform, executor);
             let wall = t0.elapsed().as_secs_f64();
+            let a1 = alloc_snapshot();
+            eprintln!(
+                "  allocs {} ({} MiB, {} >=128KiB)",
+                a1.0 - a0.0,
+                (a1.1 - a0.1) / (1024 * 1024),
+                a1.2 - a0.2
+            );
+            if std::env::var_os("SCALE_ALLOC_HIST").is_some() {
+                dump_size_hist();
+            }
             eprintln!(
                 "  {wall:.3}s wall, virtual write {:.6}s, rounds {}, shuffle {} MiB, msgs {}",
                 r.write_secs,
                 r.metrics.rounds,
                 r.metrics.shuffle_bytes / (1024 * 1024),
                 r.traffic.data_msgs + r.traffic.ctl_msgs
+            );
+            eprintln!(
+                "  pool hits {} misses {}, recycler takes {} returns {}, peak held {} KiB",
+                r.metrics.pool_hits,
+                r.metrics.pool_misses,
+                r.metrics.recycle_takes,
+                r.metrics.recycle_returns,
+                r.metrics.payload_peak_bytes / 1024
             );
             rows.push(Row {
                 ranks,

@@ -28,25 +28,55 @@
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-/// Retired buffers kept for reuse; beyond this the pool lets buffers
-/// drop so a burst of wide rounds cannot pin memory for the whole
-/// operation.
+use mccio_net::BytePool;
+
+/// Retired buffers kept for reuse; beyond this the pool hands buffers
+/// to the world recycler (or lets them drop) so a burst of wide rounds
+/// cannot pin memory in one rank's free list for the whole operation.
 const POOL_CAP: usize = 16;
 
 #[derive(Debug, Default)]
 struct Inner {
     free: Vec<Vec<u8>>,
+    /// World-level recycler backing this op's pool: fresh allocations
+    /// come from it and retirees drain back into it, so buffers survive
+    /// operation boundaries. Recycled buffers have *exactly* the
+    /// capacity a fresh `Vec::with_capacity` would, which keeps the
+    /// hit/miss counters below bit-stable — they are pinned exactly by
+    /// the perf regression gate, and must not observe the (scheduling-
+    /// dependent) shared pool state.
+    shared: Option<Arc<BytePool>>,
     /// Takes served from a retired buffer without allocating.
     hits: u64,
     /// Takes that had to allocate (or grow a too-small retiree).
     misses: u64,
+    /// Takes forwarded to the shared recycler (own free list empty).
+    shared_takes: u64,
+    /// Buffers retired into the shared recycler (overflow + drain).
+    shared_returns: u64,
+    /// Bytes of buffer capacity currently handed out of the pool.
+    held_bytes: u64,
+    /// High-water mark of `held_bytes`.
+    peak_held_bytes: u64,
     /// Live [`PoolLoan`]s not yet returned.
     outstanding: u64,
 }
 
 impl Inner {
     fn take(&mut self, cap: usize) -> Vec<u8> {
+        let v = self.take_inner(cap);
+        // Everything feeding this accounting — request sizes, free-list
+        // contents, `Vec` growth — is a deterministic function of this
+        // rank's own call sequence, so the peak may sit in `OpMetrics`
+        // (which bit-identity tests compare across executors).
+        self.held_bytes += v.capacity() as u64;
+        self.peak_held_bytes = self.peak_held_bytes.max(self.held_bytes);
+        v
+    }
+
+    fn take_inner(&mut self, cap: usize) -> Vec<u8> {
         if let Some(i) = self.free.iter().position(|b| b.capacity() >= cap) {
             self.hits += 1;
             let mut v = self.free.swap_remove(i);
@@ -60,15 +90,61 @@ impl Inner {
                 v.reserve(cap);
                 v
             }
-            None => Vec::with_capacity(cap),
+            None => match &self.shared {
+                Some(pool) => {
+                    self.shared_takes += 1;
+                    pool.take(cap)
+                }
+                None => Vec::with_capacity(cap),
+            },
         }
     }
 
     fn put(&mut self, buf: Vec<u8>) {
-        if self.free.len() < POOL_CAP && buf.capacity() > 0 {
+        // Saturating: callers may retire buffers the pool never handed
+        // out (or grew while outstanding), so held accounting is a floor.
+        self.held_bytes = self.held_bytes.saturating_sub(buf.capacity() as u64);
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.free.len() < POOL_CAP {
             self.free.push(buf);
+        } else if let Some(pool) = self.shared.clone() {
+            self.shared_returns += 1;
+            pool.put(buf);
         }
     }
+
+    fn drain_to_shared(&mut self) {
+        if let Some(pool) = self.shared.clone() {
+            for buf in self.free.drain(..) {
+                self.shared_returns += 1;
+                pool.put(buf);
+            }
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.drain_to_shared();
+    }
+}
+
+/// Lifetime counters of one op's pool; all fields are deterministic
+/// per-rank facts (see [`Inner::take`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct PoolStats {
+    /// Takes served from a retired buffer without allocating.
+    pub(super) hits: u64,
+    /// Takes that had to allocate (or grow a too-small retiree).
+    pub(super) misses: u64,
+    /// Takes forwarded to the world recycler.
+    pub(super) recycle_takes: u64,
+    /// Buffers retired into the world recycler.
+    pub(super) recycle_returns: u64,
+    /// High-water mark of buffer bytes held out of the pool at once.
+    pub(super) payload_peak_bytes: u64,
 }
 
 /// A bounded free-list of byte buffers (see module docs). Interior
@@ -81,6 +157,18 @@ pub(super) struct BufferPool {
 }
 
 impl BufferPool {
+    /// A pool backed by the world-level recycler: fresh allocations are
+    /// drawn from `shared` and every retiree (overflow and end-of-op
+    /// drain alike) goes back to it, so the steady-state hot path stops
+    /// allocating once the first operation has populated the recycler.
+    pub(super) fn backed(shared: Arc<BytePool>) -> Self {
+        let mut inner = Inner::default();
+        inner.shared = Some(shared);
+        BufferPool {
+            inner: RefCell::new(inner),
+        }
+    }
+
     /// An empty buffer with at least `cap` bytes of capacity, preferring
     /// a retired buffer that already fits. Untracked: for buffers whose
     /// ownership leaves this rank (wire payloads). Pair with
@@ -112,10 +200,19 @@ impl BufferPool {
         loan
     }
 
-    /// `(hits, misses)` over the pool's lifetime.
-    pub(super) fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.borrow();
-        (inner.hits, inner.misses)
+    /// Retires the pool: drains its free list into the backing recycler
+    /// (so the drain is counted, unlike a bare drop) and returns the
+    /// final counters.
+    pub(super) fn finish(self) -> PoolStats {
+        let mut inner = self.inner.into_inner();
+        inner.drain_to_shared();
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            recycle_takes: inner.shared_takes,
+            recycle_returns: inner.shared_returns,
+            payload_peak_bytes: inner.peak_held_bytes,
+        }
     }
 
     /// Live loans not yet dropped; the epilogue asserts this is zero.
@@ -204,7 +301,28 @@ mod tests {
         pool.put(a);
         let _b = pool.take(8);
         let _c = pool.take(1024);
-        assert_eq!(pool.stats(), (1, 2));
+        let s = pool.finish();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn shared_backing_recycles_across_pool_lifetimes() {
+        let shared = Arc::new(BytePool::default());
+        let first = BufferPool::backed(Arc::clone(&shared));
+        let mut a = first.take(1 << 12);
+        a.extend_from_slice(&[9u8; 100]);
+        let ptr = a.as_ptr();
+        first.put(a);
+        let s = first.finish();
+        assert_eq!(s.recycle_takes, 1, "fresh alloc drawn through recycler");
+        assert_eq!(s.recycle_returns, 1, "end-of-op drain counted");
+        assert!(s.payload_peak_bytes >= 1 << 12);
+
+        let second = BufferPool::backed(Arc::clone(&shared));
+        let b = second.take(1 << 12);
+        assert_eq!(b.as_ptr(), ptr, "buffer survived the pool boundary");
+        assert!(b.is_empty());
+        assert_eq!(shared.stats().hits, 1);
     }
 
     #[test]

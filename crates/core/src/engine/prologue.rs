@@ -5,9 +5,11 @@
 //! Write and read run exactly this code; the direction only shows up in
 //! the round loop (`super::rounds`).
 
+use std::sync::Arc;
+
 use mccio_mem::Reservation;
 use mccio_mpiio::{IoReport, OpMetrics, Resilience};
-use mccio_net::{Ctx, RankSet};
+use mccio_net::{Ctx, RankSet, RecycleStats};
 use mccio_obs::{AttrValue, ObsSink, ENGINE_TRACK};
 use mccio_pfs::IoFaults;
 use mccio_sim::error::{SimError, SimResult};
@@ -23,8 +25,8 @@ use super::pool::BufferPool;
 /// Everything the prologue established, carried through the round loop
 /// and consumed by [`close`].
 pub(super) struct OpState {
-    /// All ranks of the communicator.
-    pub(super) world: RankSet,
+    /// All ranks of the communicator (shared, built once per world).
+    pub(super) world: Arc<RankSet>,
     /// Synchronized start-of-operation clock.
     pub(super) t0: VTime,
     /// Whether a fault plan is active (legacy fault-free path when not).
@@ -36,6 +38,8 @@ pub(super) struct OpState {
     /// Per-rank engine counters accumulated across the round loop
     /// (local facts only — filling them never moves virtual time).
     pub(super) scratch: OpMetrics,
+    /// World-recycler counters at open; [`close`] reports the delta.
+    recycle0: RecycleStats,
     /// Aggregation buffers held for the whole operation.
     reservations: Vec<Reservation>,
 }
@@ -158,7 +162,7 @@ pub(super) fn open(
 ) -> SimResult<OpState> {
     plan.assert_invariants();
     let active = env.faults().is_active();
-    let world = RankSet::world(ctx.size());
+    let world = ctx.world_ranks();
     let me = ctx.rank();
     let t0 = ctx.group_sync_clocks(&world);
     if active {
@@ -211,8 +215,9 @@ pub(super) fn open(
         t0,
         active,
         faults,
-        pool: BufferPool::default(),
+        pool: BufferPool::backed(Arc::clone(ctx.world().recycler())),
         scratch: OpMetrics::default(),
+        recycle0: ctx.world().recycler().stats(),
         reservations,
     })
 }
@@ -226,12 +231,15 @@ pub(super) fn close(
     bytes: u64,
     res: &mut Resilience,
 ) -> IoReport {
-    let (pool_hits, pool_misses) = state.pool.stats();
     assert_eq!(
         state.pool.loans_outstanding(),
         0,
         "buffer-pool loan leaked out of the round loop"
     );
+    // Retire the op pool now so its free list drains into the world
+    // recycler before we snapshot the recycler's counters below.
+    let pstats = state.pool.finish();
+    let recycle = ctx.world().recycler().stats();
     if env.obs().is_enabled() {
         // The paired half of the prologue's `mem.reserve` marks: every
         // buffer held for the operation releases here, at the virtual
@@ -262,12 +270,36 @@ pub(super) fn close(
     metrics.shuffle_bytes = state.scratch.shuffle_bytes;
     metrics.storage_requests = state.scratch.storage_requests;
     metrics.storage_bytes = state.scratch.storage_bytes;
-    metrics.pool_hits = pool_hits;
-    metrics.pool_misses = pool_misses;
+    metrics.pool_hits = pstats.hits;
+    metrics.pool_misses = pstats.misses;
+    metrics.recycle_takes = pstats.recycle_takes;
+    metrics.recycle_returns = pstats.recycle_returns;
+    metrics.payload_peak_bytes = pstats.payload_peak_bytes;
     let obs = env.obs();
     if obs.is_enabled() {
-        obs.counter_add("pool.hits", pool_hits);
-        obs.counter_add("pool.misses", pool_misses);
+        obs.counter_add("pool.hits", pstats.hits);
+        obs.counter_add("pool.misses", pstats.misses);
+        obs.counter_add("recycle.takes", pstats.recycle_takes);
+        obs.counter_add("recycle.returns", pstats.recycle_returns);
+        // Recycler hit/miss splits and live-byte marks are world-global
+        // (and scheduling-dependent under the threaded executor), so one
+        // rank reports them as gauges — observability, never compared
+        // bit-for-bit.
+        if ctx.rank() == 0 {
+            obs.gauge_set(
+                "recycle.hits",
+                (recycle.hits.saturating_sub(state.recycle0.hits)) as f64,
+            );
+            obs.gauge_set(
+                "recycle.misses",
+                (recycle.misses.saturating_sub(state.recycle0.misses)) as f64,
+            );
+            obs.gauge_max("recycle.peak_live_bytes", recycle.peak_live_bytes as f64);
+            obs.gauge_set("recycle.retained_bytes", recycle.retained_bytes as f64);
+            let slab = mccio_net::slab_stats();
+            obs.gauge_set("exec.stacks_reused", slab.reused as f64);
+            obs.gauge_set("exec.stacks_fresh", slab.fresh as f64);
+        }
         // One rank snapshots the per-node memory high-water marks so the
         // registry's histogram (and its CoV) reflects each node once per
         // operation, not once per rank.

@@ -82,6 +82,33 @@ impl CollectivePlan {
             .filter_map(move |(i, d)| d.window(round).map(|w| (i, w)))
     }
 
+    /// Indices of the domains any of `extents` intersects, ascending.
+    /// `O(E log D + K)` by binary search over the (ordered,
+    /// non-overlapping) domains — the schedule builder's round loop
+    /// iterates this instead of every domain of every round.
+    #[must_use]
+    pub fn domains_overlapping(&self, extents: &[Extent]) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for e in extents {
+            if e.is_empty() {
+                continue;
+            }
+            let mut i = self
+                .domains
+                .partition_point(|d| d.domain.end() <= e.offset);
+            // A domain spanning two of the rank's extents would be found
+            // twice; resume past what the previous extent recorded.
+            if let Some(&last) = out.last() {
+                i = i.max(last + 1);
+            }
+            while i < self.domains.len() && self.domains[i].domain.offset < e.end() {
+                out.push(i);
+                i += 1;
+            }
+        }
+        out
+    }
+
     /// Distinct aggregator ranks, ascending.
     #[must_use]
     pub fn aggregators(&self) -> Vec<usize> {

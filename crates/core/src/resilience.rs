@@ -27,7 +27,7 @@
 
 use mccio_mpiio::independent::{read_sieved_r, write_sieved_r};
 use mccio_mpiio::{ExtentList, GroupPattern, IoReport, Resilience, SieveConfig};
-use mccio_net::{Ctx, RankSet};
+use mccio_net::Ctx;
 use mccio_obs::{AttrValue, ENGINE_TRACK};
 use mccio_pfs::{FileHandle, IoFaults};
 use mccio_sim::fault::{FaultPlan, FaultStream, TimedEvent};
@@ -251,7 +251,7 @@ pub fn ladder_write(
     data: &[u8],
     rungs: &[&dyn Strategy],
 ) -> IoReport {
-    let world = RankSet::world(ctx.size());
+    let world = ctx.world_ranks();
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
     if !env.faults().is_active() {
         let plan = rungs[0]
@@ -284,7 +284,7 @@ pub fn ladder_read(
     my_extents: &ExtentList,
     rungs: &[&dyn Strategy],
 ) -> (Vec<u8>, IoReport) {
-    let world = RankSet::world(ctx.size());
+    let world = ctx.world_ranks();
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
     if !env.faults().is_active() {
         let plan = rungs[0]

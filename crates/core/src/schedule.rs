@@ -215,23 +215,23 @@ impl CommSchedule {
         let my_cum = my_extents.cumulative_offsets();
         // Contributor candidates per domain this rank aggregates,
         // prefiltered once against the whole domain so per-round clips
-        // touch only ranks that can intersect it.
+        // touch only ranks that can intersect it. Index-backed
+        // ([`GroupPattern::ranks_touching`]): the candidate list is the
+        // identical ascending set the old full-member scan produced,
+        // found in `O(log n + k)` instead of `O(members)` per domain.
         let my_domains: Vec<(usize, Vec<usize>)> = plan
             .domains
             .iter()
             .enumerate()
             .filter(|(_, d)| d.aggregator == me)
-            .map(|(di, d)| {
-                let candidates = pattern
-                    .group()
-                    .members()
-                    .iter()
-                    .copied()
-                    .filter(|&r| pattern.extents_of_rank(r).overlaps(d.domain))
-                    .collect();
-                (di, candidates)
-            })
+            .map(|(di, d)| (di, pattern.ranks_touching(d.domain)))
             .collect();
+
+        // Domains this rank's own request can intersect, ascending.
+        // Iterating these per round instead of every active window skips
+        // only windows whose clip would come back empty (a window is a
+        // subset of its domain), so the emitted schedule is unchanged.
+        let my_client_domains = plan.domains_overlapping(my_extents.as_slice());
 
         let n_rounds = plan.rounds();
         let mut rounds = Vec::with_capacity(n_rounds as usize);
@@ -240,7 +240,10 @@ impl CommSchedule {
 
             // Client (write) side: clip this rank's request against
             // every active window; destinations in first-touch order.
-            for (di, w) in plan.active_windows(round) {
+            for (di, w) in my_client_domains
+                .iter()
+                .filter_map(|&di| plan.domains[di].window(round).map(|w| (di, w)))
+            {
                 let mut bytes = 0u64;
                 let pieces: Vec<(Extent, u64)> = my_extents
                     .clip_indexed(w)
@@ -399,7 +402,7 @@ mod tests {
         // windows -> 2 rounds.
         let pattern = pattern_of(vec![vec![(0, 10), (20, 10)], vec![(10, 10), (30, 10)]]);
         let plan = plan_of(vec![(0, 20, 0, 10), (20, 20, 1, 10)]);
-        let s0 = CommSchedule::build(&plan, &pattern, 0, pattern.extents_of_rank(0));
+        let s0 = CommSchedule::build(&plan, &pattern, 0, &pattern.extents_of_rank(0).to_list());
         assert_eq!(s0.rounds.len(), 2);
         // Round 0: windows [0,10) (agg 0) and [20,30) (agg 1); rank 0
         // owns both pieces.
@@ -427,13 +430,13 @@ mod tests {
     fn payload_bytes_match_wire_format() {
         let pattern = pattern_of(vec![vec![(0, 5), (8, 4)], vec![]]);
         let plan = plan_of(vec![(0, 12, 1, 12)]);
-        let s = CommSchedule::build(&plan, &pattern, 0, pattern.extents_of_rank(0));
+        let s = CommSchedule::build(&plan, &pattern, 0, &pattern.extents_of_rank(0).to_list());
         let dst = &s.rounds[0].client_dsts[0];
         // count + (domain + n_pieces) + 2 piece headers + 9 data bytes.
         assert_eq!(dst.payload_bytes, 8 + 16 + 2 * 16 + 9);
         assert_eq!(dst.sections, 1);
         // The aggregator's view prices the same volume.
-        let s1 = CommSchedule::build(&plan, &pattern, 1, pattern.extents_of_rank(1));
+        let s1 = CommSchedule::build(&plan, &pattern, 1, &pattern.extents_of_rank(1).to_list());
         let ws = &s1.rounds[0].agg_windows[0];
         assert_eq!(ws.assembly_bytes, 9);
         assert_eq!(ws.per_rank[0].bytes, 9);
@@ -445,12 +448,12 @@ mod tests {
     fn integrity_sizing_adds_one_trailer_per_payload() {
         let pattern = pattern_of(vec![vec![(0, 5), (8, 4)], vec![]]);
         let plan = plan_of(vec![(0, 12, 1, 12)]);
-        let plain = CommSchedule::build(&plan, &pattern, 0, pattern.extents_of_rank(0));
+        let plain = CommSchedule::build(&plan, &pattern, 0, &pattern.extents_of_rank(0).to_list());
         let sealed = CommSchedule::build_with_integrity(
             &plan,
             &pattern,
             0,
-            pattern.extents_of_rank(0),
+            &pattern.extents_of_rank(0).to_list(),
             true,
         );
         let p = &plain.rounds[0].client_dsts[0];
@@ -469,7 +472,7 @@ mod tests {
     fn totals_roll_up() {
         let pattern = pattern_of(vec![vec![(0, 16)], vec![(16, 16)]]);
         let plan = plan_of(vec![(0, 32, 0, 8)]);
-        let s = CommSchedule::build(&plan, &pattern, 0, pattern.extents_of_rank(0));
+        let s = CommSchedule::build(&plan, &pattern, 0, &pattern.extents_of_rank(0).to_list());
         assert_eq!(s.client_bytes(), 16);
         assert_eq!(s.assembled_bytes(), 32);
     }

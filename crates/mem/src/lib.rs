@@ -94,6 +94,11 @@ struct Inner {
     /// Bumped on every availability-changing mutation; see
     /// [`MemoryModel::state_fingerprint`].
     version: AtomicU64,
+    /// Memoized [`MemoryModel::peak_statistics`] keyed by the version it
+    /// was computed at. Every rank reads the statistic once per
+    /// operation epilogue; without the memo that is an
+    /// `O(ranks × nodes)` lock sweep per collective.
+    peak_memo: Mutex<Option<(u64, Welford)>>,
 }
 
 impl MemoryModel {
@@ -169,6 +174,7 @@ impl MemoryModel {
                 nodes,
                 params,
                 version: AtomicU64::new(0),
+                peak_memo: Mutex::new(None),
             }),
         }
     }
@@ -375,19 +381,38 @@ impl MemoryModel {
             let mut n = n.lock();
             n.peak_reserved = n.reserved;
         }
+        // Peaks feed `peak_statistics`; its memo must not outlive them.
+        self.touch();
     }
 
     /// Summary of peak aggregation memory across nodes that aggregated
     /// anything — mean, stddev and CV quantify the paper's "variance
     /// among processes".
+    ///
+    /// Memoized on the model's version: repeat calls between mutations
+    /// (every rank's operation epilogue reads this) reuse one sweep
+    /// instead of locking every node again.
     #[must_use]
     pub fn peak_statistics(&self) -> Welford {
+        let v0 = self.inner.version.load(Ordering::Relaxed);
+        if let Some((v, w)) = *self.inner.peak_memo.lock() {
+            if v == v0 {
+                return w;
+            }
+        }
         let mut w = Welford::new();
         for n in &self.inner.nodes {
             let peak = n.lock().peak_reserved;
             if peak > 0 {
                 w.push(peak as f64);
             }
+        }
+        // Only cache a snapshot no mutation raced with: if the version
+        // moved mid-sweep the result may be torn, and caching it under
+        // `v1` would serve the torn view to callers at that version.
+        let v1 = self.inner.version.load(Ordering::Relaxed);
+        if v0 == v1 {
+            *self.inner.peak_memo.lock() = Some((v0, w));
         }
         w
     }

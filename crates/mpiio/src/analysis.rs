@@ -8,20 +8,44 @@
 //! state, which is why both sides of every later exchange can be computed
 //! locally without further negotiation.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use mccio_net::wire::{decode_u64s, encode_u64s};
 use mccio_net::{Ctx, RankSet};
 
-use crate::extent::{Extent, ExtentList};
+use crate::extent::{Extent, ExtentList, ExtentTable, ExtentsView, TouchIndex};
 
 /// The complete access pattern of a group: every member's extent list,
-/// in group order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// in group order, flattened into one [`ExtentTable`] (two allocations
+/// for the whole group, however many members).
+#[derive(Debug)]
 pub struct GroupPattern {
     group: RankSet,
-    extents: Vec<ExtentList>,
+    table: ExtentTable,
+    /// Interval index over `table`, built lazily on the first
+    /// [`GroupPattern::ranks_touching`] call — the gathered pattern is
+    /// shared by every member, so one build serves the whole world.
+    index: OnceLock<TouchIndex>,
 }
+
+impl Clone for GroupPattern {
+    fn clone(&self) -> Self {
+        GroupPattern {
+            group: self.group.clone(),
+            table: self.table.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+/// The index is a cache derived from `table`; identity is the group and
+/// the extents.
+impl PartialEq for GroupPattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.group == other.group && self.table == other.table
+    }
+}
+
+impl Eq for GroupPattern {}
 
 impl GroupPattern {
     /// SPMD: all members call this with their own extents; everyone
@@ -33,14 +57,27 @@ impl GroupPattern {
     /// ranks this is the difference between one O(ranks) decode per
     /// operation and one per rank — and the shared handle's identity is
     /// what lets downstream plan caches recognize "same operation".
+    ///
+    /// The wire form is the delta varint encoding
+    /// ([`ExtentList::encode_compact`]); the exchange is a control
+    /// collective, so its virtual cost is payload-size-independent and
+    /// shrinking the encoding changes no clock.
     pub fn gather(ctx: &mut Ctx, group: &RankSet, mine: &ExtentList) -> Arc<GroupPattern> {
-        let packed = ctx.group_allgather_shared(group, encode_u64s(&mine.to_words()));
-        let group = group.clone();
-        ctx.world().decode_shared(&packed, move |bytes| {
-            let extents = Ctx::allgather_parts(bytes)
-                .map(|p| ExtentList::from_words(&decode_u64s(p)))
-                .collect();
-            GroupPattern { group, extents }
+        let packed = ctx.group_allgather_shared(group, mine.encode_compact());
+        // Borrow, don't clone: the decode closure runs on the one rank
+        // that populates the shared cache, so only that rank pays for
+        // copying the member list (at 100k ranks an eager per-rank clone
+        // here is gigabytes of churn per operation).
+        ctx.world().decode_shared(&packed, |bytes| {
+            let mut table = ExtentTable::new();
+            for part in Ctx::allgather_parts(bytes) {
+                table.push_compact(part);
+            }
+            GroupPattern {
+                group: group.clone(),
+                table,
+                index: OnceLock::new(),
+            }
         })
     }
 
@@ -54,7 +91,8 @@ impl GroupPattern {
         assert_eq!(group.len(), per_rank.len(), "one extent list per member");
         GroupPattern {
             group,
-            extents: per_rank,
+            table: ExtentTable::from_lists(per_rank),
+            index: OnceLock::new(),
         }
     }
 
@@ -66,8 +104,8 @@ impl GroupPattern {
 
     /// Extents of the member at group index `idx`.
     #[must_use]
-    pub fn extents_of_index(&self, idx: usize) -> &ExtentList {
-        &self.extents[idx]
+    pub fn extents_of_index(&self, idx: usize) -> ExtentsView<'_> {
+        self.table.view(idx)
     }
 
     /// Extents of a global `rank` (must be a member).
@@ -75,38 +113,46 @@ impl GroupPattern {
     /// # Panics
     /// Panics if `rank` is not in the group.
     #[must_use]
-    pub fn extents_of_rank(&self, rank: usize) -> &ExtentList {
+    pub fn extents_of_rank(&self, rank: usize) -> ExtentsView<'_> {
         let idx = self
             .group
             .index_of(rank)
             .unwrap_or_else(|| panic!("rank {rank} not in group"));
-        &self.extents[idx]
+        self.table.view(idx)
     }
 
     /// The smallest extent covering every member's accesses, or `None`
     /// when nobody accesses anything.
     #[must_use]
     pub fn global_range(&self) -> Option<Extent> {
-        let begin = self.extents.iter().filter_map(ExtentList::begin).min()?;
-        let end = self.extents.iter().filter_map(ExtentList::end).max()?;
+        let begin = self.table.views().filter_map(|v| v.begin()).min()?;
+        let end = self.table.views().filter_map(|v| v.end()).max()?;
         Some(Extent::new(begin, end - begin))
     }
 
     /// Total application bytes across members.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.extents.iter().map(ExtentList::total_bytes).sum()
+        self.table.all_extents().iter().map(|e| e.len).sum()
     }
 
     /// Global ranks whose accesses intersect `window`, ascending.
+    ///
+    /// Index-backed: `O(log n + k)` in the total extent count `n` and
+    /// match count `k`, not `O(members)`. The member set is identical to
+    /// the old per-member scan — collecting the owner of every matching
+    /// extent and deduplicating selects exactly the members with at
+    /// least one overlap, and sorting member indices restores ascending
+    /// rank order (the group is sorted).
     #[must_use]
     pub fn ranks_touching(&self, window: Extent) -> Vec<usize> {
-        self.group
-            .iter()
-            .zip(&self.extents)
-            .filter(|(_, ext)| ext.overlaps(window))
-            .map(|(rank, _)| rank)
-            .collect()
+        let index = self.index.get_or_init(|| TouchIndex::build(&self.table));
+        let mut members: Vec<u32> = Vec::new();
+        index.members_touching(window, &mut members);
+        members.sort_unstable();
+        members.dedup();
+        let ranks = self.group.members();
+        members.into_iter().map(|m| ranks[m as usize]).collect()
     }
 
     /// Per-member `(begin, end)` of their access range, in group order;
@@ -114,9 +160,9 @@ impl GroupPattern {
     /// paper's Figure 4 draws.
     #[must_use]
     pub fn linearization(&self) -> Vec<Option<(u64, u64)>> {
-        self.extents
-            .iter()
-            .map(|e| match (e.begin(), e.end()) {
+        self.table
+            .views()
+            .map(|v| match (v.begin(), v.end()) {
                 (Some(b), Some(x)) => Some((b, x)),
                 _ => None,
             })

@@ -33,7 +33,7 @@ pub mod sieve;
 
 pub use analysis::GroupPattern;
 pub use datatype::{darray_block, Datatype};
-pub use extent::{Extent, ExtentList};
+pub use extent::{Extent, ExtentList, ExtentTable, ExtentsView, TouchIndex};
 pub use fileview::FileView;
 pub use report::{IoReport, IoReportBuilder, OpMetrics, Resilience};
 pub use sieve::SieveConfig;

@@ -79,6 +79,17 @@ pub struct OpMetrics {
     pub pool_hits: u64,
     /// Buffer-pool takes that had to allocate.
     pub pool_misses: u64,
+    /// Buffer requests this rank forwarded to the world-level recycler
+    /// (its own free list was empty). A deterministic per-rank fact:
+    /// whether the *recycler* then recycled or allocated depends on
+    /// thread scheduling and is reported through `obs` gauges instead.
+    pub recycle_takes: u64,
+    /// Buffers this rank retired into the world-level recycler (free-
+    /// list overflow plus the end-of-operation drain).
+    pub recycle_returns: u64,
+    /// High-water mark of pooled payload/assembly buffer bytes this
+    /// rank held out of its pool at once.
+    pub payload_peak_bytes: u64,
     /// Mean per-node aggregation-buffer high-water mark, bytes.
     pub mem_peak_mean: f64,
     /// Largest per-node aggregation-buffer high-water mark, bytes.
@@ -106,6 +117,9 @@ impl OpMetrics {
         self.storage_bytes += other.storage_bytes;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.recycle_takes += other.recycle_takes;
+        self.recycle_returns += other.recycle_returns;
+        self.payload_peak_bytes = self.payload_peak_bytes.max(other.payload_peak_bytes);
         if other.mem_peak_max > 0.0 {
             self.mem_peak_mean = other.mem_peak_mean;
             self.mem_peak_max = other.mem_peak_max;

@@ -60,7 +60,7 @@ impl Ctx {
 
     /// World barrier (all ranks).
     pub fn barrier(&mut self) {
-        let world = RankSet::world(self.size());
+        let world = self.world_ranks();
         self.group_barrier(&world);
     }
 

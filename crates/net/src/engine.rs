@@ -201,6 +201,14 @@ pub struct World {
     traffic: Traffic,
     executor: ExecutorKind,
     decode_cache: DecodeCache,
+    /// World-level byte-buffer recycler: payload and assembly buffers
+    /// retired by one operation serve the next, so the steady-state hot
+    /// path allocates nothing (see [`crate::recycle`]).
+    recycle: Arc<crate::recycle::BytePool>,
+    /// The full-world rank set, built once and shared: per-op
+    /// `RankSet::world(n)` calls are an O(ranks) allocation per rank
+    /// that dominated collective prologues at 10k+ ranks.
+    world_set: std::sync::OnceLock<Arc<crate::group::RankSet>>,
     /// Extra latency on every control-plane message, stored as f64 bits
     /// so fault plans can set it after the world is shared. Zero when no
     /// faults are injected.
@@ -233,6 +241,8 @@ impl World {
             traffic: Traffic::new(n_nodes),
             executor,
             decode_cache: DecodeCache::default(),
+            recycle: Arc::new(crate::recycle::BytePool::for_ranks(n_ranks)),
+            world_set: std::sync::OnceLock::new(),
             ctl_delay_bits: AtomicU64::new(0.0_f64.to_bits()),
         })
     }
@@ -309,6 +319,21 @@ impl World {
     #[must_use]
     pub fn traffic(&self) -> &Traffic {
         &self.traffic
+    }
+
+    /// The world-level byte-buffer recycler (see [`crate::recycle`]).
+    #[must_use]
+    pub fn recycler(&self) -> &Arc<crate::recycle::BytePool> {
+        &self.recycle
+    }
+
+    /// The rank set containing every rank, built once per world and
+    /// shared — callers that need "all ranks" should clone this handle
+    /// instead of materializing a fresh O(ranks) vector.
+    #[must_use]
+    pub fn rank_set(&self) -> &Arc<crate::group::RankSet> {
+        self.world_set
+            .get_or_init(|| Arc::new(crate::group::RankSet::world(self.n_ranks())))
     }
 
     pub(crate) fn mailbox(&self, rank: usize) -> &Mailbox {
@@ -452,6 +477,12 @@ impl Ctx {
     #[must_use]
     pub fn world(&self) -> &Arc<World> {
         &self.world
+    }
+
+    /// The shared full-world rank set (see [`World::rank_set`]).
+    #[must_use]
+    pub fn world_ranks(&self) -> Arc<crate::group::RankSet> {
+        Arc::clone(self.world.rank_set())
     }
 
     /// Current virtual time at this rank.

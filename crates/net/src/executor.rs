@@ -40,6 +40,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mccio_sim::VTime;
@@ -491,6 +492,44 @@ fn stack_size_bytes() -> usize {
     kib * 1024
 }
 
+/// Stacks whose pages came from the thread's cached slab vs stacks that
+/// required a fresh (zeroed, to-be-faulted) slab allocation, process
+/// cumulative. See [`slab_stats`].
+static STACKS_REUSED: AtomicU64 = AtomicU64::new(0);
+static STACKS_FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Process-cumulative slab reuse counters; see [`slab_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Task stacks carved from a previously committed slab.
+    pub reused: u64,
+    /// Task stacks that came from a fresh allocation (first-touch page
+    /// faults still ahead of them).
+    pub fresh: u64,
+}
+
+/// How many task stacks were served from a recycled slab versus freshly
+/// committed, cumulative over the process. The event executor keeps one
+/// committed slab per driving thread and reuses it across `World::run`
+/// calls whenever it is large enough, so repeated runs (benchmarks,
+/// test suites, multi-phase jobs) stop paying the slab's first-touch
+/// page faults after the first run.
+#[must_use]
+pub fn slab_stats() -> SlabStats {
+    SlabStats {
+        reused: STACKS_REUSED.load(Ordering::Relaxed),
+        fresh: STACKS_FRESH.load(Ordering::Relaxed),
+    }
+}
+
+thread_local! {
+    /// The thread's cached stack slab (committed pages from the last
+    /// `run_event` on this thread). Taken at entry, returned on the
+    /// clean exit path; runs that panic abandon their slab because
+    /// suspended sibling stacks inside it were leaked mid-frame.
+    static SLAB_CACHE: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Runs `f` once per rank as cooperative tasks over virtual time and
 /// returns the per-rank results in rank order. Panics from rank code are
 /// rethrown on the calling thread (suspended sibling stacks are
@@ -511,12 +550,24 @@ where
     let n = world.n_ranks();
     let rt = EventRt::new(n);
     let stack = stack_size_bytes();
+    let need = n.checked_mul(stack).expect("stack slab size overflow");
     // One slab, lazily committed by the OS page by page: individual
-    // mappings would trip vm.max_map_count near 100k ranks.
-    let mut slab = vec![0u8; n.checked_mul(stack).expect("stack slab size overflow")];
+    // mappings would trip vm.max_map_count near 100k ranks. A slab that
+    // served an earlier run on this thread is reused as-is when large
+    // enough — its pages are already committed, so repeat runs skip the
+    // first-touch fault storm entirely. Stale bytes in a reused slab
+    // are fine: `init_stack` writes every word a resumed task reads.
+    let cached = SLAB_CACHE.with(|c| c.take());
+    let mut slab = if cached.len() >= need {
+        STACKS_REUSED.fetch_add(n as u64, Ordering::Relaxed);
+        cached
+    } else {
+        STACKS_FRESH.fetch_add(n as u64, Ordering::Relaxed);
+        vec![0u8; need]
+    };
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
 
-    for (rank, (region, result)) in slab.chunks_mut(stack).zip(&mut results).enumerate() {
+    for (rank, (region, result)) in slab[..need].chunks_mut(stack).zip(&mut results).enumerate() {
         region[..8].copy_from_slice(&STACK_CANARY.to_ne_bytes());
         let data = Box::new(TaskData::<F, R> {
             rank,
@@ -584,7 +635,7 @@ where
         }
     }
 
-    for (rank, region) in slab.chunks(stack).enumerate() {
+    for (rank, region) in slab[..need].chunks(stack).enumerate() {
         assert_eq!(
             u64::from_ne_bytes(region[..8].try_into().unwrap()),
             STACK_CANARY,
@@ -595,6 +646,14 @@ where
     if let Some(payload) = rt.panic.borrow_mut().take() {
         resume_unwind(payload);
     }
+    // Clean exit: every task unwound its own stack, so the slab holds
+    // nothing live and its committed pages can serve the next run.
+    SLAB_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() < slab.len() {
+            *cache = slab;
+        }
+    });
     world.check_drained();
     results
         .into_iter()

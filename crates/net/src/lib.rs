@@ -33,8 +33,11 @@ pub mod engine;
 mod executor;
 pub mod group;
 pub mod mailbox;
+pub mod recycle;
 pub mod wire;
 
 pub use collective::INTERNAL_TAG_BASE;
 pub use engine::{Ctx, ExecutorKind, Traffic, TrafficSnapshot, World};
+pub use executor::{slab_stats, SlabStats};
 pub use group::RankSet;
+pub use recycle::{BytePool, RecycleStats};

@@ -533,6 +533,9 @@ pub struct TraceAnalysis {
     /// Counter snapshot, when analyzing a live sink (replayed artifacts
     /// carry events only).
     pub counters: BTreeMap<String, u64>,
+    /// Gauge snapshot, when analyzing a live sink — high-water marks and
+    /// latest readings (pool live bytes, executor stack reuse, …).
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl TraceAnalysis {
@@ -548,7 +551,9 @@ impl TraceAnalysis {
             live.iter().map(TraceEvent::from_live).collect()
         };
         let mut analysis = TraceAnalysis::from_events(&events)?;
-        analysis.counters = sink.metrics().counter_map();
+        let metrics = sink.metrics();
+        analysis.counters = metrics.counter_map();
+        analysis.gauges = metrics.gauge_map();
         Ok(analysis)
     }
 
@@ -610,6 +615,7 @@ impl TraceAnalysis {
             ops: paths,
             memory: mem_timelines(events),
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         })
     }
 

@@ -215,6 +215,16 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// The gauges as an owned name → value map (the analyzer's
+    /// run-snapshot currency, mirroring [`MetricsRegistry::counter_map`]).
+    #[must_use]
+    pub fn gauge_map(&self) -> std::collections::BTreeMap<String, f64> {
+        self.gauges
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect()
+    }
+
     /// All histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&k, v)| (k, v))

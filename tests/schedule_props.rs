@@ -205,7 +205,7 @@ fn schedule_matches_legacy_discovery() {
         assert!(rounds > 0, "case {case}: non-empty range plans rounds");
 
         for me in 0..n_ranks {
-            let mine = pattern.extents_of_rank(me).clone();
+            let mine = pattern.extents_of_rank(me).to_list();
             let schedule = CommSchedule::build(&plan, &pattern, me, &mine);
             assert_eq!(
                 schedule.rounds.len(),
