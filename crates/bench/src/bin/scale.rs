@@ -11,7 +11,7 @@
 //! point, their virtual times must agree bit for bit.
 //!
 //! ```text
-//! cargo run --release -p mccio-bench --bin scale [full|ci|10k|100k] [out.json]
+//! cargo run --release -p mccio-bench --bin scale [full|ci|10k|100k|obs] [--obs] [out.json]
 //! ```
 //!
 //! * `full` (default) — 120 / 1008 / 10080 / 100800 ranks, both
@@ -19,14 +19,24 @@
 //! * `ci` — the 1008-rank event-executor smoke, bounded for CI;
 //! * `10k` — the 10080-rank event-executor point alone;
 //! * `100k` — the 100800-rank event-executor point alone (the
-//!   allocation-free hot-path acceptance gate).
+//!   allocation-free hot-path acceptance gate);
+//! * `obs` — the streaming-observability flagship: the 10k and 100k
+//!   fig7 shapes with a streaming `ObsSink` and the host-wall profiler
+//!   on, asserting virtual-time bit-identity obs on/off, bounded obs
+//!   allocations, and host-wall overhead under threshold; writes
+//!   `BENCH_PR9.json` plus per-point HTML reports under `trace_obs/`.
+//!
+//! `--obs` attaches the same streaming-observability comparison to any
+//! mode (CI runs `scale ci --obs` as its bounded-memory smoke).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use mccio_bench::{paper_pair, run_on, Platform};
+use mccio_bench::{paper_pair, run_on, run_on_traced, Platform};
 use mccio_net::ExecutorKind;
+use mccio_obs::{analyze, report, ObsSink, StreamConfig};
+use mccio_sim::hostprof::{self, HostProfile};
 use mccio_sim::units::{KIB, MIB};
 use mccio_workloads::Ior;
 
@@ -40,7 +50,8 @@ const THREADS_MAX_RANKS: usize = 2048;
 /// per point so allocation churn regressions are visible in the log).
 struct CountingAlloc;
 
-static TRACE_BUCKET: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(usize::MAX);
+static TRACE_BUCKET: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(usize::MAX);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -149,7 +160,9 @@ fn points(mode: &str) -> Vec<Point> {
         "fig7" => vec![p(120, 4096, 16)],
         "10k" => vec![p(10_080, 64, 2)],
         "100k" => vec![p(100_800, 16, 1)],
-        other => panic!("scale: unknown mode {other:?} (use full|ci|fig7|10k|100k)"),
+        // The streaming-observability flagship pair (ISSUE 9).
+        "obs" => vec![p(10_080, 64, 2), p(100_800, 16, 1)],
+        other => panic!("scale: unknown mode {other:?} (use full|ci|fig7|10k|100k|obs)"),
     }
 }
 
@@ -165,18 +178,42 @@ struct Row {
     read_mbps: f64,
 }
 
+/// Fixed budget for observability allocations in an obs-on run: the
+/// streaming sink, its aggregation cells, and the exemplar lanes must
+/// fit in this regardless of rank count — the bound that makes
+/// 100k-rank observability feasible. Measured as the allocated-bytes
+/// delta between a warm obs-on run and a warm obs-off run.
+const OBS_ALLOC_BUDGET_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Host-wall overhead threshold for streaming observability at the
+/// 10k+ flagship shapes (the ISSUE 9 acceptance gate).
+const OBS_MAX_OVERHEAD: f64 = 0.10;
+
+/// Exemplar rank lanes the streaming sink keeps at full fidelity.
+const OBS_EXEMPLARS: u32 = 8;
+
 fn main() {
     if let Ok(b) = std::env::var("SCALE_TRACE_BUCKET") {
         if let Ok(b) = b.parse::<usize>() {
             TRACE_BUCKET.store(b, Ordering::Relaxed);
         }
     }
-    let mode = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "full".to_string());
-    let out_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_flag = args.iter().any(|a| a == "--obs");
+    let positional: Vec<&String> = args.iter().filter(|a| *a != "--obs").collect();
+    let mode = positional
+        .first()
+        .map_or_else(|| "full".to_string(), |s| (*s).clone());
+    if obs_flag || mode == "obs" {
+        let out_path = positional
+            .get(1)
+            .map_or_else(|| "BENCH_PR9.json".to_string(), |s| (*s).clone());
+        run_obs(&mode, &out_path);
+        return;
+    }
+    let out_path = positional
+        .get(1)
+        .map_or_else(|| "BENCH_PR8.json".to_string(), |s| (*s).clone());
     let event_only = mode != "full" && mode != "fig7";
 
     let mut rows: Vec<Row> = Vec::new();
@@ -266,6 +303,264 @@ fn main() {
         eprintln!("scale: wrote {out_path}");
     }
     println!("{json}");
+}
+
+/// One obs-comparison point: the same shape run obs-off then obs-on
+/// (streaming sink + host profiler), both warm.
+struct ObsRow {
+    ranks: usize,
+    per_rank_kib: u64,
+    segments: u64,
+    wall_off: f64,
+    wall_obs: f64,
+    write_secs: f64,
+    read_secs: f64,
+    obs_allocs: u64,
+    obs_bytes: u64,
+    retained: u64,
+    folded: u64,
+    cells: usize,
+    profile: HostProfile,
+}
+
+impl ObsRow {
+    fn overhead(&self) -> f64 {
+        if self.wall_off > 0.0 {
+            (self.wall_obs - self.wall_off) / self.wall_off
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The streaming-observability comparison (`scale obs` / `--obs`): per
+/// point, one warmup run, one measured obs-off run, one measured obs-on
+/// run with a streaming sink and the host profiler. Asserts virtual
+/// bit-identity, the fixed obs allocation budget, and (at 10k+ ranks)
+/// the host-wall overhead threshold; writes one HTML report per point
+/// under `trace_obs/` and the JSON record when mode is `obs`.
+fn run_obs(mode: &str, out_path: &str) {
+    std::fs::create_dir_all("trace_obs").expect("create trace_obs");
+    let mut rows: Vec<ObsRow> = Vec::new();
+    for point in points(mode) {
+        let Point {
+            ranks,
+            per_rank_kib,
+            segments,
+        } = point;
+        let platform = Platform::testbed(ranks / 12, ranks, 8).with_memory(320 * MIB, 64 * MIB);
+        let workload = Ior::interleaved_total(per_rank_kib * KIB, segments);
+        let [_, (name, strategy)] = paper_pair(&platform, 4 * MIB);
+        eprintln!("scale[{mode} --obs]: {ranks} ranks x {per_rank_kib} KiB, {name}, Event ...");
+
+        // Warmup: commit the coroutine stack slab and allocator pools so
+        // neither measured run pays first-touch faults the other skips.
+        let _ = run_on(&workload, &*strategy, &platform, ExecutorKind::Event);
+
+        let a0 = alloc_snapshot();
+        let t0 = Instant::now();
+        let off = run_on(&workload, &*strategy, &platform, ExecutorKind::Event);
+        let wall_off = t0.elapsed().as_secs_f64();
+        let a1 = alloc_snapshot();
+
+        hostprof::reset();
+        hostprof::set_enabled(true);
+        let sink = ObsSink::streaming(StreamConfig::for_ranks(ranks, OBS_EXEMPLARS));
+        let a2 = alloc_snapshot();
+        let t1 = Instant::now();
+        let on = run_on_traced(&workload, &*strategy, &platform, ExecutorKind::Event, &sink);
+        let wall_obs = t1.elapsed().as_secs_f64();
+        let a3 = alloc_snapshot();
+        hostprof::set_enabled(false);
+        let mut profile = hostprof::snapshot();
+        profile.wall_secs = wall_obs;
+        profile.virtual_secs = on.write_secs + on.read_secs;
+
+        // Acceptance: observability must not move virtual time by a bit.
+        assert_eq!(
+            off.write_secs.to_bits(),
+            on.write_secs.to_bits(),
+            "{ranks} ranks: streaming obs moved virtual write time"
+        );
+        assert_eq!(
+            off.read_secs.to_bits(),
+            on.read_secs.to_bits(),
+            "{ranks} ranks: streaming obs moved virtual read time"
+        );
+
+        // Acceptance: obs allocations fit the fixed, rank-independent
+        // budget (delta of the two warm runs' allocation deltas).
+        let obs_allocs = (a3.0 - a2.0).saturating_sub(a1.0 - a0.0);
+        let obs_bytes = (a3.1 - a2.1).saturating_sub(a1.1 - a0.1);
+        assert!(
+            obs_bytes <= OBS_ALLOC_BUDGET_BYTES,
+            "{ranks} ranks: obs allocations {obs_bytes} B exceed the fixed \
+             {OBS_ALLOC_BUDGET_BYTES} B budget"
+        );
+
+        let overhead = (wall_obs - wall_off) / wall_off;
+        if ranks >= 10_000 {
+            assert!(
+                overhead < OBS_MAX_OVERHEAD,
+                "{ranks} ranks: streaming obs host-wall overhead {:.1}% exceeds {:.0}%",
+                overhead * 100.0,
+                OBS_MAX_OVERHEAD * 100.0
+            );
+        }
+
+        let agg = sink
+            .stream_stats()
+            .expect("streaming sink has an aggregate");
+        assert!(agg.folded_events > 0, "streaming sink folded nothing");
+        eprintln!(
+            "  off {wall_off:.3}s, obs {wall_obs:.3}s ({:+.1}%), \
+             obs allocs {obs_allocs} ({} KiB)",
+            overhead * 100.0,
+            obs_bytes / 1024
+        );
+        eprintln!(
+            "  stream: {} folded into {} cells, {} retained; virtual write {:.6}s",
+            agg.folded_events,
+            agg.cell_count(),
+            agg.retained_events,
+            on.write_secs
+        );
+        for p in &profile.phases {
+            if p.calls > 0 {
+                eprintln!(
+                    "  host {}: {} calls, {:.3} ms",
+                    p.name,
+                    p.calls,
+                    p.secs() * 1e3
+                );
+            }
+        }
+
+        // The streamed trace still analyzes and reports: engine spans
+        // are exact, exemplar lanes render, the streaming and host
+        // sections carry the folded bulk.
+        let analysis = analyze::TraceAnalysis::of_sink(&sink)
+            .expect("streamed trace analyzes")
+            .with_host_profile(profile.clone());
+        let events: Vec<analyze::TraceEvent> = sink.with_events(|live| {
+            let mut refs: Vec<&mccio_obs::Event> = live.iter().collect();
+            refs.sort_by(|a, b| {
+                (a.track, a.kind.at().as_secs(), a.seq)
+                    .partial_cmp(&(b.track, b.kind.at().as_secs(), b.seq))
+                    .expect("virtual times are finite")
+            });
+            refs.into_iter()
+                .map(analyze::TraceEvent::from_live)
+                .collect()
+        });
+        let title = format!("mccio scale --obs — {ranks} ranks / {name}");
+        let html = report::render(&title, &events, &analysis, None);
+        let path = format!("trace_obs/scale_obs_{ranks}.html");
+        std::fs::write(&path, &html).expect("write obs report");
+        eprintln!("  wrote {path} ({} bytes)", html.len());
+
+        rows.push(ObsRow {
+            ranks,
+            per_rank_kib,
+            segments,
+            wall_off,
+            wall_obs,
+            write_secs: on.write_secs,
+            read_secs: on.read_secs,
+            obs_allocs,
+            obs_bytes,
+            retained: agg.retained_events,
+            folded: agg.folded_events,
+            cells: agg.cell_count(),
+            profile,
+        });
+    }
+
+    // Bounded independent of rank count: the budget is fixed, so every
+    // point passing it is the rank-independence assert; additionally the
+    // aggregate cell count must not scale with ranks across points.
+    if let (Some(small), Some(big)) = (rows.first(), rows.last()) {
+        if big.ranks > small.ranks {
+            let rank_factor = big.ranks as f64 / small.ranks as f64;
+            assert!(
+                (big.cells as f64) < (small.cells as f64) * rank_factor / 2.0,
+                "stream cells scale with ranks: {} cells at {} ranks vs {} at {}",
+                big.cells,
+                big.ranks,
+                small.cells,
+                small.ranks
+            );
+        }
+    }
+
+    let json = render_obs_json(mode, &rows);
+    if mode == "obs" {
+        std::fs::write(out_path, &json).expect("write obs bench json");
+        eprintln!("scale: wrote {out_path}");
+    }
+    std::fs::write("trace_obs/scale_obs.json", &json).expect("write obs json artifact");
+    println!("{json}");
+}
+
+/// Hand-rolled JSON for the obs comparison rows.
+fn render_obs_json(mode: &str, rows: &[ObsRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"scale-obs\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"workload\": \"ior-interleaved\",");
+    let _ = writeln!(out, "  \"strategy\": \"memory-conscious\",");
+    let _ = writeln!(out, "  \"executor\": \"event\",");
+    let _ = writeln!(
+        out,
+        "  \"obs_alloc_budget_bytes\": {OBS_ALLOC_BUDGET_BYTES},"
+    );
+    let _ = writeln!(out, "  \"obs_max_overhead\": {OBS_MAX_OVERHEAD},");
+    let _ = writeln!(out, "  \"exemplar_lanes\": {OBS_EXEMPLARS},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let mut host = String::new();
+        for (j, p) in r.profile.phases.iter().filter(|p| p.calls > 0).enumerate() {
+            if j > 0 {
+                host.push_str(", ");
+            }
+            let _ = write!(
+                host,
+                "{{\"phase\": \"{}\", \"calls\": {}, \"host_ms\": {:.3}}}",
+                p.name,
+                p.calls,
+                p.secs() * 1e3
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"ranks\": {}, \"per_rank_kib\": {}, \"segments\": {}, \
+             \"wall_secs_off\": {:.3}, \"wall_secs_obs\": {:.3}, \
+             \"overhead_pct\": {:.2}, \
+             \"obs_allocs\": {}, \"obs_alloc_bytes\": {}, \
+             \"events_folded\": {}, \"events_retained\": {}, \"stream_cells\": {}, \
+             \"virtual_write_secs\": {:.9}, \"virtual_read_secs\": {:.9}, \
+             \"host_profile\": [{host}]}}{comma}",
+            r.ranks,
+            r.per_rank_kib,
+            r.segments,
+            r.wall_off,
+            r.wall_obs,
+            r.overhead() * 100.0,
+            r.obs_allocs,
+            r.obs_bytes,
+            r.folded,
+            r.retained,
+            r.cells,
+            r.write_secs,
+            r.read_secs,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
 }
 
 /// Hand-rolled JSON (the workspace is dependency-free by design).

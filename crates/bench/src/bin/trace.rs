@@ -138,15 +138,20 @@ fn emit(mode: &str, outdir: &str) {
     for (name, strategy) in paper_pair(&platform, buffer) {
         let obs = ObsSink::enabled();
         let result = run_traced(&workload, &*strategy, &platform, &obs);
-        let events = obs.events();
+        // Exporters read the event list in place — no O(events) clone.
+        let (n_events, chrome, jsonl) = obs.with_events(|events| {
+            (
+                events.len(),
+                export::chrome_trace(events),
+                export::jsonl(events),
+            )
+        });
         println!(
-            "{name}: write {:.1} MB/s, read {:.1} MB/s, {} events recorded",
+            "{name}: write {:.1} MB/s, read {:.1} MB/s, {n_events} events recorded",
             result.write_mbps(),
             result.read_mbps(),
-            events.len()
         );
 
-        let chrome = export::chrome_trace(&events);
         let chrome_path = format!("{outdir}/trace_{name}.json");
         std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
         match export::validate_chrome_trace(&chrome) {
@@ -172,7 +177,6 @@ fn emit(mode: &str, outdir: &str) {
             }
         }
 
-        let jsonl = export::jsonl(&events);
         let jsonl_path = format!("{outdir}/events_{name}.jsonl");
         std::fs::write(&jsonl_path, &jsonl).expect("write jsonl");
         match export::validate_jsonl(&jsonl) {

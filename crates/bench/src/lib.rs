@@ -159,6 +159,20 @@ pub fn run_on(
     platform: &Platform,
     executor: ExecutorKind,
 ) -> RunResult {
+    run_on_traced(workload, strategy, platform, executor, &ObsSink::disabled())
+}
+
+/// Like [`run_on`], with the environment recording into `obs` — the
+/// executor-pinned and traced axes combined. The `scale --obs` flagship
+/// uses this with a streaming sink to observe the 10k/100k shapes.
+#[must_use]
+pub fn run_on_traced(
+    workload: &dyn Workload,
+    strategy: &dyn Strategy,
+    platform: &Platform,
+    executor: ExecutorKind,
+    obs: &ObsSink,
+) -> RunResult {
     let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
         .expect("platform placement");
     let world = World::with_executor(
@@ -169,7 +183,8 @@ pub fn run_on(
     let env = IoEnv::new(
         FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
         platform.memory(),
-    );
+    )
+    .with_obs(obs.clone());
     run_with(&world, &env, workload, strategy)
 }
 

@@ -156,7 +156,10 @@ impl IoEnv {
         }) {
             return Arc::clone(&e.plan);
         }
-        let plan = Arc::new(compute());
+        let plan = {
+            let _t = mccio_sim::hostprof::timer(mccio_sim::hostprof::HostPhase::PlanBuild);
+            Arc::new(compute())
+        };
         if entries.len() == PLAN_CACHE_CAP {
             entries.remove(0);
         }

@@ -412,6 +412,7 @@ pub(super) fn drive_storage<T>(
     faults: &mut IoFaults,
     mut op: impl FnMut(&mut IoFaults) -> SimResult<T>,
 ) -> T {
+    let _t = mccio_sim::hostprof::timer(mccio_sim::hostprof::HostPhase::StorageHop);
     let policy = faults.policy();
     for _ in 0..MAX_ESCALATIONS {
         match op(faults) {

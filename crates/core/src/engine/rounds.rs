@@ -103,7 +103,10 @@ pub(super) fn execute_op(
     // scheduling crashes, so crash-free runs execute the exact healthy
     // path (bit-identical goldens).
     let integrity = env.faults().plan().has_crashes();
-    let mut schedule = CommSchedule::build_with_integrity(plan, pattern, me, my_extents, integrity);
+    let mut schedule = {
+        let _t = mccio_sim::hostprof::timer(mccio_sim::hostprof::HostPhase::ScheduleBuild);
+        CommSchedule::build_with_integrity(plan, pattern, me, my_extents, integrity)
+    };
     let mut tracker = CrashTracker::begin(ctx, env, &state.world);
     let mut live_plan = tracker.as_ref().map(|_| plan.clone());
     let obs = env.obs().clone();

@@ -93,9 +93,7 @@ impl CollectivePlan {
             if e.is_empty() {
                 continue;
             }
-            let mut i = self
-                .domains
-                .partition_point(|d| d.domain.end() <= e.offset);
+            let mut i = self.domains.partition_point(|d| d.domain.end() <= e.offset);
             // A domain spanning two of the rank's extents would be found
             // twice; resume past what the previous extent recorded.
             if let Some(&last) = out.last() {

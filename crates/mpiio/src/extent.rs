@@ -256,6 +256,7 @@ impl ExtentList {
 
 /// Writes `extents` (canonical order assumed) in the delta varint form.
 fn encode_compact_into(extents: &[Extent], out: &mut Vec<u8>) {
+    let _t = mccio_sim::hostprof::timer(mccio_sim::hostprof::HostPhase::ExtentEncode);
     write_varint(out, extents.len() as u64);
     let mut prev_end = 0u64;
     for e in extents {
@@ -270,6 +271,7 @@ fn encode_compact_into(extents: &[Extent], out: &mut Vec<u8>) {
 /// # Panics
 /// Panics on truncated input or trailing bytes.
 fn decode_compact_into(bytes: &[u8], extents: &mut Vec<Extent>) {
+    let _t = mccio_sim::hostprof::timer(mccio_sim::hostprof::HostPhase::ExtentDecode);
     let mut pos = 0usize;
     let count = read_varint(bytes, &mut pos);
     extents.reserve(count as usize);
@@ -478,7 +480,9 @@ impl ExtentTable {
         let start = self.extents.len();
         decode_compact_into(bytes, &mut self.extents);
         debug_assert!(
-            self.extents[start..].windows(2).all(|w| w[0].end() <= w[1].offset)
+            self.extents[start..]
+                .windows(2)
+                .all(|w| w[0].end() <= w[1].offset)
                 && self.extents[start..].iter().all(|e| !e.is_empty()),
             "decoded extents not canonical"
         );

@@ -43,6 +43,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mccio_sim::hostprof::{self, HostPhase};
 use mccio_sim::VTime;
 
 use crate::engine::{Ctx, World};
@@ -584,6 +585,10 @@ where
     }
 
     loop {
+        // Scheduler work (heap pop, quiescence resolution, slot
+        // bookkeeping) is host-profiled per iteration; the guard drops
+        // before the switch so the task's own run time is not charged.
+        let sched_t = hostprof::timer(HostPhase::ExecSchedule);
         let next = rt.runnable.borrow_mut().pop();
         let Some(Reverse((_, rank, _))) = next else {
             if rt.n_done.get() == n {
@@ -629,6 +634,7 @@ where
             }
         }
         let (save, load) = rt.sp_ptrs(n, rank);
+        drop(sched_t);
         unsafe { ctx_swap(save, load) };
         if rt.panic.borrow().is_some() {
             break;

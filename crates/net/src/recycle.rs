@@ -35,6 +35,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use mccio_sim::hostprof::{self, HostPhase};
+
 /// Total bytes of retired capacity the pool will pin before letting
 /// further retirees drop. Generous on purpose: the point is to keep a
 /// whole operation's working set committed between operations.
@@ -97,11 +99,13 @@ impl Default for BytePool {
 impl BytePool {
     /// A pool sized for a world of `n_ranks`: the retention ceiling
     /// scales with the rank count so one operation's full working set
-    /// survives to seed the next, with [`DEFAULT_RETAIN_BYTES`] as the
+    /// survives to seed the next, with `DEFAULT_RETAIN_BYTES` as the
     /// floor.
     #[must_use]
     pub fn for_ranks(n_ranks: usize) -> Self {
-        BytePool::with_retain_limit(DEFAULT_RETAIN_BYTES.max(n_ranks as u64 * RETAIN_BYTES_PER_RANK))
+        BytePool::with_retain_limit(
+            DEFAULT_RETAIN_BYTES.max(n_ranks as u64 * RETAIN_BYTES_PER_RANK),
+        )
     }
 
     /// A pool that parks at most `cap_bytes` of retired capacity.
@@ -124,6 +128,7 @@ impl BytePool {
     /// matching bin when one is parked there, freshly allocated
     /// otherwise. Contents never leak between uses.
     pub fn take(&self, cap: usize) -> Vec<u8> {
+        let _t = hostprof::timer(HostPhase::RecycleTake);
         let recycled = if cap >= MIN_POOLED_CAPACITY {
             let mut bins = self.bins.lock().expect("byte pool poisoned");
             let found = bins.by_capacity.get_mut(&cap).and_then(Vec::pop);
@@ -157,6 +162,7 @@ impl BytePool {
     /// Retires a buffer for reuse (dropped when it is tiny or the
     /// retention ceiling is reached).
     pub fn put(&self, buf: Vec<u8>) {
+        let _t = hostprof::timer(HostPhase::RecycleReturn);
         let cap = buf.capacity();
         // Saturating: callers may retire buffers the pool never handed
         // out (engine-grown payloads), so live accounting is a floor.

@@ -30,11 +30,14 @@
 
 use std::collections::BTreeMap;
 
+use mccio_sim::hostprof::HostProfile;
 use mccio_sim::time::{VDuration, VTime};
 
 use crate::json::{self, Value};
+use crate::metrics::Histogram;
 use crate::sink::ObsSink;
-use crate::span::{sort_for_export, AttrValue, Event, EventKind, ENGINE_TRACK, PHASE_NAMES};
+use crate::span::{AttrValue, Event, EventKind, ENGINE_TRACK, PHASE_NAMES};
+use crate::stream::StreamAgg;
 
 /// Tolerance for tiling checks: segment sums are f64 accumulations of
 /// attribute values, so they match the priced durations to rounding.
@@ -536,6 +539,18 @@ pub struct TraceAnalysis {
     /// Gauge snapshot, when analyzing a live sink — high-water marks and
     /// latest readings (pool live bytes, executor stack reuse, …).
     pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshot, when analyzing a live sink (per-node memory
+    /// peaks, round client counts, …).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// The streaming aggregate, when the analyzed sink folds through
+    /// one (`ObsSink::streaming`); `None` on buffered sinks and
+    /// replayed artifacts.
+    pub streaming: Option<StreamAgg>,
+    /// Host-wall profile of the run, when the caller attached one via
+    /// [`TraceAnalysis::with_host_profile`]. Host times are
+    /// nondeterministic observability data, never part of bit-identity
+    /// checks.
+    pub host: Option<HostProfile>,
 }
 
 impl TraceAnalysis {
@@ -545,16 +560,34 @@ impl TraceAnalysis {
     /// # Errors
     /// Propagates [`TraceAnalysis::from_events`] errors.
     pub fn of_sink(sink: &ObsSink) -> Result<TraceAnalysis, String> {
-        let events: Vec<TraceEvent> = {
-            let mut live = sink.events();
-            sort_for_export(&mut live);
-            live.iter().map(TraceEvent::from_live).collect()
-        };
+        // Borrow the buffer and sort references: the O(events) copy of
+        // every event (attribute vectors included) that `events()`
+        // would make is avoided; only the owned TraceEvent mirror is
+        // built.
+        let events: Vec<TraceEvent> = sink.with_events(|live| {
+            let mut refs: Vec<&Event> = live.iter().collect();
+            refs.sort_by(|a, b| {
+                (a.track, a.kind.at().as_secs(), a.seq)
+                    .partial_cmp(&(b.track, b.kind.at().as_secs(), b.seq))
+                    .expect("virtual times are finite")
+            });
+            refs.into_iter().map(TraceEvent::from_live).collect()
+        });
         let mut analysis = TraceAnalysis::from_events(&events)?;
         let metrics = sink.metrics();
         analysis.counters = metrics.counter_map();
         analysis.gauges = metrics.gauge_map();
+        analysis.histograms = metrics.histogram_map();
+        analysis.streaming = sink.stream_stats();
         Ok(analysis)
+    }
+
+    /// Attaches a host-wall profile (with the run's total host wall and
+    /// virtual seconds) for the report's virtual-vs-host section.
+    #[must_use]
+    pub fn with_host_profile(mut self, profile: HostProfile) -> TraceAnalysis {
+        self.host = Some(profile);
+        self
     }
 
     /// Analyzes a replayed (or pre-converted) event stream.
@@ -614,8 +647,7 @@ impl TraceAnalysis {
         Ok(TraceAnalysis {
             ops: paths,
             memory: mem_timelines(events),
-            counters: BTreeMap::new(),
-            gauges: BTreeMap::new(),
+            ..TraceAnalysis::default()
         })
     }
 
@@ -962,6 +994,7 @@ fn mem_timelines(events: &[TraceEvent]) -> Vec<MemTimeline> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::span::sort_for_export;
 
     fn ev(
         name: &str,

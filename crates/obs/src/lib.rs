@@ -28,6 +28,10 @@
 //!   critical-path extraction with per-phase attribution and straggler
 //!   naming, exact per-node memory-occupancy timelines, and structured
 //!   A/B run diffing;
+//! * [`stream`] — bounded-memory streaming aggregation for extreme
+//!   rank counts: online per-cell statistics, deterministic top-k
+//!   straggler retention, and strided exemplar-rank sampling (used by
+//!   [`ObsSink::streaming`]);
 //! * [`report`] — a self-contained HTML report (inline SVG timeline
 //!   lanes, critical path, occupancy strip charts; zero dependencies).
 //!
@@ -63,6 +67,7 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod stream;
 
 pub use analyze::{CriticalPath, MemTimeline, Phase, RunDiff, TraceAnalysis, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
@@ -71,3 +76,4 @@ pub use span::{
     AttrValue, Event, EventKind, CRASH_DETECTED, ENGINE_TRACK, INTEGRITY_VERIFIED, PHASE_NAMES,
     REELECTION, ROUNDS_REPLAYED,
 };
+pub use stream::{OnlineStat, StreamAgg, StreamCell, StreamConfig};

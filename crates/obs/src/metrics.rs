@@ -230,6 +230,17 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(&k, v)| (k, v))
     }
 
+    /// The histograms as an owned name → histogram map, completing the
+    /// [`MetricsRegistry::counter_map`] / [`MetricsRegistry::gauge_map`]
+    /// accessor family.
+    #[must_use]
+    pub fn histogram_map(&self) -> std::collections::BTreeMap<String, Histogram> {
+        self.histograms
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
     /// Folds another registry into this one: counters add, gauges take
     /// the maximum, histograms merge bucket-wise.
     pub fn absorb(&mut self, other: &MetricsRegistry) {
@@ -356,6 +367,20 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 24.0);
+    }
+
+    #[test]
+    fn map_accessors_mirror_each_other() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", 1);
+        m.gauge_set("g", 2.0);
+        m.observe("h", 8);
+        assert_eq!(m.counter_map().get("c"), Some(&1));
+        assert_eq!(m.gauge_map().get("g"), Some(&2.0));
+        let hm = m.histogram_map();
+        assert_eq!(hm.len(), 1);
+        assert_eq!(hm["h"].count(), 1);
+        assert_eq!(hm["h"], *m.histogram("h").unwrap());
     }
 
     #[test]

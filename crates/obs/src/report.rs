@@ -75,8 +75,11 @@ pub fn render(
     lanes_section(&mut out, events, analysis, &scale);
     memory_section(&mut out, &analysis.memory, &scale);
     attribution_section(&mut out, analysis);
+    streaming_section(&mut out, analysis);
+    host_section(&mut out, analysis);
     counters_section(&mut out, analysis);
     gauges_section(&mut out, analysis);
+    histograms_section(&mut out, analysis);
     if let Some(d) = diff {
         diff_section(&mut out, d);
     }
@@ -417,6 +420,147 @@ fn attribution_section(out: &mut String, analysis: &TraceAnalysis) {
     out.push_str("</table>\n");
 }
 
+/// Maximum streaming-attribution cell rows rendered before eliding.
+const MAX_STREAM_ROWS: usize = 64;
+
+fn streaming_section(out: &mut String, analysis: &TraceAnalysis) {
+    let Some(agg) = &analysis.streaming else {
+        return;
+    };
+    let cfg = agg.config();
+    out.push_str("<h2>Streaming attribution</h2>\n");
+    let _ = writeln!(
+        out,
+        "<p>{} events folded into {} cells, {} retained \
+         (exemplar stride {}, max {} lanes, top-{} stragglers).</p>",
+        agg.folded_events,
+        agg.cell_count(),
+        agg.retained_events,
+        cfg.exemplar_stride,
+        cfg.exemplar_max,
+        cfg.top_k
+    );
+    out.push_str(
+        "<table>\n<tr><th class=\"l\">event</th><th>t (s)</th><th>n</th>\
+         <th class=\"l\">quantity</th><th>mean</th><th>min</th><th>max</th>\
+         <th class=\"l\">top stragglers</th></tr>\n",
+    );
+    for (name, at, cell) in agg.cells().take(MAX_STREAM_ROWS) {
+        // One row per cell: span cells report duration (ns), counter
+        // cells the sampled value, instant cells their heaviest attr.
+        let (quantity, stat) = match cell.kind {
+            "span" => ("dur (ns)".to_string(), Some(&cell.dur_nanos)),
+            "counter" => ("value".to_string(), Some(&cell.value)),
+            _ => cell
+                .attrs
+                .iter()
+                .max_by_key(|(_, s)| s.sum)
+                .map_or(("—".to_string(), None), |(k, s)| {
+                    ((*k).to_string(), Some(s))
+                }),
+        };
+        let (mean, min, max, top) = stat.map_or_else(
+            || (0.0, 0, 0, String::new()),
+            |s| {
+                let top = s
+                    .top
+                    .iter()
+                    .map(|&(v, r)| format!("rank {r} ({v})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                (s.mean(), s.min_or_zero(), s.max, top)
+            },
+        );
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{:.6}</td><td>{}</td>\
+             <td class=\"l\">{}</td><td>{mean:.1}</td><td>{min}</td><td>{max}</td>\
+             <td class=\"l\">{}</td></tr>",
+            html_escape(name),
+            at.as_secs(),
+            cell.count,
+            html_escape(&quantity),
+            html_escape(&top)
+        );
+    }
+    out.push_str("</table>\n");
+    if agg.cell_count() > MAX_STREAM_ROWS {
+        let _ = writeln!(
+            out,
+            "<p>({} more cells elided)</p>",
+            agg.cell_count() - MAX_STREAM_ROWS
+        );
+    }
+}
+
+fn host_section(out: &mut String, analysis: &TraceAnalysis) {
+    let Some(host) = &analysis.host else {
+        return;
+    };
+    out.push_str("<h2>Host-wall profile</h2>\n");
+    let profiled = host.profiled_secs();
+    let _ = writeln!(
+        out,
+        "<p>Host wall {:.3}s for {:.3} virtual s simulated; {:.3}s attributed below \
+         (phases may nest). Host times are nondeterministic observability data.</p>",
+        host.wall_secs, host.virtual_secs, profiled
+    );
+    out.push_str(
+        "<table>\n<tr><th class=\"l\">simulator phase</th><th>calls</th>\
+         <th>host (ms)</th><th>share</th></tr>\n",
+    );
+    for p in &host.phases {
+        if p.calls == 0 {
+            continue;
+        }
+        let share = if profiled > 0.0 {
+            p.secs() / profiled * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{:.3}</td><td>{share:.1}%</td></tr>",
+            html_escape(p.name),
+            p.calls,
+            p.secs() * 1e3
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn histograms_section(out: &mut String, analysis: &TraceAnalysis) {
+    if analysis.histograms.is_empty() {
+        return;
+    }
+    out.push_str(
+        "<h2>Histograms</h2>\n<table>\n<tr><th class=\"l\">histogram</th><th>n</th>\
+         <th>mean</th><th>cov</th><th>min</th><th>max</th>\
+         <th class=\"l\">log2 buckets (&lt;bound: count)</th></tr>\n",
+    );
+    for (name, h) in &analysis.histograms {
+        let buckets = h
+            .nonzero_buckets()
+            .iter()
+            .map(|(bound, count)| format!("<{bound}: {count}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{:.1}</td><td>{:.3}</td>\
+             <td>{:.0}</td><td>{:.0}</td><td class=\"l\">{}</td></tr>",
+            html_escape(name),
+            h.count(),
+            h.mean(),
+            h.cov(),
+            h.min(),
+            h.max(),
+            html_escape(&buckets)
+        );
+    }
+    out.push_str("</table>\n");
+}
+
 fn counters_section(out: &mut String, analysis: &TraceAnalysis) {
     if analysis.counters.is_empty() {
         return;
@@ -438,9 +582,7 @@ fn gauges_section(out: &mut String, analysis: &TraceAnalysis) {
     if analysis.gauges.is_empty() {
         return;
     }
-    out.push_str(
-        "<h2>Gauges</h2>\n<table>\n<tr><th class=\"l\">gauge</th><th>value</th></tr>\n",
-    );
+    out.push_str("<h2>Gauges</h2>\n<table>\n<tr><th class=\"l\">gauge</th><th>value</th></tr>\n");
     for (name, v) in &analysis.gauges {
         let _ = writeln!(
             out,
@@ -570,6 +712,67 @@ mod tests {
         for needle in ["http://", "https://", "<script", "<link", "<img", "src="] {
             assert!(!html.contains(needle), "found {needle}");
         }
+    }
+
+    #[test]
+    fn streaming_host_and_histogram_sections_render() {
+        use crate::sink::ObsSink;
+        use crate::span::AttrValue;
+        use crate::stream::StreamConfig;
+        use mccio_sim::hostprof::{HostPhaseStat, HostProfile};
+
+        let (events, mut analysis) = sample();
+        let sink = ObsSink::streaming(StreamConfig {
+            top_k: 2,
+            exemplar_stride: 1,
+            exemplar_max: 1,
+        });
+        for rank in 0..16u32 {
+            sink.span(
+                rank,
+                "prologue",
+                "engine",
+                VTime::ZERO,
+                VDuration::from_secs(f64::from(rank) * 1e-3),
+                &[("bytes", AttrValue::U64(64))],
+            );
+            sink.instant(
+                rank,
+                "rank.round",
+                "engine",
+                VTime::from_secs(1.0),
+                &[("sent_bytes", AttrValue::U64(u64::from(rank)))],
+            );
+        }
+        analysis.streaming = sink.stream_stats();
+        analysis.host = Some(HostProfile {
+            phases: vec![HostPhaseStat {
+                name: "exec.schedule",
+                calls: 12,
+                nanos: 3_000_000,
+            }],
+            wall_secs: 1.25,
+            virtual_secs: 2.0,
+        });
+        let mut m = crate::metrics::MetricsRegistry::new();
+        m.observe("mem.node_peak_bytes", 4096);
+        analysis.histograms = m.histogram_map();
+
+        let html = render("scaled", &events, &analysis, None);
+        assert!(html.contains("Streaming attribution"));
+        assert!(html.contains("Host-wall profile"));
+        assert!(html.contains("Histograms"));
+        assert!(html.contains("exec.schedule"));
+        assert!(html.contains("mem.node_peak_bytes"));
+        assert!(html.contains("rank.round"));
+        for needle in ["http://", "https://", "<script", "<link", "<img", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+        assert_eq!(
+            render("scaled", &events, &analysis, None),
+            render("scaled", &events, &analysis, None),
+            "rendering with the new sections stays deterministic"
+        );
     }
 
     #[test]

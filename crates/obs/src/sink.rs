@@ -14,6 +14,12 @@
 //! recording never advances virtual time, so traces are a pure
 //! side-channel: the engine's priced times are bit-identical with
 //! tracing on or off.
+//!
+//! A **streaming** sink ([`ObsSink::streaming`]) additionally carries a
+//! [`StreamAgg`]: events the aggregate declines to retain are folded
+//! into bounded online statistics *without ever being allocated* (the
+//! fold reads the caller's attribute slice directly), so observability
+//! memory is independent of rank count. See `obs::stream`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -22,12 +28,16 @@ use mccio_sim::time::{VDuration, VTime};
 
 use crate::metrics::MetricsRegistry;
 use crate::span::{AttrValue, Event, EventKind};
+use crate::stream::{StreamAgg, StreamConfig};
 
 #[derive(Debug, Default)]
 struct Inner {
     events: Mutex<Vec<Event>>,
     metrics: Mutex<MetricsRegistry>,
     seq: AtomicU64,
+    /// Present on streaming sinks: the bounded aggregate that decides
+    /// retention and absorbs everything it declines.
+    stream: Option<Mutex<StreamAgg>>,
 }
 
 /// A handle to a span/metrics sink; see the module docs. Clones share
@@ -52,6 +62,34 @@ impl ObsSink {
         }
     }
 
+    /// A streaming sink: events are routed through a bounded
+    /// [`StreamAgg`] and only engine-track and exemplar-lane
+    /// span/instant events are retained (see `obs::stream`).
+    #[must_use]
+    pub fn streaming(cfg: StreamConfig) -> Self {
+        ObsSink {
+            inner: Some(Arc::new(Inner {
+                stream: Some(Mutex::new(StreamAgg::new(cfg))),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// True when this sink folds through a streaming aggregate.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.stream.is_some())
+    }
+
+    /// A snapshot of the streaming aggregate (`None` on buffered or
+    /// disabled sinks).
+    #[must_use]
+    pub fn stream_stats(&self) -> Option<StreamAgg> {
+        let inner = self.inner.as_ref()?;
+        let stream = inner.stream.as_ref()?;
+        Some(stream.lock().expect("stream lock").clone())
+    }
+
     /// True when this sink records; instrumentation sites may use this
     /// to skip attribute construction entirely.
     #[inline]
@@ -72,14 +110,7 @@ impl ObsSink {
         attrs: &[(&'static str, AttrValue)],
     ) {
         let Some(inner) = &self.inner else { return };
-        inner.push(Event {
-            name,
-            cat,
-            track,
-            kind: EventKind::Span { start, dur },
-            attrs: attrs.to_vec(),
-            seq: 0,
-        });
+        inner.record(track, name, cat, EventKind::Span { start, dur }, attrs);
     }
 
     /// Records a zero-duration mark.
@@ -93,14 +124,7 @@ impl ObsSink {
         attrs: &[(&'static str, AttrValue)],
     ) {
         let Some(inner) = &self.inner else { return };
-        inner.push(Event {
-            name,
-            cat,
-            track,
-            kind: EventKind::Instant { at },
-            attrs: attrs.to_vec(),
-            seq: 0,
-        });
+        inner.record(track, name, cat, EventKind::Instant { at }, attrs);
     }
 
     /// Records a counter sample on a track.
@@ -115,14 +139,7 @@ impl ObsSink {
         attrs: &[(&'static str, AttrValue)],
     ) {
         let Some(inner) = &self.inner else { return };
-        inner.push(Event {
-            name,
-            cat,
-            track,
-            kind: EventKind::Counter { at, value },
-            attrs: attrs.to_vec(),
-            seq: 0,
-        });
+        inner.record(track, name, cat, EventKind::Counter { at, value }, attrs);
     }
 
     /// Adds `delta` to the named registry counter.
@@ -169,12 +186,26 @@ impl ObsSink {
             .observe(name, value);
     }
 
-    /// Events recorded so far (copied, in emission order).
+    /// Events recorded so far (copied, in emission order). Prefer
+    /// [`ObsSink::with_events`] when a borrow suffices — this clones
+    /// the entire buffer, O(events).
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
             Some(inner) => inner.events.lock().expect("events lock").clone(),
             None => Vec::new(),
+        }
+    }
+
+    /// Runs `f` over a borrow of the retained events (in emission
+    /// order) without copying the buffer. The events lock is held for
+    /// the duration of `f`; recording from within `f` deadlocks, so
+    /// use this for read-only analysis and export. On a disabled sink
+    /// `f` sees an empty slice.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        match &self.inner {
+            Some(inner) => f(&inner.events.lock().expect("events lock")),
+            None => f(&[]),
         }
     }
 
@@ -213,6 +244,35 @@ impl ObsSink {
 }
 
 impl Inner {
+    /// Routes one emission: a streaming sink folds non-retained events
+    /// straight from the caller's attribute slice (no allocation, no
+    /// `Event` built); retained events are materialized and buffered.
+    fn record(
+        &self,
+        track: u32,
+        name: &'static str,
+        cat: &'static str,
+        kind: EventKind,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if let Some(stream) = &self.stream {
+            let mut agg = stream.lock().expect("stream lock");
+            if !agg.retains(track, &kind) {
+                agg.fold(track, name, &kind, attrs);
+                return;
+            }
+            agg.note_retained();
+        }
+        self.push(Event {
+            name,
+            cat,
+            track,
+            kind,
+            attrs: attrs.to_vec(),
+            seq: 0,
+        });
+    }
+
     fn push(&self, mut event: Event) {
         event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.events.lock().expect("events lock").push(event);
@@ -264,6 +324,71 @@ mod tests {
         t.instant(0, "x", "t", VTime::ZERO, &[]);
         assert_eq!(s.metrics().counter("c"), 5);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn streaming_sink_folds_bulk_and_keeps_exemplars() {
+        use crate::span::ENGINE_TRACK;
+        let s = ObsSink::streaming(StreamConfig {
+            top_k: 4,
+            exemplar_stride: 16,
+            exemplar_max: 2,
+        });
+        assert!(s.is_streaming() && s.is_enabled());
+        for rank in 0..64u32 {
+            s.span(
+                rank,
+                "prologue",
+                "engine",
+                VTime::from_secs(1.0),
+                VDuration::from_secs(f64::from(rank) * 1e-3),
+                &[("bytes", AttrValue::U64(u64::from(rank)))],
+            );
+        }
+        s.span(
+            ENGINE_TRACK,
+            "round",
+            "engine",
+            VTime::from_secs(1.0),
+            VDuration::from_secs(0.5),
+            &[],
+        );
+        s.counter_sample(
+            ENGINE_TRACK,
+            "mem.peak_reserved",
+            "mem",
+            VTime::from_secs(2.0),
+            7.0,
+            &[],
+        );
+        // Retained: exemplar ranks 0 and 16, plus the engine span.
+        assert_eq!(s.len(), 3);
+        let agg = s.stream_stats().expect("streaming aggregate");
+        assert_eq!(agg.retained_events, 3);
+        assert_eq!(agg.folded_events, 63); // 62 bulk prologues + 1 counter
+        let (name, _, cell) = agg
+            .cells()
+            .find(|(name, _, _)| *name == "prologue")
+            .expect("prologue cell");
+        assert_eq!(name, "prologue");
+        assert_eq!(cell.count, 62);
+        // Straggler list: largest durations among the folded ranks.
+        assert_eq!(cell.dur_nanos.top[0], (63_000_000, 63));
+        // Buffered sinks report no aggregate.
+        assert!(ObsSink::enabled().stream_stats().is_none());
+        assert!(!ObsSink::enabled().is_streaming());
+    }
+
+    #[test]
+    fn with_events_borrows_without_copying() {
+        let s = ObsSink::enabled();
+        s.instant(0, "x", "t", VTime::ZERO, &[]);
+        let n = s.with_events(|evs| {
+            assert_eq!(evs[0].name, "x");
+            evs.len()
+        });
+        assert_eq!(n, 1);
+        assert_eq!(ObsSink::disabled().with_events(<[Event]>::len), 0);
     }
 
     #[test]

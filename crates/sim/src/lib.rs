@@ -22,6 +22,10 @@
 //!   stragglers, and the retry policy that governs recovery;
 //! * [`sync`] — poison-absorbing wrappers over `std::sync` used by the
 //!   concurrent layers above;
+//! * [`hostprof`] — the host-wall profiler: process-global scoped
+//!   timers around the simulator's own hot phases (executor
+//!   scheduling, plan/schedule build, extent codec, recycler, storage
+//!   hop), free when disabled;
 //! * [`error`] — the shared error type.
 //!
 //! Nothing in this crate performs I/O or spawns threads (the [`sync`]
@@ -33,6 +37,7 @@
 pub mod cost;
 pub mod error;
 pub mod fault;
+pub mod hostprof;
 pub mod projection;
 pub mod rng;
 pub mod stats;

@@ -208,10 +208,8 @@ fn steady_state_op_is_allocation_free() {
         world.run(|ctx| {
             let env = env.clone();
             let handle = env.fs.open_or_create("steady");
-            let extents = ExtentList::normalize(vec![Extent::new(
-                ctx.rank() as u64 * 16 * KIB,
-                16 * KIB,
-            )]);
+            let extents =
+                ExtentList::normalize(vec![Extent::new(ctx.rank() as u64 * 16 * KIB, 16 * KIB)]);
             let payload = data::fill(&extents);
             let _ = write_all(ctx, &env, &handle, &extents, &payload, &strategy);
         });
