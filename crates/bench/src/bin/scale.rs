@@ -11,7 +11,7 @@
 //! point, their virtual times must agree bit for bit.
 //!
 //! ```text
-//! cargo run --release -p mccio-bench --bin scale [full|ci|10k|100k|obs] [--obs] [out.json]
+//! cargo run --release -p mccio-bench --bin scale [full|ci|10k|100k|obs|causal] [--obs] [out.json]
 //! ```
 //!
 //! * `full` (default) — 120 / 1008 / 10080 / 100800 ranks, both
@@ -24,7 +24,14 @@
 //!   fig7 shapes with a streaming `ObsSink` and the host-wall profiler
 //!   on, asserting virtual-time bit-identity obs on/off, bounded obs
 //!   allocations, and host-wall overhead under threshold; writes
-//!   `BENCH_PR9.json` plus per-point HTML reports under `trace_obs/`.
+//!   `BENCH_PR9.json` plus per-point HTML reports under `trace_obs/`;
+//! * `causal` — the causal-tracing flagship: the 10k fig7 shape under
+//!   a deterministic 5 µs control-plane latency (so clocks genuinely
+//!   diverge and blame chains hop ranks) with a *streaming* sink and
+//!   causal tracing armed, asserting virtual-time bit-identity causal
+//!   on/off, the same fixed obs allocation budget, host-wall overhead
+//!   under threshold, and non-degenerate cross-rank blame chains;
+//!   writes `BENCH_PR10.json` plus an HTML report under `trace_obs/`.
 //!
 //! `--obs` attaches the same streaming-observability comparison to any
 //! mode (CI runs `scale ci --obs` as its bounded-memory smoke).
@@ -33,10 +40,12 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use mccio_bench::{paper_pair, run_on, run_on_traced, Platform};
+use mccio_bench::{paper_pair, run_on, run_on_traced, run_on_traced_faulty, Platform};
 use mccio_net::ExecutorKind;
 use mccio_obs::{analyze, report, ObsSink, StreamConfig};
+use mccio_sim::fault::FaultPlan;
 use mccio_sim::hostprof::{self, HostProfile};
+use mccio_sim::time::VDuration;
 use mccio_sim::units::{KIB, MIB};
 use mccio_workloads::Ior;
 
@@ -162,7 +171,9 @@ fn points(mode: &str) -> Vec<Point> {
         "100k" => vec![p(100_800, 16, 1)],
         // The streaming-observability flagship pair (ISSUE 9).
         "obs" => vec![p(10_080, 64, 2), p(100_800, 16, 1)],
-        other => panic!("scale: unknown mode {other:?} (use full|ci|fig7|10k|100k|obs)"),
+        // The causal-tracing flagship (ISSUE 10): the 10k fig7 shape.
+        "causal" => vec![p(10_080, 64, 2)],
+        other => panic!("scale: unknown mode {other:?} (use full|ci|fig7|10k|100k|obs|causal)"),
     }
 }
 
@@ -204,6 +215,13 @@ fn main() {
     let mode = positional
         .first()
         .map_or_else(|| "full".to_string(), |s| (*s).clone());
+    if mode == "causal" {
+        let out_path = positional
+            .get(1)
+            .map_or_else(|| "BENCH_PR10.json".to_string(), |s| (*s).clone());
+        run_causal(&mode, &out_path);
+        return;
+    }
     if obs_flag || mode == "obs" {
         let out_path = positional
             .get(1)
@@ -500,6 +518,344 @@ fn run_obs(mode: &str, out_path: &str) {
     }
     std::fs::write("trace_obs/scale_obs.json", &json).expect("write obs json artifact");
     println!("{json}");
+}
+
+/// Deterministic control-plane latency for the causal flagship. The
+/// engine's phases are root-priced, so without real message latency all
+/// clocks move in lock-step and blame chains never hop ranks; a few
+/// microseconds of ctl latency genuinely advances receiver clocks.
+const CAUSAL_CTL_DELAY_MICROS: f64 = 5.0;
+
+/// Seed for the causal plan (it carries only the deterministic ctl
+/// delay; no random faults fire).
+const CAUSAL_SEED: u64 = 0xCA05;
+
+fn causal_plan() -> FaultPlan {
+    FaultPlan::new(CAUSAL_SEED).delay_control(VDuration::from_micros(CAUSAL_CTL_DELAY_MICROS))
+}
+
+/// One causal-comparison point: the same shape and fault plan run with
+/// causal tracing off (streaming obs absent entirely) then on.
+struct CausalRow {
+    ranks: usize,
+    per_rank_kib: u64,
+    segments: u64,
+    wall_off: f64,
+    wall_obs: f64,
+    write_secs: f64,
+    read_secs: f64,
+    obs_allocs: u64,
+    obs_bytes: u64,
+    retained: u64,
+    folded: u64,
+    cells: usize,
+    chains: usize,
+    hops: usize,
+    wait_secs: f64,
+    work_secs: f64,
+    nodes_created: u64,
+    live_nodes: usize,
+    slack_deliveries: u64,
+    profile: HostProfile,
+}
+
+impl CausalRow {
+    fn overhead(&self) -> f64 {
+        if self.wall_off > 0.0 {
+            (self.wall_obs - self.wall_off) / self.wall_off
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The causal-tracing flagship (`scale causal`): per point, one warmup
+/// run, one measured obs-off run, one measured run with a streaming
+/// sink, causal tracing, and the host profiler on — all under the same
+/// deterministic control-delay plan, so the comparison is apples to
+/// apples. Asserts virtual bit-identity, the fixed obs allocation
+/// budget, the host-wall overhead threshold, and non-degenerate blame
+/// chains (cross-rank hops, exact tiling, clean in-flight table);
+/// writes the JSON record and an HTML report under `trace_obs/`.
+fn run_causal(mode: &str, out_path: &str) {
+    std::fs::create_dir_all("trace_obs").expect("create trace_obs");
+    let mut rows: Vec<CausalRow> = Vec::new();
+    for point in points(mode) {
+        let Point {
+            ranks,
+            per_rank_kib,
+            segments,
+        } = point;
+        let platform = Platform::testbed(ranks / 12, ranks, 8).with_memory(320 * MIB, 64 * MIB);
+        let workload = Ior::interleaved_total(per_rank_kib * KIB, segments);
+        let [_, (name, strategy)] = paper_pair(&platform, 4 * MIB);
+        eprintln!("scale[causal]: {ranks} ranks x {per_rank_kib} KiB, {name}, Event ...");
+
+        // Warmup: commit the coroutine stack slab and allocator pools so
+        // neither measured run pays first-touch faults the other skips.
+        let _ = run_on_traced_faulty(
+            &workload,
+            &*strategy,
+            &platform,
+            ExecutorKind::Event,
+            &ObsSink::disabled(),
+            causal_plan(),
+        );
+
+        let a0 = alloc_snapshot();
+        let t0 = Instant::now();
+        let off = run_on_traced_faulty(
+            &workload,
+            &*strategy,
+            &platform,
+            ExecutorKind::Event,
+            &ObsSink::disabled(),
+            causal_plan(),
+        );
+        let wall_off = t0.elapsed().as_secs_f64();
+        let a1 = alloc_snapshot();
+
+        hostprof::reset();
+        hostprof::set_enabled(true);
+        let sink = ObsSink::streaming(StreamConfig::for_ranks(ranks, OBS_EXEMPLARS)).with_causal();
+        let a2 = alloc_snapshot();
+        let t1 = Instant::now();
+        let on = run_on_traced_faulty(
+            &workload,
+            &*strategy,
+            &platform,
+            ExecutorKind::Event,
+            &sink,
+            causal_plan(),
+        );
+        let wall_obs = t1.elapsed().as_secs_f64();
+        let a3 = alloc_snapshot();
+        hostprof::set_enabled(false);
+        let mut profile = hostprof::snapshot();
+        profile.wall_secs = wall_obs;
+        profile.virtual_secs = on.write_secs + on.read_secs;
+
+        // Acceptance: causal tracing must not move virtual time by a bit.
+        assert_eq!(
+            off.write_secs.to_bits(),
+            on.write_secs.to_bits(),
+            "{ranks} ranks: causal tracing moved virtual write time"
+        );
+        assert_eq!(
+            off.read_secs.to_bits(),
+            on.read_secs.to_bits(),
+            "{ranks} ranks: causal tracing moved virtual read time"
+        );
+
+        // Acceptance: the streaming sink *plus the causal fold* still
+        // fits the fixed, rank-independent obs allocation budget.
+        let obs_allocs = (a3.0 - a2.0).saturating_sub(a1.0 - a0.0);
+        let obs_bytes = (a3.1 - a2.1).saturating_sub(a1.1 - a0.1);
+        assert!(
+            obs_bytes <= OBS_ALLOC_BUDGET_BYTES,
+            "{ranks} ranks: causal obs allocations {obs_bytes} B exceed the fixed \
+             {OBS_ALLOC_BUDGET_BYTES} B budget"
+        );
+
+        let overhead = (wall_obs - wall_off) / wall_off;
+        if ranks >= 10_000 {
+            assert!(
+                overhead < OBS_MAX_OVERHEAD,
+                "{ranks} ranks: causal obs host-wall overhead {:.1}% exceeds {:.0}%",
+                overhead * 100.0,
+                OBS_MAX_OVERHEAD * 100.0
+            );
+        }
+
+        // Acceptance: the online DP settled clean, stayed bounded, and
+        // recorded non-degenerate cross-rank chains that tile exactly.
+        let agg = sink.causal().expect("causal tracing is armed");
+        assert_eq!(
+            agg.inflight_len(),
+            0,
+            "{ranks} ranks: messages still in flight after the run"
+        );
+        assert!(
+            agg.nodes_created() > 0,
+            "{ranks} ranks: no deliveries bound — the control delay skewed nothing"
+        );
+        assert!(
+            agg.live_nodes() as u64 <= agg.nodes_created(),
+            "{ranks} ranks: live frontier exceeds nodes created"
+        );
+        let chains = sink.causal_chains();
+        assert!(
+            !chains.is_empty(),
+            "{ranks} ranks: no blame chains recorded"
+        );
+        for (i, chain) in chains.iter().enumerate() {
+            chain
+                .verify_tiling()
+                .unwrap_or_else(|e| panic!("{ranks} ranks: chain {i} does not tile: {e}"));
+            assert!(
+                chain.hops() > 0,
+                "{ranks} ranks: chain {i} never leaves rank 0"
+            );
+        }
+        let hops: usize = chains.iter().map(mccio_obs::BlameChain::hops).sum();
+        let wait_secs: f64 = chains.iter().map(mccio_obs::BlameChain::wait_secs).sum();
+        let work_secs: f64 = chains.iter().map(mccio_obs::BlameChain::work_secs).sum();
+
+        let stream = sink
+            .stream_stats()
+            .expect("streaming sink has an aggregate");
+        eprintln!(
+            "  off {wall_off:.3}s, causal {wall_obs:.3}s ({:+.1}%), \
+             obs allocs {obs_allocs} ({} KiB)",
+            overhead * 100.0,
+            obs_bytes / 1024
+        );
+        eprintln!(
+            "  causal: {} chain(s), {hops} hop(s), wait {wait_secs:.6}s / work {work_secs:.6}s, \
+             {} node(s) created ({} live), {} slack deliveries",
+            chains.len(),
+            agg.nodes_created(),
+            agg.live_nodes(),
+            agg.slack_deliveries()
+        );
+        for p in &profile.phases {
+            if p.calls > 0 {
+                eprintln!(
+                    "  host {}: {} calls, {:.3} ms",
+                    p.name,
+                    p.calls,
+                    p.secs() * 1e3
+                );
+            }
+        }
+
+        // The streamed causal trace still analyzes and reports: the
+        // report carries the blame-chain and what-if sections.
+        let analysis = analyze::TraceAnalysis::of_sink(&sink)
+            .expect("streamed causal trace analyzes")
+            .with_host_profile(profile.clone());
+        assert!(
+            analysis.causal.as_ref().is_some_and(|c| !c.is_empty()),
+            "{ranks} ranks: analysis carries no causal layer"
+        );
+        let events: Vec<analyze::TraceEvent> = sink.with_events(|live| {
+            let mut refs: Vec<&mccio_obs::Event> = live.iter().collect();
+            refs.sort_by(|a, b| {
+                (a.track, a.kind.at().as_secs(), a.seq)
+                    .partial_cmp(&(b.track, b.kind.at().as_secs(), b.seq))
+                    .expect("virtual times are finite")
+            });
+            refs.into_iter()
+                .map(analyze::TraceEvent::from_live)
+                .collect()
+        });
+        let title = format!("mccio scale causal — {ranks} ranks / {name}");
+        let html = report::render(&title, &events, &analysis, None);
+        let path = format!("trace_obs/scale_causal_{ranks}.html");
+        std::fs::write(&path, &html).expect("write causal report");
+        eprintln!("  wrote {path} ({} bytes)", html.len());
+
+        rows.push(CausalRow {
+            ranks,
+            per_rank_kib,
+            segments,
+            wall_off,
+            wall_obs,
+            write_secs: on.write_secs,
+            read_secs: on.read_secs,
+            obs_allocs,
+            obs_bytes,
+            retained: stream.retained_events,
+            folded: stream.folded_events,
+            cells: stream.cell_count(),
+            chains: chains.len(),
+            hops,
+            wait_secs,
+            work_secs,
+            nodes_created: agg.nodes_created(),
+            live_nodes: agg.live_nodes(),
+            slack_deliveries: agg.slack_deliveries(),
+            profile,
+        });
+    }
+
+    let json = render_causal_json(mode, &rows);
+    std::fs::write(out_path, &json).expect("write causal bench json");
+    eprintln!("scale: wrote {out_path}");
+    std::fs::write("trace_obs/scale_causal.json", &json).expect("write causal json artifact");
+    println!("{json}");
+}
+
+/// Hand-rolled JSON for the causal comparison rows.
+fn render_causal_json(mode: &str, rows: &[CausalRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"scale-causal\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"workload\": \"ior-interleaved\",");
+    let _ = writeln!(out, "  \"strategy\": \"memory-conscious\",");
+    let _ = writeln!(out, "  \"executor\": \"event\",");
+    let _ = writeln!(out, "  \"ctl_delay_micros\": {CAUSAL_CTL_DELAY_MICROS},");
+    let _ = writeln!(
+        out,
+        "  \"obs_alloc_budget_bytes\": {OBS_ALLOC_BUDGET_BYTES},"
+    );
+    let _ = writeln!(out, "  \"obs_max_overhead\": {OBS_MAX_OVERHEAD},");
+    let _ = writeln!(out, "  \"exemplar_lanes\": {OBS_EXEMPLARS},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let mut host = String::new();
+        for (j, p) in r.profile.phases.iter().filter(|p| p.calls > 0).enumerate() {
+            if j > 0 {
+                host.push_str(", ");
+            }
+            let _ = write!(
+                host,
+                "{{\"phase\": \"{}\", \"calls\": {}, \"host_ms\": {:.3}}}",
+                p.name,
+                p.calls,
+                p.secs() * 1e3
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"ranks\": {}, \"per_rank_kib\": {}, \"segments\": {}, \
+             \"wall_secs_off\": {:.3}, \"wall_secs_obs\": {:.3}, \
+             \"overhead_pct\": {:.2}, \
+             \"obs_allocs\": {}, \"obs_alloc_bytes\": {}, \
+             \"events_folded\": {}, \"events_retained\": {}, \"stream_cells\": {}, \
+             \"virtual_write_secs\": {:.9}, \"virtual_read_secs\": {:.9}, \
+             \"chains\": {}, \"chain_hops\": {}, \
+             \"chain_wait_secs\": {:.9}, \"chain_work_secs\": {:.9}, \
+             \"nodes_created\": {}, \"live_nodes\": {}, \"slack_deliveries\": {}, \
+             \"host_profile\": [{host}]}}{comma}",
+            r.ranks,
+            r.per_rank_kib,
+            r.segments,
+            r.wall_off,
+            r.wall_obs,
+            r.overhead() * 100.0,
+            r.obs_allocs,
+            r.obs_bytes,
+            r.folded,
+            r.retained,
+            r.cells,
+            r.write_secs,
+            r.read_secs,
+            r.chains,
+            r.hops,
+            r.wait_secs,
+            r.work_secs,
+            r.nodes_created,
+            r.live_nodes,
+            r.slack_deliveries,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
 }
 
 /// Hand-rolled JSON for the obs comparison rows.

@@ -188,6 +188,36 @@ pub fn run_on_traced(
     run_with(&world, &env, workload, strategy)
 }
 
+/// Like [`run_on_traced`], with a fault plan installed on the
+/// environment. The causal benches use this with a deterministic
+/// control-plane delay: the engine's phases are root-priced, so without
+/// real message latency every rank's clock moves in lock-step and blame
+/// chains never hop ranks.
+#[must_use]
+pub fn run_on_traced_faulty(
+    workload: &dyn Workload,
+    strategy: &dyn Strategy,
+    platform: &Platform,
+    executor: ExecutorKind,
+    obs: &ObsSink,
+    plan: mccio_sim::fault::FaultPlan,
+) -> RunResult {
+    let placement = Placement::new(&platform.cluster, platform.n_ranks, FillOrder::Block)
+        .expect("platform placement");
+    let world = World::with_executor(
+        CostModel::new(platform.cluster.clone()),
+        placement,
+        executor,
+    );
+    let env = IoEnv::with_faults(
+        FileSystem::new(platform.n_servers, platform.stripe, platform.pfs),
+        platform.memory(),
+        plan,
+    )
+    .with_obs(obs.clone());
+    run_with(&world, &env, workload, strategy)
+}
+
 /// Like [`run`], with the environment recording spans and metrics into
 /// `obs`. Tracing never moves virtual time, so a traced run's bandwidths
 /// are bit-identical to [`run`]'s.

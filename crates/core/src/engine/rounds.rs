@@ -98,6 +98,12 @@ pub(super) fn execute_op(
     }
     let mut state = prologue::open(ctx, env, plan, res)?;
     let me = ctx.rank();
+    // Arm causal tracing on the world the first time an op runs with a
+    // causal-enabled sink; installation is idempotent and the hook is a
+    // pure observer, so the engine's virtual time never moves.
+    if let Some(hook) = env.obs().causal_hook() {
+        ctx.world().install_causal(hook);
+    }
     // Everything crash recovery needs — payload checksums, the agreed
     // clock, the mutable live plan — is gated on the plan actually
     // scheduling crashes, so crash-free runs execute the exact healthy
@@ -258,6 +264,10 @@ pub(super) fn execute_op(
     let rounds = state.scratch.rounds;
     let report = prologue::close(ctx, env, state, bytes, res);
     if obs.is_enabled() && me == 0 {
+        let dir = match op {
+            Op::Write { .. } => "write",
+            Op::Read => "read",
+        };
         obs.span(
             ENGINE_TRACK,
             "op",
@@ -265,18 +275,16 @@ pub(super) fn execute_op(
             t0,
             ctx.clock() - t0,
             &[
-                (
-                    "dir",
-                    AttrValue::Str(match op {
-                        Op::Write { .. } => "write",
-                        Op::Read => "read",
-                    }),
-                ),
+                ("dir", AttrValue::Str(dir)),
                 ("bytes", AttrValue::U64(bytes)),
                 ("rounds", AttrValue::U64(rounds)),
             ],
         );
         obs.counter_add("op.count", 1);
+        // Walk the causal frontier back from this op's end: the blame
+        // chain's [t0, clock] window is exactly the op span above, so
+        // its total is bit-equal to the span duration by construction.
+        obs.causal_op_end(t0, ctx.clock(), dir);
     }
     Ok((out, report))
 }

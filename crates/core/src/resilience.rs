@@ -252,6 +252,7 @@ pub fn ladder_write(
     rungs: &[&dyn Strategy],
 ) -> IoReport {
     let world = ctx.world_ranks();
+    arm_ctl_delay(ctx, env);
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
     if !env.faults().is_active() {
         let plan = rungs[0]
@@ -285,6 +286,7 @@ pub fn ladder_read(
     rungs: &[&dyn Strategy],
 ) -> (Vec<u8>, IoReport) {
     let world = ctx.world_ranks();
+    arm_ctl_delay(ctx, env);
     let pattern = GroupPattern::gather(ctx, &world, my_extents);
     if !env.faults().is_active() {
         let plan = rungs[0]
@@ -304,6 +306,20 @@ pub fn ladder_read(
         }
     }
     panic!("degradation ladder exhausted: the bottom rung must be infallible");
+}
+
+/// Arms the fault plan's control-plane delay on the world *before* this
+/// op's first message. The pattern gather below sends before
+/// `prologue::open` runs, so arming inside `open` lets a rank race
+/// ahead through `open` and change departure pricing while slower ranks
+/// are still sending pre-open messages — virtual time would depend on
+/// the thread schedule. Every rank arms the same value before its own
+/// first send, so every departure of the op prices identically on both
+/// executors.
+fn arm_ctl_delay(ctx: &Ctx, env: &IoEnv) {
+    if env.faults().is_active() {
+        ctx.world().set_ctl_delay(env.faults().plan().ctl_delay);
+    }
 }
 
 /// Marks a ladder-rung outcome on the trace (engine track, world rank 0

@@ -213,6 +213,11 @@ pub struct World {
     /// so fault plans can set it after the world is shared. Zero when no
     /// faults are injected.
     ctl_delay_bits: AtomicU64,
+    /// The installed message-causality observer, if any (see
+    /// [`World::install_causal`]). Empty by default: the off path is
+    /// one `OnceLock` load per send and a stamped-zero check per
+    /// settle.
+    causal: std::sync::OnceLock<Arc<dyn mccio_sim::causal::CausalSink>>,
 }
 
 impl World {
@@ -244,6 +249,7 @@ impl World {
             recycle: Arc::new(crate::recycle::BytePool::for_ranks(n_ranks)),
             world_set: std::sync::OnceLock::new(),
             ctl_delay_bits: AtomicU64::new(0.0_f64.to_bits()),
+            causal: std::sync::OnceLock::new(),
         })
     }
 
@@ -295,6 +301,23 @@ impl World {
     #[must_use]
     pub fn ctl_delay(&self) -> VDuration {
         VDuration::from_secs(f64::from_bits(self.ctl_delay_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Installs a message-causality observer: every subsequent send and
+    /// delivery settlement on this world is reported through it (see
+    /// [`mccio_sim::causal::CausalSink`]). At most one observer per
+    /// world — the first installation wins and later calls are ignored
+    /// (returning `false`), so every rank of an SPMD program can call
+    /// this idempotently before its first send. Messages sent before
+    /// installation carry no causal stamp and are never reported.
+    pub fn install_causal(&self, sink: Arc<dyn mccio_sim::causal::CausalSink>) -> bool {
+        self.causal.set(sink).is_ok()
+    }
+
+    /// The installed causality observer, if any.
+    #[must_use]
+    pub fn causal(&self) -> Option<&Arc<dyn mccio_sim::causal::CausalSink>> {
+        self.causal.get()
     }
 
     /// Number of ranks.
@@ -534,12 +557,17 @@ impl Ctx {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         self.clock += VDuration::from_secs(self.world.cost.per_message_overhead);
         self.account(dst, payload.len() as u64, true);
+        let causal = match self.world.causal.get() {
+            Some(sink) => sink.on_send(self.rank, dst, self.clock, payload.len() as u64, true),
+            None => 0,
+        };
         self.world.mailboxes[dst].deliver(Envelope {
             src: self.rank,
             tag,
             payload: payload.into(),
             depart: self.clock,
             costed: true,
+            causal,
         });
         self.notify(dst);
     }
@@ -560,17 +588,23 @@ impl Ctx {
         // the receiver's causality rule (max with depart) then charges it
         // in virtual time without any wall-clock sleeping.
         let depart = self.clock + self.world.ctl_delay();
+        let causal = match self.world.causal.get() {
+            Some(sink) => sink.on_send(self.rank, dst, self.clock, payload.len() as u64, false),
+            None => 0,
+        };
         self.world.mailboxes[dst].deliver(Envelope {
             src: self.rank,
             tag,
             payload,
             depart,
             costed: false,
+            causal,
         });
         self.notify(dst);
     }
 
     fn settle(&mut self, env: &Envelope) {
+        let before = self.clock;
         if env.costed {
             let src_node = self.world.placement.node_of(env.src);
             let d = self.world.cost.pt2pt(
@@ -582,6 +616,11 @@ impl Ctx {
             self.clock = self.clock.max(env.depart + d);
         } else {
             self.clock = self.clock.max(env.depart);
+        }
+        if env.causal != 0 {
+            if let Some(sink) = self.world.causal.get() {
+                sink.on_delivery(env.src, env.causal, self.rank, before, self.clock);
+            }
         }
     }
 

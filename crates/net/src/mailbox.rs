@@ -104,6 +104,11 @@ pub struct Envelope {
     /// receiver; control/bookkeeping messages are delivered free (their
     /// cost is priced analytically by the phase model instead).
     pub costed: bool,
+    /// Per-sender causal sequence number stamped by the world's
+    /// installed [`mccio_sim::causal::CausalSink`], or 0 when causal
+    /// tracing is off. `(src, causal)` identifies the happens-before
+    /// edge this delivery closes.
+    pub causal: u64,
 }
 
 /// Matching criteria for a receive.
@@ -274,6 +279,7 @@ mod tests {
             payload: vec![byte].into(),
             depart: VTime::ZERO,
             costed: false,
+            causal: 0,
         }
     }
 
@@ -358,6 +364,7 @@ mod tests {
                 payload: Payload::Shared(Arc::clone(&shared)),
                 depart: VTime::ZERO,
                 costed: false,
+                causal: 0,
             });
         }
         assert_eq!(Arc::strong_count(&shared), 4, "queued envelopes alias");

@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use mccio_sim::hostprof::HostProfile;
 use mccio_sim::time::{VDuration, VTime};
 
+use crate::causal::CausalAnalysis;
 use crate::json::{self, Value};
 use crate::metrics::Histogram;
 use crate::sink::ObsSink;
@@ -238,6 +239,10 @@ impl TraceEvent {
                         .and_then(Value::as_f64)
                         .ok_or(format!("counter record {i} missing args.value"))?,
                 },
+                // Flow events ("s" start / "f" finish) annotate message
+                // causality between spans; they carry no span of their
+                // own and are skipped on replay (like "M" metadata).
+                "s" | "f" => continue,
                 other => return Err(format!("record {i}: unknown ph {other:?}")),
             };
             out.push(TraceEvent {
@@ -551,6 +556,10 @@ pub struct TraceAnalysis {
     /// nondeterministic observability data, never part of bit-identity
     /// checks.
     pub host: Option<HostProfile>,
+    /// Per-op causal analyses (blame chains, wait-vs-work, what-if
+    /// projections), when the analyzed sink had causal tracing armed
+    /// ([`ObsSink::with_causal`]); `None` otherwise.
+    pub causal: Option<CausalAnalysis>,
 }
 
 impl TraceAnalysis {
@@ -579,6 +588,13 @@ impl TraceAnalysis {
         analysis.gauges = metrics.gauge_map();
         analysis.histograms = metrics.histogram_map();
         analysis.streaming = sink.stream_stats();
+        // Chains and critical paths are both recorded in op order, so
+        // the causal layer pairs them positionally (bit-checked inside
+        // `from_chains`).
+        let chains = sink.causal_chains();
+        if !chains.is_empty() {
+            analysis.causal = Some(CausalAnalysis::from_chains(&chains, &analysis.ops));
+        }
         Ok(analysis)
     }
 

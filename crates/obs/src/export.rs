@@ -11,7 +11,14 @@
 //! Export order is deterministic: events are sorted by `(track, start,
 //! emission sequence)` first, so two runs of the same plan produce
 //! byte-identical artifacts regardless of thread scheduling.
+//!
+//! [`chrome_trace_flows`] additionally renders causal message edges as
+//! Chrome **flow events** (`"ph": "s"` at the send, `"ph": "f"` at the
+//! binding delivery) so Perfetto draws arrows between rank tracks;
+//! flow ids are the deterministic `src · 2³² + seq` and edges are
+//! sorted by `(src, seq)`, keeping the artifact byte-identical too.
 
+use crate::causal::CausalEdge;
 use crate::json::{self, Value};
 use crate::span::{sort_for_export, AttrValue, Event, EventKind, ENGINE_TRACK};
 
@@ -48,50 +55,133 @@ fn track_name(track: u32) -> String {
     }
 }
 
+/// Renders one event as a Chrome record, returning its `ts` (in µs,
+/// unrounded) alongside the line for merge ordering.
+fn event_row(e: &Event) -> (f64, String) {
+    let common = format!(
+        "\"name\": \"{}\", \"cat\": \"{}\", \"pid\": 0, \"tid\": {}",
+        json::escape(e.name),
+        json::escape(e.cat),
+        e.track
+    );
+    match e.kind {
+        EventKind::Span { start, dur } => (
+            start.as_secs() * US,
+            format!(
+                "{{{common}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {}}}",
+                start.as_secs() * US,
+                dur.as_secs() * US,
+                fmt_args(&e.attrs)
+            ),
+        ),
+        EventKind::Instant { at } => (
+            at.as_secs() * US,
+            format!(
+                "{{{common}, \"ph\": \"i\", \"ts\": {:.3}, \"s\": \"t\", \"args\": {}}}",
+                at.as_secs() * US,
+                fmt_args(&e.attrs)
+            ),
+        ),
+        EventKind::Counter { at, value } => (
+            at.as_secs() * US,
+            format!(
+                "{{{common}, \"ph\": \"C\", \"ts\": {:.3}, \"args\": {{\"value\": {value}}}}}",
+                at.as_secs() * US,
+            ),
+        ),
+    }
+}
+
+/// Renders the track-name metadata records for a sorted, deduplicated
+/// track list.
+fn track_metadata(tracks: &[u32]) -> Vec<String> {
+    tracks
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {t}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                json::escape(&track_name(*t))
+            )
+        })
+        .collect()
+}
+
 /// Renders events as a Chrome `trace_event` JSON array (sorted copy;
 /// the input order does not matter).
 #[must_use]
 pub fn chrome_trace(events: &[Event]) -> String {
     let mut sorted = events.to_vec();
     sort_for_export(&mut sorted);
-    let mut lines: Vec<String> = Vec::with_capacity(sorted.len() + 8);
     // Track-name metadata, one per distinct track.
     let mut tracks: Vec<u32> = sorted.iter().map(|e| e.track).collect();
     tracks.sort_unstable();
     tracks.dedup();
-    for t in &tracks {
-        lines.push(format!(
-            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {t}, \
-             \"args\": {{\"name\": \"{}\"}}}}",
-            json::escape(&track_name(*t))
+    let mut lines = track_metadata(&tracks);
+    lines.extend(sorted.iter().map(|e| event_row(e).1));
+    format!("[\n{}\n]\n", lines.join(",\n"))
+}
+
+/// Renders events plus causal message edges as a Chrome `trace_event`
+/// array with **flow events**: each edge becomes a `"ph": "s"` record
+/// on the sender's track at the departure time and a `"ph": "f"`
+/// (binding-point `"e"`) record on the receiver's track at the
+/// arrival, sharing the deterministic id `src · 2³² + seq` — Perfetto
+/// draws the rank → rank arrows of the blame chain. Rows are merged so
+/// `ts` stays monotone per track; byte-identical across runs.
+#[must_use]
+pub fn chrome_trace_flows(events: &[Event], edges: &[CausalEdge]) -> String {
+    let mut sorted = events.to_vec();
+    sort_for_export(&mut sorted);
+    let mut edges: Vec<CausalEdge> = edges.to_vec();
+    edges.sort_by_key(|e| (e.src, e.seq));
+    // (tid, ts, line): stable sort keeps events in export order and
+    // flow records in (src, seq) order within equal timestamps.
+    let mut rows: Vec<(u32, f64, String)> = Vec::with_capacity(sorted.len() + 2 * edges.len());
+    for e in &sorted {
+        let (ts, line) = event_row(e);
+        rows.push((e.track, ts, line));
+    }
+    for e in &edges {
+        let id = e.flow_id();
+        let cat = if e.costed {
+            "causal.data"
+        } else {
+            "causal.ctl"
+        };
+        let depart = e.depart.as_secs() * US;
+        let arrive = e.arrive.as_secs() * US;
+        rows.push((
+            e.src,
+            depart,
+            format!(
+                "{{\"name\": \"msg\", \"cat\": \"{cat}\", \"ph\": \"s\", \"id\": {id}, \
+                 \"pid\": 0, \"tid\": {}, \"ts\": {depart:.3}, \
+                 \"args\": {{\"bytes\": {}}}}}",
+                e.src, e.bytes
+            ),
+        ));
+        rows.push((
+            e.dst,
+            arrive,
+            format!(
+                "{{\"name\": \"msg\", \"cat\": \"{cat}\", \"ph\": \"f\", \"bp\": \"e\", \
+                 \"id\": {id}, \"pid\": 0, \"tid\": {}, \"ts\": {arrive:.3}, \
+                 \"args\": {{\"bytes\": {}}}}}",
+                e.dst, e.bytes
+            ),
         ));
     }
-    for e in &sorted {
-        let common = format!(
-            "\"name\": \"{}\", \"cat\": \"{}\", \"pid\": 0, \"tid\": {}",
-            json::escape(e.name),
-            json::escape(e.cat),
-            e.track
-        );
-        let line = match e.kind {
-            EventKind::Span { start, dur } => format!(
-                "{{{common}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {}}}",
-                start.as_secs() * US,
-                dur.as_secs() * US,
-                fmt_args(&e.attrs)
-            ),
-            EventKind::Instant { at } => format!(
-                "{{{common}, \"ph\": \"i\", \"ts\": {:.3}, \"s\": \"t\", \"args\": {}}}",
-                at.as_secs() * US,
-                fmt_args(&e.attrs)
-            ),
-            EventKind::Counter { at, value } => format!(
-                "{{{common}, \"ph\": \"C\", \"ts\": {:.3}, \"args\": {{\"value\": {value}}}}}",
-                at.as_secs() * US,
-            ),
-        };
-        lines.push(line);
-    }
+    rows.sort_by(|a, b| {
+        (a.0, a.1)
+            .partial_cmp(&(b.0, b.1))
+            .expect("virtual times are finite")
+    });
+    let mut tracks: Vec<u32> = rows.iter().map(|r| r.0).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut lines = track_metadata(&tracks);
+    lines.extend(rows.into_iter().map(|r| r.2));
     format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
@@ -153,8 +243,10 @@ impl ChromeSummary {
 }
 
 /// Validates a Chrome trace document: parses it, checks the required
-/// fields of every event, and checks that `ts` is monotone
-/// (non-decreasing) per track in document order.
+/// fields of every event, checks that `ts` is monotone
+/// (non-decreasing) per track in document order, and checks flow
+/// pairing — every `"s"` start carries an id, is matched by exactly
+/// one `"f"` finish, and finishes no earlier than it starts.
 ///
 /// # Errors
 /// Describes the first violation found.
@@ -163,6 +255,9 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeSummary, String> {
     let events = parsed.as_arr().ok_or("top level must be a JSON array")?;
     let mut summary = ChromeSummary::default();
     let mut last_ts: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+    // Flow pairing: id → (start ts, finish ts).
+    let mut flows: std::collections::BTreeMap<u64, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
     for (i, e) in events.iter().enumerate() {
         let obj = e.as_obj().ok_or(format!("event {i} is not an object"))?;
         let ph = obj
@@ -204,6 +299,21 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeSummary, String> {
                 .and_then(Value::as_f64)
                 .ok_or(format!("complete event {i} ({name}) missing \"dur\""))?,
             "i" | "C" => 0.0,
+            "s" | "f" => {
+                let id = obj
+                    .get("id")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("flow event {i} ({name}) missing \"id\""))?
+                    as u64;
+                let slot = flows.entry(id).or_insert((None, None));
+                let side = if ph == "s" { &mut slot.0 } else { &mut slot.1 };
+                if side.replace(ts).is_some() {
+                    return Err(format!(
+                        "flow id {id} has a duplicate \"{ph}\" at event {i}"
+                    ));
+                }
+                0.0
+            }
             other => return Err(format!("event {i} ({name}) has unknown ph {other:?}")),
         };
         if dur < 0.0 {
@@ -213,6 +323,19 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeSummary, String> {
         summary.end_ts = summary.end_ts.max(ts + dur);
         if !summary.has(name) {
             summary.names.push(name.to_string());
+        }
+    }
+    for (id, (s, f)) in &flows {
+        match (s, f) {
+            (Some(s_ts), Some(f_ts)) if f_ts >= s_ts => {}
+            (Some(_), None) => return Err(format!("flow id {id} starts but never finishes")),
+            (None, Some(_)) => return Err(format!("flow id {id} finishes without a start")),
+            (Some(s_ts), Some(f_ts)) => {
+                return Err(format!(
+                    "flow id {id} finishes at {f_ts} before its start at {s_ts}"
+                ))
+            }
+            (None, None) => unreachable!("flow entries are created with one side set"),
         }
     }
     summary.tracks = last_ts.len();
@@ -338,6 +461,95 @@ mod tests {
         reversed.reverse();
         assert_eq!(chrome_trace(&evs), chrome_trace(&reversed));
         assert_eq!(jsonl(&evs), jsonl(&reversed));
+    }
+
+    #[test]
+    fn flow_events_pair_and_validate() {
+        use mccio_sim::time::VTime;
+        let edges = vec![
+            CausalEdge {
+                src: 3,
+                dst: 0,
+                seq: 2,
+                bytes: 512,
+                costed: true,
+                depart: VTime::from_secs(0.2),
+                arrive: VTime::from_secs(0.35),
+            },
+            CausalEdge {
+                src: 0,
+                dst: 3,
+                seq: 1,
+                bytes: 0,
+                costed: false,
+                depart: VTime::from_secs(0.05),
+                arrive: VTime::from_secs(0.1),
+            },
+        ];
+        let doc = chrome_trace_flows(&sample_events(), &edges);
+        let summary = validate_chrome_trace(&doc).unwrap();
+        // 4 sample events + 2 flow starts + 2 flow finishes.
+        assert_eq!(summary.events, 8);
+        assert!(summary.has("msg"));
+        // Edge order in the input must not matter.
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        assert_eq!(doc, chrome_trace_flows(&sample_events(), &reversed));
+        // Without edges the flow export degrades to the plain trace.
+        assert_eq!(
+            validate_chrome_trace(&chrome_trace_flows(&sample_events(), &[])).unwrap(),
+            validate_chrome_trace(&chrome_trace(&sample_events())).unwrap()
+        );
+    }
+
+    #[test]
+    fn broken_flow_pairing_is_caught() {
+        let orphan_start = r#"[
+            {"name": "msg", "ph": "s", "id": 7, "ts": 1.0, "pid": 0, "tid": 0}
+        ]"#;
+        let err = validate_chrome_trace(orphan_start).unwrap_err();
+        assert!(err.contains("never finishes"), "{err}");
+        let orphan_finish = r#"[
+            {"name": "msg", "ph": "f", "bp": "e", "id": 7, "ts": 1.0, "pid": 0, "tid": 0}
+        ]"#;
+        let err = validate_chrome_trace(orphan_finish).unwrap_err();
+        assert!(err.contains("without a start"), "{err}");
+        let backwards = r#"[
+            {"name": "msg", "ph": "s", "id": 7, "ts": 2.0, "pid": 0, "tid": 0},
+            {"name": "msg", "ph": "f", "bp": "e", "id": 7, "ts": 1.0, "pid": 0, "tid": 1}
+        ]"#;
+        let err = validate_chrome_trace(backwards).unwrap_err();
+        assert!(err.contains("before its start"), "{err}");
+        let missing_id = r#"[
+            {"name": "msg", "ph": "s", "ts": 1.0, "pid": 0, "tid": 0}
+        ]"#;
+        let err = validate_chrome_trace(missing_id).unwrap_err();
+        assert!(err.contains("missing \"id\""), "{err}");
+        let duplicate = r#"[
+            {"name": "msg", "ph": "s", "id": 7, "ts": 1.0, "pid": 0, "tid": 0},
+            {"name": "msg", "ph": "s", "id": 7, "ts": 1.5, "pid": 0, "tid": 0}
+        ]"#;
+        let err = validate_chrome_trace(duplicate).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn flow_round_trip_replays_spans_only() {
+        use mccio_sim::time::VTime;
+        let edges = vec![CausalEdge {
+            src: 3,
+            dst: 0,
+            seq: 1,
+            bytes: 64,
+            costed: true,
+            depart: VTime::from_secs(0.2),
+            arrive: VTime::from_secs(0.35),
+        }];
+        let doc = chrome_trace_flows(&sample_events(), &edges);
+        // from_chrome skips flow records like metadata: the replay sees
+        // exactly the four sample events.
+        let replayed = crate::analyze::TraceEvent::from_chrome(&doc).unwrap();
+        assert_eq!(replayed.len(), 4);
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //!   rank counts: online per-cell statistics, deterministic top-k
 //!   straggler retention, and strided exemplar-rank sampling (used by
 //!   [`ObsSink::streaming`]);
+//! * [`causal`] — message-level happens-before tracing: an online
+//!   longest-path fold over every network delivery (O(ranks + path)
+//!   memory), cross-rank blame chains that tile each op's elapsed time
+//!   to the bit, and what-if projection under re-weighted edge classes
+//!   (armed via [`ObsSink::with_causal`]);
 //! * [`report`] — a self-contained HTML report (inline SVG timeline
 //!   lanes, critical path, occupancy strip charts; zero dependencies).
 //!
@@ -61,6 +66,7 @@
 #![deny(missing_docs)]
 
 pub mod analyze;
+pub mod causal;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -70,6 +76,9 @@ pub mod span;
 pub mod stream;
 
 pub use analyze::{CriticalPath, MemTimeline, Phase, RunDiff, TraceAnalysis, TraceEvent};
+pub use causal::{
+    BlameChain, BlameSegment, CausalAgg, CausalAnalysis, CausalEdge, CausalOp, SegClass, WhatIf,
+};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::ObsSink;
 pub use span::{

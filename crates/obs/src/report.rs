@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::analyze::{MemTimeline, Phase, RunDiff, TraceAnalysis, TraceEvent};
+use crate::causal::SegClass;
 use crate::span::{EventKind, ENGINE_TRACK};
 
 /// Chart width in pixels (time axis).
@@ -75,6 +76,7 @@ pub fn render(
     lanes_section(&mut out, events, analysis, &scale);
     memory_section(&mut out, &analysis.memory, &scale);
     attribution_section(&mut out, analysis);
+    causal_section(&mut out, analysis);
     streaming_section(&mut out, analysis);
     host_section(&mut out, analysis);
     counters_section(&mut out, analysis);
@@ -418,6 +420,106 @@ fn attribution_section(out: &mut String, analysis: &TraceAnalysis) {
         let _ = writeln!(out, "<td>{:.6}</td></tr>", op.total.as_secs());
     }
     out.push_str("</table>\n");
+}
+
+/// Maximum blame-chain segment rows rendered per op before eliding.
+const MAX_CHAIN_ROWS: usize = 96;
+
+/// The fill color a causal segment class renders with in the chain
+/// table's class cell.
+fn class_color(class: SegClass) -> &'static str {
+    match class {
+        SegClass::Work => "#54a24b",
+        SegClass::SyncWait => "#888888",
+        SegClass::Transfer => "#4c78a8",
+    }
+}
+
+fn causal_section(out: &mut String, analysis: &TraceAnalysis) {
+    let Some(causal) = &analysis.causal else {
+        return;
+    };
+    if causal.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Root cause (blame chains)</h2>\n");
+    out.push_str(
+        "<p>The actual cross-rank happens-before path of each op: which rank's \
+         work and which message's flight time the elapsed seconds sit on. \
+         Segment joints are bit-equal and the chain total is bit-identical to \
+         the op's elapsed virtual time.</p>\n",
+    );
+    for (i, op) in causal.ops.iter().enumerate() {
+        let chain = &op.chain;
+        let total = chain.total().as_secs();
+        let ranks = chain
+            .ranks()
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let _ = writeln!(
+            out,
+            "<h3 style=\"font-size:13px;margin:10px 0 0\">op {i} ({}) — {total:.6}s, \
+             {} hops via ranks {}; work {:.6}s, wait {:.6}s</h3>",
+            html_escape(chain.dir),
+            chain.hops(),
+            html_escape(&ranks),
+            op.work_secs,
+            op.wait_secs,
+        );
+        out.push_str(
+            "<table>\n<tr><th>#</th><th>rank</th><th class=\"l\">class</th>\
+             <th>from (s)</th><th>to (s)</th><th>dur (s)</th><th>share</th></tr>\n",
+        );
+        for (j, seg) in chain.segments.iter().take(MAX_CHAIN_ROWS).enumerate() {
+            let dur = seg.dur().as_secs();
+            let share = if total > 0.0 {
+                dur / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "<tr><td>{j}</td><td>{}</td>\
+                 <td class=\"l\" style=\"border-left:6px solid {}\">{}</td>\
+                 <td>{:.9}</td><td>{:.9}</td><td>{dur:.9}</td><td>{share:.1}%</td></tr>",
+                seg.rank,
+                class_color(seg.class),
+                seg.class.name(),
+                seg.from.as_secs(),
+                seg.to.as_secs(),
+            );
+        }
+        out.push_str("</table>\n");
+        if chain.segments.len() > MAX_CHAIN_ROWS {
+            let _ = writeln!(
+                out,
+                "<p>({} more chain segments elided)</p>",
+                chain.segments.len() - MAX_CHAIN_ROWS
+            );
+        }
+        if !op.what_ifs.is_empty() {
+            out.push_str(
+                "<table style=\"margin-top:8px\">\n<tr><th class=\"l\">what-if</th>\
+                 <th>projected (s)</th><th>speedup</th></tr>\n",
+            );
+            for w in &op.what_ifs {
+                let speedup = if w.speedup.is_finite() {
+                    format!("{:.2}&times;", w.speedup)
+                } else {
+                    "&#8734;".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "<tr><td class=\"l\">{}</td><td>{:.6}</td><td>{speedup}</td></tr>",
+                    html_escape(w.name),
+                    w.projected_secs,
+                );
+            }
+            out.push_str("</table>\n");
+        }
+    }
 }
 
 /// Maximum streaming-attribution cell rows rendered before eliding.
@@ -772,6 +874,33 @@ mod tests {
             render("scaled", &events, &analysis, None),
             render("scaled", &events, &analysis, None),
             "rendering with the new sections stays deterministic"
+        );
+    }
+
+    #[test]
+    fn causal_section_renders_blame_chain_and_what_ifs() {
+        use crate::causal::{CausalAgg, CausalAnalysis};
+        use mccio_sim::causal::CausalSink as _;
+
+        let (events, mut analysis) = sample();
+        let agg = CausalAgg::new(true);
+        let seq = agg.on_send(0, 1, VTime::from_secs(0.8), 64, true);
+        agg.on_delivery(0, seq, 1, VTime::from_secs(0.2), VTime::from_secs(1.2));
+        agg.op_end(1, VTime::ZERO, VTime::from_secs(2.0), "write");
+        analysis.causal = Some(CausalAnalysis::from_chains(&agg.chains(), &analysis.ops));
+        let html = render("causal", &events, &analysis, None);
+        assert!(html.contains("Root cause (blame chains)"));
+        assert!(html.contains("transfer"));
+        assert!(html.contains("zero-network"));
+        assert!(html.contains("infinite-pfs"));
+        assert!(html.contains("uniform-memory"));
+        for needle in ["http://", "https://", "<script", "<link", "<img", "src="] {
+            assert!(!html.contains(needle), "found {needle}");
+        }
+        assert_eq!(
+            render("causal", &events, &analysis, None),
+            render("causal", &events, &analysis, None),
+            "causal section stays deterministic"
         );
     }
 

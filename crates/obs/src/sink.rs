@@ -22,10 +22,11 @@
 //! memory is independent of rank count. See `obs::stream`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mccio_sim::time::{VDuration, VTime};
 
+use crate::causal::{BlameChain, CausalAgg, CausalEdge};
 use crate::metrics::MetricsRegistry;
 use crate::span::{AttrValue, Event, EventKind};
 use crate::stream::{StreamAgg, StreamConfig};
@@ -38,6 +39,9 @@ struct Inner {
     /// Present on streaming sinks: the bounded aggregate that decides
     /// retention and absorbs everything it declines.
     stream: Option<Mutex<StreamAgg>>,
+    /// Present once [`ObsSink::with_causal`] is called: the online
+    /// happens-before fold the engine's world hooks into.
+    causal: OnceLock<Arc<CausalAgg>>,
 }
 
 /// A handle to a span/metrics sink; see the module docs. Clones share
@@ -79,6 +83,66 @@ impl ObsSink {
     #[must_use]
     pub fn is_streaming(&self) -> bool {
         self.inner.as_ref().is_some_and(|i| i.stream.is_some())
+    }
+
+    /// Arms message-causality tracing on this sink (builder style).
+    /// The engine installs the returned hook on its world at op start
+    /// and every delivery folds into the online frontier
+    /// ([`crate::causal`]). Per-edge records for Chrome flow export are
+    /// retained only on buffered sinks — a streaming sink keeps causal
+    /// memory rank-bounded. A no-op on the disabled sink.
+    #[must_use]
+    pub fn with_causal(self) -> Self {
+        if let Some(inner) = &self.inner {
+            let retain_edges = inner.stream.is_none();
+            let _ = inner.causal.set(Arc::new(CausalAgg::new(retain_edges)));
+        }
+        self
+    }
+
+    /// True when causal tracing is armed.
+    #[must_use]
+    pub fn is_causal(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.causal.get().is_some())
+    }
+
+    /// The causal hook for the engine's world, when armed.
+    #[must_use]
+    pub fn causal_hook(&self) -> Option<Arc<dyn mccio_sim::causal::CausalSink>> {
+        let agg = Arc::clone(self.inner.as_ref()?.causal.get()?);
+        Some(agg)
+    }
+
+    /// The causal aggregate itself (chains, edges, fold statistics),
+    /// when armed.
+    #[must_use]
+    pub fn causal(&self) -> Option<Arc<CausalAgg>> {
+        Some(Arc::clone(self.inner.as_ref()?.causal.get()?))
+    }
+
+    /// Closes an op window on the causal fold: walks the frontier of
+    /// rank 0 (the rank that prices the op span) back from `end`,
+    /// clamped at `t0`, and records the blame chain. Inert unless
+    /// causal tracing is armed.
+    pub fn causal_op_end(&self, t0: VTime, end: VTime, dir: &'static str) {
+        if let Some(agg) = self.causal() {
+            agg.op_end(0, t0, end, dir);
+        }
+    }
+
+    /// Blame chains recorded so far, in op order (empty unless armed).
+    #[must_use]
+    pub fn causal_chains(&self) -> Vec<BlameChain> {
+        self.causal().map_or_else(Vec::new, |agg| agg.chains())
+    }
+
+    /// Retained causal message edges in deterministic `(src, seq)`
+    /// order (empty unless armed on a buffered sink).
+    #[must_use]
+    pub fn causal_edges(&self) -> Vec<CausalEdge> {
+        self.causal().map_or_else(Vec::new, |agg| agg.edges())
     }
 
     /// A snapshot of the streaming aggregate (`None` on buffered or

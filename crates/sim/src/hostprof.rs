@@ -61,10 +61,14 @@ pub enum HostPhase {
     RecycleReturn = 6,
     /// Storage hop: driving queued PFS requests to completion.
     StorageHop = 7,
+    /// Causal-trace fold: registering an in-flight message edge or
+    /// folding a delivery into the per-rank happens-before frontier
+    /// (`obs::causal`). Zero calls when causal tracing is off.
+    CausalFold = 8,
 }
 
 /// Number of profiled phases (length of [`HostPhase::ALL`]).
-pub const N_PHASES: usize = 8;
+pub const N_PHASES: usize = 9;
 
 impl HostPhase {
     /// Every phase, in counter-array order.
@@ -77,6 +81,7 @@ impl HostPhase {
         HostPhase::RecycleTake,
         HostPhase::RecycleReturn,
         HostPhase::StorageHop,
+        HostPhase::CausalFold,
     ];
 
     /// Stable short name used in reports and JSON.
@@ -91,6 +96,7 @@ impl HostPhase {
             HostPhase::RecycleTake => "recycle.take",
             HostPhase::RecycleReturn => "recycle.return",
             HostPhase::StorageHop => "storage.hop",
+            HostPhase::CausalFold => "causal.fold",
         }
     }
 }

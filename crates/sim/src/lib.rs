@@ -22,6 +22,10 @@
 //!   stragglers, and the retry policy that governs recovery;
 //! * [`sync`] — poison-absorbing wrappers over `std::sync` used by the
 //!   concurrent layers above;
+//! * [`causal`] — the message-causality hook trait: the network engine
+//!   reports send/delivery happens-before edges through it to an
+//!   observer (implemented by `obs::causal`) without a dependency
+//!   cycle;
 //! * [`hostprof`] — the host-wall profiler: process-global scoped
 //!   timers around the simulator's own hot phases (executor
 //!   scheduling, plan/schedule build, extent codec, recycler, storage
@@ -34,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod cost;
 pub mod error;
 pub mod fault;

@@ -147,3 +147,32 @@ fn virtual_time_is_bit_identical_with_streaming_on_and_off() {
         }
     }
 }
+
+#[test]
+fn causal_fold_is_never_entered_unless_armed() {
+    // The causal fold rides the delivery-settle hot path, so its
+    // hostprof scope must be completely absent when causal tracing is
+    // off: zero `causal.fold` timer entries across a full traced run.
+    // (Other tests in this binary never arm causal tracing, so the
+    // global counter cannot move concurrently.)
+    use mccio_suite::sim::hostprof;
+    let fold_calls = || {
+        hostprof::snapshot()
+            .phases
+            .iter()
+            .find(|s| s.name == "causal.fold")
+            .map_or(0, |s| s.calls)
+    };
+    hostprof::set_enabled(true);
+    let before = fold_calls();
+    run_op_on(&ObsSink::streaming(cfg()), ExecutorKind::Event);
+    let off = fold_calls();
+    assert_eq!(off, before, "causal off must never enter the fold");
+    run_op_on(
+        &ObsSink::streaming(cfg()).with_causal(),
+        ExecutorKind::Event,
+    );
+    let on = fold_calls();
+    hostprof::set_enabled(false);
+    assert!(on > off, "armed causal tracing must time every fold");
+}
